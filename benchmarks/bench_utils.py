@@ -1,0 +1,18 @@
+"""Helpers importable by benchmark modules (pytest adds this directory to
+``sys.path`` because the benchmarks are not a package)."""
+
+from __future__ import annotations
+
+import os
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+def scaled(default, full):
+    """Pick a parameter based on the requested benchmark scale."""
+    return full if FULL_SCALE else default
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

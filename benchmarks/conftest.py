@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the harness, times it via pytest-benchmark (single round — these are
+experiments, not microbenchmarks), asserts the paper's *shape*, and saves
+the rendered table under ``benchmarks/results/`` so the numbers are
+inspectable after a run.
+
+Scale: the default parameters are sized to finish the whole suite in a
+few minutes.  Set ``REPRO_BENCH_SCALE=full`` for longer, closer-to-paper
+runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    def _save(name: str, *tables) -> None:
+        path = results_dir / f"{name}.txt"
+        text = "\n\n".join(t.render() for t in tables)
+        path.write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save

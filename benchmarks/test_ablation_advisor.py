@@ -1,0 +1,129 @@
+"""Ablation A2: advisor predictions vs measured crossovers, and the
+write-logging alignment knob.
+
+Two questions:
+
+1. Does the Section 4.6 analytical criterion actually predict the
+   empirical crossover measured by the Figure 13 harness?
+2. How much does the prototype's "log twice per write" alignment
+   (Section 4.1) cost Halfmoon-read, compared with the deterministic-
+   version single-log variant?
+"""
+
+import pytest
+
+from repro import ProtocolConfig, SystemConfig
+from repro.analysis import ProtocolAdvisor, runtime_boundary_read_ratio
+from repro.config import ClusterConfig
+from repro.harness import crossover_ratio, run_fig13, run_overhead_point
+from repro.harness.report import ExperimentTable
+
+from bench_utils import run_once, scaled
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+CONFIG = SystemConfig(
+    seed=47, cluster=ClusterConfig(function_nodes=4, workers_per_node=8)
+)
+DURATION = scaled(5_000.0, 15_000.0)
+KEYS = scaled(600, 5_000)
+
+
+@pytest.fixture(scope="module")
+def measured_crossover():
+    tables = run_fig13(
+        rates=(150.0,), read_ratios=RATIOS, config=CONFIG,
+        duration_ms=DURATION, num_keys=KEYS,
+    )
+    return crossover_ratio(tables[150.0], "median (ms)", RATIOS)
+
+
+def test_advisor_table(benchmark, save_table, measured_crossover):
+    run_once(benchmark, lambda: runtime_boundary_read_ratio(2.0))
+    predicted = runtime_boundary_read_ratio(2.0)
+    table = ExperimentTable(
+        "Ablation A2: advisor boundary vs measurement",
+        ["quantity", "read ratio"],
+    )
+    table.add_row("analytical boundary (C_w = 2 C_r)", predicted)
+    table.add_row("measured crossover (Fig. 13 harness)",
+                  measured_crossover)
+    table.add_note("paper: measured slightly above 2/3")
+    save_table("ablation_advisor", table)
+
+
+def test_prediction_matches_measurement(measured_crossover):
+    predicted = runtime_boundary_read_ratio(2.0)
+    assert measured_crossover == pytest.approx(predicted, abs=0.12)
+
+
+def test_advisor_recommends_correct_side_of_measured_boundary(
+    measured_crossover,
+):
+    from repro.analysis import WorkloadProfile
+
+    advisor = ProtocolAdvisor()
+    below = max(0.05, measured_crossover - 0.2)
+    above = min(0.95, measured_crossover + 0.2)
+    rec_below = advisor.recommend(
+        WorkloadProfile(below, 1 - below, 100.0)
+    )
+    rec_above = advisor.recommend(
+        WorkloadProfile(above, 1 - above, 100.0)
+    )
+    assert rec_below.protocol == "halfmoon-write"
+    assert rec_above.protocol == "halfmoon-read"
+
+
+class TestWriteLoggingAlignment:
+    """Design-choice 3 from DESIGN.md: double vs single write logging."""
+
+    @pytest.fixture(scope="class")
+    def latencies(self):
+        aligned = run_overhead_point(
+            "halfmoon-read", 0.3, CONFIG, rate_per_s=100.0,
+            duration_ms=DURATION, num_keys=KEYS,
+        )
+        single_config = SystemConfig(
+            seed=47,
+            cluster=ClusterConfig(function_nodes=4, workers_per_node=8),
+            protocol=ProtocolConfig(align_write_logging_with_boki=False),
+        )
+        deterministic = run_overhead_point(
+            "halfmoon-read", 0.3, single_config, rate_per_s=100.0,
+            duration_ms=DURATION, num_keys=KEYS,
+        )
+        return aligned, deterministic
+
+    def test_single_log_variant_is_faster(self, latencies, save_table):
+        aligned, deterministic = latencies
+        table = ExperimentTable(
+            "Ablation A2b: Halfmoon-read write logging "
+            "(read ratio 0.3, 100 req/s)",
+            ["variant", "median (ms)", "log appends"],
+        )
+        table.add_row(
+            "two logs per write (Boki-aligned)", aligned.median_ms,
+            sum(aligned.counters.get(k, 0) for k in
+                ("log_append", "log_append_overlapped",
+                 "log_append_control")),
+        )
+        table.add_row(
+            "deterministic version, one log", deterministic.median_ms,
+            sum(deterministic.counters.get(k, 0) for k in
+                ("log_append", "log_append_overlapped",
+                 "log_append_control")),
+        )
+        save_table("ablation_write_logging", table)
+        assert deterministic.median_ms < aligned.median_ms
+
+    def test_single_log_variant_appends_less(self, latencies):
+        aligned, deterministic = latencies
+        aligned_appends = aligned.counters.get("log_append", 0) + (
+            aligned.counters.get("log_append_overlapped", 0)
+        )
+        deterministic_appends = (
+            deterministic.counters.get("log_append", 0)
+            + deterministic.counters.get("log_append_overlapped", 0)
+        )
+        # Roughly one fewer append per write; the workload is 70% writes.
+        assert deterministic_appends < aligned_appends

@@ -1,0 +1,71 @@
+"""Substrate microbenchmarks (classic pytest-benchmark usage).
+
+Times the hot paths of the building blocks: shared-log appends and
+sub-stream reads, conditional KV updates, the DES event loop, and a full
+direct-mode invocation per protocol.  These track the reproduction's own
+performance rather than a figure from the paper.
+"""
+
+import pytest
+
+from repro import LocalRuntime, SystemConfig
+from repro.sharedlog import SharedLog
+from repro.simulation import Simulator
+from repro.store import KVStore
+
+
+def test_log_append_throughput(benchmark):
+    log = SharedLog()
+    counter = {"i": 0}
+
+    def append():
+        counter["i"] += 1
+        log.append(["i", f"k{counter['i'] % 64}"], {"step": counter["i"]})
+
+    benchmark(append)
+
+
+def test_log_read_prev_throughput(benchmark):
+    log = SharedLog()
+    for i in range(10_000):
+        log.append([f"k{i % 64}"], {"i": i})
+    benchmark(lambda: log.read_prev("k7", 9_000))
+
+
+def test_kv_conditional_put_throughput(benchmark):
+    kv = KVStore()
+    counter = {"v": 0}
+
+    def put():
+        counter["v"] += 1
+        kv.conditional_put("hot", counter["v"], (counter["v"], 1))
+
+    benchmark(put)
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(1_000):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+
+    benchmark(run_events)
+
+
+@pytest.mark.parametrize(
+    "protocol", ["unsafe", "boki", "halfmoon-read", "halfmoon-write"]
+)
+def test_invocation_throughput(benchmark, protocol):
+    runtime = LocalRuntime(SystemConfig(seed=3), protocol=protocol)
+    runtime.populate("X", 0)
+
+    def bump(ctx, inp):
+        ctx.write("X", ctx.read("X") + 1)
+
+    runtime.register("bump", bump)
+    benchmark(lambda: runtime.invoke("bump"))

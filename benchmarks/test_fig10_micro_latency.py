@@ -1,0 +1,73 @@
+"""Figure 10: per-operation read/write latency of the four systems.
+
+Setup from Section 6.1: a synthetic SSF issuing one read and one write
+per request against 10K pre-populated objects (8 B keys, 256 B values).
+Checks the headline claims:
+
+* Halfmoon-read serves exactly-once reads ~25-35% below Boki, within a
+  small factor of unsafe raw reads;
+* Halfmoon-write serves exactly-once writes ~25-45% below Boki;
+* each protocol matches Boki on its logged side.
+"""
+
+import pytest
+
+from repro.harness import run_fig10
+
+from bench_utils import run_once, scaled
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig10(
+        requests=scaled(1_500, 10_000),
+        num_keys=scaled(2_000, 10_000),
+    )
+
+
+def median(tables, op, system):
+    return tables[op].lookup({"system": system}, "median (ms)")
+
+
+def test_fig10_tables(benchmark, save_table):
+    result = run_once(
+        benchmark,
+        lambda: run_fig10(
+            requests=scaled(1_500, 10_000),
+            num_keys=scaled(2_000, 10_000),
+        ),
+    )
+    save_table("fig10_micro_latency", result["read"], result["write"])
+
+
+def test_read_panel_shape(tables):
+    unsafe = median(tables, "read", "unsafe")
+    boki = median(tables, "read", "boki")
+    hm_read = median(tables, "read", "halfmoon-read")
+    hm_write = median(tables, "read", "halfmoon-write")
+    assert 0.60 <= hm_read / boki <= 0.85, "HM-read should undercut Boki"
+    assert hm_write == pytest.approx(boki, rel=0.08)
+    assert 1.0 <= hm_read / unsafe <= 1.35, "near-raw exactly-once reads"
+
+
+def test_write_panel_shape(tables):
+    unsafe = median(tables, "write", "unsafe")
+    boki = median(tables, "write", "boki")
+    hm_read = median(tables, "write", "halfmoon-read")
+    hm_write = median(tables, "write", "halfmoon-write")
+    assert 0.50 <= hm_write / boki <= 0.75
+    assert hm_read == pytest.approx(boki, rel=0.10)
+    assert hm_write > unsafe  # conditional updates stay above raw
+
+
+def test_logging_overhead_reduction(tables):
+    """Overhead above the unsafe baseline: HM-read cuts Boki's read-side
+    overhead by >2x; HM-write cuts the write side by >2x (paper: 1.5-4x
+    end to end, 2-6x per op)."""
+    for op, system in [("read", "halfmoon-read"),
+                       ("write", "halfmoon-write")]:
+        unsafe = median(tables, op, "unsafe")
+        boki = median(tables, op, "boki")
+        halfmoon = median(tables, op, system)
+        reduction = (boki - unsafe) / max(halfmoon - unsafe, 1e-9)
+        assert reduction > 2.0, f"{op}: only {reduction:.1f}x"

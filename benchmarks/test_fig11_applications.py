@@ -1,0 +1,126 @@
+"""Figure 11: end-to-end latency vs throughput for the three applications.
+
+Sweeps offered load for travel reservation (read-intensive, 10 SSFs),
+movie review (write-leaning, 13 SSFs), and Retwis (read-intensive
+PUT/GET mix) under all four systems, asserting the paper's shape:
+
+* the correctly chosen Halfmoon protocol beats Boki at every load point;
+* Halfmoon-read wins travel and Retwis, Halfmoon-write wins movie;
+* both Halfmoon variants beat Boki even when mis-chosen;
+* achieved throughput tracks offered load below saturation for everyone.
+"""
+
+import pytest
+
+from repro.harness import run_fig11
+
+from bench_utils import run_once, scaled
+
+RATES = {
+    "travel-reservation": scaled((150, 450, 750), (100, 300, 500, 700, 900)),
+    "movie-review": scaled((75, 225, 375), (50, 150, 250, 350, 450)),
+    "retwis": scaled((150, 450, 750), (100, 300, 500, 700, 900)),
+}
+DURATION_MS = scaled(4_000.0, 10_000.0)
+
+EXPECTED_WINNER = {
+    "travel-reservation": "halfmoon-read",
+    "movie-review": "halfmoon-write",
+    "retwis": "halfmoon-read",
+}
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig11(rates=RATES, duration_ms=DURATION_MS,
+                     warmup_ms=1_000.0)
+
+
+def test_fig11_tables(benchmark, save_table, tables):
+    # The heavy sweep already ran in the fixture; time a single cheap
+    # cell so the benchmark table still reports something meaningful.
+    from repro.harness import run_app_point
+
+    run_once(
+        benchmark,
+        lambda: run_app_point(
+            "retwis", "halfmoon-read", RATES["retwis"][0],
+            duration_ms=2_000.0, warmup_ms=500.0,
+        ),
+    )
+    save_table("fig11_applications", *tables.values())
+
+
+@pytest.mark.parametrize("app", sorted(EXPECTED_WINNER))
+def test_correct_protocol_beats_boki_everywhere(tables, app):
+    table = tables[app]
+    winner = EXPECTED_WINNER[app]
+    for rate in RATES[app]:
+        boki = table.lookup(
+            {"system": "boki", "offered (req/s)": rate}, "median (ms)"
+        )
+        best = table.lookup(
+            {"system": winner, "offered (req/s)": rate}, "median (ms)"
+        )
+        assert best < boki, f"{app} @ {rate}: {best} !< {boki}"
+
+
+@pytest.mark.parametrize("app", sorted(EXPECTED_WINNER))
+def test_right_halfmoon_variant_wins(tables, app):
+    table = tables[app]
+    rate = RATES[app][1]
+    read_m = table.lookup(
+        {"system": "halfmoon-read", "offered (req/s)": rate},
+        "median (ms)",
+    )
+    write_m = table.lookup(
+        {"system": "halfmoon-write", "offered (req/s)": rate},
+        "median (ms)",
+    )
+    if EXPECTED_WINNER[app] == "halfmoon-read":
+        assert read_m < write_m
+    else:
+        assert write_m < read_m
+
+
+@pytest.mark.parametrize("app", sorted(EXPECTED_WINNER))
+def test_wrong_protocol_still_at_or_below_boki(tables, app):
+    """Boki either logs more reads than HM-read or more writes than
+    HM-write, so Halfmoon never does worse (Section 6.2)."""
+    table = tables[app]
+    for rate in RATES[app]:
+        boki = table.lookup(
+            {"system": "boki", "offered (req/s)": rate}, "median (ms)"
+        )
+        for system in ("halfmoon-read", "halfmoon-write"):
+            value = table.lookup(
+                {"system": system, "offered (req/s)": rate},
+                "median (ms)",
+            )
+            assert value <= boki * 1.03, f"{app}/{system} @ {rate}"
+
+
+@pytest.mark.parametrize("app", sorted(EXPECTED_WINNER))
+def test_throughput_tracks_offered_below_saturation(tables, app):
+    table = tables[app]
+    rate = RATES[app][0]  # well below saturation
+    for system in ("boki", "halfmoon-read", "halfmoon-write", "unsafe"):
+        achieved = table.lookup(
+            {"system": system, "offered (req/s)": rate},
+            "achieved (req/s)",
+        )
+        assert achieved == pytest.approx(rate, rel=0.2)
+
+
+def test_unsafe_is_the_floor(tables):
+    for app, table in tables.items():
+        for rate in RATES[app]:
+            unsafe = table.lookup(
+                {"system": "unsafe", "offered (req/s)": rate},
+                "median (ms)",
+            )
+            for system in ("boki", "halfmoon-read", "halfmoon-write"):
+                assert table.lookup(
+                    {"system": system, "offered (req/s)": rate},
+                    "median (ms)",
+                ) > unsafe

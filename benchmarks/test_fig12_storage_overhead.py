@@ -1,0 +1,126 @@
+"""Figure 12: time-averaged storage overhead vs read ratio.
+
+Four panels (object size x GC interval), three systems each.  Asserts:
+
+* Halfmoon-read's footprint falls as the read ratio rises (fewer
+  versions); Halfmoon-write's rises (read-log records);
+* the crossover sits slightly above read ratio 0.5 and is insensitive to
+  the GC interval;
+* Boki stores more than the better Halfmoon protocol at the extremes;
+* Halfmoon-read exceeds Boki under write-heavy mixes (multi-versioning
+  outweighs the scarce read log), as the paper observes.
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ClusterConfig
+from repro.harness import crossover_ratio, run_fig12
+
+from bench_utils import run_once, scaled
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+CONFIG = SystemConfig(
+    seed=41, cluster=ClusterConfig(function_nodes=4, workers_per_node=8)
+)
+RATE = scaled(50.0, 100.0)
+DURATION = scaled(20_000.0, 120_000.0)
+KEYS = scaled(400, 2_000)
+
+PANELS = [
+    (256, 10_000.0),
+    (256, 30_000.0),
+    (1024, 10_000.0),
+    (1024, 30_000.0),
+]
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {
+        (size, gc): run_fig12(
+            value_bytes=size, gc_interval_ms=gc, read_ratios=RATIOS,
+            config=CONFIG, rate_per_s=RATE, duration_ms=DURATION,
+            num_keys=KEYS,
+        )
+        for size, gc in PANELS
+    }
+
+
+def test_fig12_tables(benchmark, save_table, panels):
+    run_once(
+        benchmark,
+        lambda: run_fig12(
+            value_bytes=256, gc_interval_ms=10_000.0,
+            read_ratios=(0.5,), config=CONFIG, rate_per_s=RATE,
+            duration_ms=5_000.0, num_keys=KEYS,
+        ),
+    )
+    save_table("fig12_storage_overhead", *panels.values())
+
+
+@pytest.mark.parametrize("size,gc", PANELS)
+def test_monotone_trends(panels, size, gc):
+    table = panels[(size, gc)]
+    hm_read = [
+        table.lookup(
+            {"system": "halfmoon-read", "read ratio": r},
+            "avg total (KB)",
+        ) for r in RATIOS
+    ]
+    hm_write = [
+        table.lookup(
+            {"system": "halfmoon-write", "read ratio": r},
+            "avg total (KB)",
+        ) for r in RATIOS
+    ]
+    assert hm_read[0] > hm_read[-1], "HM-read should shrink with reads"
+    assert hm_write[0] < hm_write[-1], "HM-write should grow with reads"
+
+
+@pytest.mark.parametrize("size,gc", PANELS)
+def test_crossover_slightly_above_half(panels, size, gc):
+    crossing = crossover_ratio(
+        panels[(size, gc)], "avg total (KB)", RATIOS
+    )
+    assert 0.45 <= crossing <= 0.70, f"panel {size}B/GC{gc}: {crossing}"
+
+
+def test_crossover_insensitive_to_gc_interval(panels):
+    for size in (256, 1024):
+        short = crossover_ratio(
+            panels[(size, 10_000.0)], "avg total (KB)", RATIOS
+        )
+        long = crossover_ratio(
+            panels[(size, 30_000.0)], "avg total (KB)", RATIOS
+        )
+        assert short == pytest.approx(long, abs=0.15)
+
+
+@pytest.mark.parametrize("size,gc", PANELS)
+def test_boki_above_best_protocol(panels, size, gc):
+    table = panels[(size, gc)]
+    for ratio in (0.1, 0.9):
+        boki = table.lookup(
+            {"system": "boki", "read ratio": ratio}, "avg total (KB)"
+        )
+        best = min(
+            table.lookup(
+                {"system": s, "read ratio": ratio}, "avg total (KB)"
+            )
+            for s in ("halfmoon-read", "halfmoon-write")
+        )
+        assert boki > best
+
+
+def test_halfmoon_read_worse_than_boki_when_write_heavy(panels):
+    """Paper: at low read ratios the versioning overhead of HM-read
+    exceeds Boki's (read logs are scarce there)."""
+    table = panels[(256, 10_000.0)]
+    hm_read = table.lookup(
+        {"system": "halfmoon-read", "read ratio": 0.1}, "avg total (KB)"
+    )
+    boki = table.lookup(
+        {"system": "boki", "read ratio": 0.1}, "avg total (KB)"
+    )
+    assert hm_read > boki

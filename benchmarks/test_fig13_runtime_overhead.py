@@ -1,0 +1,100 @@
+"""Figure 13: median latency vs read ratio at several request rates.
+
+Asserts the Section 4.6 runtime criterion empirically:
+
+* Halfmoon-read's latency falls with the read ratio, Boki's falls more
+  slowly, and the HM-read/HM-write crossover sits near read ratio 2/3
+  (slightly above, because C_w exceeds 2 C_r in practice);
+* the crossover is insensitive to the request rate;
+* both protocols undercut Boki at every ratio, by roughly 1.2-1.5x.
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ClusterConfig
+from repro.harness import crossover_ratio, run_fig13
+
+from bench_utils import run_once, scaled
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+RATES = scaled((150.0, 350.0), (100.0, 200.0, 300.0, 400.0))
+CONFIG = SystemConfig(
+    seed=43, cluster=ClusterConfig(function_nodes=8, workers_per_node=8)
+)
+DURATION = scaled(6_000.0, 15_000.0)
+KEYS = scaled(1_000, 10_000)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig13(
+        rates=RATES, read_ratios=RATIOS, config=CONFIG,
+        duration_ms=DURATION, num_keys=KEYS,
+    )
+
+
+def test_fig13_tables(benchmark, save_table, tables):
+    run_once(
+        benchmark,
+        lambda: run_fig13(
+            rates=(RATES[0],), read_ratios=(0.5,), config=CONFIG,
+            duration_ms=3_000.0, num_keys=KEYS,
+        ),
+    )
+    save_table("fig13_runtime_overhead", *tables.values())
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_crossover_near_two_thirds(tables, rate):
+    crossing = crossover_ratio(tables[rate], "median (ms)", RATIOS)
+    assert 0.55 <= crossing <= 0.85, f"rate {rate}: {crossing}"
+
+
+def test_crossover_insensitive_to_rate(tables):
+    crossings = [
+        crossover_ratio(tables[rate], "median (ms)", RATIOS)
+        for rate in RATES
+    ]
+    assert max(crossings) - min(crossings) <= 0.15
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_hm_read_improves_with_read_ratio(tables, rate):
+    medians = [
+        tables[rate].lookup(
+            {"system": "halfmoon-read", "read ratio": r}, "median (ms)"
+        ) for r in RATIOS
+    ]
+    assert medians[0] > medians[-1]
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_both_protocols_beat_boki(tables, rate):
+    table = tables[rate]
+    for ratio in RATIOS:
+        boki = table.lookup(
+            {"system": "boki", "read ratio": ratio}, "median (ms)"
+        )
+        for system in ("halfmoon-read", "halfmoon-write"):
+            value = table.lookup(
+                {"system": system, "read ratio": ratio}, "median (ms)"
+            )
+            assert value < boki
+
+
+def test_improvement_factor_in_band(tables):
+    """The better protocol improves on Boki by ~1.1-1.6x (paper:
+    1.2-1.5x)."""
+    table = tables[RATES[0]]
+    for ratio in (0.1, 0.9):
+        boki = table.lookup(
+            {"system": "boki", "read ratio": ratio}, "median (ms)"
+        )
+        best = min(
+            table.lookup(
+                {"system": s, "read ratio": ratio}, "median (ms)"
+            )
+            for s in ("halfmoon-read", "halfmoon-write")
+        )
+        assert 1.1 <= boki / best <= 1.7

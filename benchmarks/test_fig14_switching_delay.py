@@ -1,0 +1,82 @@
+"""Figure 14: pauseless protocol-switching delay.
+
+Two-phase workload (read ratio 0.2 under Halfmoon-write, then 0.8 under
+Halfmoon-read, alternating every 5 s).  Asserts:
+
+* switching completes well under a second at both loads;
+* requests keep completing *during* the switch (pauseless);
+* at high load, draining the write-heavy phase (HM-write -> HM-read)
+  takes longer than the reverse, and longer than at moderate load.
+"""
+
+import pytest
+
+from repro.harness import run_fig14, run_fig14_point
+from repro.harness.report import ExperimentTable
+
+from bench_utils import run_once, scaled
+
+MODERATE = 300.0
+HEAVY = 600.0
+KEYS = scaled(1_000, 10_000)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        rate: run_fig14_point(rate, num_keys=KEYS)
+        for rate in (MODERATE, HEAVY)
+    }
+
+
+def test_fig14_table(benchmark, save_table, results):
+    run_once(benchmark, lambda: run_fig14_point(MODERATE, num_keys=200))
+    table = ExperimentTable(
+        "Figure 14: protocol switching delay",
+        ["rate (req/s)", "direction", "delay (ms)"],
+    )
+    for rate, result in results.items():
+        for entry in result.switch_delays:
+            table.add_row(
+                rate, f"{entry['from']} -> {entry['to']}",
+                entry["delay_ms"],
+            )
+    table.add_note(
+        "paper @300: 92/70 ms; @600: 575/88 ms (saturation ~800 req/s)"
+    )
+    save_table("fig14_switching_delay", table)
+
+
+def test_switches_happened(results):
+    for rate, result in results.items():
+        assert len(result.switch_delays) >= 3, f"rate {rate}"
+        assert all(d is not None for d in result.delays_ms())
+
+
+def test_switching_is_subsecond(results):
+    for rate, result in results.items():
+        assert max(result.delays_ms()) < 1_000.0
+
+
+def test_asymmetry_under_load(results):
+    heavy = results[HEAVY]
+    to_read = heavy.delay_for("halfmoon-read")     # drains write phase
+    to_write = heavy.delay_for("halfmoon-write")   # drains read phase
+    assert max(to_read) > max(to_write)
+
+
+def test_load_slows_switching(results):
+    assert max(results[HEAVY].delays_ms()) > (
+        max(results[MODERATE].delays_ms())
+    )
+
+
+def test_pauseless_requests_complete_throughout(results):
+    """No service gap around a switch: completions continue in every
+    100 ms window covering the switch boundaries."""
+    result = results[MODERATE]
+    for entry in result.switch_delays:
+        begin = entry["begin_time_ms"]
+        window = result.latency_series.window(begin - 100.0,
+                                              begin + 200.0)
+        assert window, f"no completions around switch at {begin}"

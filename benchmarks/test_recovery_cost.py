@@ -1,0 +1,148 @@
+"""Section 7: recovery cost under Bernoulli failures.
+
+Sweeps the per-round crash probability f and compares Halfmoon against
+Boki, validating the analytical model's claims:
+
+* Halfmoon stays below Boki across realistic failure rates (f << x);
+* the analytical break-even point equals the failure-free advantage x;
+* the measured gap narrows as f grows (Halfmoon replays log-free ops).
+"""
+
+import pytest
+
+from repro.analysis import (
+    break_even_failure_rate,
+    expected_cost_halfmoon,
+    expected_cost_symmetric,
+    halfmoon_wins,
+)
+from repro.harness import run_recovery_sweep
+
+from bench_utils import run_once, scaled
+
+F_VALUES = (0.0, 0.1, 0.2, 0.3, 0.4)
+REQUESTS = scaled(250, 1_000)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_recovery_sweep(
+        f_values=F_VALUES, read_ratio=0.4,
+        systems=("boki", "halfmoon-write", "halfmoon-read"),
+        requests=REQUESTS,
+    )
+
+
+def test_recovery_table(benchmark, save_table, table):
+    run_once(
+        benchmark,
+        lambda: run_recovery_sweep(
+            f_values=(0.0,), systems=("boki",), requests=50
+        ),
+    )
+    save_table("recovery_cost", table)
+
+
+def test_halfmoon_wins_at_realistic_failure_rates(table):
+    for f in (0.0, 0.1, 0.2):
+        boki = table.lookup({"system": "boki", "f": f}, "mean (ms)")
+        halfmoon = table.lookup(
+            {"system": "halfmoon-write", "f": f}, "mean (ms)"
+        )
+        assert halfmoon < boki, f"f={f}"
+
+
+def test_gap_narrows_with_failure_rate(table):
+    def gap(f):
+        boki = table.lookup({"system": "boki", "f": f}, "mean (ms)")
+        halfmoon = table.lookup(
+            {"system": "halfmoon-write", "f": f}, "mean (ms)"
+        )
+        return (boki - halfmoon) / boki
+
+    assert gap(0.4) < gap(0.0) + 0.05
+
+
+def test_latency_grows_with_failure_rate(table):
+    for system in ("boki", "halfmoon-write"):
+        low = table.lookup({"system": system, "f": 0.0}, "mean (ms)")
+        high = table.lookup({"system": system, "f": 0.4}, "mean (ms)")
+        assert high > low
+
+
+class TestAnalyticalModel:
+    def test_break_even_matches_advantage(self):
+        assert break_even_failure_rate(0.30) == pytest.approx(0.30)
+
+    def test_model_boundary_behaviour(self):
+        x = 0.30
+        assert halfmoon_wins(0.29, x)
+        assert not halfmoon_wins(0.31, x)
+
+    def test_model_with_costly_symmetric_replay(self):
+        """The extended-version claim: with a 30% advantage and replay
+        that is not free, Halfmoon still wins at f = 0.4."""
+        assert halfmoon_wins(0.40, 0.30, replay_discount=0.30)
+
+    def test_costs_increase_in_f(self):
+        costs = [expected_cost_halfmoon(f, 0.3) for f in F_VALUES]
+        assert costs == sorted(costs)
+        flat = [expected_cost_symmetric(f, 0.0) for f in F_VALUES]
+        assert flat == [1.0] * len(F_VALUES)
+
+
+class TestCheckpointAblation:
+    """Section 7's recovery speed-up: opportunistic read checkpoints
+    shrink replay cost without touching failure-free latency."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro import ProtocolConfig, SystemConfig
+        from repro.harness.recovery_exp import run_recovery_point
+
+        def measure(checkpointing, f):
+            config = SystemConfig(
+                seed=61,
+                protocol=ProtocolConfig(
+                    checkpoint_log_free_reads=checkpointing
+                ),
+            )
+            return run_recovery_point(
+                "halfmoon-read", f, read_ratio=0.8, config=config,
+                requests=scaled(200, 800),
+            )
+
+        return {
+            (ckpt, f): measure(ckpt, f)
+            for ckpt in (False, True)
+            for f in (0.0, 0.3)
+        }
+
+    def test_checkpoint_table(self, benchmark, save_table, sweep):
+        from repro.harness.report import ExperimentTable
+
+        run_once(benchmark, lambda: None)
+        table = ExperimentTable(
+            "Ablation: opportunistic read checkpointing "
+            "(halfmoon-read, read ratio 0.8)",
+            ["variant", "f", "mean (ms)"],
+        )
+        for (ckpt, f), recorder in sweep.items():
+            table.add_row(
+                "checkpointed" if ckpt else "plain", f, recorder.mean()
+            )
+        table.add_note(
+            "checkpoints are free when failure-free and cut replay cost "
+            "under crashes"
+        )
+        save_table("ablation_checkpointing", table)
+
+    def test_free_when_failure_free(self, sweep):
+        plain = sweep[(False, 0.0)].mean()
+        checkpointed = sweep[(True, 0.0)].mean()
+        assert checkpointed == pytest.approx(plain, rel=0.05)
+
+    def test_cheaper_recovery_under_crashes(self, sweep):
+        plain = sweep[(False, 0.3)].mean()
+        checkpointed = sweep[(True, 0.3)].mean()
+        assert checkpointed < plain

@@ -1,0 +1,27 @@
+"""Table 1: latency of log, read, and write primitives.
+
+Regenerates the paper's Table 1 (median / p99 of a shared-log append, a
+raw store read, and a raw store write) from the calibrated latency
+models, and checks both the absolute calibration and the ordering.
+"""
+
+import pytest
+
+from repro.harness import run_table1
+
+from bench_utils import run_once, scaled
+
+
+def test_table1(benchmark, save_table):
+    samples = scaled(5_000, 50_000)
+    table = run_once(benchmark, lambda: run_table1(samples=samples))
+    save_table("table1_op_latency", table)
+
+    log_m = table.lookup({"metric": "median"}, "Log (ms)")
+    read_m = table.lookup({"metric": "median"}, "Read (ms)")
+    write_m = table.lookup({"metric": "median"}, "Write (ms)")
+    # Calibration targets from the paper.
+    assert log_m == pytest.approx(1.18, rel=0.1)
+    assert read_m == pytest.approx(1.88, rel=0.1)
+    assert write_m == pytest.approx(2.47, rel=0.1)
+    assert log_m < read_m < write_m

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Pauseless protocol switching for a dynamic workload (Section 4.7).
+
+Simulates a diurnal pattern: a write-heavy ingest phase alternates with a
+read-heavy serving phase every five (simulated) seconds.  The runtime
+switches between Halfmoon-write and Halfmoon-read at each boundary while
+requests keep flowing — no pause, no lost updates, sub-second switch
+delay.
+
+Run:  python examples/dynamic_switching.py
+"""
+
+from repro import SystemConfig
+from repro.config import ClusterConfig
+from repro.harness.switching_exp import run_fig14_point
+from repro.workloads.generator import Phase
+
+
+def main() -> None:
+    phases = [
+        Phase(5_000.0, read_ratio=0.2, protocol="halfmoon-write"),
+        Phase(5_000.0, read_ratio=0.8, protocol="halfmoon-read"),
+        Phase(5_000.0, read_ratio=0.2, protocol="halfmoon-write"),
+        Phase(5_000.0, read_ratio=0.8, protocol="halfmoon-read"),
+    ]
+    config = SystemConfig(
+        seed=9, cluster=ClusterConfig(function_nodes=8, workers_per_node=3)
+    )
+    print("Dynamic workload: ingest (80% writes) <-> serving (80% reads),"
+          "\nswitching protocols at every 5 s phase boundary.\n")
+
+    for rate in (300.0, 600.0):
+        result = run_fig14_point(rate, config=config, phases=phases,
+                                 num_keys=1_000)
+        print(f"--- {rate:.0f} requests/s "
+              f"({result.completed} completed) ---")
+        for entry in result.switch_delays:
+            begin = entry["begin_time_ms"]
+            print(f"  t={begin / 1000.0:5.2f}s  "
+                  f"{entry['from']:15s} -> {entry['to']:15s}  "
+                  f"switch took {entry['delay_ms']:6.1f} ms")
+        # Requests completed during every switching window: pauseless.
+        for entry in result.switch_delays:
+            window = result.latency_series.window(
+                entry["begin_time_ms"], entry["end_time_ms"] + 200.0
+            )
+            assert window, "service gap detected during switch!"
+        print("  (requests kept completing during every switch)\n")
+
+    print("Note the asymmetry at high load: draining the write-heavy")
+    print("phase (HM-write -> HM-read) takes longer, as in Figure 14.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Per-object protocol deployment (Section 4.6).
+
+A session-store scenario: a hot configuration object is read by every
+request, while a metrics object is written by every request.  Pinning
+the config to Halfmoon-read and the metrics to Halfmoon-write makes
+*both* sides log-free — strictly less logging than either uniform
+deployment — while exactly-once semantics still holds under crashes.
+
+Run:  python examples/per_object_protocols.py
+"""
+
+from repro import BernoulliCrashes, LocalRuntime, SystemConfig
+from repro.runtime import Cost
+
+
+def handle_request(ctx, inp):
+    config = ctx.read("site-config")        # read-hot object
+    counter = ctx.read("request-count")     # occasionally read
+    ctx.write("request-count", counter + 1)  # write-hot object
+    return {"theme": config["theme"], "count": counter + 1}
+
+
+def run(assignments, label):
+    runtime = LocalRuntime(SystemConfig(seed=77), protocol="halfmoon-read")
+    runtime.populate("site-config", {"theme": "dark"})
+    runtime.populate("request-count", 0)
+    for key, protocol in assignments.items():
+        runtime.set_object_protocol(key, protocol)
+    runtime.crash_policy = BernoulliCrashes(
+        0.2, runtime.backend.rng.stream("crashes"), horizon=12
+    )
+    runtime.register("handle", handle_request)
+
+    for _ in range(50):
+        runtime.invoke("handle")
+    counters = runtime.backend.counters.as_dict()
+    log_ops = sum(counters.get(k, 0) for k in Cost.LOGGING_KINDS)
+
+    probe = runtime.open_session().init()
+    count = probe.read("request-count")
+    probe.finish()
+    assert count == 50, "exactly-once violated!"
+    print(f"{label:40s} log appends={log_ops:4d} "
+          f"(crashes survived: {runtime.crash_policy.crashes_fired})")
+    return log_ops
+
+
+def main() -> None:
+    print("50 requests, each: 2 reads of hot config + 1 counter write")
+    print("20% of attempts crash; the counter must end at exactly 50.\n")
+    uniform_read = run({}, "uniform halfmoon-read")
+    uniform_write = run(
+        {"site-config": "halfmoon-write",
+         "request-count": "halfmoon-write"},
+        "uniform halfmoon-write",
+    )
+    split = run(
+        {"site-config": "halfmoon-read",
+         "request-count": "halfmoon-write"},
+        "per-object (read->HM-R, write->HM-W)",
+    )
+    print(f"\nper-object assignment logs "
+          f"{uniform_read - split} fewer appends than uniform HM-read "
+          f"and {uniform_write - split} fewer than uniform HM-write.")
+    assert split < uniform_read and split < uniform_write
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: exactly-once stateful serverless functions in five minutes.
+
+Builds a tiny bank-transfer application on the Halfmoon runtime and
+demonstrates the core guarantee: no matter where an SSF crashes, retrying
+it never duplicates or loses an update — under either of Halfmoon's
+log-optimal protocols, at a fraction of the symmetric baseline's logging.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CrashOnceAtEvery, LocalRuntime, SystemConfig
+
+
+def transfer(ctx, inp):
+    """Move `amount` between two accounts (a classic non-idempotent SSF)."""
+    source = ctx.read(inp["from"])
+    target = ctx.read(inp["to"])
+    amount = inp["amount"]
+    if source < amount:
+        return {"ok": False, "reason": "insufficient funds"}
+    ctx.write(inp["from"], source - amount)
+    ctx.write(inp["to"], target + amount)
+    return {"ok": True, "from_balance": source - amount}
+
+
+def balances(ctx, inp):
+    return {account: ctx.read(account) for account in ("alice", "bob")}
+
+
+def run_with_protocol(protocol: str) -> None:
+    print(f"\n=== {protocol} ===")
+    runtime = LocalRuntime(SystemConfig(seed=42), protocol=protocol)
+    runtime.populate("alice", 100)
+    runtime.populate("bob", 0)
+    runtime.register("transfer", transfer)
+    runtime.register("balances", balances)
+
+    # A clean transfer.
+    result = runtime.invoke("transfer",
+                            {"from": "alice", "to": "bob", "amount": 30})
+    print(f"clean transfer: {result.output}  "
+          f"(latency {result.latency_ms:.2f} ms, "
+          f"{result.attempts} attempt)")
+
+    # Now crash the function at every possible point mid-flight; the
+    # runtime retries, and the state stays exactly-once correct.
+    for crash_point in (2, 5, 8, 11):
+        runtime.crash_policy = CrashOnceAtEvery(crash_point)
+        result = runtime.invoke(
+            "transfer", {"from": "alice", "to": "bob", "amount": 10}
+        )
+        print(f"crash@{crash_point:>2}: attempts={result.attempts} "
+              f"output={result.output}")
+    runtime.crash_policy = CrashOnceAtEvery(999)  # no more crashes
+
+    final = runtime.invoke("balances").output
+    print(f"final balances: {final}")
+    assert final == {"alice": 30, "bob": 70}, "money must be conserved!"
+    print(f"log records appended: {runtime.backend.log.append_count}, "
+          f"storage: {runtime.storage_bytes()['total']} bytes")
+
+
+def main() -> None:
+    print("Halfmoon quickstart: exactly-once bank transfers")
+    print("(four crashes injected per protocol; balances must total 100)")
+    for protocol in ("halfmoon-read", "halfmoon-write", "boki"):
+        run_with_protocol(protocol)
+    print("\nAll protocols preserved exactly-once semantics.")
+    print("Note how the Halfmoon protocols append fewer log records "
+          "than the symmetric baseline.")
+
+
+if __name__ == "__main__":
+    main()

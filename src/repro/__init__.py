@@ -1,0 +1,136 @@
+"""Halfmoon: log-optimal fault-tolerant stateful serverless computing.
+
+A full reproduction of the SOSP 2023 paper by Qi, Liu, and Jin: the two
+asymmetric logging protocols (log-free reads / log-free writes), the
+symmetric Boki-style baseline, exactly-once crash/retry semantics, garbage
+collection, pauseless protocol switching, the protocol-choice advisor, and
+a calibrated discrete-event simulation of the serverless platform the
+paper evaluates on.
+
+Quickstart::
+
+    from repro import LocalRuntime
+
+    runtime = LocalRuntime(protocol="halfmoon-read")
+    runtime.populate("counter", 0)
+
+    def bump(ctx, inp):
+        value = ctx.read("counter")
+        ctx.write("counter", value + inp)
+        return value + inp
+
+    runtime.register("bump", bump)
+    result = runtime.invoke("bump", 5)
+    assert result.output == 5
+"""
+
+from .config import (
+    ClusterConfig,
+    DEFAULT_CONFIG,
+    FailureConfig,
+    GCConfig,
+    LatencyConfig,
+    ProtocolConfig,
+    StorageSizeConfig,
+    SystemConfig,
+)
+from .errors import (
+    ConditionalAppendError,
+    ConditionFailedError,
+    ConfigError,
+    ConsistencyViolation,
+    CrashError,
+    InvocationError,
+    KeyMissingError,
+    LogError,
+    ProtocolError,
+    ReproError,
+    RetriesExhaustedError,
+    SimulationError,
+    StoreError,
+    SwitchError,
+    TrimmedError,
+)
+from .protocols import (
+    BokiProtocol,
+    HalfmoonReadProtocol,
+    HalfmoonWriteProtocol,
+    Protocol,
+    TransitionalProtocol,
+    UnsafeProtocol,
+    build_protocol,
+    protocol_names,
+)
+from .runtime import (
+    BernoulliCrashes,
+    ComputeOp,
+    Context,
+    CrashOnceAtEvery,
+    InvocationResult,
+    InvokeOp,
+    LocalRuntime,
+    NoCrashes,
+    ReadOp,
+    ScriptedCrashes,
+    Session,
+    SyncOp,
+    TxnOp,
+    WriteOp,
+)
+from .sharedlog import LogRecord, SharedLog
+from .store import KVStore, MultiVersionStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliCrashes",
+    "BokiProtocol",
+    "ClusterConfig",
+    "ComputeOp",
+    "ConditionFailedError",
+    "ConditionalAppendError",
+    "ConfigError",
+    "ConsistencyViolation",
+    "Context",
+    "CrashError",
+    "CrashOnceAtEvery",
+    "DEFAULT_CONFIG",
+    "FailureConfig",
+    "GCConfig",
+    "HalfmoonReadProtocol",
+    "HalfmoonWriteProtocol",
+    "InvocationError",
+    "InvocationResult",
+    "InvokeOp",
+    "KVStore",
+    "KeyMissingError",
+    "LatencyConfig",
+    "LocalRuntime",
+    "LogError",
+    "LogRecord",
+    "MultiVersionStore",
+    "NoCrashes",
+    "Protocol",
+    "ProtocolConfig",
+    "ProtocolError",
+    "ReadOp",
+    "ReproError",
+    "RetriesExhaustedError",
+    "ScriptedCrashes",
+    "Session",
+    "SharedLog",
+    "SimulationError",
+    "StorageSizeConfig",
+    "StoreError",
+    "SwitchError",
+    "SyncOp",
+    "SystemConfig",
+    "TxnOp",
+    "TransitionalProtocol",
+    "TrimmedError",
+    "UnsafeProtocol",
+    "WriteOp",
+    "build_protocol",
+    "protocol_names",
+    "__version__",
+]

@@ -1,0 +1,163 @@
+"""Protocol advisor: "choosing the right protocol" (Section 4.6).
+
+Combines the storage and runtime overhead models into a recommendation,
+optionally weighting the two by monetary cost as the paper's remark
+suggests.  The advisor can also be fed *measured* workload statistics
+collected by :class:`WorkloadObserver`, which tracks per-object read and
+write counts over a window — this is the piece a deployment would use to
+drive the switching mechanism of Section 4.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from .overhead_model import (
+    WorkloadProfile,
+    runtime_boundary_read_ratio,
+    runtime_extra_cost_halfmoon_read,
+    runtime_extra_cost_halfmoon_write,
+    storage_halfmoon_read,
+    storage_halfmoon_write,
+)
+
+HALFMOON_READ = "halfmoon-read"
+HALFMOON_WRITE = "halfmoon-write"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    protocol: str
+    read_ratio: float
+    runtime_boundary: float
+    storage_boundary: float
+    predicted_storage_read: float
+    predicted_storage_write: float
+    runtime_score_read: float      # expected extra cost of HM-read
+    runtime_score_write: float     # expected extra cost of HM-write
+
+    def explain(self) -> str:
+        return (
+            f"read ratio {self.read_ratio:.2f} vs runtime boundary "
+            f"{self.runtime_boundary:.2f} / storage boundary "
+            f"{self.storage_boundary:.2f} -> {self.protocol}"
+        )
+
+
+class ProtocolAdvisor:
+    """Recommends a protocol for a workload profile.
+
+    ``cost_ratio_w_over_r`` is ``C_w / C_r`` — the prototype's extra write
+    cost under Halfmoon-read relative to the extra read cost under
+    Halfmoon-write (~2, Section 4.6).  ``runtime_weight`` in [0, 1] blends
+    the runtime criterion with the storage criterion (1.0 = runtime only).
+    """
+
+    def __init__(
+        self,
+        cost_ratio_w_over_r: float = 2.0,
+        c_read_ms: float = 1.0,
+        runtime_weight: float = 1.0,
+        meta_bytes: int = 48,
+        value_bytes: int = 256,
+        logs_per_write: int = 2,
+    ):
+        if not 0.0 <= runtime_weight <= 1.0:
+            raise ConfigError("runtime_weight must be in [0, 1]")
+        self.cost_ratio = cost_ratio_w_over_r
+        self.c_read_ms = c_read_ms
+        self.c_write_ms = c_read_ms * cost_ratio_w_over_r
+        self.runtime_weight = runtime_weight
+        self.meta_bytes = meta_bytes
+        self.value_bytes = value_bytes
+        self.logs_per_write = logs_per_write
+
+    def recommend(self, profile: WorkloadProfile) -> Recommendation:
+        profile.validate()
+        total = profile.p_read + profile.p_write
+        read_ratio = profile.p_read / total if total > 0 else 0.5
+
+        runtime_read = runtime_extra_cost_halfmoon_read(
+            profile, self.c_write_ms
+        )
+        runtime_write = runtime_extra_cost_halfmoon_write(
+            profile, self.c_read_ms
+        )
+        storage_read = storage_halfmoon_read(
+            profile, self.meta_bytes, self.value_bytes, self.logs_per_write
+        )
+        storage_write = storage_halfmoon_write(
+            profile, self.meta_bytes, self.value_bytes
+        )
+
+        # Normalised scores (lower is better for the protocol named).
+        w = self.runtime_weight
+        denom_rt = runtime_read + runtime_write
+        denom_st = storage_read + storage_write
+        score_read = (
+            w * (runtime_read / denom_rt if denom_rt else 0.5)
+            + (1 - w) * (storage_read / denom_st if denom_st else 0.5)
+        )
+        score_write = (
+            w * (runtime_write / denom_rt if denom_rt else 0.5)
+            + (1 - w) * (storage_write / denom_st if denom_st else 0.5)
+        )
+        protocol = (
+            HALFMOON_READ if score_read <= score_write else HALFMOON_WRITE
+        )
+        return Recommendation(
+            protocol=protocol,
+            read_ratio=read_ratio,
+            runtime_boundary=runtime_boundary_read_ratio(self.cost_ratio),
+            storage_boundary=0.5,
+            predicted_storage_read=storage_read,
+            predicted_storage_write=storage_write,
+            runtime_score_read=runtime_read,
+            runtime_score_write=runtime_write,
+        )
+
+
+class WorkloadObserver:
+    """Collects per-object read/write counts to build measured profiles."""
+
+    def __init__(self):
+        self._reads: Dict[str, int] = {}
+        self._writes: Dict[str, int] = {}
+        self._invocations = 0
+
+    def note_invocation(self) -> None:
+        self._invocations += 1
+
+    def note_read(self, key: str) -> None:
+        self._reads[key] = self._reads.get(key, 0) + 1
+
+    def note_write(self, key: str) -> None:
+        self._writes[key] = self._writes.get(key, 0) + 1
+
+    def profile_for(
+        self,
+        key: str,
+        arrival_rate_per_s: float,
+        lifetime_s: float = 0.05,
+        gc_delay_s: float = 5.0,
+    ) -> WorkloadProfile:
+        if self._invocations == 0:
+            raise ConfigError("no invocations observed yet")
+        return WorkloadProfile(
+            p_read=min(1.0, self._reads.get(key, 0) / self._invocations),
+            p_write=min(1.0, self._writes.get(key, 0) / self._invocations),
+            arrival_rate_per_s=arrival_rate_per_s,
+            lifetime_s=lifetime_s,
+            gc_delay_s=gc_delay_s,
+        )
+
+    def aggregate_read_ratio(self) -> float:
+        reads = sum(self._reads.values())
+        writes = sum(self._writes.values())
+        total = reads + writes
+        return reads / total if total else 0.5
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self._reads) | set(self._writes)))

@@ -1,0 +1,148 @@
+"""The Section 4.6 analytical overhead model (Equations 1-4).
+
+Quantifies, per object, the storage and runtime overheads of the two
+protocols as functions of
+
+* ``p_read`` / ``p_write`` — probability an SSF reads/writes the object,
+* ``arrival_rate`` — SSF arrival rate (per second; Poisson assumed),
+* ``lifetime_s`` — mean SSF lifetime including re-execution,
+* ``gc_delay_s`` — mean delay between SSF completion and the next GC scan,
+* ``meta_bytes`` / ``value_bytes`` — record metadata and object sizes.
+
+Little's Law turns the effective arrival rate of log records times their
+mean lifetime into the time-averaged record population:
+
+* Halfmoon-write keeps one object version plus ``N_r`` read-log records,
+  ``N_r = p_read * rate * (lifetime + gc_delay)`` (Eq. 1-2);
+* Halfmoon-read keeps ``N_w`` write-log records and object versions,
+  ``N_w = p_write * rate * (T_w + lifetime + gc_delay)`` with the
+  inter-write gap ``T_w = 1 / (p_write * rate)`` under Poisson arrivals
+  (Eq. 3-4).  The factor of two on metadata reflects the prototype's two
+  log records per write (aligned with Boki, Section 4.1).
+
+The boundary conditions fall out by dividing through by the object size
+and dropping metadata: storage parity at ``p_read = p_write``; runtime
+parity at ``p_read * C_r = p_write * C_w`` with ``C_w ~= 2 C_r`` in the
+prototype, i.e. ``p_read = 2 p_write``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-object workload description used by the analytical model."""
+
+    p_read: float
+    p_write: float
+    arrival_rate_per_s: float
+    lifetime_s: float = 0.05
+    gc_delay_s: float = 5.0
+
+    def validate(self) -> "WorkloadProfile":
+        if not 0.0 <= self.p_read <= 1.0:
+            raise ConfigError("p_read must be in [0, 1]")
+        if not 0.0 <= self.p_write <= 1.0:
+            raise ConfigError("p_write must be in [0, 1]")
+        if self.arrival_rate_per_s <= 0:
+            raise ConfigError("arrival_rate_per_s must be positive")
+        if self.lifetime_s < 0 or self.gc_delay_s < 0:
+            raise ConfigError("lifetime and gc delay must be >= 0")
+        return self
+
+
+def read_log_population(profile: WorkloadProfile) -> float:
+    """``N_r`` — mean number of live read-log records (Little's Law)."""
+    profile.validate()
+    return (
+        profile.p_read
+        * profile.arrival_rate_per_s
+        * (profile.lifetime_s + profile.gc_delay_s)
+    )
+
+
+def write_log_population(profile: WorkloadProfile) -> float:
+    """``N_w`` — mean number of live write-log records / object versions.
+
+    Includes the ``T_w`` term enforcing GC condition (a): a version lives
+    at least until the next write supersedes it.
+    """
+    profile.validate()
+    effective_write_rate = profile.p_write * profile.arrival_rate_per_s
+    if effective_write_rate == 0:
+        return 0.0
+    inter_write_gap_s = 1.0 / effective_write_rate
+    return effective_write_rate * (
+        inter_write_gap_s + profile.lifetime_s + profile.gc_delay_s
+    )
+
+
+def storage_halfmoon_write(
+    profile: WorkloadProfile,
+    meta_bytes: int = 48,
+    value_bytes: int = 256,
+) -> float:
+    """Equation 2: one object version plus the read log."""
+    n_r = read_log_population(profile)
+    return value_bytes + n_r * (meta_bytes + value_bytes)
+
+
+def storage_halfmoon_read(
+    profile: WorkloadProfile,
+    meta_bytes: int = 48,
+    value_bytes: int = 256,
+    logs_per_write: int = 2,
+) -> float:
+    """Equation 4: ``N_w`` (write-log records + versions).
+
+    ``logs_per_write`` is 2 in the Boki-aligned prototype and 1 in the
+    deterministic-version variant.
+    """
+    n_w = write_log_population(profile)
+    if profile.p_write == 0:
+        # No writes ever: only the (populated) base version remains.
+        return float(value_bytes)
+    return n_w * (logs_per_write * meta_bytes + value_bytes)
+
+
+def storage_boundary_read_ratio() -> float:
+    """Asymptotic read-ratio boundary where the two protocols' storage is
+    equal (metadata negligible): ``p_read = p_write`` -> ratio 0.5."""
+    return 0.5
+
+
+def runtime_extra_cost_halfmoon_read(
+    profile: WorkloadProfile, c_write: float, duration_s: float = 1.0
+) -> float:
+    """Expected extra runtime cost of Halfmoon-read over ``duration_s``:
+    every write pays ``C_w`` more than it would under Halfmoon-write."""
+    return profile.p_write * profile.arrival_rate_per_s * duration_s * c_write
+
+
+def runtime_extra_cost_halfmoon_write(
+    profile: WorkloadProfile, c_read: float, duration_s: float = 1.0
+) -> float:
+    """Expected extra runtime cost of Halfmoon-write: every read pays
+    ``C_r`` more than it would under Halfmoon-read."""
+    return profile.p_read * profile.arrival_rate_per_s * duration_s * c_read
+
+
+def runtime_boundary_read_ratio(cost_ratio_w_over_r: float = 2.0) -> float:
+    """Read-ratio boundary of runtime overhead parity.
+
+    Parity at ``p_read * C_r = p_write * C_w``.  With reads and writes
+    exhausting the mix (``p_read + p_write = 1``) and
+    ``C_w = cost_ratio * C_r``::
+
+        p_read = cost_ratio / (1 + cost_ratio)
+
+    The prototype's ``C_w ~= 2 C_r`` gives the paper's 2/3 boundary.
+    """
+    if cost_ratio_w_over_r <= 0:
+        raise ConfigError("cost ratio must be positive")
+    return cost_ratio_w_over_r / (1.0 + cost_ratio_w_over_r)

@@ -1,0 +1,76 @@
+"""Recovery-cost model (Section 7, "Recovery cost").
+
+Halfmoon's asymmetric protocols optimise the failure-free path: during
+re-execution they must *replay* log-free operations, whereas symmetric
+protocols skip every logged operation.  Modelling SSF execution as a
+Bernoulli process — each round succeeds with probability ``1 - f`` — the
+expected number of rounds is ``1 / (1 - f)``, and Halfmoon stays ahead of
+a symmetric protocol as long as ``f`` is below the failure-free overhead
+advantage ``x``.
+
+The derivation: let the symmetric protocol's failure-free cost be ``1``
+and Halfmoon's be ``1 - x``.  A crashed round costs (on average) some
+fraction of a full run for both, but Halfmoon re-pays its log-free
+operations while the symmetric protocol replays from the log at roughly
+zero marginal state-access cost.  Charging Halfmoon a full re-run and the
+symmetric protocol only its logging-free replay, expected costs are::
+
+    E[halfmoon]  = (1 - x) / (1 - f)
+    E[symmetric] = 1 + f/(1-f) * replay_discount
+
+With the paper's simplification (replay is free for symmetric protocols,
+``replay_discount = 0``), Halfmoon wins iff ``(1-x)/(1-f) < 1``, i.e.
+``f < x``.  Figure 10's ~30% failure-free advantage therefore puts the
+break-even failure rate near 30%, far above real failure rates.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def expected_rounds(f: float) -> float:
+    """Expected executions of a Bernoulli-crashing SSF before success."""
+    if not 0.0 <= f < 1.0:
+        raise ConfigError("f must be in [0, 1)")
+    return 1.0 / (1.0 - f)
+
+
+def expected_cost_halfmoon(f: float, advantage_x: float) -> float:
+    """Expected cost of Halfmoon (failure-free cost ``1 - x``) when every
+    round re-pays the log-free operations."""
+    if not 0.0 <= advantage_x < 1.0:
+        raise ConfigError("advantage_x must be in [0, 1)")
+    return (1.0 - advantage_x) * expected_rounds(f)
+
+
+def expected_cost_symmetric(f: float, replay_discount: float = 0.0) -> float:
+    """Expected cost of a symmetric protocol (failure-free cost 1) whose
+    crashed rounds cost only ``replay_discount`` of a full run (log replay
+    skips completed operations)."""
+    if not 0.0 <= replay_discount <= 1.0:
+        raise ConfigError("replay_discount must be in [0, 1]")
+    extra_rounds = expected_rounds(f) - 1.0
+    return 1.0 + extra_rounds * replay_discount
+
+
+def break_even_failure_rate(advantage_x: float,
+                            replay_discount: float = 0.0) -> float:
+    """The failure rate ``f`` at which Halfmoon and the symmetric protocol
+    cost the same.  With free symmetric replay this is exactly
+    ``advantage_x``; a non-zero replay cost pushes it higher."""
+    if not 0.0 <= advantage_x < 1.0:
+        raise ConfigError("advantage_x must be in [0, 1)")
+    if replay_discount == 0.0:
+        return advantage_x
+    # Solve (1-x)/(1-f) = 1 + (f/(1-f)) * d  ->  1-x = 1-f + f*d
+    return advantage_x / (1.0 - replay_discount)
+
+
+def halfmoon_wins(f: float, advantage_x: float,
+                  replay_discount: float = 0.0) -> bool:
+    """True when Halfmoon's expected cost undercuts the symmetric
+    protocol's at failure rate ``f``."""
+    return expected_cost_halfmoon(f, advantage_x) < expected_cost_symmetric(
+        f, replay_discount
+    )

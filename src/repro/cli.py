@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment harness::
+
+    python -m repro table1
+    python -m repro fig10  [--requests N]
+    python -m repro fig11  [--apps travel-reservation retwis] [--duration MS]
+    python -m repro fig12  [--size BYTES] [--gc MS]
+    python -m repro fig13  [--rates 150 350]
+    python -m repro fig14  [--rates 300 600]
+    python -m repro recovery [--f 0.0 0.2 0.4]
+    python -m repro advise --read-ratio 0.8 --rate 300
+
+Each command prints the same table the corresponding benchmark saves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import ProtocolAdvisor, WorkloadProfile
+from .harness import (
+    APP_FACTORIES,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_recovery_sweep,
+    run_table1,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Halfmoon (SOSP 2023) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="primitive op latencies").add_argument(
+        "--samples", type=int, default=10_000
+    )
+
+    fig10 = sub.add_parser("fig10", help="read/write latency, 4 systems")
+    fig10.add_argument("--requests", type=int, default=1_500)
+    fig10.add_argument("--keys", type=int, default=2_000)
+
+    fig11 = sub.add_parser("fig11", help="apps: latency vs throughput")
+    fig11.add_argument("--apps", nargs="+", default=list(APP_FACTORIES),
+                       choices=list(APP_FACTORIES))
+    fig11.add_argument("--duration", type=float, default=5_000.0)
+
+    fig12 = sub.add_parser("fig12", help="storage vs read ratio")
+    fig12.add_argument("--size", type=int, default=256)
+    fig12.add_argument("--gc", type=float, default=10_000.0)
+    fig12.add_argument("--duration", type=float, default=25_000.0)
+
+    fig13 = sub.add_parser("fig13", help="latency vs read ratio")
+    fig13.add_argument("--rates", nargs="+", type=float,
+                       default=[150.0, 350.0])
+    fig13.add_argument("--duration", type=float, default=8_000.0)
+
+    fig14 = sub.add_parser("fig14", help="protocol switching delay")
+    fig14.add_argument("--rates", nargs="+", type=float,
+                       default=[300.0, 600.0])
+
+    recovery = sub.add_parser("recovery", help="cost under failures")
+    recovery.add_argument("--f", nargs="+", type=float,
+                          default=[0.0, 0.1, 0.2, 0.3, 0.4])
+    recovery.add_argument("--requests", type=int, default=300)
+
+    advise = sub.add_parser("advise", help="recommend a protocol")
+    advise.add_argument("--read-ratio", type=float, required=True)
+    advise.add_argument("--rate", type=float, default=100.0)
+    advise.add_argument("--value-bytes", type=int, default=256)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(run_table1(samples=args.samples).render())
+    elif args.command == "fig10":
+        tables = run_fig10(requests=args.requests, num_keys=args.keys)
+        print(tables["read"].render())
+        print()
+        print(tables["write"].render())
+    elif args.command == "fig11":
+        tables = run_fig11(apps=args.apps, duration_ms=args.duration)
+        for table in tables.values():
+            print(table.render())
+            print()
+    elif args.command == "fig12":
+        print(
+            run_fig12(
+                value_bytes=args.size, gc_interval_ms=args.gc,
+                duration_ms=args.duration,
+            ).render()
+        )
+    elif args.command == "fig13":
+        for table in run_fig13(
+            rates=args.rates, duration_ms=args.duration
+        ).values():
+            print(table.render())
+            print()
+    elif args.command == "fig14":
+        print(run_fig14(rates=args.rates).render())
+    elif args.command == "recovery":
+        print(
+            run_recovery_sweep(
+                f_values=args.f, requests=args.requests
+            ).render()
+        )
+    elif args.command == "advise":
+        profile = WorkloadProfile(
+            p_read=args.read_ratio,
+            p_write=1.0 - args.read_ratio,
+            arrival_rate_per_s=args.rate,
+        )
+        advisor = ProtocolAdvisor(value_bytes=args.value_bytes)
+        recommendation = advisor.recommend(profile)
+        print(recommendation.explain())
+        print(f"recommended protocol: {recommendation.protocol}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

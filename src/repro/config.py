@@ -1,0 +1,288 @@
+"""Configuration objects for the Halfmoon reproduction.
+
+The latency constants are calibrated against the numbers the paper itself
+reports (Table 1 and Section 4.1):
+
+* shared-log append: 1.18 ms median, 1.91 ms p99 (Table 1, "Log");
+* raw DynamoDB read: 1.88 ms median, 4.60 ms p99 (Table 1, "Read");
+* raw DynamoDB write: 2.47 ms median, 5.86 ms p99 (Table 1, "Write");
+* cached ``logReadPrev``: 0.12 ms median, 0.72 ms p99 (Section 4.1,
+  quoting Boki's measurements);
+* conditional writes cost more than blind writes (Section 6.1 explains that
+  Halfmoon-write's log-free writes remain above raw writes because the
+  update is conditional).  We model the conditional surcharge as a
+  multiplicative factor.
+
+All times in this library are expressed in **milliseconds** of simulated
+time unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+# ---------------------------------------------------------------------------
+# Latency calibration (medians / p99s in milliseconds).
+# ---------------------------------------------------------------------------
+
+LOG_APPEND_MEDIAN_MS = 1.18
+LOG_APPEND_P99_MS = 1.91
+
+DB_READ_MEDIAN_MS = 1.88
+DB_READ_P99_MS = 4.60
+
+DB_WRITE_MEDIAN_MS = 2.47
+DB_WRITE_P99_MS = 5.86
+
+LOG_READ_CACHED_MEDIAN_MS = 0.12
+LOG_READ_CACHED_P99_MS = 0.72
+
+#: A log read that misses the function-node cache pays a storage-node round
+#: trip comparable to an append.
+LOG_READ_MISS_MEDIAN_MS = 1.05
+LOG_READ_MISS_P99_MS = 1.80
+
+#: Conditional updates (compare version, then write) cost more than a blind
+#: put.  Chosen so that Boki's logged conditional write and Halfmoon-write's
+#: log-free conditional write land where Figure 10(b) puts them: the paper
+#: notes log-free writes stay above raw writes because they are conditional.
+CONDITIONAL_WRITE_FACTOR = 1.18
+
+#: Reading a specific object version adds version-key indirection over a
+#: plain read; calibrated so Halfmoon-read's reads carry the small overhead
+#: over unsafe raw reads that Section 6.1 reports (~15-20%).
+MULTIVERSION_READ_FACTOR = 1.15
+
+#: Installing a new object version pays the same indirection on the write
+#: path (composite version key).
+MULTIVERSION_WRITE_FACTOR = 1.08
+
+#: Both Boki and Halfmoon-read append two log records per write
+#: (Section 4.1).  The intent record overlaps with the DB write, so it
+#: costs this fraction of a full synchronous append on the critical path.
+#: Calibrated so that C_w ~= 2 C_r (Section 4.6) and the runtime boundary
+#: lands near read ratio 2/3 (Figure 13).
+OVERLAPPED_LOG_FACTOR = 0.55
+
+#: Control records (init, invoke intent/result) are pure progress
+#: checkpoints replicated fully off the critical path — the sequencer
+#: returns the seqnum immediately.  Only this small fraction of an append
+#: is latency-visible.
+CONTROL_LOG_FACTOR = 0.25
+
+#: Fixed per-invocation runtime overhead (scheduling, marshalling).
+INVOKE_OVERHEAD_MEDIAN_MS = 0.35
+INVOKE_OVERHEAD_P99_MS = 0.90
+
+#: Pure compute time of a synthetic SSF body, excluding state operations.
+FUNCTION_COMPUTE_MS = 0.25
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Latency distribution parameters for every simulated service call."""
+
+    log_append_median_ms: float = LOG_APPEND_MEDIAN_MS
+    log_append_p99_ms: float = LOG_APPEND_P99_MS
+    db_read_median_ms: float = DB_READ_MEDIAN_MS
+    db_read_p99_ms: float = DB_READ_P99_MS
+    db_write_median_ms: float = DB_WRITE_MEDIAN_MS
+    db_write_p99_ms: float = DB_WRITE_P99_MS
+    log_read_cached_median_ms: float = LOG_READ_CACHED_MEDIAN_MS
+    log_read_cached_p99_ms: float = LOG_READ_CACHED_P99_MS
+    log_read_miss_median_ms: float = LOG_READ_MISS_MEDIAN_MS
+    log_read_miss_p99_ms: float = LOG_READ_MISS_P99_MS
+    conditional_write_factor: float = CONDITIONAL_WRITE_FACTOR
+    multiversion_read_factor: float = MULTIVERSION_READ_FACTOR
+    multiversion_write_factor: float = MULTIVERSION_WRITE_FACTOR
+    overlapped_log_factor: float = OVERLAPPED_LOG_FACTOR
+    control_log_factor: float = CONTROL_LOG_FACTOR
+    invoke_overhead_median_ms: float = INVOKE_OVERHEAD_MEDIAN_MS
+    invoke_overhead_p99_ms: float = INVOKE_OVERHEAD_P99_MS
+    function_compute_ms: float = FUNCTION_COMPUTE_MS
+
+    def validate(self) -> None:
+        for name, median, p99 in [
+            ("log_append", self.log_append_median_ms, self.log_append_p99_ms),
+            ("db_read", self.db_read_median_ms, self.db_read_p99_ms),
+            ("db_write", self.db_write_median_ms, self.db_write_p99_ms),
+            ("log_read_cached", self.log_read_cached_median_ms,
+             self.log_read_cached_p99_ms),
+            ("log_read_miss", self.log_read_miss_median_ms,
+             self.log_read_miss_p99_ms),
+            ("invoke_overhead", self.invoke_overhead_median_ms,
+             self.invoke_overhead_p99_ms),
+        ]:
+            if median <= 0:
+                raise ConfigError(f"{name} median must be positive")
+            if p99 < median:
+                raise ConfigError(f"{name} p99 must be >= median")
+        if self.conditional_write_factor < 1.0:
+            raise ConfigError("conditional_write_factor must be >= 1")
+        if self.multiversion_read_factor < 1.0:
+            raise ConfigError("multiversion_read_factor must be >= 1")
+        if self.multiversion_write_factor < 1.0:
+            raise ConfigError("multiversion_write_factor must be >= 1")
+        if not 0.0 <= self.overlapped_log_factor <= 1.0:
+            raise ConfigError("overlapped_log_factor must be in [0, 1]")
+        if not 0.0 <= self.control_log_factor <= 1.0:
+            raise ConfigError("control_log_factor must be in [0, 1]")
+        if self.function_compute_ms < 0:
+            raise ConfigError("function_compute_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated serverless deployment.
+
+    Mirrors the paper's testbed: eight function nodes behind one gateway,
+    with a logging layer of three storage nodes and one sequencer.  The
+    worker count per node controls where the latency/throughput curve
+    saturates.
+    """
+
+    function_nodes: int = 8
+    workers_per_node: int = 8
+    storage_nodes: int = 3
+    log_cache_hit_ratio: float = 0.96
+    #: Optional queueing model of the logging layer itself: every append
+    #: passes through the sequencer and one of ``storage_nodes`` shards,
+    #: each a FIFO station with the given per-append service times.  Off
+    #: by default — the paper notes logging is typically not the
+    #: bottleneck, and the dedicated test validates exactly that.
+    model_log_contention: bool = False
+    sequencer_service_ms: float = 0.02
+    log_shard_service_ms: float = 0.05
+
+    def validate(self) -> None:
+        if self.function_nodes <= 0:
+            raise ConfigError("function_nodes must be positive")
+        if self.workers_per_node <= 0:
+            raise ConfigError("workers_per_node must be positive")
+        if self.storage_nodes <= 0:
+            raise ConfigError("storage_nodes must be positive")
+        if not 0.0 <= self.log_cache_hit_ratio <= 1.0:
+            raise ConfigError("log_cache_hit_ratio must be in [0, 1]")
+        if self.sequencer_service_ms < 0 or self.log_shard_service_ms < 0:
+            raise ConfigError("log-layer service times must be >= 0")
+
+    @property
+    def total_workers(self) -> int:
+        return self.function_nodes * self.workers_per_node
+
+
+@dataclass(frozen=True)
+class GCConfig:
+    """Garbage-collector schedule (Section 4.5)."""
+
+    interval_ms: float = 10_000.0
+    enabled: bool = True
+
+    def validate(self) -> None:
+        if self.interval_ms <= 0:
+            raise ConfigError("gc interval must be positive")
+
+
+@dataclass(frozen=True)
+class StorageSizeConfig:
+    """Byte-size accounting used by the storage-overhead experiments.
+
+    ``meta_bytes`` is the size of a log record's metadata (seqnum, tags,
+    step/op fields); Section 4.1 notes this fits in a few dozen bytes.
+    """
+
+    key_bytes: int = 8
+    value_bytes: int = 256
+    meta_bytes: int = 48
+
+    def validate(self) -> None:
+        if min(self.key_bytes, self.value_bytes, self.meta_bytes) <= 0:
+            raise ConfigError("storage sizes must be positive")
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Crash-injection policy for SSF instances.
+
+    ``crash_probability`` is evaluated at every operation boundary of a
+    fresh (non-replay) attempt; replays run crash-free by default so that
+    experiments terminate.  ``max_retries`` bounds re-execution.
+    """
+
+    crash_probability: float = 0.0
+    crash_on_replay: bool = False
+    max_retries: int = 64
+    detection_delay_ms: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.crash_probability < 1.0:
+            raise ConfigError("crash_probability must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.detection_delay_ms < 0:
+            raise ConfigError("detection_delay_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Per-protocol knobs.
+
+    ``align_write_logging_with_boki`` reproduces the prototype decision in
+    Section 4.1: Halfmoon-read logs both before and after ``DBWrite`` (the
+    version number is drawn randomly and must be pinned by a log record),
+    matching Boki's two log records per write so that measured gains come
+    solely from read-side savings.  Setting it to ``False`` switches to the
+    deterministic-version single-log variant the paper also describes.
+    """
+
+    align_write_logging_with_boki: bool = True
+    preserve_consecutive_write_order: bool = False
+    linearizable_ops: bool = False
+    #: Section 7's recovery speed-up: asynchronously checkpoint the
+    #: results of log-free reads so re-execution recovers them from the
+    #: (cached) checkpoint stream instead of replaying version lookups.
+    #: Off the critical path, so failure-free latency is unchanged.
+    checkpoint_log_free_reads: bool = False
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration bundle for building a platform."""
+
+    seed: int = 0x5EED
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    gc: GCConfig = field(default_factory=GCConfig)
+    storage: StorageSizeConfig = field(default_factory=StorageSizeConfig)
+    failures: FailureConfig = field(default_factory=FailureConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+
+    def validate(self) -> "SystemConfig":
+        self.latency.validate()
+        self.cluster.validate()
+        self.gc.validate()
+        self.storage.validate()
+        self.failures.validate()
+        return self
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        return replace(self, seed=seed)
+
+    def with_gc_interval(self, interval_ms: float) -> "SystemConfig":
+        return replace(self, gc=replace(self.gc, interval_ms=interval_ms))
+
+    def with_value_bytes(self, value_bytes: int) -> "SystemConfig":
+        return replace(
+            self, storage=replace(self.storage, value_bytes=value_bytes)
+        )
+
+    def with_crash_probability(self, p: float) -> "SystemConfig":
+        return replace(
+            self, failures=replace(self.failures, crash_probability=p)
+        )
+
+
+DEFAULT_CONFIG = SystemConfig()

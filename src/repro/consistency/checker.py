@@ -1,0 +1,172 @@
+"""Sequential-consistency checking over key-value histories.
+
+Two modes:
+
+* :func:`validate_total_order` — given a *proposed* total order (e.g. the
+  effective order a protocol derives), check that it is legal: it must
+  respect each process's program order (unless the caller relaxes that,
+  as Halfmoon-write does for consecutive log-free writes) and every read
+  must observe the latest preceding write to its key (or the initial
+  value).
+
+* :func:`find_sequential_witness` — brute-force search over permutations
+  for small histories; used by property tests to decide whether *any*
+  sequentially consistent explanation exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConsistencyViolation
+from .events import READ, WRITE, Event, History
+
+#: Pairs of same-process events exempt from program-order checking.
+ExemptPair = Callable[[Event, Event], bool]
+
+#: Sentinel distinguishing "key absent" from "key mapped to None".
+_MISSING = object()
+
+
+def validate_total_order(
+    history: History,
+    order: Sequence[Event],
+    allow_reorder: Optional[ExemptPair] = None,
+) -> None:
+    """Raise :class:`ConsistencyViolation` unless ``order`` is a legal
+    sequentially consistent serialization of ``history``.
+
+    ``allow_reorder(a, b)`` may return True to permit same-process events
+    ``a`` (earlier in program order) and ``b`` to appear reversed —
+    Halfmoon-write's commuting of consecutive log-free writes to
+    different objects (Proposition 4.8).
+    """
+    if len(order) != len(history.events) or set(
+        id(e) for e in order
+    ) != set(id(e) for e in history.events):
+        raise ConsistencyViolation(
+            "order must be a permutation of the history's events"
+        )
+
+    # Program order per process.
+    position = {id(e): i for i, e in enumerate(order)}
+    for process in history.processes():
+        program = history.program_order(process)
+        for i, a in enumerate(program):
+            for b in program[i + 1:]:
+                if position[id(a)] > position[id(b)]:
+                    if allow_reorder is not None and allow_reorder(a, b):
+                        continue
+                    raise ConsistencyViolation(
+                        f"program order violated for {process}: "
+                        f"{a.brief()} after {b.brief()}"
+                    )
+
+    # Read legality.
+    last_write = dict(history.initial_values)
+    for event in order:
+        if event.kind == WRITE and event.applied:
+            last_write[event.key] = event.value
+        elif event.kind == READ:
+            expected = last_write.get(event.key)
+            if event.value != expected:
+                raise ConsistencyViolation(
+                    f"read {event.brief()} observed {event.value!r} but "
+                    f"the latest preceding write left {expected!r}"
+                )
+
+
+def is_legal_order(
+    history: History,
+    order: Sequence[Event],
+    allow_reorder: Optional[ExemptPair] = None,
+) -> bool:
+    """Boolean form of :func:`validate_total_order`."""
+    try:
+        validate_total_order(history, order, allow_reorder)
+        return True
+    except ConsistencyViolation:
+        return False
+
+
+def validate_linearizable(history: History) -> None:
+    """Raise unless the history is linearizable.
+
+    Events here are instantaneous (each operation takes effect at its
+    substrate real-time point), so linearizability degenerates to: the
+    real-time order itself must be a legal serialization — every read
+    observes the latest real-time-preceding applied write.  Halfmoon
+    deliberately relaxes this (Section 4.4): stale log-free reads under
+    Halfmoon-read are sequentially consistent but *not* linearizable,
+    unless the SSF syncs its cursor first.
+    """
+    validate_total_order(history, history.by_real_time())
+
+
+def is_linearizable(history: History) -> bool:
+    """Boolean form of :func:`validate_linearizable`."""
+    try:
+        validate_linearizable(history)
+        return True
+    except ConsistencyViolation:
+        return False
+
+
+def find_sequential_witness(
+    history: History,
+    max_events: int = 9,
+) -> Optional[List[Event]]:
+    """Search for *any* sequentially consistent serialization.
+
+    Exponential — intended for property tests over small histories.  The
+    search interleaves the per-process program-order queues (it never
+    permutes within a process), which is exactly the definition of SC.
+    """
+    if len(history.events) > max_events:
+        raise ConsistencyViolation(
+            f"witness search capped at {max_events} events "
+            f"(got {len(history.events)})"
+        )
+    queues = [history.program_order(p) for p in history.processes()]
+    order: List[Event] = []
+    last_write = dict(history.initial_values)
+
+    def backtrack(indices: List[int], state: dict) -> bool:
+        if len(order) == len(history.events):
+            return True
+        for qi, queue in enumerate(queues):
+            i = indices[qi]
+            if i >= len(queue):
+                continue
+            event = queue[i]
+            if event.kind == READ:
+                expected = state.get(event.key)
+                if event.value != expected:
+                    continue
+                order.append(event)
+                indices[qi] += 1
+                if backtrack(indices, state):
+                    return True
+                indices[qi] -= 1
+                order.pop()
+            else:
+                previous = state.get(event.key, _MISSING)
+                if event.applied:
+                    state[event.key] = event.value
+                order.append(event)
+                indices[qi] += 1
+                if backtrack(indices, state):
+                    return True
+                indices[qi] -= 1
+                order.pop()
+                if event.applied:
+                    if previous is _MISSING:
+                        state.pop(event.key, None)
+                    else:
+                        state[event.key] = previous
+        return False
+
+    if backtrack([0] * len(queues), last_write):
+        return order
+    return None

@@ -1,0 +1,111 @@
+"""Event and history representations for consistency checking.
+
+A *history* is, per process (SSF invocation), the program-ordered sequence
+of read/write events it issued, annotated with the metadata the protocols
+expose: the value read or written, the logical timestamp (cursorTS at the
+operation, commit seqnum, or version tuple), and the real-time order in
+which operations hit the substrate.
+
+Histories feed two consumers:
+
+* the effective-order derivations of Propositions 4.7 and 4.8, which
+  reconstruct the total order each protocol induces, and
+* the sequential-consistency checker, which validates a proposed total
+  order or searches for a witness on small histories.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str                      # READ or WRITE
+    process: str                   # SSF invocation id
+    key: str
+    value: Any                     # value read / value written
+    real_time: int                 # global issue order (substrate order)
+    logical_ts: Any = None         # protocol-specific timestamp
+    applied: bool = True           # for HM-W writes: conditional outcome
+    label: str = ""                # free-form, for debugging
+
+    def brief(self) -> str:
+        mark = "" if self.applied else "!"
+        return (
+            f"{self.process}:{self.kind[0].upper()}({self.key})"
+            f"={self.value!r}{mark}"
+        )
+
+
+@dataclass
+class History:
+    """Program-ordered events per process plus initial values."""
+
+    initial_values: Dict[str, Any] = field(default_factory=dict)
+    events: List[Event] = field(default_factory=list)
+    _counter: int = 0
+
+    def add(
+        self,
+        kind: str,
+        process: str,
+        key: str,
+        value: Any,
+        logical_ts: Any = None,
+        applied: bool = True,
+        label: str = "",
+    ) -> Event:
+        event = Event(
+            kind=kind,
+            process=process,
+            key=key,
+            value=value,
+            real_time=self._counter,
+            logical_ts=logical_ts,
+            applied=applied,
+            label=label,
+        )
+        self._counter += 1
+        self.events.append(event)
+        return event
+
+    def read(self, process: str, key: str, value: Any,
+             logical_ts: Any = None, label: str = "") -> Event:
+        return self.add(READ, process, key, value, logical_ts, True, label)
+
+    def write(self, process: str, key: str, value: Any,
+              logical_ts: Any = None, applied: bool = True,
+              label: str = "") -> Event:
+        return self.add(WRITE, process, key, value, logical_ts, applied,
+                        label)
+
+    # -- views ---------------------------------------------------------
+
+    def processes(self) -> List[str]:
+        seen: List[str] = []
+        for event in self.events:
+            if event.process not in seen:
+                seen.append(event.process)
+        return seen
+
+    def program_order(self, process: str) -> List[Event]:
+        return [e for e in self.events if e.process == process]
+
+    def by_real_time(self) -> List[Event]:
+        return sorted(self.events, key=lambda e: e.real_time)
+
+    def keys(self) -> List[str]:
+        seen: List[str] = []
+        for event in self.events:
+            if event.key not in seen:
+                seen.append(event.key)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.events)

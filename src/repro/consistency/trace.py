@@ -1,0 +1,82 @@
+"""Record live protocol executions into checkable histories.
+
+:class:`TracedSession` wraps a manually driven :class:`~repro.runtime.
+local.Session` and records each read/write into a shared
+:class:`~repro.consistency.events.History`, annotated with the metadata
+the effective-order derivations need:
+
+* under Halfmoon-read, an operation's logical timestamp (the cursorTS a
+  read seeked from, or the seqnum of a write's commit record);
+* under Halfmoon-write, a write's version tuple and its conditional-update
+  outcome (observed from the store's rejection counter).
+
+Tests run interleaved sessions, then derive the protocol's effective order
+and validate it with the sequential-consistency checker — turning
+Propositions 4.7 and 4.8 into executable assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime.local import Session
+from .events import History
+
+
+class TracedSession:
+    """History-recording wrapper around a manual session."""
+
+    def __init__(self, session: Session, history: History,
+                 process: str = ""):
+        self.session = session
+        self.history = history
+        self.process = process or session.env.instance_id
+
+    @property
+    def env(self):
+        return self.session.env
+
+    def init(self) -> "TracedSession":
+        self.session.init()
+        return self
+
+    def read(self, key: str) -> Any:
+        env = self.session.env
+        cursor_before = env.cursor_ts
+        value = self.session.read(key)
+        self.history.read(
+            self.process, key, value,
+            logical_ts=cursor_before,
+        )
+        return value
+
+    def write(self, key: str, value: Any) -> None:
+        kv = self.session.svc.backend.kv
+        rejections_before = kv.conditional_rejections
+        self.session.write(key, value)
+        env = self.session.env
+        protocol = self.session._runtime.router.protocol_for(
+            self.session.svc, env, key
+        )
+        if protocol.logs_writes:
+            # Halfmoon-read / Boki: the commit record's seqnum is the
+            # write's logical timestamp.
+            self.history.write(
+                self.process, key, value,
+                logical_ts=env.cursor_ts,
+                applied=True,
+            )
+        else:
+            # Halfmoon-write: version tuple + conditional outcome.
+            applied = kv.conditional_rejections == rejections_before
+            self.history.write(
+                self.process, key, value,
+                logical_ts=(env.cursor_ts, env.consecutive_writes),
+                applied=applied,
+            )
+
+    def sync(self) -> None:
+        self.session.sync()
+
+    def finish(self) -> None:
+        self.session.finish()

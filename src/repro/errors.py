@@ -1,0 +1,99 @@
+"""Exception hierarchy for the Halfmoon reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so that
+callers can catch library failures without catching unrelated bugs.  The
+crash-injection machinery uses :class:`CrashError`, which deliberately does
+*not* derive from :class:`ReproError`: a crash is a simulated fault, not an
+API misuse, and protocol code must never swallow it by accident.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class LogError(ReproError):
+    """Base class for shared-log failures."""
+
+
+class ConditionalAppendError(LogError):
+    """A ``logCondAppend`` lost the race: the expected offset was taken.
+
+    Carries the sequence number of the record that already occupies the
+    expected position, so the losing instance can recover the winner's
+    state (Section 5.1 of the paper).
+    """
+
+    def __init__(self, message: str, existing_seqnum: int):
+        super().__init__(message)
+        self.existing_seqnum = existing_seqnum
+
+
+class TrimmedError(LogError):
+    """A read targeted a log position that has been garbage collected."""
+
+
+class StoreError(ReproError):
+    """Base class for external-state (key-value store) failures."""
+
+
+class KeyMissingError(StoreError):
+    """The requested key (or key version) does not exist."""
+
+
+class ConditionFailedError(StoreError):
+    """A conditional update's predicate evaluated to false.
+
+    Halfmoon-write relies on this outcome for idempotence, so callers treat
+    it as a normal, expected result rather than a fault.
+    """
+
+
+class RuntimeStateError(ReproError):
+    """The serverless runtime was driven through an invalid transition."""
+
+
+class InvocationError(RuntimeStateError):
+    """An SSF invocation could not be started or completed."""
+
+
+class RetriesExhaustedError(InvocationError):
+    """An invocation kept crashing past the configured retry budget."""
+
+
+class ProtocolError(ReproError):
+    """A logging protocol was used incorrectly or detected corruption."""
+
+
+class SwitchError(ProtocolError):
+    """Protocol switching was driven through an invalid transition."""
+
+
+class ConsistencyViolation(ReproError):
+    """A recorded history failed a consistency check."""
+
+
+class CrashError(BaseException):
+    """Injected crash of a running SSF instance.
+
+    Derives from :class:`BaseException` so that ``except Exception`` blocks
+    inside simulated functions cannot mask an injected fault, mirroring how
+    a real process crash preempts application-level error handling.
+    """
+
+    def __init__(self, message: str = "injected crash"):
+        super().__init__(message)

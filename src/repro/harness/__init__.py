@@ -1,0 +1,46 @@
+"""Experiment harness: the DES platform plus one module per table/figure.
+
+* :mod:`repro.harness.micro` — Table 1 and Figure 10
+* :mod:`repro.harness.apps` — Figure 11
+* :mod:`repro.harness.overhead` — Figures 12 and 13
+* :mod:`repro.harness.switching_exp` — Figure 14
+* :mod:`repro.harness.recovery_exp` — Section 7 recovery cost
+"""
+
+from .apps import APP_FACTORIES, run_app_point, run_fig11
+from .micro import measure_op_latencies, run_fig10, run_table1
+from .overhead import (
+    crossover_ratio,
+    run_fig12,
+    run_fig13,
+    run_overhead_point,
+)
+from .platform import RunResult, SimPlatform
+from .recovery_exp import run_recovery_point, run_recovery_sweep
+from .report import ExperimentTable
+from .switching_exp import (
+    SwitchingResult,
+    run_fig14,
+    run_fig14_point,
+)
+
+__all__ = [
+    "APP_FACTORIES",
+    "ExperimentTable",
+    "RunResult",
+    "SimPlatform",
+    "SwitchingResult",
+    "crossover_ratio",
+    "measure_op_latencies",
+    "run_app_point",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig14_point",
+    "run_overhead_point",
+    "run_recovery_point",
+    "run_recovery_sweep",
+    "run_table1",
+]

@@ -1,0 +1,152 @@
+"""System-overhead experiments (Section 6.3, Figures 12 and 13).
+
+Both figures use the synthetic SSF that issues ten operations per request
+against uniformly random objects, sweeping the read ratio:
+
+* :func:`run_fig12` measures *time-averaged storage* (log + database)
+  under different object sizes and GC intervals; the crossover between
+  Halfmoon-read and Halfmoon-write should sit slightly above read ratio
+  0.5 and be insensitive to the GC interval.
+
+* :func:`run_fig13` measures *median request latency* at several request
+  rates; the crossover should sit near read ratio 2/3 (slightly above,
+  because C_w exceeds 2 C_r in practice) and be insensitive to load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..workloads.synthetic import MixedRatioWorkload
+from .platform import RunResult, SimPlatform
+from .report import ExperimentTable
+
+SYSTEMS = ("boki", "halfmoon-read", "halfmoon-write")
+DEFAULT_RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def run_overhead_point(
+    protocol: str,
+    read_ratio: float,
+    config: Optional[SystemConfig] = None,
+    rate_per_s: float = 60.0,
+    duration_ms: float = 30_000.0,
+    warmup_ms: float = 2_000.0,
+    num_keys: int = 600,
+    ops_per_request: int = 10,
+) -> RunResult:
+    """One (system, read-ratio) cell shared by Figures 12 and 13."""
+    workload = MixedRatioWorkload(
+        read_ratio, num_keys=num_keys, ops_per_request=ops_per_request
+    )
+    platform = SimPlatform(
+        workload, protocol,
+        config if config is not None else SystemConfig(),
+    )
+    return platform.run(rate_per_s, duration_ms, warmup_ms=warmup_ms)
+
+
+def run_fig12(
+    value_bytes: int = 256,
+    gc_interval_ms: float = 10_000.0,
+    read_ratios: Sequence[float] = DEFAULT_RATIOS,
+    systems: Sequence[str] = SYSTEMS,
+    config: Optional[SystemConfig] = None,
+    rate_per_s: float = 60.0,
+    duration_ms: float = 30_000.0,
+    num_keys: int = 600,
+) -> ExperimentTable:
+    """One panel of Figure 12: storage vs read ratio."""
+    base = config if config is not None else SystemConfig()
+    base = base.with_value_bytes(value_bytes).with_gc_interval(
+        gc_interval_ms
+    )
+    table = ExperimentTable(
+        f"Figure 12: storage overhead "
+        f"(size={value_bytes}B, GC={gc_interval_ms / 1000:.0f}s)",
+        ["system", "read ratio", "avg log (KB)", "avg db (KB)",
+         "avg total (KB)"],
+    )
+    for system in systems:
+        for ratio in read_ratios:
+            result = run_overhead_point(
+                system, ratio, base, rate_per_s, duration_ms,
+                num_keys=num_keys,
+            )
+            table.add_row(
+                system, ratio,
+                result.avg_log_bytes / 1024.0,
+                result.avg_db_bytes / 1024.0,
+                result.avg_total_bytes / 1024.0,
+            )
+    table.add_note(
+        "expected shape: HM-write storage grows with read ratio (read "
+        "log), HM-read shrinks (fewer versions); crossover slightly above "
+        "0.5; Boki above the best protocol everywhere; crossover "
+        "insensitive to GC interval"
+    )
+    return table
+
+
+def run_fig13(
+    rates: Sequence[float] = (100.0, 200.0, 300.0, 400.0),
+    read_ratios: Sequence[float] = DEFAULT_RATIOS,
+    systems: Sequence[str] = SYSTEMS,
+    config: Optional[SystemConfig] = None,
+    duration_ms: float = 8_000.0,
+    num_keys: int = 2_000,
+) -> Dict[float, ExperimentTable]:
+    """Figure 13: median latency vs read ratio at several request rates."""
+    tables: Dict[float, ExperimentTable] = {}
+    for rate in rates:
+        table = ExperimentTable(
+            f"Figure 13: runtime overhead at {rate:.0f} requests/s",
+            ["system", "read ratio", "median (ms)", "p99 (ms)"],
+        )
+        for system in systems:
+            for ratio in read_ratios:
+                result = run_overhead_point(
+                    system, ratio, config, rate, duration_ms,
+                    warmup_ms=1_000.0, num_keys=num_keys,
+                )
+                table.add_row(
+                    system, ratio, result.median_ms, result.p99_ms
+                )
+        table.add_note(
+            "expected shape: HM-read latency falls with read ratio, "
+            "HM-write rises; crossover near 2/3 regardless of rate; both "
+            "below Boki (1.2-1.5x)"
+        )
+        tables[rate] = table
+    return tables
+
+
+def crossover_ratio(
+    table: ExperimentTable,
+    metric: str,
+    read_ratios: Sequence[float] = DEFAULT_RATIOS,
+) -> float:
+    """Estimate the read ratio where HM-read's metric first drops below
+    HM-write's (linear interpolation between sampled ratios)."""
+    reads = [
+        table.lookup({"system": "halfmoon-read", "read ratio": r}, metric)
+        for r in read_ratios
+    ]
+    writes = [
+        table.lookup({"system": "halfmoon-write", "read ratio": r}, metric)
+        for r in read_ratios
+    ]
+    previous_delta = None
+    for i, ratio in enumerate(read_ratios):
+        delta = reads[i] - writes[i]
+        if delta <= 0:
+            if previous_delta is None or previous_delta <= 0:
+                return ratio
+            # Interpolate the zero crossing.
+            r0, r1 = read_ratios[i - 1], ratio
+            return r0 + (r1 - r0) * previous_delta / (
+                previous_delta - delta
+            )
+        previous_delta = delta
+    return 1.0

@@ -1,0 +1,324 @@
+"""Discrete-event simulation platform for the end-to-end experiments.
+
+Wraps a :class:`~repro.runtime.local.LocalRuntime` in a DES: requests
+arrive open-loop (Poisson), each invocation occupies one function-node
+worker slot for its lifetime, and every protocol-level operation advances
+simulated time by the latency its service calls accumulated.  This yields
+the latency-vs-throughput, storage-over-time, and switching-delay
+behaviour of the paper's testbed (Sections 6.2-6.4) from the same protocol
+implementations the unit tests exercise.
+
+Fidelity notes (documented substitutions):
+
+* a child SSF invoked via ``ctx.invoke`` executes synchronously at its
+  parent's current simulation instant; its latency then advances the
+  parent's clock.  Parent-blocking time is modelled exactly; the child's
+  *internal* interleaving with other invocations is not.
+* queueing happens at the worker pool; log/store latencies are sampled
+  i.i.d. from their calibrated distributions (an open-service model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..errors import CrashError, RetriesExhaustedError
+from ..runtime.env import Env
+from ..runtime.local import Context, LocalRuntime
+from ..runtime.registry import FunctionRegistry
+from ..runtime.services import InstanceServices
+from ..simulation.kernel import Simulator
+from ..simulation.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    TimeWeightedGauge,
+)
+from ..simulation.resources import Resource
+from ..workloads.base import Request, Workload
+
+
+@dataclass
+class RunResult:
+    """Metrics from one simulated run."""
+
+    protocol: str
+    workload: str
+    offered_rate_per_s: float
+    duration_ms: float
+    completed: int
+    crashed_attempts: int
+    median_ms: float
+    p99_ms: float
+    mean_ms: float
+    throughput_per_s: float
+    avg_log_bytes: float
+    avg_db_bytes: float
+    avg_total_bytes: float
+    latency_series: TimeSeries = field(repr=False, default=None)
+    counters: Dict[str, int] = field(repr=False, default_factory=dict)
+    #: Total simulated milliseconds spent per cost kind (log appends,
+    #: store reads, ...), for overhead breakdowns.
+    time_by_kind: Dict[str, float] = field(repr=False,
+                                           default_factory=dict)
+    extras: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+    @property
+    def avg_total_mb(self) -> float:
+        return self.avg_total_bytes / (1024.0 * 1024.0)
+
+
+class SimPlatform:
+    """One simulated deployment running one workload under one protocol."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        protocol: str,
+        config: Optional[SystemConfig] = None,
+        enable_switching: bool = False,
+    ):
+        self.config = (config if config is not None
+                       else SystemConfig()).validate()
+        self.sim = Simulator()
+        self.runtime = LocalRuntime(
+            self.config, protocol=protocol,
+            enable_switching=enable_switching,
+        )
+        if enable_switching and self.runtime.switch_manager is not None:
+            self.runtime.switch_manager.now_fn = lambda: self.sim.now
+        self.workload = workload
+        workload.register(self.runtime)
+        workload.populate(self.runtime)
+
+        backend = self.runtime.backend
+        self.workers = Resource(
+            self.sim, self.config.cluster.total_workers, "workers"
+        )
+        self._request_rng = backend.rng.stream("requests")
+        self._arrival_rng = backend.rng.stream("arrivals")
+
+        self.latencies = LatencyRecorder("request-latency")
+        self.latency_series = TimeSeries("latency-over-time")
+        self.throughput = ThroughputMeter()
+        self.crashed_attempts = 0
+        self._warmup_ms = 0.0
+        self.time_by_kind: Dict[str, float] = {}
+        # Logging-layer contention model (optional): analytic FIFO
+        # bookkeeping for the sequencer and the storage shards.  Works
+        # because invocations drain their traces in nondecreasing
+        # simulation-time order.
+        self._seq_next_free = 0.0
+        self._shard_next_free = [0.0] * self.config.cluster.storage_nodes
+        self._shard_cursor = 0
+        self.log_wait_ms_total = 0.0
+
+        self.log_gauge = TimeWeightedGauge(
+            "log-bytes", 0.0, backend.log.storage_bytes()
+        )
+        self.db_gauge = TimeWeightedGauge(
+            "db-bytes", 0.0, backend.kv.storage_bytes()
+        )
+        backend.log.add_storage_listener(
+            lambda b: self.log_gauge.set(b, self.sim.now)
+        )
+        backend.kv.add_storage_listener(
+            lambda b: self.db_gauge.set(b, self.sim.now)
+        )
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def _arrival_process(self, rate_per_s: float, duration_ms: float):
+        mean_gap_ms = 1000.0 / rate_per_s
+        while True:
+            gap = float(self._arrival_rng.exponential(mean_gap_ms))
+            yield self.sim.timeout(gap)
+            if self.sim.now >= duration_ms:
+                return
+            request = self.workload.next_request(self._request_rng)
+            self.sim.process(
+                self._invocation_process(request, self.sim.now),
+                name=f"inv-{request.func_name}",
+            )
+
+    def _invocation_process(self, request: Request, arrival_ms: float):
+        runtime = self.runtime
+        # The invocation exists (and is tracked) from arrival: the switch
+        # manager and the GC must conservatively wait for requests that
+        # were dispatched before a BEGIN record even if they are still
+        # queued for a worker — this is what makes switching away from a
+        # backlogged phase slower (Figure 14).
+        instance_id = runtime.new_instance_id()
+        runtime.tracker.start(
+            instance_id, runtime.backend.log.next_seqnum
+        )
+        yield self.workers.request()
+        try:
+            max_attempts = self.config.failures.max_retries + 1
+            fn = runtime.functions.get(request.func_name)
+            done = False
+            for attempt in range(1, max_attempts + 1):
+                hook = runtime.crash_policy.hook_for(instance_id, attempt)
+                svc = InstanceServices(runtime.backend, fault_hook=hook)
+                env = Env(
+                    instance_id=instance_id,
+                    input=request.input,
+                    func_name=request.func_name,
+                    attempt=attempt,
+                )
+                ctx = Context(runtime, svc, env)
+                try:
+                    protocol = runtime.router.control_protocol()
+                    protocol.init(svc, env)
+                    runtime.tracker.set_init_ts(
+                        instance_id, env.init_cursor_ts
+                    )
+                    yield self.sim.timeout(self._drain(svc))
+                    svc.charge_compute()
+                    if FunctionRegistry.is_generator_style(fn):
+                        gen = fn(request.input)
+                        try:
+                            op = next(gen)
+                            while True:
+                                result = ctx.apply(op)
+                                yield self.sim.timeout(self._drain(svc))
+                                op = gen.send(result)
+                        except StopIteration:
+                            pass
+                    else:
+                        fn(ctx, request.input)
+                    yield self.sim.timeout(self._drain(svc))
+                    done = True
+                except CrashError:
+                    self.crashed_attempts += 1
+                    yield self.sim.timeout(
+                        self._drain(svc)
+                        + self.config.failures.detection_delay_ms
+                    )
+                    continue
+                break
+            if not done:
+                raise RetriesExhaustedError(
+                    f"{request.func_name!r} exhausted {max_attempts} "
+                    "attempts in simulation"
+                )
+            runtime.tracker.finish(instance_id)
+            latency = self.sim.now - arrival_ms
+            if arrival_ms >= self._warmup_ms:
+                self.latencies.record(latency)
+                self.throughput.record(self.sim.now)
+            self.latency_series.record(self.sim.now, latency)
+        finally:
+            self.workers.release()
+
+    def _drain(self, svc: InstanceServices) -> float:
+        """Account the trace per cost kind, then drain it.
+
+        With ``model_log_contention`` enabled, every append also queues
+        at the sequencer and a storage shard; the waits extend the
+        invocation's simulated time and are tallied separately."""
+        from ..runtime.services import Cost
+
+        cluster = self.config.cluster
+        # Appends of one drained operation are treated as arriving at the
+        # current instant; drains happen in global nondecreasing time
+        # order, which keeps the FIFO bookkeeping exact at op granularity.
+        now = self.sim.now
+        extra_wait = 0.0
+        for kind, ms in svc.trace.entries:
+            self.time_by_kind[kind] = (
+                self.time_by_kind.get(kind, 0.0) + ms
+            )
+            if (cluster.model_log_contention
+                    and kind in Cost.LOGGING_KINDS):
+                wait = max(0.0, self._seq_next_free - now)
+                self._seq_next_free = (
+                    now + wait + cluster.sequencer_service_ms
+                )
+                shard = self._shard_cursor % len(self._shard_next_free)
+                self._shard_cursor += 1
+                shard_start = now + wait
+                shard_wait = max(
+                    0.0, self._shard_next_free[shard] - shard_start
+                )
+                self._shard_next_free[shard] = (
+                    shard_start + shard_wait
+                    + cluster.log_shard_service_ms
+                )
+                extra_wait += wait + shard_wait
+                self.log_wait_ms_total += wait + shard_wait
+        return svc.trace.drain() + extra_wait
+
+    def _gc_process(self):
+        interval = self.config.gc.interval_ms
+        while True:
+            yield self.sim.timeout(interval)
+            self.runtime.run_gc()
+
+    def at(self, time_ms: float, action: Callable[[], None]) -> None:
+        """Schedule ``action()`` at an absolute simulation time."""
+
+        def process():
+            delay = time_ms - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            action()
+
+        self.sim.process(process(), name="scheduled-action")
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        rate_per_s: float,
+        duration_ms: float,
+        warmup_ms: float = 0.0,
+        drain_ms: float = 5_000.0,
+    ) -> RunResult:
+        """Drive the workload at ``rate_per_s`` for ``duration_ms``.
+
+        ``warmup_ms`` of leading completions are excluded from latency
+        statistics; the simulation runs ``drain_ms`` past the last arrival
+        so queued requests finish.
+        """
+        self._warmup_ms = warmup_ms
+        self.sim.process(
+            self._arrival_process(rate_per_s, duration_ms), name="arrivals"
+        )
+        if self.config.gc.enabled:
+            self.sim.process(self._gc_process(), name="gc")
+        self.sim.run(until=duration_ms + drain_ms)
+
+        backend = self.runtime.backend
+        have_samples = self.latencies.count > 0
+        measured_ms = duration_ms - warmup_ms
+        return RunResult(
+            protocol=self.runtime.router.default_name,
+            workload=self.workload.name,
+            offered_rate_per_s=rate_per_s,
+            duration_ms=duration_ms,
+            completed=self.latencies.count,
+            crashed_attempts=self.crashed_attempts,
+            median_ms=self.latencies.median() if have_samples else 0.0,
+            p99_ms=self.latencies.p99() if have_samples else 0.0,
+            mean_ms=self.latencies.mean() if have_samples else 0.0,
+            throughput_per_s=(
+                self.latencies.count * 1000.0 / measured_ms
+                if measured_ms > 0 else 0.0
+            ),
+            avg_log_bytes=self.log_gauge.time_average(self.sim.now),
+            avg_db_bytes=self.db_gauge.time_average(self.sim.now),
+            avg_total_bytes=(
+                self.log_gauge.time_average(self.sim.now)
+                + self.db_gauge.time_average(self.sim.now)
+            ),
+            latency_series=self.latency_series,
+            counters=backend.counters.as_dict(),
+            time_by_kind=dict(self.time_by_kind),
+        )

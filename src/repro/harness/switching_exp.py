@@ -1,0 +1,122 @@
+"""Switching-delay experiment (Section 6.4, Figure 14).
+
+A two-phase workload alternates between write-intensive (read ratio 0.2,
+run under Halfmoon-write) and read-intensive (read ratio 0.8, under
+Halfmoon-read) every few seconds.  At each phase boundary the runtime
+starts a pauseless switch; the measured delay is the window between the
+BEGIN and END transition records — dominated by waiting for in-flight
+SSFs using the old protocol to finish, which is why switching *away from*
+the write-heavy phase takes longer under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ClusterConfig, SystemConfig
+from ..simulation.metrics import TimeSeries
+from ..workloads.generator import Phase, PhasedSchedule
+from ..workloads.synthetic import MixedRatioWorkload
+from .platform import SimPlatform
+from .report import ExperimentTable
+
+#: Figure 14 sizes the cluster so the synthetic workload saturates near
+#: 800 requests/s, as in the paper (600 req/s is then a high-load point).
+FIG14_CONFIG = SystemConfig(
+    cluster=ClusterConfig(function_nodes=8, workers_per_node=3)
+)
+
+WRITE_PHASE = Phase(5_000.0, read_ratio=0.2, protocol="halfmoon-write")
+READ_PHASE = Phase(5_000.0, read_ratio=0.8, protocol="halfmoon-read")
+
+
+@dataclass
+class SwitchingResult:
+    rate_per_s: float
+    switch_delays: List[Dict]
+    latency_series: TimeSeries = field(repr=False, default=None)
+    completed: int = 0
+
+    def delays_ms(self) -> List[float]:
+        return [
+            entry["delay_ms"] for entry in self.switch_delays
+            if entry["delay_ms"] is not None
+        ]
+
+    def delay_for(self, target: str) -> List[float]:
+        return [
+            entry["delay_ms"] for entry in self.switch_delays
+            if entry["to"] == target and entry["delay_ms"] is not None
+        ]
+
+
+def run_fig14_point(
+    rate_per_s: float,
+    config: Optional[SystemConfig] = None,
+    phases: Optional[Sequence[Phase]] = None,
+    num_keys: int = 2_000,
+) -> SwitchingResult:
+    """One panel of Figure 14: phased run with switches at boundaries."""
+    schedule = PhasedSchedule(
+        list(phases) if phases is not None
+        else [WRITE_PHASE, READ_PHASE, WRITE_PHASE, READ_PHASE]
+    )
+    first = schedule.phases[0]
+    workload = MixedRatioWorkload(first.read_ratio, num_keys=num_keys)
+    platform = SimPlatform(
+        workload,
+        first.protocol or "halfmoon-write",
+        config if config is not None else FIG14_CONFIG,
+        enable_switching=True,
+    )
+
+    for start_ms, phase in zip(
+        schedule.boundaries_ms()[1:], schedule.phases[1:]
+    ):
+        def change(phase=phase):
+            workload.read_ratio_value = phase.read_ratio
+            if (phase.protocol is not None
+                    and platform.runtime.switch_manager is not None
+                    and platform.runtime.switch_manager.current_protocol
+                    != phase.protocol
+                    and not platform.runtime.switch_manager.in_progress):
+                platform.runtime.begin_switch(phase.protocol)
+
+        platform.at(start_ms, change)
+
+    result = platform.run(
+        rate_per_s, schedule.total_duration_ms(), warmup_ms=0.0
+    )
+    manager = platform.runtime.switch_manager
+    return SwitchingResult(
+        rate_per_s=rate_per_s,
+        switch_delays=list(manager.switch_history) if manager else [],
+        latency_series=result.latency_series,
+        completed=result.completed,
+    )
+
+
+def run_fig14(
+    rates: Sequence[float] = (300.0, 600.0),
+    config: Optional[SystemConfig] = None,
+) -> ExperimentTable:
+    """Figure 14: switching delay at moderate and high load."""
+    table = ExperimentTable(
+        "Figure 14: protocol switching delay",
+        ["rate (req/s)", "direction", "delay (ms)"],
+    )
+    for rate in rates:
+        result = run_fig14_point(rate, config)
+        for entry in result.switch_delays:
+            table.add_row(
+                rate,
+                f"{entry['from']} -> {entry['to']}",
+                entry["delay_ms"],
+            )
+    table.add_note(
+        "expected shape: sub-second switches; HM-write -> HM-read slower "
+        "than the reverse at high load (longer-running write-phase SSFs "
+        "must drain first)"
+    )
+    return table

@@ -1,0 +1,37 @@
+"""Logging protocols: the paper's contribution plus its baselines.
+
+* :class:`HalfmoonReadProtocol`  — log-free reads (Figure 5);
+* :class:`HalfmoonWriteProtocol` — log-free writes (Figure 7);
+* :class:`BokiProtocol`          — symmetric logging baseline;
+* :class:`UnsafeProtocol`        — no logging, no exactly-once;
+* :class:`TransitionalProtocol`  — logs everything, bridges both
+  versioning schemas during a protocol switch (Section 5.2).
+"""
+
+from .base import Invoker, LoggedProtocol, Protocol
+from .boki import BokiProtocol
+from .halfmoon_read import HalfmoonReadProtocol
+from .halfmoon_write import HalfmoonWriteProtocol
+from .registry import (
+    PROTOCOL_CLASSES,
+    SWITCHABLE_PROTOCOLS,
+    build_protocol,
+    protocol_names,
+)
+from .transitional import TransitionalProtocol
+from .unsafe import UnsafeProtocol
+
+__all__ = [
+    "BokiProtocol",
+    "HalfmoonReadProtocol",
+    "HalfmoonWriteProtocol",
+    "Invoker",
+    "LoggedProtocol",
+    "PROTOCOL_CLASSES",
+    "Protocol",
+    "SWITCHABLE_PROTOCOLS",
+    "TransitionalProtocol",
+    "UnsafeProtocol",
+    "build_protocol",
+    "protocol_names",
+]

@@ -1,0 +1,127 @@
+"""Halfmoon-read: the log-free read protocol (Figure 5, Section 4.1).
+
+Only writes perform logging.  The external state is multi-versioned: each
+write installs a new object version and *commits* it by appending a record
+to the object's write log (tagged with both the instance id and the key).
+A read is log-free: it seeks backward from the SSF's cursorTS in the
+object's write log to find the visible version, then fetches exactly that
+version from the store.  Read positions are deterministic functions of the
+(persistent) cursorTS, so reads are idempotent without any record of their
+own.
+
+The commit record serves the dual purpose Section 4.1 describes: it
+checkpoints the SSF's progress in the step log *and* is the write's commit
+point in the object's write log.  Logging happens strictly after
+``DBWrite`` so exposed versions always exist in the store.
+
+In prototype-aligned mode (the default, matching Section 4.1) version
+numbers are drawn at random and pinned by a write-intent record before the
+store write, giving the same two-logs-per-write cost as Boki; with
+``align_write_logging_with_boki=False`` the version number is derived
+deterministically from ``(instance_id, step)`` and the intent record is
+skipped.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import KeyMissingError
+from ..tags import checkpoint_tag, object_tag
+from .base import LoggedProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.env import Env
+    from ..runtime.services import InstanceServices
+
+
+class HalfmoonReadProtocol(LoggedProtocol):
+    """Log-free reads over a multi-versioned store (Figure 5)."""
+
+    name = "halfmoon-read"
+    logs_reads = False
+    logs_writes = True
+    public_write_log = True
+
+    def init(self, svc: InstanceServices, env: Env) -> None:
+        super().init(svc, env)
+        env.read_index = 0
+        env.read_checkpoints = {}
+        # Section 7's recovery speed-up: a re-executed SSF recovers its
+        # log-free reads from the (cached) checkpoint stream instead of
+        # replaying version lookups.  Failure-free runs skip the fetch.
+        if self.config.checkpoint_log_free_reads and env.attempt > 1:
+            for record in svc.log_read_stream(
+                checkpoint_tag(env.instance_id)
+            ):
+                env.read_checkpoints[record["idx"]] = record["data"]
+
+    def read(self, svc: InstanceServices, env: Env, key: str) -> Any:
+        """Log-free read: seek backward from the cursorTS (Figure 5)."""
+        if not self.config.checkpoint_log_free_reads:
+            return self._resolve_read(svc, env, key)
+        index = env.read_index
+        env.read_index += 1
+        if index in env.read_checkpoints:
+            return env.read_checkpoints[index]
+        value = self._resolve_read(svc, env, key)
+        # Fully asynchronous checkpoint: zero critical-path latency; the
+        # record lives in its own stream so step-log offsets (and hence
+        # logCondAppend conditions) are untouched.
+        svc.log_append(
+            [checkpoint_tag(env.instance_id)],
+            {"op": "read-ckpt", "idx": index, "key": key, "data": value},
+            payload_bytes=svc.value_bytes,
+            background=True,
+        )
+        return value
+
+    def _resolve_read(self, svc: InstanceServices, env: Env,
+                      key: str) -> Any:
+        write_log = svc.log_read_prev(object_tag(key), env.cursor_ts)
+        if write_log is None:
+            raise KeyMissingError(
+                f"no write to {key!r} is visible at cursorTS "
+                f"{env.cursor_ts}"
+            )
+        return svc.db_read_version(key, write_log["version"])
+
+    def write(self, svc: InstanceServices, env: Env, key: str,
+              value: Any) -> None:
+        version = self._pin_version(svc, env, key)
+
+        # Commit step: multi-version DBWrite, then the commit record.
+        record = self._next_step(env)
+        if record is not None:
+            # The write already committed in a previous attempt.
+            env.advance_cursor(record.seqnum)
+            return
+        svc.db_write_version(key, version, value)
+        seqnum, _ = self._log_step(
+            svc, env, extra_tags=(object_tag(key),),
+            data={"op": "write", "key": key, "version": version},
+        )
+        env.advance_cursor(seqnum)
+
+    def _pin_version(self, svc: InstanceServices, env: Env,
+                     key: str) -> str:
+        """Obtain a deterministic version number for the current write."""
+        if not self.config.align_write_logging_with_boki:
+            # Deterministic variant: concatenate the (unique, deterministic)
+            # instance id with the upcoming commit step; no intent record.
+            return f"{env.instance_id}.{env.step + 1}"
+        record = self._next_step(env)
+        if record is not None:
+            env.advance_cursor(record.seqnum)
+            return record["version"]
+        seqnum, data = self._log_step(
+            svc, env, extra_tags=(),
+            data={
+                "op": "write-intent",
+                "key": key,
+                "version": svc.random_hex(),
+            },
+            synchronous=False,
+        )
+        env.advance_cursor(seqnum)
+        return data["version"]

@@ -1,0 +1,89 @@
+"""Halfmoon-write: the log-free write protocol (Figure 7, Section 4.2).
+
+Only reads perform logging; they record the real-time value they observed,
+so they are idempotent on their own.  Writes are log-free conditional
+updates against the single-version store: the version number is the tuple
+``(cursorTS, consecutive_write_counter)``, and the update applies only if
+the stored version is strictly smaller.  Because the cursorTS is
+deterministic (recovered from read-log seqnums) and version numbers are
+monotone, a re-executed write either lands at the same point in the event
+stream or is rejected — idempotence either way.
+
+The counter breaks ties between consecutive writes of one SSF to the same
+object; it is incremented on writes and reset on reads (Figure 7).
+
+The ``preserve_consecutive_write_order`` extension (the technical report's
+ordered variant, referenced in Section 4.4) appends a cheap ordering
+barrier between consecutive log-free writes to *different* objects so that
+no dependent pair can commute; writes remain log-free in the best case
+(runs of writes to a single object, or writes separated by reads).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Tuple
+
+from .base import LoggedProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.env import Env
+    from ..runtime.services import InstanceServices
+
+
+class HalfmoonWriteProtocol(LoggedProtocol):
+    """Log-free conditional writes, logged reads (Figure 7)."""
+
+    name = "halfmoon-write"
+    logs_reads = True
+    logs_writes = False
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        self._preserve_order = self.config.preserve_consecutive_write_order
+
+    def read(self, svc: InstanceServices, env: Env, key: str) -> Any:
+        record = self._next_step(env)
+        env.consecutive_writes = 0
+        env.last_write_key = ""
+        if record is not None:
+            env.advance_cursor(record.seqnum)
+            return record["data"]
+        value = svc.db_read(key)
+        seqnum, data = self._log_step(
+            svc, env, extra_tags=(),
+            data={"op": "read", "key": key, "data": value},
+            payload_bytes=svc.value_bytes,
+        )
+        env.advance_cursor(seqnum)
+        return data["data"]
+
+    def write(self, svc: InstanceServices, env: Env, key: str,
+              value: Any) -> None:
+        if self._preserve_order and self._needs_order_barrier(env, key):
+            self._order_barrier(svc, env)
+        env.consecutive_writes += 1
+        version: Tuple[int, int] = (env.cursor_ts, env.consecutive_writes)
+        svc.db_cond_write(key, value, version)
+        env.last_write_key = key
+
+    # ------------------------------------------------------------------
+    # Ordered-write extension
+    # ------------------------------------------------------------------
+
+    def _needs_order_barrier(self, env: Env, key: str) -> bool:
+        return bool(env.last_write_key) and env.last_write_key != key
+
+    def _order_barrier(self, svc: InstanceServices, env: Env) -> None:
+        """Pin the order of consecutive writes to different objects by
+        logging between them (Section 4.4: "one can perform extra logging
+        between the writes such that every dependent pair cannot be
+        reordered")."""
+        record = self._next_step(env)
+        if record is not None:
+            env.advance_cursor(record.seqnum)
+        else:
+            seqnum, _ = self._log_step(
+                svc, env, extra_tags=(), data={"op": "write-order"}
+            )
+            env.advance_cursor(seqnum)
+        env.consecutive_writes = 0

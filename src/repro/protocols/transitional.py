@@ -1,0 +1,128 @@
+"""The transitional protocol used while switching between Halfmoon's two
+protocols (Sections 4.7 and 5.2).
+
+While a switch is in progress (between the BEGIN and END transition
+records), SSFs may coexist with peers still running the *old* protocol, so
+a transitional SSF must be compatible with both worlds:
+
+* it **logs all reads and writes** — Theorem 4.6 forbids mixing log-free
+  reads and log-free writes concurrently;
+* its writes update the single-version LATEST slot (visible to
+  Halfmoon-write readers) *and* install a separate multi-version object
+  with a write-log commit record (visible to Halfmoon-read readers);
+* its reads fetch both the LATEST slot and the freshest logged version and
+  pick whichever is fresher — comparing the LATEST slot's version tuple
+  (whose first field is a cursorTS/seqnum) against the seqnum of the
+  matching write-log record — then log the chosen result for idempotence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Tuple
+
+from ..errors import KeyMissingError
+from ..store.kv import GENESIS_VERSION
+from ..tags import object_tag
+from .base import LoggedProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.env import Env
+    from ..runtime.services import InstanceServices
+
+
+class TransitionalProtocol(LoggedProtocol):
+    """Logs everything; bridges both versioning schemas (Section 5.2)."""
+
+    name = "transitional"
+    logs_reads = True
+    logs_writes = True
+    public_write_log = True
+
+    def read(self, svc: InstanceServices, env: Env, key: str) -> Any:
+        record = self._next_step(env)
+        env.consecutive_writes = 0
+        if record is not None:
+            env.advance_cursor(record.seqnum)
+            return record["data"]
+
+        value = self._freshest_value(svc, key)
+        seqnum, data = self._log_step(
+            svc, env, extra_tags=(),
+            data={"op": "read", "key": key, "data": value},
+            payload_bytes=svc.value_bytes,
+        )
+        env.advance_cursor(seqnum)
+        return data["data"]
+
+    def _freshest_value(self, svc: InstanceServices, key: str) -> Any:
+        """Compare the single-version and multi-version worlds (Figure 9)."""
+        latest_value: Any = None
+        latest_freshness = -1
+        try:
+            latest_value, latest_version = svc.db_read_with_version(key)
+        except KeyMissingError:
+            pass
+        else:
+            if latest_version != GENESIS_VERSION:
+                # The version tuple's first field is the writing SSF's
+                # cursorTS — a log seqnum, comparable with record seqnums.
+                latest_freshness = int(latest_version[0])
+            else:
+                latest_freshness = 0
+
+        versioned_value: Any = None
+        versioned_freshness = -1
+        write_log = svc.log_read_prev(object_tag(key), svc.log_tail)
+        if write_log is not None:
+            versioned_value = svc.db_read_version(
+                key, write_log["version"]
+            )
+            versioned_freshness = write_log.seqnum
+
+        if latest_freshness < 0 and versioned_freshness < 0:
+            raise KeyMissingError(f"key {key!r} not found in either schema")
+        if versioned_freshness > latest_freshness:
+            return versioned_value
+        return latest_value
+
+    def write(self, svc: InstanceServices, env: Env, key: str,
+              value: Any) -> None:
+        # Intent: pin the multi-version number (as in Halfmoon-read).
+        record = self._next_step(env)
+        if record is not None:
+            version_number = record["version"]
+            env.advance_cursor(record.seqnum)
+        else:
+            seqnum, data = self._log_step(
+                svc, env, extra_tags=(),
+                data={
+                    "op": "write-intent",
+                    "key": key,
+                    "version": svc.random_hex(),
+                },
+                synchronous=False,
+            )
+            version_number = data["version"]
+            env.advance_cursor(seqnum)
+
+        # Commit: update both schemas, then append the commit record.
+        record = self._next_step(env)
+        if record is not None:
+            env.advance_cursor(record.seqnum)
+            return
+        env.consecutive_writes += 1
+        version_tuple: Tuple[int, int] = (
+            env.cursor_ts, env.consecutive_writes
+        )
+        svc.db_cond_write(key, value, version_tuple)
+        svc.db_write_version(key, version_number, value)
+        seqnum, _ = self._log_step(
+            svc, env, extra_tags=(object_tag(key),),
+            data={
+                "op": "write",
+                "key": key,
+                "version": version_number,
+                "vtuple": version_tuple,
+            },
+        )
+        env.advance_cursor(seqnum)

@@ -1,0 +1,46 @@
+"""The unsafe baseline: no logging, no exactly-once guarantees.
+
+Matches the paper's "Unsafe" system (Section 6): raw reads and writes
+against the external state.  Retrying a crashed SSF under this protocol
+can duplicate writes — the anomaly Halfmoon exists to prevent — and the
+test suite demonstrates exactly that.  It serves as the lower bound on
+latency and logging overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .base import Invoker, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.env import Env
+    from ..runtime.services import InstanceServices
+
+
+class UnsafeProtocol(Protocol):
+    """Raw reads/writes; retry-based at-least-once, not exactly-once."""
+
+    name = "unsafe"
+    logs_reads = False
+    logs_writes = False
+
+    def init(self, svc: InstanceServices, env: Env) -> None:
+        env.step = 0
+        env.cursor_ts = 0
+        env.init_cursor_ts = 0
+
+    def read(self, svc: InstanceServices, env: Env, key: str) -> Any:
+        return svc.db_read(key)
+
+    def write(self, svc: InstanceServices, env: Env, key: str,
+              value: Any) -> None:
+        svc.db_write(key, value)
+
+    def invoke(self, svc: InstanceServices, env: Env, func_name: str,
+               input: Any, invoker: Invoker) -> Any:
+        # A fresh callee id per attempt: re-execution spawns a brand-new
+        # child, duplicating the child's effects.  That is the at-least-once
+        # anomaly the logged protocols rule out.
+        svc.charge_invoke_overhead()
+        return invoker(svc.random_hex(), func_name, input, env)

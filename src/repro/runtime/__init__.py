@@ -1,0 +1,83 @@
+"""Serverless runtime: invocation lifecycle, crash/retry, GC, switching."""
+
+from .env import Env
+from .failures import (
+    BernoulliCrashes,
+    CrashOnceAtEvery,
+    CrashPolicy,
+    NoCrashes,
+    ScriptedCrashes,
+)
+from .gc import GarbageCollector, GCStats
+from .local import Context, InvocationResult, LocalRuntime, Session
+from .ops import ComputeOp, InvokeOp, Op, ReadOp, SyncOp, TxnOp, WriteOp
+from .registry import FunctionRegistry, InvocationTracker
+from .services import (
+    Cost,
+    CostTrace,
+    InstanceServices,
+    LatencyProvider,
+    ServiceBackend,
+)
+from .switching import BEGIN, END, ProtocolRouter, SwitchManager
+from .transactions import Transaction, TransactionAborted, run_transaction
+from .tags import (
+    GLOBAL_SCOPE,
+    checkpoint_tag,
+    instance_tag,
+    is_checkpoint_tag,
+    is_instance_tag,
+    is_object_tag,
+    is_transition_tag,
+    object_tag,
+    tag_instance,
+    tag_key,
+    transition_tag,
+)
+
+__all__ = [
+    "BEGIN",
+    "BernoulliCrashes",
+    "ComputeOp",
+    "Context",
+    "Cost",
+    "CostTrace",
+    "CrashOnceAtEvery",
+    "CrashPolicy",
+    "END",
+    "Env",
+    "FunctionRegistry",
+    "GCStats",
+    "GLOBAL_SCOPE",
+    "GarbageCollector",
+    "InstanceServices",
+    "InvocationResult",
+    "InvocationTracker",
+    "InvokeOp",
+    "LatencyProvider",
+    "LocalRuntime",
+    "NoCrashes",
+    "Op",
+    "ProtocolRouter",
+    "ReadOp",
+    "ScriptedCrashes",
+    "ServiceBackend",
+    "Session",
+    "SwitchManager",
+    "SyncOp",
+    "Transaction",
+    "TxnOp",
+    "TransactionAborted",
+    "WriteOp",
+    "run_transaction",
+    "checkpoint_tag",
+    "instance_tag",
+    "is_checkpoint_tag",
+    "is_instance_tag",
+    "is_object_tag",
+    "is_transition_tag",
+    "object_tag",
+    "tag_instance",
+    "tag_key",
+    "transition_tag",
+]

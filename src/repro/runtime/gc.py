@@ -1,0 +1,103 @@
+"""Garbage collection (Section 4.5).
+
+The GC reclaims two kinds of state:
+
+1. **Step logs of finished SSFs.**  Under Halfmoon-write the lifetime of a
+   read-log record equals the lifetime of its SSF, so the entire instance
+   stream is trimmed once the invocation completes.
+
+2. **Write logs and object versions** (Halfmoon-read).  A version whose
+   commit record has seqnum ``t`` is collectible only when (a) a newer
+   record exists in the same object's write log and (b) every SSF whose
+   initial cursorTS is below that newer record's seqnum has finished.  The
+   scan tracks the frontier ``safe_ts`` satisfying (b) — the smallest
+   initial cursorTS among running SSFs — marks, per object stream, the
+   newest record below the frontier (the earliest version still
+   observable), and deletes everything before the mark together with the
+   matching object versions.
+
+Note the asymmetry with condition (a): the marked record itself always
+survives, so each object retains at least one readable version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sharedlog import LogRecord
+from .registry import InvocationTracker
+from .services import ServiceBackend
+from .tags import checkpoint_tag, instance_tag, is_object_tag, tag_key
+
+
+@dataclass
+class GCStats:
+    scans: int = 0
+    step_log_records_trimmed: int = 0
+    write_log_records_trimmed: int = 0
+    versions_deleted: int = 0
+    last_safe_seqnum: int = 0
+
+    def total_trimmed(self) -> int:
+        return (
+            self.step_log_records_trimmed + self.write_log_records_trimmed
+        )
+
+
+class GarbageCollector:
+    """Periodically invoked GC function."""
+
+    def __init__(self, backend: ServiceBackend, tracker: InvocationTracker):
+        self.backend = backend
+        self.tracker = tracker
+        self.stats = GCStats()
+
+    def collect(self) -> GCStats:
+        """One full GC scan; returns cumulative statistics."""
+        log = self.backend.log
+        self.stats.scans += 1
+
+        # -- step logs (and read checkpoints) of finished SSFs ----------
+        for instance_id in self.tracker.drain_finished():
+            trimmed = log.trim(instance_tag(instance_id), log.tail_seqnum)
+            trimmed += log.trim(
+                checkpoint_tag(instance_id), log.tail_seqnum
+            )
+            self.stats.step_log_records_trimmed += trimmed
+
+        # -- write logs + object versions --------------------------------
+        safe_ts = self.tracker.safe_seqnum(log_frontier=log.next_seqnum)
+        self.stats.last_safe_seqnum = safe_ts
+        for tag in log.stream_tags():
+            if not is_object_tag(tag):
+                continue
+            records = log.read_stream(tag)
+            marked = self._mark(records, safe_ts)
+            if marked <= 0:
+                continue
+            key = tag_key(tag)
+            for record in records[:marked]:
+                version = record.get("version")
+                if version is not None and self.backend.mv.delete_version(
+                    key, version
+                ):
+                    self.stats.versions_deleted += 1
+            horizon = records[marked - 1].seqnum
+            self.stats.write_log_records_trimmed += log.trim(tag, horizon)
+        return self.stats
+
+    @staticmethod
+    def _mark(records: List[LogRecord], safe_ts: int) -> int:
+        """Index of the newest record with seqnum < ``safe_ts``.
+
+        Records before this index are unobservable and collectible; the
+        marked record is the earliest version a current or future SSF
+        might still read."""
+        marked = -1
+        for i, record in enumerate(records):
+            if record.seqnum < safe_ts:
+                marked = i
+            else:
+                break
+        return marked

@@ -1,0 +1,61 @@
+"""Operation descriptors yielded by generator-style SSFs.
+
+An SSF body can be written two ways:
+
+* **ctx style** (direct mode only): a plain callable ``fn(ctx, inp)`` that
+  calls ``ctx.read`` / ``ctx.write`` / ``ctx.invoke`` synchronously;
+* **op style** (both modes): a generator ``fn(inp)`` that ``yield``s the
+  descriptors below and receives each operation's result back.  The DES
+  driver needs this form so it can charge simulated time between
+  operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    key: str
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    key: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class InvokeOp:
+    func_name: str
+    input: Any
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """Pure local compute: consumes simulated time, touches no state."""
+
+    duration_ms: float
+
+
+@dataclass(frozen=True)
+class TxnOp:
+    """Run ``body(txn)`` as an OCC transaction (read/write set, logged
+    commit decision); yields the body's return value."""
+
+    body: Any
+    max_attempts: int = 5
+
+
+@dataclass(frozen=True)
+class SyncOp:
+    """Explicitly advance the cursorTS to the log tail (Section 4.4).
+
+    Appends a sync record so that subsequent operations are linearizable
+    with respect to everything that finished before this point.
+    """
+
+
+Op = Any  # union of the descriptor classes above

@@ -1,0 +1,119 @@
+"""Function registry and invocation tracking.
+
+The registry maps function names to SSF bodies.  The tracker mirrors what
+the paper's runtime derives from scanning init log records (Sections 4.5
+and 4.7): which SSF invocations are currently running and the seqnum of
+each one's init record.  Both the garbage collector (condition (b) of
+Section 4.5) and the switch manager (finding SSFs that started before a
+BEGIN record) consume this view.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..errors import InvocationError, RuntimeStateError
+
+
+class FunctionRegistry:
+    """Named SSF bodies: either ctx-style callables ``fn(ctx, inp)`` or
+    op-style generator functions ``fn(inp)``."""
+
+    def __init__(self):
+        self._functions: Dict[str, Callable] = {}
+
+    def register(self, name: str, fn: Callable) -> None:
+        if name in self._functions:
+            raise RuntimeStateError(f"function {name!r} already registered")
+        self._functions[name] = fn
+
+    def get(self, name: str) -> Callable:
+        fn = self._functions.get(name)
+        if fn is None:
+            raise InvocationError(f"unknown function {name!r}")
+        return fn
+
+    def names(self) -> List[str]:
+        return sorted(self._functions)
+
+    @staticmethod
+    def is_generator_style(fn: Callable) -> bool:
+        return inspect.isgeneratorfunction(fn)
+
+
+class InvocationTracker:
+    """Tracks running invocations and their initial cursorTS values."""
+
+    def __init__(self):
+        self._running: Dict[str, int] = {}
+        self._finished_pending_gc: Set[str] = set()
+        self._finished_count = 0
+        self._started_count = 0
+        self._finish_listeners: List[Callable[[str], None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, instance_id: str, provisional_init_ts: int) -> None:
+        """Record an invocation as running.
+
+        ``provisional_init_ts`` is a conservative lower bound on the init
+        record's eventual seqnum (the log tail at start time); it is
+        replaced by the real value once init completes.  Re-executions of
+        an already-tracked instance are no-ops.
+        """
+        if instance_id in self._running:
+            return
+        self._running[instance_id] = provisional_init_ts
+        self._started_count += 1
+
+    def set_init_ts(self, instance_id: str, init_ts: int) -> None:
+        if instance_id in self._running:
+            self._running[instance_id] = init_ts
+
+    def finish(self, instance_id: str) -> None:
+        if instance_id not in self._running:
+            return
+        del self._running[instance_id]
+        self._finished_pending_gc.add(instance_id)
+        self._finished_count += 1
+        for listener in list(self._finish_listeners):
+            listener(instance_id)
+
+    def add_finish_listener(self,
+                            listener: Callable[[str], None]) -> None:
+        self._finish_listeners.append(listener)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def finished_count(self) -> int:
+        return self._finished_count
+
+    def is_running(self, instance_id: str) -> bool:
+        return instance_id in self._running
+
+    def running_started_before(self, seqnum: int) -> Set[str]:
+        """Running invocations whose init record precedes ``seqnum``."""
+        return {
+            iid for iid, ts in self._running.items() if ts < seqnum
+        }
+
+    def safe_seqnum(self, log_frontier: int) -> int:
+        """Largest ``t`` such that every SSF with initial cursorTS below
+        ``t`` has finished (Section 4.5's condition (b)).  When nothing is
+        running, everything up to the log frontier is safe."""
+        if not self._running:
+            return log_frontier
+        return min(self._running.values())
+
+    def drain_finished(self) -> Set[str]:
+        """Hand the set of finished-but-not-yet-collected instances to the
+        garbage collector, clearing the pending set."""
+        drained = self._finished_pending_gc
+        self._finished_pending_gc = set()
+        return drained

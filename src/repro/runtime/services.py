@@ -1,0 +1,385 @@
+"""Service bindings between protocols and substrates.
+
+Protocols never touch the shared log or the store directly; they go
+through :class:`InstanceServices`, which
+
+* applies the operation to the in-memory substrate,
+* charges a calibrated latency sample to the invocation's cost trace
+  (so direct mode reports realistic per-request latency and DES mode can
+  convert the trace into simulated time),
+* exposes crash checkpoints before and after every externally visible
+  effect, which the failure injector uses to re-execute the SSF from any
+  intermediate state, and
+* counts operations per kind for the logging-overhead experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ConditionalAppendError
+from ..sharedlog import LogRecord, RecordCache, SharedLog
+from ..simulation.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+)
+from ..simulation.metrics import Counter
+from ..simulation.rng import RngRegistry
+from ..store import KVStore, MultiVersionStore
+
+
+class Cost:
+    """Cost-kind labels charged by service calls."""
+
+    LOG_APPEND = "log_append"
+    #: Write-intent records are overlapped with the DB write (Section 4.3
+    #: notes write logging "can be overlapped with execution"); only a
+    #: fraction of the append round trip lands on the critical path.
+    LOG_APPEND_OVERLAPPED = "log_append_overlapped"
+    #: Control records (init / invoke checkpoints): replicated fully in
+    #: the background; only the sequencer round trip is latency-visible.
+    LOG_APPEND_CONTROL = "log_append_control"
+    #: Fully asynchronous background appends (Section 7's opportunistic
+    #: read checkpoints): zero critical-path latency.
+    LOG_APPEND_BACKGROUND = "log_append_background"
+    LOG_READ = "log_read"
+    DB_READ = "db_read"
+    DB_READ_VERSION = "db_read_version"
+    DB_WRITE = "db_write"
+    DB_WRITE_VERSION = "db_write_version"
+    DB_COND_WRITE = "db_cond_write"
+    INVOKE_OVERHEAD = "invoke_overhead"
+    COMPUTE = "compute"
+
+    ALL = (
+        LOG_APPEND,
+        LOG_APPEND_OVERLAPPED,
+        LOG_APPEND_CONTROL,
+        LOG_APPEND_BACKGROUND,
+        LOG_READ,
+        DB_READ,
+        DB_READ_VERSION,
+        DB_WRITE,
+        DB_WRITE_VERSION,
+        DB_COND_WRITE,
+        INVOKE_OVERHEAD,
+        COMPUTE,
+    )
+
+    #: Kinds that represent a logging operation (for log-overhead counts).
+    LOGGING_KINDS = frozenset(
+        {LOG_APPEND, LOG_APPEND_OVERLAPPED, LOG_APPEND_CONTROL,
+         LOG_APPEND_BACKGROUND}
+    )
+
+
+class LatencyProvider:
+    """Maps cost kinds to calibrated latency distributions."""
+
+    def __init__(self, config: SystemConfig, cache: RecordCache):
+        lat = config.latency
+        self._cache = cache
+        db_read = LogNormalLatency(lat.db_read_median_ms, lat.db_read_p99_ms)
+        db_write = LogNormalLatency(
+            lat.db_write_median_ms, lat.db_write_p99_ms
+        )
+        log_append = LogNormalLatency(
+            lat.log_append_median_ms, lat.log_append_p99_ms
+        )
+        self._models: Dict[str, LatencyModel] = {
+            Cost.LOG_APPEND: log_append,
+            Cost.LOG_APPEND_OVERLAPPED: log_append.scaled(
+                lat.overlapped_log_factor
+            ),
+            Cost.LOG_APPEND_CONTROL: log_append.scaled(
+                lat.control_log_factor
+            ),
+            Cost.LOG_APPEND_BACKGROUND: ConstantLatency(0.0),
+            Cost.DB_READ: db_read,
+            Cost.DB_READ_VERSION: db_read.scaled(lat.multiversion_read_factor),
+            Cost.DB_WRITE: db_write,
+            Cost.DB_WRITE_VERSION: db_write.scaled(
+                lat.multiversion_write_factor
+            ),
+            Cost.DB_COND_WRITE: db_write.scaled(lat.conditional_write_factor),
+            Cost.INVOKE_OVERHEAD: LogNormalLatency(
+                lat.invoke_overhead_median_ms, lat.invoke_overhead_p99_ms
+            ),
+            Cost.COMPUTE: ConstantLatency(lat.function_compute_ms),
+        }
+        self._log_read_hit = LogNormalLatency(
+            lat.log_read_cached_median_ms, lat.log_read_cached_p99_ms
+        )
+        self._log_read_miss = LogNormalLatency(
+            lat.log_read_miss_median_ms, lat.log_read_miss_p99_ms
+        )
+
+    def sample(self, kind: str, rng: np.random.Generator) -> float:
+        return self._models[kind].sample(rng)
+
+    def sample_log_read(
+        self, seqnum: Optional[int], rng: np.random.Generator
+    ) -> float:
+        """Log reads hit the function-node cache or pay a storage trip."""
+        if seqnum is None or self._cache.lookup(seqnum):
+            return self._log_read_hit.sample(rng)
+        return self._log_read_miss.sample(rng)
+
+    def mean(self, kind: str) -> float:
+        return self._models[kind].mean()
+
+
+@dataclass
+class CostTrace:
+    """Latency charges accumulated by one protocol-level operation."""
+
+    entries: List[Any] = field(default_factory=list)
+
+    def charge(self, kind: str, latency_ms: float) -> None:
+        self.entries.append((kind, latency_ms))
+
+    def total_ms(self) -> float:
+        return sum(ms for _, ms in self.entries)
+
+    def drain(self) -> float:
+        """Return the accumulated latency and reset the trace."""
+        total = self.total_ms()
+        self.entries.clear()
+        return total
+
+
+#: A crash checkpoint callback: receives a label like ``"log_append:pre"``
+#: and may raise :class:`~repro.errors.CrashError` to kill the instance.
+FaultHook = Callable[[str], None]
+
+
+class ServiceBackend:
+    """Platform-wide substrate bundle shared by all invocations."""
+
+    def __init__(self, config: SystemConfig,
+                 rng: Optional[RngRegistry] = None):
+        self.config = config.validate()
+        self.rng = rng if rng is not None else RngRegistry(config.seed)
+        self.log = SharedLog(meta_bytes=config.storage.meta_bytes)
+        self.kv = KVStore()
+        self.mv = MultiVersionStore(self.kv)
+        self.cache = RecordCache()
+        self.latency = LatencyProvider(config, self.cache)
+        self.counters = Counter()
+        self._latency_rng = self.rng.stream("service-latency")
+        self._uuid_rng = self.rng.stream("uuid")
+
+    # -- helpers used by InstanceServices -------------------------------
+
+    def charge(self, kind: str, trace: CostTrace) -> float:
+        ms = self.latency.sample(kind, self._latency_rng)
+        trace.charge(kind, ms)
+        self.counters.add(kind)
+        return ms
+
+    def charge_log_read(self, seqnum: Optional[int],
+                        trace: CostTrace) -> float:
+        ms = self.latency.sample_log_read(seqnum, self._latency_rng)
+        trace.charge(Cost.LOG_READ, ms)
+        self.counters.add(Cost.LOG_READ)
+        return ms
+
+    def random_hex(self, bits: int = 64) -> str:
+        if bits > 63:
+            high = int(self._uuid_rng.integers(0, 1 << (bits - 32)))
+            low = int(self._uuid_rng.integers(0, 1 << 32))
+            value = (high << 32) | low
+        else:
+            value = int(self._uuid_rng.integers(0, 1 << bits))
+        return f"{value:0{bits // 4}x}"
+
+    @property
+    def value_bytes(self) -> int:
+        return self.config.storage.value_bytes
+
+
+class InstanceServices:
+    """Per-attempt facade over the backend, with crash checkpoints.
+
+    One is created for every execution attempt of an SSF instance; the
+    cost trace and fault hook are attempt-local, while all state lives in
+    the shared backend.
+    """
+
+    def __init__(
+        self,
+        backend: ServiceBackend,
+        fault_hook: Optional[FaultHook] = None,
+        trace: Optional[CostTrace] = None,
+    ):
+        self.backend = backend
+        self.trace = trace if trace is not None else CostTrace()
+        self._fault_hook = fault_hook
+
+    # -- crash checkpoints ----------------------------------------------
+
+    def checkpoint(self, label: str) -> None:
+        if self._fault_hook is not None:
+            self._fault_hook(label)
+
+    # -- log operations ---------------------------------------------------
+
+    def log_append(
+        self,
+        tags: Sequence[str],
+        data: Mapping[str, Any],
+        payload_bytes: int = 0,
+        synchronous: bool = True,
+        control: bool = False,
+        background: bool = False,
+    ) -> int:
+        self.checkpoint("log_append:pre")
+        seqnum = self.backend.log.append(tags, data, payload_bytes)
+        self.backend.cache.insert(seqnum)
+        self.backend.charge(
+            self._append_kind(synchronous, control, background),
+            self.trace,
+        )
+        self.checkpoint("log_append:post")
+        return seqnum
+
+    @staticmethod
+    def _append_kind(synchronous: bool, control: bool,
+                     background: bool = False) -> str:
+        if background:
+            return Cost.LOG_APPEND_BACKGROUND
+        if control:
+            return Cost.LOG_APPEND_CONTROL
+        return (Cost.LOG_APPEND if synchronous
+                else Cost.LOG_APPEND_OVERLAPPED)
+
+    def log_cond_append(
+        self,
+        tags: Sequence[str],
+        data: Mapping[str, Any],
+        cond_tag: str,
+        cond_pos: int,
+        payload_bytes: int = 0,
+        synchronous: bool = True,
+        control: bool = False,
+    ) -> int:
+        """Conditional append; raises :class:`ConditionalAppendError` with
+        the winning record's seqnum when a peer instance got there first."""
+        self.checkpoint("log_cond_append:pre")
+        kind = self._append_kind(synchronous, control)
+        try:
+            seqnum = self.backend.log.cond_append(
+                tags, data, cond_tag, cond_pos, payload_bytes
+            )
+        except ConditionalAppendError:
+            # The losing attempt still paid for the round trip.
+            self.backend.charge(kind, self.trace)
+            raise
+        self.backend.cache.insert(seqnum)
+        self.backend.charge(kind, self.trace)
+        self.checkpoint("log_cond_append:post")
+        return seqnum
+
+    def log_read_prev(self, tag: str, max_seqnum: int) -> Optional[LogRecord]:
+        self.checkpoint("log_read_prev:pre")
+        record = self.backend.log.read_prev(tag, max_seqnum)
+        self.backend.charge_log_read(
+            record.seqnum if record is not None else None, self.trace
+        )
+        return record
+
+    def log_read_next(self, tag: str, min_seqnum: int) -> Optional[LogRecord]:
+        self.checkpoint("log_read_next:pre")
+        record = self.backend.log.read_next(tag, min_seqnum)
+        self.backend.charge_log_read(
+            record.seqnum if record is not None else None, self.trace
+        )
+        return record
+
+    def log_read_stream(self, tag: str) -> List[LogRecord]:
+        """Fetch a whole sub-stream (``getStepLogs`` in the pseudocode)."""
+        self.checkpoint("log_read_stream:pre")
+        records = self.backend.log.read_stream(tag)
+        last = records[-1].seqnum if records else None
+        self.backend.charge_log_read(last, self.trace)
+        return records
+
+    def log_record_at(self, tag: str, offset: int) -> LogRecord:
+        """Fetch the record at a stream offset (post-conflict recovery)."""
+        record = self.backend.log._record_at_offset(tag, offset)
+        self.backend.charge_log_read(record.seqnum, self.trace)
+        return record
+
+    @property
+    def log_tail(self) -> int:
+        return self.backend.log.tail_seqnum
+
+    # -- database operations ----------------------------------------------
+
+    def db_read(self, key: str, default: Any = None) -> Any:
+        self.checkpoint("db_read:pre")
+        value = self.backend.kv.get_optional(key, default)
+        self.backend.charge(Cost.DB_READ, self.trace)
+        return value
+
+    def db_read_with_version(self, key: str) -> Any:
+        self.checkpoint("db_read:pre")
+        result = self.backend.kv.get_with_version(key)
+        self.backend.charge(Cost.DB_READ, self.trace)
+        return result
+
+    def db_read_version(self, key: str, version_number: str) -> Any:
+        self.checkpoint("db_read_version:pre")
+        value = self.backend.mv.read_version(key, version_number)
+        self.backend.charge(Cost.DB_READ_VERSION, self.trace)
+        return value
+
+    def db_write(self, key: str, value: Any) -> None:
+        self.checkpoint("db_write:pre")
+        self.backend.kv.put(key, value, self.backend.value_bytes)
+        self.backend.charge(Cost.DB_WRITE, self.trace)
+        self.checkpoint("db_write:post")
+
+    def db_write_version(
+        self, key: str, version_number: str, value: Any
+    ) -> None:
+        self.checkpoint("db_write_version:pre")
+        self.backend.mv.write_version(
+            key, version_number, value, self.backend.value_bytes
+        )
+        self.backend.charge(Cost.DB_WRITE_VERSION, self.trace)
+        self.checkpoint("db_write_version:post")
+
+    def db_cond_write(self, key: str, value: Any, version: Any) -> bool:
+        """Conditional update: applies iff stored VERSION < ``version``."""
+        self.checkpoint("db_cond_write:pre")
+        applied = self.backend.kv.conditional_put(
+            key, value, version, self.backend.value_bytes
+        )
+        self.backend.charge(Cost.DB_COND_WRITE, self.trace)
+        self.checkpoint("db_cond_write:post")
+        return applied
+
+    # -- misc ---------------------------------------------------------------
+
+    def charge_invoke_overhead(self) -> None:
+        self.backend.charge(Cost.INVOKE_OVERHEAD, self.trace)
+
+    def charge_compute(self) -> None:
+        self.backend.charge(Cost.COMPUTE, self.trace)
+
+    def random_hex(self) -> str:
+        return self.backend.random_hex()
+
+    @property
+    def meta_bytes(self) -> int:
+        return self.backend.config.storage.meta_bytes
+
+    @property
+    def value_bytes(self) -> int:
+        return self.backend.value_bytes

@@ -1,0 +1,42 @@
+"""Re-export of :mod:`repro.tags` kept for import convenience.
+
+The tag helpers live at the package root so that the protocol layer can
+use them without importing the runtime package (which imports the
+protocols — a cycle otherwise).
+"""
+
+from ..tags import (
+    CHECKPOINT_PREFIX,
+    GLOBAL_SCOPE,
+    INSTANCE_PREFIX,
+    OBJECT_PREFIX,
+    TRANSITION_PREFIX,
+    checkpoint_tag,
+    instance_tag,
+    is_checkpoint_tag,
+    is_instance_tag,
+    is_object_tag,
+    is_transition_tag,
+    object_tag,
+    tag_instance,
+    tag_key,
+    transition_tag,
+)
+
+__all__ = [
+    "CHECKPOINT_PREFIX",
+    "GLOBAL_SCOPE",
+    "INSTANCE_PREFIX",
+    "OBJECT_PREFIX",
+    "TRANSITION_PREFIX",
+    "checkpoint_tag",
+    "instance_tag",
+    "is_checkpoint_tag",
+    "is_instance_tag",
+    "is_object_tag",
+    "is_transition_tag",
+    "object_tag",
+    "tag_instance",
+    "tag_key",
+    "transition_tag",
+]

@@ -1,0 +1,161 @@
+"""Transactions over the logging protocols.
+
+The paper treats SSFs as non-transactional by default and defers atomic
+multi-step updates to "existing transactional APIs" (Section 4,
+"Transactions"; Beldi is the reference implementation).  This module
+provides that API as a substrate: optimistic concurrency control whose
+commit decision is arbitrated — and made crash-recoverable — by the
+shared log.
+
+Protocol:
+
+1. each attempt starts with a ``sync`` step, so reads are validated
+   against a fresh cursor;
+2. ``txn.read`` goes through the object's logging protocol and records
+   the version evidence it observed (the commit-record seqnum under
+   Halfmoon-read; the stored version attribute under Halfmoon-write and
+   Boki); ``txn.write`` buffers locally (read-your-writes included);
+3. ``commit`` validates that every read is still current, then appends a
+   single *decision record* to the step log — ``logCondAppend`` makes
+   the decision exactly-once even across peer races — carrying the
+   outcome and, on commit, the buffered write set;
+4. the writes are then applied through the normal protocol writes (each
+   individually idempotent), so a crash mid-apply simply resumes from
+   the decision record on replay.
+
+Isolation: conflicting transactions abort and retry (OCC).  Validation
+and apply happen within one runtime operation, which both execution
+modes treat as atomic with respect to other invocations' operations.
+Non-transactional readers may observe a committed transaction's writes
+key by key (read-committed per key), matching the paper's default
+non-transactional semantics for plain operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING, Tuple
+
+from ..errors import KeyMissingError, ProtocolError, ReproError
+from ..protocols.base import LoggedProtocol
+from ..tags import object_tag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .local import Context
+
+
+class TransactionAborted(ReproError):
+    """The transaction lost its validation race on every attempt."""
+
+
+class Transaction:
+    """Handle passed to the transaction body."""
+
+    def __init__(self, ctx: "Context"):
+        self._ctx = ctx
+        self._read_versions: Dict[str, Any] = {}
+        self._write_buffer: Dict[str, Any] = {}
+
+    # -- body API --------------------------------------------------------
+
+    def read(self, key: str) -> Any:
+        if key in self._write_buffer:
+            return self._write_buffer[key]
+        value = self._ctx.read(key)
+        if key not in self._read_versions:
+            self._read_versions[key] = _current_version_evidence(
+                self._ctx, key
+            )
+        return value
+
+    def write(self, key: str, value: Any) -> None:
+        self._write_buffer[key] = value
+
+    # -- internals -------------------------------------------------------
+
+    def _validate(self) -> bool:
+        for key, observed in self._read_versions.items():
+            if _current_version_evidence(self._ctx, key) != observed:
+                return False
+        return True
+
+    @property
+    def write_set(self) -> Dict[str, Any]:
+        return dict(self._write_buffer)
+
+
+def _current_version_evidence(ctx: "Context", key: str) -> Any:
+    """Freshest committed version marker for ``key`` under its protocol."""
+    protocol = ctx._runtime.router.protocol_for(ctx.svc, ctx.env, key)
+    if protocol.public_write_log:
+        record = ctx.svc.log_read_prev(object_tag(key), ctx.svc.log_tail)
+        return ("seq", record.seqnum if record is not None else None)
+    try:
+        _value, version = ctx.svc.db_read_with_version(key)
+    except KeyMissingError:
+        return ("ver", None)
+    return ("ver", version)
+
+
+def run_transaction(ctx: "Context", body, max_attempts: int = 5) -> Any:
+    """Execute ``body(txn)`` atomically; retries on validation conflicts.
+
+    Crash-recoverable: every attempt's decision is a logged step, so a
+    re-executed SSF replays the same commit/abort sequence and re-applies
+    committed writes idempotently.
+    """
+    protocol = ctx._runtime.router.control_protocol()
+    if not isinstance(protocol, LoggedProtocol):
+        raise ProtocolError(
+            "transactions require a logged protocol "
+            f"(got {protocol.name!r})"
+        )
+
+    for attempt in range(1, max_attempts + 1):
+        # Fresh cursor: reads validate against the current log tail.
+        ctx.sync()
+        transaction = Transaction(ctx)
+        result = body(transaction)
+        decision = _decide(ctx, protocol, transaction)
+        if decision["decision"] == "commit":
+            _apply(ctx, decision["writes"])
+            return result
+    raise TransactionAborted(
+        f"transaction aborted after {max_attempts} attempts"
+    )
+
+
+def _decide(ctx: "Context", protocol, transaction: Transaction) -> Dict:
+    """Log (or replay) this attempt's decision record."""
+    env = ctx.env
+    record = protocol._next_step(env)
+    if record is not None:
+        env.advance_cursor(record.seqnum)
+        if record["op"] != "txn-decision":
+            raise ProtocolError(
+                f"replay mismatch: expected txn-decision at step "
+                f"{env.step}, found {record['op']}"
+            )
+        return dict(record.data)
+    outcome = "commit" if transaction._validate() else "abort"
+    writes = transaction.write_set if outcome == "commit" else {}
+    seqnum, data = protocol._log_step(
+        ctx.svc, env, extra_tags=(),
+        data={
+            "op": "txn-decision",
+            "decision": outcome,
+            "writes": writes,
+        },
+        payload_bytes=ctx.svc.value_bytes * max(len(writes), 1),
+    )
+    env.advance_cursor(seqnum)
+    return dict(data)
+
+
+def _apply(ctx: "Context", writes: Dict[str, Any]) -> None:
+    """Apply a committed write set through the per-object protocols.
+
+    Deterministic order; each write is individually idempotent, so a
+    crash between writes resumes here on replay (the decision record is
+    already durable)."""
+    for key in sorted(writes):
+        ctx.write(key, writes[key])

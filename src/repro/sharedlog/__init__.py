@@ -1,0 +1,13 @@
+"""Shared-log substrate: Boki-style logging layer with tagged sub-streams.
+
+Exposes the five log APIs from Figure 3 of the paper — ``append``
+(``logAppend``), ``read_prev``/``read_next`` (``logReadPrev``/``Next``),
+``trim`` (``logTrim``), and ``cond_append`` (``logCondAppend``) — plus the
+function-node record cache that gives cached log reads their low latency.
+"""
+
+from .cache import RecordCache
+from .log import SharedLog
+from .record import LogRecord
+
+__all__ = ["LogRecord", "RecordCache", "SharedLog"]

@@ -1,0 +1,52 @@
+"""Log record representation.
+
+A record is immutable once appended: the sequencer assigns it a globally
+unique, monotonically increasing ``seqnum``, and the set of ``tags`` places
+it into one or more sub-streams (Section 3 of the paper).  ``data`` carries
+protocol-defined fields ("op", "step", "version", ...), and ``payload_bytes``
+is the accounted size of the record body for the storage-overhead
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    seqnum: int
+    tags: Tuple[str, ...]
+    data: Mapping[str, Any]
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        # Freeze the payload mapping so shared records cannot be mutated
+        # behind the log's back.
+        object.__setattr__(self, "data", MappingProxyType(dict(self.data)))
+
+    def __getitem__(self, key: str) -> Any:
+        """Dict-style access mirroring the paper's pseudocode
+        (``record["seqnum"]``, ``record["version"]``...)."""
+        if key == "seqnum":
+            return self.seqnum
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key == "seqnum":
+            return self.seqnum
+        return self.data.get(key, default)
+
+    @property
+    def op(self) -> str:
+        return self.data.get("op", "?")
+
+    @property
+    def step(self) -> int:
+        return int(self.data.get("step", -1))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"LogRecord(seqnum={self.seqnum}, tags={self.tags}, {fields})"

@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate: kernel, resources, RNG, latency,
+and measurement primitives.
+"""
+
+from .kernel import Event, Process, Simulator, Timeout
+from .latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    LatencyModel,
+    LogNormalLatency,
+    MixtureLatency,
+    ScaledLatency,
+    UniformLatency,
+)
+from .metrics import (
+    Counter,
+    LatencyRecorder,
+    LatencySummary,
+    ThroughputMeter,
+    TimeSeries,
+    TimeWeightedGauge,
+)
+from .resources import Resource
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "ConstantLatency",
+    "Counter",
+    "EmpiricalLatency",
+    "Event",
+    "LatencyModel",
+    "LatencyRecorder",
+    "LatencySummary",
+    "LogNormalLatency",
+    "MixtureLatency",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "ScaledLatency",
+    "Simulator",
+    "ThroughputMeter",
+    "TimeSeries",
+    "TimeWeightedGauge",
+    "Timeout",
+    "UniformLatency",
+    "derive_seed",
+]

@@ -1,0 +1,191 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` :class:`Event` objects and
+are resumed with the event's value once it fires.  The kernel is
+deliberately small — timeouts, processes, and FIFO resources are all this
+reproduction needs — and fully deterministic: events scheduled for the same
+instant fire in scheduling order.
+
+Example::
+
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(5.0)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert sim.now == 5.0 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not fired yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event as fired *now* and schedule its callbacks."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_callbacks(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True  # pre-armed; fires via the event heap
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """Wraps a generator; the event fires when the generator returns."""
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "process"):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name
+        # Kick off the process at the current simulation time.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected Event"
+            )
+        if target.triggered and not isinstance(target, Timeout):
+            # Already-fired events resume the process on the next tick.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(
+                lambda _e, t=target: self._resume_with(t)
+            )
+            immediate.succeed(None)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _resume_with(self, target: Event) -> None:
+        self._resume(target)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of pending events."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._eid = 0
+        self._pending_callbacks: List[Event] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule_at(self, time: float, event: Event) -> None:
+        if time < self._now:
+            raise SimulationError("cannot schedule into the past")
+        self._eid += 1
+        heapq.heappush(self._heap, (time, self._eid, event))
+
+    def _schedule_callbacks(self, event: Event) -> None:
+        """Queue an already-fired event's callbacks at the current instant."""
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now, self._eid, event))
+
+    # -- public API ---------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: ProcessGenerator,
+                name: str = "process") -> Process:
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue, optionally stopping at time ``until``."""
+        while self._heap:
+            time, _eid, event = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            event._run_callbacks()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_complete(self, process: Process,
+                           limit: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; raise on deadlock or time limit."""
+        while not process.triggered:
+            if not self._heap:
+                raise DeadlockError(
+                    f"event queue drained before {process.name!r} finished"
+                )
+            time, _eid, event = heapq.heappop(self._heap)
+            if limit is not None and time > limit:
+                raise SimulationError(
+                    f"{process.name!r} exceeded time limit {limit}"
+                )
+            self._now = time
+            event._run_callbacks()
+        return process.value
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None`` if idle."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,179 @@
+"""Latency distributions for simulated service calls.
+
+The paper reports operation latencies as (median, p99) pairs (Table 1).  A
+log-normal distribution is the conventional fit for storage/network service
+times and is fully determined by those two quantiles:
+
+    median = exp(mu)           =>  mu    = ln(median)
+    p99    = exp(mu + z99 * s) =>  sigma = ln(p99 / median) / z99
+
+where ``z99 = Phi^-1(0.99) ~= 2.3263``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: 99th-percentile z-score of the standard normal distribution.
+Z99 = 2.3263478740408408
+
+
+class LatencyModel:
+    """Base class: a sampleable distribution of service times (ms)."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        """Return this distribution with all mass scaled by ``factor``."""
+        return ScaledLatency(self, factor)
+
+
+class ConstantLatency(LatencyModel):
+    """Degenerate distribution; useful for tests and analytic checks."""
+
+    def __init__(self, value_ms: float):
+        if value_ms < 0:
+            raise ConfigError("latency must be non-negative")
+        self.value_ms = float(value_ms)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value_ms
+
+    def mean(self) -> float:
+        return self.value_ms
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.value_ms!r})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal service time parameterised by (median, p99)."""
+
+    def __init__(self, median_ms: float, p99_ms: float):
+        if median_ms <= 0:
+            raise ConfigError("median must be positive")
+        if p99_ms < median_ms:
+            raise ConfigError("p99 must be >= median")
+        self.median_ms = float(median_ms)
+        self.p99_ms = float(p99_ms)
+        self._mu = math.log(median_ms)
+        self._sigma = (
+            0.0 if p99_ms == median_ms
+            else math.log(p99_ms / median_ms) / Z99
+        )
+
+    @property
+    def mu(self) -> float:
+        return self._mu
+
+    @property
+    def sigma(self) -> float:
+        return self._sigma
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._sigma == 0.0:
+            return self.median_ms
+        return float(rng.lognormal(self._mu, self._sigma))
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self._sigma ** 2 / 2.0)
+
+    def percentile(self, q: float) -> float:
+        """Analytic quantile, ``q`` in (0, 1)."""
+        if not 0.0 < q < 1.0:
+            raise ConfigError("q must be in (0, 1)")
+        # Inverse-normal via the rational approximation is overkill here;
+        # numpy provides the exact quantile through the underlying normal.
+        from scipy.special import ndtri  # local import: scipy is installed
+
+        return math.exp(self._mu + self._sigma * float(ndtri(q)))
+
+    def __repr__(self) -> str:
+        return (
+            f"LogNormalLatency(median={self.median_ms!r}, "
+            f"p99={self.p99_ms!r})"
+        )
+
+
+class UniformLatency(LatencyModel):
+    """Uniform service time on ``[low_ms, high_ms]``."""
+
+    def __init__(self, low_ms: float, high_ms: float):
+        if low_ms < 0 or high_ms < low_ms:
+            raise ConfigError("need 0 <= low <= high")
+        self.low_ms = float(low_ms)
+        self.high_ms = float(high_ms)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_ms, self.high_ms))
+
+    def mean(self) -> float:
+        return (self.low_ms + self.high_ms) / 2.0
+
+
+class EmpiricalLatency(LatencyModel):
+    """Resamples from a fixed set of observed latencies."""
+
+    def __init__(self, samples_ms: Sequence[float]):
+        if not samples_ms:
+            raise ConfigError("need at least one sample")
+        arr = np.asarray(samples_ms, dtype=float)
+        if np.any(arr < 0):
+            raise ConfigError("latencies must be non-negative")
+        self._samples = arr
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._samples[rng.integers(0, len(self._samples))])
+
+    def mean(self) -> float:
+        return float(self._samples.mean())
+
+
+class ScaledLatency(LatencyModel):
+    """A base distribution with all mass multiplied by a factor."""
+
+    def __init__(self, base: LatencyModel, factor: float):
+        if factor < 0:
+            raise ConfigError("scale factor must be non-negative")
+        self.base = base
+        self.factor = float(factor)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.base.sample(rng) * self.factor
+
+    def mean(self) -> float:
+        return self.base.mean() * self.factor
+
+
+class MixtureLatency(LatencyModel):
+    """Two-component mixture, e.g. cache hit vs. miss paths."""
+
+    def __init__(
+        self,
+        primary: LatencyModel,
+        secondary: LatencyModel,
+        primary_probability: float,
+    ):
+        if not 0.0 <= primary_probability <= 1.0:
+            raise ConfigError("primary_probability must be in [0, 1]")
+        self.primary = primary
+        self.secondary = secondary
+        self.primary_probability = float(primary_probability)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.primary_probability:
+            return self.primary.sample(rng)
+        return self.secondary.sample(rng)
+
+    def mean(self) -> float:
+        p = self.primary_probability
+        return p * self.primary.mean() + (1.0 - p) * self.secondary.mean()

@@ -1,0 +1,201 @@
+"""Measurement primitives: latency recorders, counters, time-weighted gauges.
+
+These are deliberately simulation-agnostic — they take explicit timestamps —
+so the same classes serve direct-mode tests and DES-mode benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and reports summary statistics."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value_ms: float) -> None:
+        if value_ms < 0:
+            raise SimulationError(f"negative latency sample: {value_ms}")
+        self._samples.append(float(value_ms))
+
+    def extend(self, values_ms) -> None:
+        for v in values_ms:
+            self.record(v)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """``q`` in [0, 100]; raises if no samples were recorded."""
+        if not self._samples:
+            raise SimulationError(f"recorder {self.name!r} is empty")
+        return float(np.percentile(self._samples, q))
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"recorder {self.name!r} is empty")
+        return float(np.mean(self._samples))
+
+    def summary(self) -> "LatencySummary":
+        return LatencySummary(
+            name=self.name,
+            count=self.count,
+            mean_ms=self.mean(),
+            median_ms=self.median(),
+            p99_ms=self.p99(),
+        )
+
+    def merged(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        out = LatencyRecorder(self.name)
+        out._samples = self._samples + other._samples
+        return out
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    name: str
+    count: int
+    mean_ms: float
+    median_ms: float
+    p99_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: n={self.count} mean={self.mean_ms:.2f}ms "
+            f"median={self.median_ms:.2f}ms p99={self.p99_ms:.2f}ms"
+        )
+
+
+class Counter:
+    """Named monotonically increasing counters."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise SimulationError("counter increments must be non-negative")
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+class TimeWeightedGauge:
+    """Tracks a piecewise-constant value and reports its time average.
+
+    Used for the storage-overhead experiments (Figure 12), where the metric
+    is *time-averaged* bytes in the log and the database.
+    """
+
+    def __init__(self, name: str, start_time_ms: float = 0.0,
+                 initial_value: float = 0.0):
+        self.name = name
+        self._last_time = float(start_time_ms)
+        self._value = float(initial_value)
+        self._area = 0.0
+        self._start_time = float(start_time_ms)
+        self._max_value = float(initial_value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max_value(self) -> float:
+        return self._max_value
+
+    def set(self, value: float, now_ms: float) -> None:
+        if now_ms < self._last_time:
+            raise SimulationError(
+                f"gauge {self.name!r} driven backwards in time "
+                f"({now_ms} < {self._last_time})"
+            )
+        self._area += self._value * (now_ms - self._last_time)
+        self._last_time = now_ms
+        self._value = float(value)
+        self._max_value = max(self._max_value, self._value)
+
+    def add(self, delta: float, now_ms: float) -> None:
+        self.set(self._value + delta, now_ms)
+
+    def time_average(self, now_ms: Optional[float] = None) -> float:
+        end = self._last_time if now_ms is None else float(now_ms)
+        if end < self._last_time:
+            raise SimulationError("time_average asked before last update")
+        area = self._area + self._value * (end - self._last_time)
+        elapsed = end - self._start_time
+        if elapsed <= 0:
+            return self._value
+        return area / elapsed
+
+
+class ThroughputMeter:
+    """Counts completions and reports a rate per second."""
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self._count = 0
+        self._first_ms: Optional[float] = None
+        self._last_ms: Optional[float] = None
+
+    def record(self, now_ms: float) -> None:
+        if self._first_ms is None:
+            self._first_ms = now_ms
+        self._count += 1
+        self._last_ms = now_ms
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def rate_per_sec(self, window_ms: Optional[float] = None) -> float:
+        if self._count == 0 or self._first_ms is None:
+            return 0.0
+        elapsed = (
+            window_ms
+            if window_ms is not None
+            else (self._last_ms - self._first_ms)  # type: ignore[operator]
+        )
+        if elapsed <= 0:
+            return 0.0
+        return self._count * 1000.0 / elapsed
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. per-request latency over time (Fig. 14)."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, now_ms: float, value: float) -> None:
+        self.points.append((now_ms, value))
+
+    def window(self, start_ms: float, end_ms: float) -> List[Tuple[float, float]]:
+        return [(t, v) for t, v in self.points if start_ms <= t < end_ms]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]

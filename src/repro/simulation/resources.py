@@ -1,0 +1,76 @@
+"""FIFO resources for the DES kernel.
+
+A :class:`Resource` models a pool of identical servers (e.g. the worker
+slots of the function nodes).  Requests are granted strictly in FIFO order,
+which keeps simulations deterministic and matches how a serverless gateway
+dispatches queued invocations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional
+
+from ..errors import SimulationError
+from .kernel import Event, Simulator
+
+
+class Resource:
+    """A counted FIFO resource."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self._peak_in_use = 0
+        self._grants = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def peak_in_use(self) -> int:
+        return self._peak_in_use
+
+    @property
+    def grants(self) -> int:
+        return self._grants
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, event: Event) -> None:
+        self._in_use += 1
+        self._peak_in_use = max(self._peak_in_use, self._in_use)
+        self._grants += 1
+        event.succeed(self)
+
+    def use(self, duration: float) -> Generator[Event, None, None]:
+        """Process helper: acquire, hold for ``duration``, release."""
+        yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()

@@ -1,0 +1,16 @@
+"""External-state substrate: KV store, multi-versioning, table snapshots."""
+
+from .kv import GENESIS_VERSION, KVStore, StoredObject
+from .table import TableIndex, TableSnapshotReader
+from .versioned import MultiVersionStore, split_version_key, version_key
+
+__all__ = [
+    "GENESIS_VERSION",
+    "KVStore",
+    "MultiVersionStore",
+    "StoredObject",
+    "TableIndex",
+    "TableSnapshotReader",
+    "split_version_key",
+    "version_key",
+]

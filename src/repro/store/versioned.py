@@ -1,0 +1,92 @@
+"""Multi-version layer over the plain key-value store.
+
+Halfmoon-read manages the external state with multi-versioning: every
+write installs a *new* object version under a version number, and reads
+locate the right version through the write log (Section 4.1).  Crucially,
+the store itself needs nothing beyond plain KV APIs — version numbers are
+unordered, opaque pointers, and the write log alone defines their order.
+
+This layer therefore maps ``(key, version_number)`` to the composite key
+``"{key}@{version_number}"`` in the underlying :class:`KVStore`, exactly
+the implementation strategy Section 5.2 describes.  The bare key (no
+``@``) is the single-version LATEST slot used by Halfmoon-write, so both
+versioning schemas coexist in one store — which is what makes pauseless
+protocol switching possible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from ..errors import KeyMissingError, StoreError
+from .kv import KVStore
+
+_SEPARATOR = "@"
+
+
+def version_key(key: str, version_number: str) -> str:
+    """Composite store key for one version of an object."""
+    if _SEPARATOR in key:
+        raise StoreError(
+            f"object keys must not contain {_SEPARATOR!r}: {key!r}"
+        )
+    return f"{key}{_SEPARATOR}{version_number}"
+
+
+def split_version_key(composite: str) -> Tuple[str, str]:
+    """Inverse of :func:`version_key`."""
+    key, sep, version_number = composite.partition(_SEPARATOR)
+    if not sep:
+        raise StoreError(f"{composite!r} is not a versioned key")
+    return key, version_number
+
+
+class MultiVersionStore:
+    """Versioned view over a shared :class:`KVStore`."""
+
+    def __init__(self, kv: KVStore):
+        self._kv = kv
+
+    @property
+    def kv(self) -> KVStore:
+        return self._kv
+
+    def write_version(
+        self, key: str, version_number: str, value: Any, value_bytes: int = 0
+    ) -> None:
+        """Install a new object version.  Idempotent: re-installing the same
+        version (a crash-retry between DBWrite and logging) just overwrites
+        it with the identical value."""
+        self._kv.put(version_key(key, version_number), value, value_bytes)
+
+    def read_version(self, key: str, version_number: str) -> Any:
+        try:
+            return self._kv.get(version_key(key, version_number))
+        except KeyMissingError:
+            raise KeyMissingError(
+                f"version {version_number!r} of key {key!r} not found"
+            ) from None
+
+    def has_version(self, key: str, version_number: str) -> bool:
+        return version_key(key, version_number) in self._kv
+
+    def delete_version(self, key: str, version_number: str) -> bool:
+        return self._kv.delete(version_key(key, version_number))
+
+    def list_versions(self, key: str) -> List[str]:
+        """All resident version numbers for ``key`` (unordered pointers;
+        only the write log defines their order)."""
+        prefix = key + _SEPARATOR
+        return [
+            composite[len(prefix):]
+            for composite in self._kv.keys()
+            if composite.startswith(prefix)
+        ]
+
+    def version_count(self, key: str) -> int:
+        return len(self.list_versions(key))
+
+    def iter_versioned_keys(self) -> Iterator[Tuple[str, str]]:
+        for composite in list(self._kv.keys()):
+            if _SEPARATOR in composite:
+                yield split_version_key(composite)

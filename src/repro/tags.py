@@ -1,0 +1,80 @@
+"""Tag-namespace conventions for the shared log.
+
+Every sub-stream tag is namespaced by a one-letter prefix so the garbage
+collector and the switch manager can enumerate streams by kind:
+
+* ``i:<instance_id>`` — an SSF invocation's *step log* (its execution
+  history: init / read / write / invoke records);
+* ``k:<key>``        — an object's *write log* (Halfmoon-read commit
+  records, ordered by seqnum);
+* ``x:<scope>``      — the *transition log* recording protocol switches
+  (Section 4.7); ``scope`` is ``"*"`` for the global switch used by the
+  paper's experiments, or an object key for per-object switching.
+"""
+
+from __future__ import annotations
+
+INSTANCE_PREFIX = "i:"
+OBJECT_PREFIX = "k:"
+TRANSITION_PREFIX = "x:"
+CHECKPOINT_PREFIX = "c:"
+
+GLOBAL_SCOPE = "*"
+
+
+def instance_tag(instance_id: str) -> str:
+    """Tag of an SSF invocation's step log sub-stream."""
+    return INSTANCE_PREFIX + instance_id
+
+
+def object_tag(key: str) -> str:
+    """Tag of an object's write-log sub-stream."""
+    return OBJECT_PREFIX + key
+
+
+def transition_tag(scope: str = GLOBAL_SCOPE) -> str:
+    """Tag of the transition log recording protocol switches."""
+    return TRANSITION_PREFIX + scope
+
+
+def checkpoint_tag(instance_id: str) -> str:
+    """Stream of opportunistic read checkpoints (Section 7).
+
+    Kept separate from the step log so background appends never disturb
+    the offsets that ``logCondAppend`` conditions on.
+    """
+    return CHECKPOINT_PREFIX + instance_id
+
+
+def is_checkpoint_tag(tag: str) -> bool:
+    """True when ``tag`` names a read-checkpoint sub-stream."""
+    return tag.startswith(CHECKPOINT_PREFIX)
+
+
+def is_instance_tag(tag: str) -> bool:
+    """True when ``tag`` names a step-log sub-stream."""
+    return tag.startswith(INSTANCE_PREFIX)
+
+
+def is_object_tag(tag: str) -> bool:
+    """True when ``tag`` names an object write-log sub-stream."""
+    return tag.startswith(OBJECT_PREFIX)
+
+
+def is_transition_tag(tag: str) -> bool:
+    """True when ``tag`` names a transition-log sub-stream."""
+    return tag.startswith(TRANSITION_PREFIX)
+
+
+def tag_key(tag: str) -> str:
+    """Extract the object key from a ``k:`` tag."""
+    if not is_object_tag(tag):
+        raise ValueError(f"not an object tag: {tag!r}")
+    return tag[len(OBJECT_PREFIX):]
+
+
+def tag_instance(tag: str) -> str:
+    """Extract the instance id from an ``i:`` tag."""
+    if not is_instance_tag(tag):
+        raise ValueError(f"not an instance tag: {tag!r}")
+    return tag[len(INSTANCE_PREFIX):]

@@ -1,0 +1,30 @@
+"""Benchmark workloads: synthetic microbenchmarks and the three
+application workloads of Section 6.2.
+"""
+
+from .base import Request, Workload
+from .generator import Phase, PhasedSchedule, PoissonArrivals
+from .movie import MovieReviewWorkload
+from .retwis import RetwisWorkload
+from .synthetic import (
+    MixedRatioWorkload,
+    ReadWriteMicrobench,
+    mixed_ssf,
+    rw_microbench_ssf,
+)
+from .travel import TravelReservationWorkload
+
+__all__ = [
+    "MixedRatioWorkload",
+    "MovieReviewWorkload",
+    "Phase",
+    "PhasedSchedule",
+    "PoissonArrivals",
+    "ReadWriteMicrobench",
+    "Request",
+    "RetwisWorkload",
+    "TravelReservationWorkload",
+    "Workload",
+    "mixed_ssf",
+    "rw_microbench_ssf",
+]

@@ -1,0 +1,56 @@
+"""Workload abstraction shared by the experiment harness.
+
+A workload bundles three things:
+
+* the SSF bodies it registers with a runtime (written in op-generator
+  style so both the direct runtime and the DES platform can drive them);
+* the initial objects it populates;
+* a request factory producing the next ``(function, input)`` pair.
+
+``read_write_profile`` reports the approximate (reads, writes) per request
+so the advisor and the experiment tables can reason about intensity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    func_name: str
+    input: Any
+
+
+class Workload(ABC):
+    """Base class for benchmark workloads."""
+
+    name: str = "workload"
+
+    @abstractmethod
+    def register(self, runtime) -> None:
+        """Register every SSF body with ``runtime`` (``.register`` duck)."""
+
+    @abstractmethod
+    def populate(self, runtime) -> None:
+        """Install the initial external state (``.populate`` duck)."""
+
+    @abstractmethod
+    def next_request(self, rng: np.random.Generator) -> Request:
+        """Draw the next request."""
+
+    @abstractmethod
+    def read_write_profile(self) -> Tuple[float, float]:
+        """Approximate (reads, writes) per request."""
+
+    def read_ratio(self) -> float:
+        reads, writes = self.read_write_profile()
+        total = reads + writes
+        return reads / total if total else 0.5
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

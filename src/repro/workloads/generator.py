@@ -1,0 +1,69 @@
+"""Load generation: arrival processes and phased schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class PoissonArrivals:
+    """Open-loop Poisson arrival process (Section 4.6 assumes Poisson)."""
+
+    def __init__(self, rate_per_s: float):
+        if rate_per_s <= 0:
+            raise ConfigError("arrival rate must be positive")
+        self.rate_per_s = rate_per_s
+
+    def inter_arrival_ms(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1000.0 / self.rate_per_s))
+
+    def schedule(self, duration_ms: float,
+                 rng: np.random.Generator) -> List[float]:
+        """Arrival timestamps (ms) within ``[0, duration_ms)``."""
+        times: List[float] = []
+        t = self.inter_arrival_ms(rng)
+        while t < duration_ms:
+            times.append(t)
+            t += self.inter_arrival_ms(rng)
+        return times
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A workload phase for dynamic experiments (Figure 14)."""
+
+    duration_ms: float
+    read_ratio: float
+    protocol: Optional[str] = None  # switch target at phase start
+
+
+class PhasedSchedule:
+    """Alternating phases, e.g. write-heavy / read-heavy every 5 s."""
+
+    def __init__(self, phases: Sequence[Phase]):
+        if not phases:
+            raise ConfigError("need at least one phase")
+        self.phases = list(phases)
+
+    def total_duration_ms(self) -> float:
+        return sum(p.duration_ms for p in self.phases)
+
+    def phase_at(self, now_ms: float) -> Tuple[int, Phase]:
+        """Phase index and phase covering time ``now_ms`` (clamped)."""
+        t = 0.0
+        for i, phase in enumerate(self.phases):
+            t += phase.duration_ms
+            if now_ms < t:
+                return i, phase
+        return len(self.phases) - 1, self.phases[-1]
+
+    def boundaries_ms(self) -> List[float]:
+        """Start time of each phase."""
+        starts = [0.0]
+        for phase in self.phases[:-1]:
+            starts.append(starts[-1] + phase.duration_ms)
+        return starts

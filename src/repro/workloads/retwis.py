@@ -1,0 +1,198 @@
+"""Retwis workload (Section 6.2): a simplified Twitter clone.
+
+Functions mirror the classic Redis tutorial design: ``post`` writes a
+tweet object and appends it to the author's post list and the public
+timeline; ``timeline`` reads the latest tweets; ``profile`` reads a user's
+posts; ``follow`` updates the follower edge sets.  The default mix (15%
+posts, 60% timelines, 15% profiles, 10% follows) is read-intensive,
+matching the paper's characterisation.
+
+User popularity follows a Zipf distribution so hot keys see concurrent
+updates — the interesting case for the logging protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..runtime.ops import InvokeOp, ReadOp, WriteOp
+from .base import Request, Workload
+
+NUM_USERS = 300
+TIMELINE_FANOUT = 8
+
+
+def user_key(i: int) -> str:
+    return f"ruser{i:04d}"
+
+
+def posts_key(i: int) -> str:
+    return f"rposts{i:04d}"
+
+
+def followers_key(i: int) -> str:
+    return f"rfollowers{i:04d}"
+
+
+def following_key(i: int) -> str:
+    return f"rfollowing{i:04d}"
+
+
+def tweet_key(seq: int) -> str:
+    return f"rtweet{seq:07d}"
+
+
+def timeline_key() -> str:
+    return "rtimeline"
+
+
+def post_counter_key() -> str:
+    return "rpost-counter"
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+def retwis_post(inp: Dict[str, Any]):
+    """Post a tweet: allocate id, store body, update author + timeline."""
+    counter = yield ReadOp(post_counter_key())
+    tweet_id = counter + 1
+    yield WriteOp(post_counter_key(), tweet_id)
+    yield WriteOp(tweet_key(tweet_id), {
+        "author": inp["user"],
+        "text": inp["text"],
+    })
+    posts = yield ReadOp(posts_key(inp["user"]))
+    yield WriteOp(posts_key(inp["user"]), (posts + [tweet_id])[-50:])
+    timeline = yield ReadOp(timeline_key())
+    yield WriteOp(timeline_key(), (timeline + [tweet_id])[-100:])
+    return tweet_id
+
+
+def retwis_timeline(inp: Dict[str, Any]):
+    """Read the public timeline and hydrate the newest tweets."""
+    timeline = yield ReadOp(timeline_key())
+    tweets = []
+    for tweet_id in timeline[-TIMELINE_FANOUT:]:
+        tweet = yield ReadOp(tweet_key(tweet_id))
+        tweets.append(tweet)
+    return tweets
+
+
+def retwis_profile(inp: Dict[str, Any]):
+    """Read a user's profile and their recent posts."""
+    record = yield ReadOp(user_key(inp["user"]))
+    posts = yield ReadOp(posts_key(inp["user"]))
+    recent = []
+    for tweet_id in posts[-3:]:
+        tweet = yield ReadOp(tweet_key(tweet_id))
+        recent.append(tweet)
+    return {"user": record, "recent": recent}
+
+
+def retwis_follow(inp: Dict[str, Any]):
+    """Create a follow edge (two set updates)."""
+    follower, followee = inp["follower"], inp["followee"]
+    following = yield ReadOp(following_key(follower))
+    if followee not in following:
+        yield WriteOp(following_key(follower), following + [followee])
+    followers = yield ReadOp(followers_key(followee))
+    if follower not in followers:
+        yield WriteOp(followers_key(followee), followers + [follower])
+    return True
+
+
+FUNCTIONS = {
+    "retwis.post": retwis_post,
+    "retwis.timeline": retwis_timeline,
+    "retwis.profile": retwis_profile,
+    "retwis.follow": retwis_follow,
+}
+
+
+class RetwisWorkload(Workload):
+    """Read-intensive PUT/GET mix over a key-value store."""
+
+    name = "retwis"
+
+    def __init__(
+        self,
+        num_users: int = NUM_USERS,
+        post_fraction: float = 0.15,
+        timeline_fraction: float = 0.60,
+        profile_fraction: float = 0.15,
+        zipf_s: float = 1.2,
+    ):
+        follow_fraction = 1.0 - (
+            post_fraction + timeline_fraction + profile_fraction
+        )
+        if follow_fraction < 0:
+            raise ValueError("fractions must sum to <= 1")
+        self.num_users = num_users
+        self.mix = (
+            ("retwis.post", post_fraction),
+            ("retwis.timeline", timeline_fraction),
+            ("retwis.profile", profile_fraction),
+            ("retwis.follow", follow_fraction),
+        )
+        self.zipf_s = zipf_s
+
+    def register(self, runtime) -> None:
+        for name, fn in FUNCTIONS.items():
+            runtime.register(name, fn)
+
+    def populate(self, runtime) -> None:
+        runtime.populate(post_counter_key(), 0)
+        runtime.populate(timeline_key(), [])
+        for u in range(self.num_users):
+            runtime.populate(user_key(u), {"handle": f"@user{u:04d}"})
+            runtime.populate(posts_key(u), [])
+            runtime.populate(followers_key(u), [])
+            runtime.populate(following_key(u), [])
+
+    def _zipf_user(self, rng: np.random.Generator) -> int:
+        # Rejection-sampled Zipf truncated to the user population.
+        while True:
+            draw = int(rng.zipf(self.zipf_s))
+            if draw <= self.num_users:
+                return draw - 1
+
+    def next_request(self, rng: np.random.Generator) -> Request:
+        roll = rng.random()
+        cumulative = 0.0
+        func_name = self.mix[-1][0]
+        for name, fraction in self.mix:
+            cumulative += fraction
+            if roll < cumulative:
+                func_name = name
+                break
+        user = self._zipf_user(rng)
+        if func_name == "retwis.post":
+            payload: Dict[str, Any] = {
+                "user": user, "text": "hello, shared log"
+            }
+        elif func_name == "retwis.follow":
+            other = self._zipf_user(rng)
+            if other == user:
+                other = (user + 1) % self.num_users
+            payload = {"follower": user, "followee": other}
+        else:
+            payload = {"user": user}
+        return Request(func_name, payload)
+
+    def read_write_profile(self) -> Tuple[float, float]:
+        reads = writes = 0.0
+        per_func = {
+            "retwis.post": (3.0, 4.0),
+            "retwis.timeline": (1.0 + TIMELINE_FANOUT, 0.0),
+            "retwis.profile": (5.0, 0.0),
+            "retwis.follow": (2.0, 2.0),
+        }
+        for name, fraction in self.mix:
+            r, w = per_func[name]
+            reads += fraction * r
+            writes += fraction * w
+        return (reads, writes)

@@ -1,0 +1,122 @@
+"""Synthetic microbenchmark workloads (Sections 6.1 and 6.3).
+
+* :class:`ReadWriteMicrobench` — the Section 6.1 SSF: one read and one
+  write per request against 10K objects of 8-byte keys and 256-byte
+  values.
+
+* :class:`MixedRatioWorkload` — the Section 6.3 SSF: ten operations per
+  request, each targeting a uniformly random object, with a configurable
+  read ratio.  Varying the ratio sweeps the read/write intensity axis of
+  Figures 12 and 13.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..runtime.ops import ReadOp, WriteOp
+from .base import Request, Workload
+
+
+def _pad_value(seed: int, size_hint: int = 8) -> str:
+    """A small distinguishable value; actual bytes are accounted by the
+    storage config, not by Python object size."""
+    return f"v{seed:06d}"
+
+
+def rw_microbench_ssf(inp: Dict[str, Any]):
+    """One read + one write per request (Figure 10's SSF)."""
+    value = yield ReadOp(inp["read_key"])
+    yield WriteOp(inp["write_key"], inp["value"])
+    return value
+
+
+def mixed_ssf(inp: Dict[str, Any]):
+    """Ten (configurable) operations with a given read/write mix."""
+    last = None
+    for kind, key, value in inp["ops"]:
+        if kind == "r":
+            last = yield ReadOp(key)
+        else:
+            yield WriteOp(key, value)
+    return last
+
+
+class ReadWriteMicrobench(Workload):
+    """Section 6.1 microbenchmark: 10K objects, 1R + 1W per request."""
+
+    name = "rw-microbench"
+
+    def __init__(self, num_keys: int = 10_000):
+        self.num_keys = num_keys
+        self._counter = 0
+
+    def register(self, runtime) -> None:
+        runtime.register("rw", rw_microbench_ssf)
+
+    def populate(self, runtime) -> None:
+        for i in range(self.num_keys):
+            runtime.populate(self.key(i), _pad_value(i))
+
+    def key(self, i: int) -> str:
+        return f"obj{i:05d}"
+
+    def next_request(self, rng: np.random.Generator) -> Request:
+        self._counter += 1
+        return Request(
+            "rw",
+            {
+                "read_key": self.key(int(rng.integers(self.num_keys))),
+                "write_key": self.key(int(rng.integers(self.num_keys))),
+                "value": _pad_value(self._counter),
+            },
+        )
+
+    def read_write_profile(self) -> Tuple[float, float]:
+        return (1.0, 1.0)
+
+
+class MixedRatioWorkload(Workload):
+    """Section 6.3 synthetic SSF: ``ops_per_request`` uniform-key ops."""
+
+    name = "mixed-ratio"
+
+    def __init__(
+        self,
+        read_ratio: float,
+        num_keys: int = 10_000,
+        ops_per_request: int = 10,
+    ):
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        self.read_ratio_value = read_ratio
+        self.num_keys = num_keys
+        self.ops_per_request = ops_per_request
+        self._counter = 0
+
+    def register(self, runtime) -> None:
+        runtime.register("mixed", mixed_ssf)
+
+    def populate(self, runtime) -> None:
+        for i in range(self.num_keys):
+            runtime.populate(self.key(i), _pad_value(i))
+
+    def key(self, i: int) -> str:
+        return f"obj{i:05d}"
+
+    def next_request(self, rng: np.random.Generator) -> Request:
+        ops: List[Tuple[str, str, Any]] = []
+        for _ in range(self.ops_per_request):
+            self._counter += 1
+            key = self.key(int(rng.integers(self.num_keys)))
+            if rng.random() < self.read_ratio_value:
+                ops.append(("r", key, None))
+            else:
+                ops.append(("w", key, _pad_value(self._counter)))
+        return Request("mixed", {"ops": ops})
+
+    def read_write_profile(self) -> Tuple[float, float]:
+        reads = self.ops_per_request * self.read_ratio_value
+        return (reads, self.ops_per_request - reads)

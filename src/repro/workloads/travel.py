@@ -1,0 +1,244 @@
+"""Travel-reservation workload (Section 6.2, adapted from DeathStarBench).
+
+A ten-SSF workflow: users search for nearby hotels by distance and rating
+and then make a reservation.  Mirrors DeathStarBench's hotelReservation
+decomposition (frontend, search, geo, rate, profile, recommendation, user,
+check-availability, reserve, order) on a key-value store.  The mix is
+strongly read-intensive — a request performs roughly 13 reads and, on the
+reservation path, 3 writes.
+
+Per Section 4.4's best practice, dependencies between SSFs are explicit
+invoke edges, so Halfmoon-write's commuting of consecutive writes never
+crosses a dependency: each SSF's init record orders it after its parent's
+preceding operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..runtime.ops import InvokeOp, ReadOp, WriteOp
+from .base import Request, Workload
+
+NUM_HOTELS = 80
+NUM_USERS = 500
+NUM_REGIONS = 8
+
+
+def hotel_key(i: int) -> str:
+    return f"hotel{i:03d}"
+
+
+def geo_key(region: int) -> str:
+    return f"geo{region:02d}"
+
+
+def rate_key(i: int) -> str:
+    return f"rate{i:03d}"
+
+
+def profile_key(i: int) -> str:
+    return f"profile{i:03d}"
+
+
+def user_key(i: int) -> str:
+    return f"user{i:03d}"
+
+
+def availability_key(i: int) -> str:
+    return f"avail{i:03d}"
+
+
+def reservation_key(user: int, seq: int) -> str:
+    return f"resv{user:03d}.{seq:06d}"
+
+
+def recommendation_key(region: int) -> str:
+    return f"recommend{region:02d}"
+
+
+# ---------------------------------------------------------------------------
+# The ten SSFs
+# ---------------------------------------------------------------------------
+
+def travel_frontend(inp: Dict[str, Any]):
+    """SSF 1: entry point — search, recommend, authenticate, reserve."""
+    hotels = yield InvokeOp("travel.search", {
+        "region": inp["region"],
+    })
+    yield InvokeOp("travel.recommend", {"region": inp["region"]})
+    user_ok = yield InvokeOp("travel.user", {"user": inp["user"]})
+    if not user_ok:
+        return {"status": "denied"}
+    if inp.get("reserve", True) and hotels:
+        result = yield InvokeOp("travel.reserve", {
+            "user": inp["user"],
+            "hotel": hotels[0],
+            "resv_seq": inp["resv_seq"],
+        })
+        return {"status": "reserved", "details": result}
+    return {"status": "searched", "hotels": hotels}
+
+
+def travel_search(inp: Dict[str, Any]):
+    """SSF 2: ranked hotel search = geo lookup + rates + profiles."""
+    nearby = yield InvokeOp("travel.geo", {"region": inp["region"]})
+    rates = yield InvokeOp("travel.rates", {"hotels": nearby})
+    ranked = yield InvokeOp("travel.profiles", {
+        "hotels": nearby, "rates": rates,
+    })
+    return ranked
+
+
+def travel_geo(inp: Dict[str, Any]):
+    """SSF 3: hotels near a region (read the geo index)."""
+    index = yield ReadOp(geo_key(inp["region"]))
+    return index["hotels"][:3]
+
+
+def travel_rates(inp: Dict[str, Any]):
+    """SSF 4: per-hotel nightly rates."""
+    rates = {}
+    for hotel in inp["hotels"]:
+        rates[hotel] = yield ReadOp(rate_key_of(hotel))
+    return rates
+
+
+def travel_profiles(inp: Dict[str, Any]):
+    """SSF 5: rank hotels by rating, breaking ties by rate."""
+    scored = []
+    for hotel in inp["hotels"]:
+        profile = yield ReadOp(profile_key_of(hotel))
+        scored.append((profile["rating"], -inp["rates"][hotel], hotel))
+    scored.sort(reverse=True)
+    return [hotel for _, _, hotel in scored]
+
+
+def travel_recommend(inp: Dict[str, Any]):
+    """SSF 6: region-level recommendations."""
+    recs = yield ReadOp(recommendation_key(inp["region"]))
+    return recs
+
+
+def travel_user(inp: Dict[str, Any]):
+    """SSF 7: authenticate the user."""
+    record = yield ReadOp(user_key(inp["user"]))
+    return record["active"]
+
+
+def travel_reserve(inp: Dict[str, Any]):
+    """SSF 8: reservation orchestration — availability then order."""
+    ok = yield InvokeOp("travel.availability", {"hotel": inp["hotel"]})
+    if not ok:
+        return {"ok": False}
+    order = yield InvokeOp("travel.order", {
+        "user": inp["user"],
+        "hotel": inp["hotel"],
+        "resv_seq": inp["resv_seq"],
+    })
+    return {"ok": True, "order": order}
+
+
+def travel_availability(inp: Dict[str, Any]):
+    """SSF 9: decrement the hotel's available-room count."""
+    avail = yield ReadOp(availability_key_of(inp["hotel"]))
+    if avail <= 0:
+        return False
+    yield WriteOp(availability_key_of(inp["hotel"]), avail - 1)
+    return True
+
+
+def travel_order(inp: Dict[str, Any]):
+    """SSF 10: record the reservation and bump the user's trip count."""
+    resv = reservation_key(inp["user"], inp["resv_seq"])
+    yield WriteOp(resv, {"hotel": inp["hotel"], "user": inp["user"]})
+    record = yield ReadOp(user_key(inp["user"]))
+    updated = dict(record)
+    updated["trips"] = record.get("trips", 0) + 1
+    yield WriteOp(user_key(inp["user"]), updated)
+    return resv
+
+
+def rate_key_of(hotel: str) -> str:
+    return "rate" + hotel[len("hotel"):]
+
+
+def profile_key_of(hotel: str) -> str:
+    return "profile" + hotel[len("hotel"):]
+
+
+def availability_key_of(hotel: str) -> str:
+    return "avail" + hotel[len("hotel"):]
+
+
+FUNCTIONS = {
+    "travel.frontend": travel_frontend,
+    "travel.search": travel_search,
+    "travel.geo": travel_geo,
+    "travel.rates": travel_rates,
+    "travel.profiles": travel_profiles,
+    "travel.recommend": travel_recommend,
+    "travel.user": travel_user,
+    "travel.reserve": travel_reserve,
+    "travel.availability": travel_availability,
+    "travel.order": travel_order,
+}
+
+
+class TravelReservationWorkload(Workload):
+    """Read-intensive ten-SSF travel workflow."""
+
+    name = "travel-reservation"
+
+    def __init__(self, num_hotels: int = NUM_HOTELS,
+                 num_users: int = NUM_USERS,
+                 num_regions: int = NUM_REGIONS,
+                 reserve_fraction: float = 0.6):
+        self.num_hotels = num_hotels
+        self.num_users = num_users
+        self.num_regions = num_regions
+        self.reserve_fraction = reserve_fraction
+        self._resv_seq = 0
+
+    def register(self, runtime) -> None:
+        for name, fn in FUNCTIONS.items():
+            runtime.register(name, fn)
+
+    def populate(self, runtime) -> None:
+        per_region = max(1, self.num_hotels // self.num_regions)
+        for region in range(self.num_regions):
+            hotels = [
+                hotel_key(i)
+                for i in range(
+                    region * per_region,
+                    min((region + 1) * per_region, self.num_hotels),
+                )
+            ]
+            runtime.populate(geo_key(region), {"hotels": hotels})
+            runtime.populate(
+                recommendation_key(region), {"top": hotels[:2]}
+            )
+        for i in range(self.num_hotels):
+            runtime.populate(rate_key(i), 80 + (i % 120))
+            runtime.populate(profile_key(i), {"rating": 1 + (i * 7) % 5})
+            runtime.populate(availability_key(i), 50)
+        for u in range(self.num_users):
+            runtime.populate(user_key(u), {"active": True, "trips": 0})
+
+    def next_request(self, rng: np.random.Generator) -> Request:
+        self._resv_seq += 1
+        return Request(
+            "travel.frontend",
+            {
+                "region": int(rng.integers(self.num_regions)),
+                "user": int(rng.integers(self.num_users)),
+                "reserve": bool(rng.random() < self.reserve_fraction),
+                "resv_seq": self._resv_seq,
+            },
+        )
+
+    def read_write_profile(self) -> Tuple[float, float]:
+        # ~13 reads per request; ~3 writes on the reserve path.
+        return (13.0, 3.0 * self.reserve_fraction)

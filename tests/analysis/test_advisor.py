@@ -1,0 +1,103 @@
+"""Unit tests for the protocol advisor."""
+
+import pytest
+
+from repro.analysis import (
+    HALFMOON_READ,
+    HALFMOON_WRITE,
+    ProtocolAdvisor,
+    WorkloadObserver,
+    WorkloadProfile,
+)
+from repro.errors import ConfigError
+
+
+def profile(p_read, rate=100.0):
+    return WorkloadProfile(p_read, 1.0 - p_read, rate)
+
+
+def test_read_intensive_gets_halfmoon_read():
+    advisor = ProtocolAdvisor()
+    rec = advisor.recommend(profile(0.9))
+    assert rec.protocol == HALFMOON_READ
+
+
+def test_write_intensive_gets_halfmoon_write():
+    advisor = ProtocolAdvisor()
+    rec = advisor.recommend(profile(0.2))
+    assert rec.protocol == HALFMOON_WRITE
+
+
+def test_boundary_matches_cost_ratio():
+    advisor = ProtocolAdvisor(cost_ratio_w_over_r=2.0)
+    # Just above 2/3: HM-read; just below: HM-write.
+    assert advisor.recommend(profile(0.70)).protocol == HALFMOON_READ
+    assert advisor.recommend(profile(0.60)).protocol == HALFMOON_WRITE
+    rec = advisor.recommend(profile(0.5))
+    assert rec.runtime_boundary == pytest.approx(2.0 / 3.0)
+    assert rec.storage_boundary == 0.5
+
+
+def test_storage_only_weighting_moves_boundary_to_half():
+    advisor = ProtocolAdvisor(runtime_weight=0.0)
+    assert advisor.recommend(profile(0.55)).protocol == HALFMOON_READ
+    assert advisor.recommend(profile(0.45)).protocol == HALFMOON_WRITE
+
+
+def test_recommendation_explains_itself():
+    rec = ProtocolAdvisor().recommend(profile(0.8))
+    text = rec.explain()
+    assert "0.80" in text
+    assert rec.protocol in text
+
+
+def test_invalid_weight_rejected():
+    with pytest.raises(ConfigError):
+        ProtocolAdvisor(runtime_weight=1.5)
+
+
+class TestWorkloadObserver:
+    def test_builds_profiles_from_counts(self):
+        obs = WorkloadObserver()
+        for _ in range(10):
+            obs.note_invocation()
+        for _ in range(8):
+            obs.note_read("k")
+        for _ in range(2):
+            obs.note_write("k")
+        p = obs.profile_for("k", arrival_rate_per_s=50.0)
+        assert p.p_read == pytest.approx(0.8)
+        assert p.p_write == pytest.approx(0.2)
+        assert p.arrival_rate_per_s == 50.0
+
+    def test_probabilities_capped_at_one(self):
+        obs = WorkloadObserver()
+        obs.note_invocation()
+        obs.note_read("k")
+        obs.note_read("k")
+        assert obs.profile_for("k", 1.0).p_read == 1.0
+
+    def test_empty_observer_rejects(self):
+        with pytest.raises(ConfigError):
+            WorkloadObserver().profile_for("k", 1.0)
+
+    def test_aggregate_read_ratio(self):
+        obs = WorkloadObserver()
+        obs.note_invocation()
+        obs.note_read("a")
+        obs.note_read("b")
+        obs.note_write("a")
+        assert obs.aggregate_read_ratio() == pytest.approx(2.0 / 3.0)
+        assert obs.keys() == ("a", "b")
+
+    def test_end_to_end_with_advisor(self):
+        obs = WorkloadObserver()
+        for _ in range(100):
+            obs.note_invocation()
+            obs.note_read("hot")
+        for _ in range(10):
+            obs.note_write("hot")
+        rec = ProtocolAdvisor().recommend(
+            obs.profile_for("hot", arrival_rate_per_s=200.0)
+        )
+        assert rec.protocol == HALFMOON_READ

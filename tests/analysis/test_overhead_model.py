@@ -1,0 +1,120 @@
+"""Unit tests for the Section 4.6 analytical model (Equations 1-4)."""
+
+import pytest
+
+from repro.analysis import (
+    WorkloadProfile,
+    read_log_population,
+    runtime_boundary_read_ratio,
+    runtime_extra_cost_halfmoon_read,
+    runtime_extra_cost_halfmoon_write,
+    storage_boundary_read_ratio,
+    storage_halfmoon_read,
+    storage_halfmoon_write,
+    write_log_population,
+)
+from repro.errors import ConfigError
+
+
+def profile(p_read=0.5, p_write=0.5, rate=100.0, lifetime=0.05,
+            gc_delay=5.0):
+    return WorkloadProfile(p_read, p_write, rate, lifetime, gc_delay)
+
+
+def test_littles_law_read_population():
+    # N_r = p_r * lambda * (t + T_gc) = 0.5 * 100 * 5.05
+    assert read_log_population(profile()) == pytest.approx(252.5)
+
+
+def test_write_population_includes_interwrite_gap():
+    # T_w = 1/(p_w * lambda) = 0.02 s; N_w = 50 * (0.02 + 5.05) = 253.5
+    assert write_log_population(profile()) == pytest.approx(253.5)
+
+
+def test_write_population_zero_when_no_writes():
+    assert write_log_population(profile(p_write=0.0)) == 0.0
+
+
+def test_storage_halfmoon_write_eq2():
+    # S = S_val + N_r (S_meta + S_val)
+    expected = 256 + 252.5 * (48 + 256)
+    assert storage_halfmoon_write(profile(), 48, 256) == pytest.approx(
+        expected
+    )
+
+
+def test_storage_halfmoon_read_eq4():
+    # S = N_w (2 S_meta + S_val)
+    expected = 253.5 * (2 * 48 + 256)
+    assert storage_halfmoon_read(profile(), 48, 256) == pytest.approx(
+        expected
+    )
+
+
+def test_storage_halfmoon_read_single_log_variant():
+    expected = 253.5 * (48 + 256)
+    assert storage_halfmoon_read(
+        profile(), 48, 256, logs_per_write=1
+    ) == pytest.approx(expected)
+
+
+def test_storage_read_only_workload():
+    assert storage_halfmoon_read(
+        profile(p_read=1.0, p_write=0.0), 48, 256
+    ) == 256.0
+
+
+def test_storage_boundary_is_half():
+    assert storage_boundary_read_ratio() == 0.5
+
+
+def test_storage_crosses_near_equal_intensity():
+    """With negligible metadata, HM-read is cheaper above ratio 0.5 and
+    HM-write below, as the asymptotic analysis predicts."""
+    for p_read in (0.6, 0.8):
+        p = profile(p_read=p_read, p_write=1 - p_read)
+        assert storage_halfmoon_read(p, 1, 10_000) < (
+            storage_halfmoon_write(p, 1, 10_000)
+        )
+    for p_read in (0.2, 0.4):
+        p = profile(p_read=p_read, p_write=1 - p_read)
+        assert storage_halfmoon_read(p, 1, 10_000) > (
+            storage_halfmoon_write(p, 1, 10_000)
+        )
+
+
+def test_runtime_extra_costs():
+    p = profile(p_read=0.6, p_write=0.4, rate=100)
+    # HM-read pays C_w per write: 0.4 * 100 * 1s * 2.0
+    assert runtime_extra_cost_halfmoon_read(p, c_write=2.0) == (
+        pytest.approx(80.0)
+    )
+    # HM-write pays C_r per read: 0.6 * 100 * 1.0
+    assert runtime_extra_cost_halfmoon_write(p, c_read=1.0) == (
+        pytest.approx(60.0)
+    )
+
+
+def test_runtime_boundary_two_thirds():
+    assert runtime_boundary_read_ratio(2.0) == pytest.approx(2.0 / 3.0)
+    assert runtime_boundary_read_ratio(1.0) == pytest.approx(0.5)
+    assert runtime_boundary_read_ratio(3.0) == pytest.approx(0.75)
+
+
+def test_boundary_condition_balances_extra_costs():
+    """At the boundary ratio, the two protocols' expected extra costs are
+    equal — the defining property of the criterion."""
+    ratio = runtime_boundary_read_ratio(2.0)
+    p = profile(p_read=ratio, p_write=1 - ratio)
+    hm_read_cost = runtime_extra_cost_halfmoon_read(p, c_write=2.0)
+    hm_write_cost = runtime_extra_cost_halfmoon_write(p, c_read=1.0)
+    assert hm_read_cost == pytest.approx(hm_write_cost)
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigError):
+        WorkloadProfile(1.5, 0.5, 100).validate()
+    with pytest.raises(ConfigError):
+        WorkloadProfile(0.5, 0.5, 0).validate()
+    with pytest.raises(ConfigError):
+        runtime_boundary_read_ratio(0.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the Section 7 recovery-cost model."""
+
+import pytest
+
+from repro.analysis import (
+    break_even_failure_rate,
+    expected_cost_halfmoon,
+    expected_cost_symmetric,
+    expected_rounds,
+    halfmoon_wins,
+)
+from repro.errors import ConfigError
+
+
+def test_expected_rounds_geometric():
+    assert expected_rounds(0.0) == 1.0
+    assert expected_rounds(0.5) == 2.0
+    assert expected_rounds(0.9) == pytest.approx(10.0)
+
+
+def test_expected_rounds_validation():
+    with pytest.raises(ConfigError):
+        expected_rounds(1.0)
+    with pytest.raises(ConfigError):
+        expected_rounds(-0.1)
+
+
+def test_halfmoon_cost_scales_with_rounds():
+    # cost = (1 - x) / (1 - f)
+    assert expected_cost_halfmoon(0.0, 0.3) == pytest.approx(0.7)
+    assert expected_cost_halfmoon(0.5, 0.3) == pytest.approx(1.4)
+
+
+def test_symmetric_cost_with_free_replay():
+    assert expected_cost_symmetric(0.0) == 1.0
+    assert expected_cost_symmetric(0.9) == 1.0  # replay free
+
+
+def test_symmetric_cost_with_partial_replay():
+    # one extra round at f=0.5, each costing 0.4 of a run
+    assert expected_cost_symmetric(0.5, 0.4) == pytest.approx(1.4)
+
+
+def test_break_even_equals_advantage_with_free_replay():
+    assert break_even_failure_rate(0.3) == pytest.approx(0.3)
+
+
+def test_break_even_higher_with_costly_replay():
+    assert break_even_failure_rate(0.3, replay_discount=0.25) == (
+        pytest.approx(0.4)
+    )
+
+
+def test_break_even_solves_equality():
+    x, d = 0.3, 0.25
+    f = break_even_failure_rate(x, d)
+    assert expected_cost_halfmoon(f, x) == pytest.approx(
+        expected_cost_symmetric(f, d), rel=1e-9
+    )
+
+
+def test_halfmoon_wins_below_break_even():
+    """The paper's claim: with a ~30% failure-free advantage, Halfmoon
+    outperforms symmetric logging for every realistic failure rate."""
+    for f in (0.0, 0.05, 0.1, 0.2, 0.29):
+        assert halfmoon_wins(f, advantage_x=0.3)
+    assert not halfmoon_wins(0.35, advantage_x=0.3)
+
+
+def test_technical_report_claim_f40_with_costly_replay():
+    """The extended version validates a win even at f = 0.4 once the
+    symmetric protocol's replay is not free."""
+    assert halfmoon_wins(0.40, advantage_x=0.3, replay_discount=0.3)

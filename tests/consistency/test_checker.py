@@ -1,0 +1,122 @@
+"""Unit tests for the sequential-consistency checker."""
+
+import pytest
+
+from repro.consistency import (
+    History,
+    find_sequential_witness,
+    is_legal_order,
+    validate_total_order,
+)
+from repro.errors import ConsistencyViolation
+
+
+def simple_history():
+    hist = History(initial_values={"x": 0})
+    w = hist.write("p1", "x", 1)
+    r = hist.read("p2", "x", 1)
+    return hist, w, r
+
+
+def test_valid_order_accepted():
+    hist, w, r = simple_history()
+    validate_total_order(hist, [w, r])  # no exception
+
+
+def test_read_before_its_write_rejected():
+    hist, w, r = simple_history()
+    with pytest.raises(ConsistencyViolation):
+        validate_total_order(hist, [r, w])
+
+
+def test_read_of_initial_value():
+    hist = History(initial_values={"x": 0})
+    r = hist.read("p", "x", 0)
+    validate_total_order(hist, [r])
+
+
+def test_order_must_be_permutation():
+    hist, w, r = simple_history()
+    with pytest.raises(ConsistencyViolation):
+        validate_total_order(hist, [w])
+
+
+def test_program_order_enforced():
+    hist = History(initial_values={"x": 0, "y": 0})
+    a = hist.write("p", "x", 1)
+    b = hist.write("p", "y", 1)
+    ok = hist.read("q", "x", 1)
+    with pytest.raises(ConsistencyViolation):
+        validate_total_order(hist, [b, a, ok])
+
+
+def test_allow_reorder_exemption():
+    hist = History(initial_values={"x": 0, "y": 0})
+    a = hist.write("p", "x", 1)
+    b = hist.write("p", "y", 1)
+    validate_total_order(
+        hist, [b, a],
+        allow_reorder=lambda e1, e2: e1.key != e2.key,
+    )
+
+
+def test_rejected_write_is_invisible():
+    hist = History(initial_values={"x": 0})
+    w1 = hist.write("p1", "x", 5)
+    w2 = hist.write("p2", "x", 9, applied=False)
+    r = hist.read("p3", "x", 5)
+    validate_total_order(hist, [w1, w2, r])
+
+
+def test_is_legal_order_boolean():
+    hist, w, r = simple_history()
+    assert is_legal_order(hist, [w, r])
+    assert not is_legal_order(hist, [r, w])
+
+
+class TestWitnessSearch:
+    def test_finds_interleaving(self):
+        hist = History(initial_values={"x": 0})
+        hist.write("p1", "x", 1)
+        hist.read("p2", "x", 1)
+        witness = find_sequential_witness(hist)
+        assert witness is not None
+        validate_total_order(hist, witness)
+
+    def test_classic_sc_but_not_linearizable(self):
+        """r1 reads the old value after w committed in real time — fine
+        under SC (the read serialises before the write)."""
+        hist = History(initial_values={"x": 0})
+        hist.write("p1", "x", 1)
+        hist.read("p2", "x", 0)   # stale but SC-legal
+        assert find_sequential_witness(hist) is not None
+
+    def test_detects_non_sc_history(self):
+        """Two processes observe two writes in opposite orders — no SC
+        serialization exists."""
+        hist = History(initial_values={"x": 0, "y": 0})
+        hist.write("w1", "x", 1)
+        hist.write("w2", "y", 1)
+        # p1 sees x=1 then y=0  => x-write before y-write
+        hist.read("p1", "x", 1)
+        hist.read("p1", "y", 0)
+        # p2 sees y=1 then x=0  => y-write before x-write
+        hist.read("p2", "y", 1)
+        hist.read("p2", "x", 0)
+        assert find_sequential_witness(hist) is None
+
+    def test_cap_enforced(self):
+        hist = History()
+        for i in range(10):
+            hist.read("p", "x", None)
+        with pytest.raises(ConsistencyViolation):
+            find_sequential_witness(hist, max_events=9)
+
+    def test_none_value_semantics(self):
+        """Reads of never-written keys observe None; the search must
+        distinguish 'absent' from 'None written'."""
+        hist = History()
+        hist.read("p", "x", None)
+        w = hist.write("q", "x", None)
+        witness = find_sequential_witness(hist)
+        assert witness is not None

@@ -1,0 +1,163 @@
+"""Unit tests for the effective-order derivations (Props. 4.7 / 4.8)."""
+
+import pytest
+
+from repro.consistency import (
+    History,
+    commutable_log_free_writes,
+    halfmoon_read_order,
+    halfmoon_write_order,
+    validate_total_order,
+)
+from repro.errors import ConsistencyViolation
+
+
+class TestHalfmoonReadOrder:
+    def test_orders_by_logical_timestamp(self):
+        hist = History(initial_values={"x": 0})
+        late = hist.read("p2", "x", 0, logical_ts=5)   # issued first...
+        early = hist.write("p1", "x", 1, logical_ts=3)  # ...but commits at 3
+        order = halfmoon_read_order(hist)
+        assert order == [early, late]
+
+    def test_write_before_read_at_same_timestamp(self):
+        hist = History(initial_values={"x": 0})
+        r = hist.read("p1", "x", 1, logical_ts=7)
+        w = hist.write("p1", "x", 1, logical_ts=7)
+        order = halfmoon_read_order(hist)
+        assert order == [w, r]
+
+    def test_figure4_scenario_is_sequentially_consistent(self):
+        """The Figure 4 interleaving ordered by logical timestamps."""
+        hist = History(initial_values={"X": "x0", "Y": "y0"})
+        hist.read("F1", "X", "x0", logical_ts=0)          # cursor t0
+        hist.write("F2", "X", "xf2", logical_ts=1)        # t1
+        hist.write("F2", "Y", "yf2", logical_ts=2)        # t2
+        hist.write("F1", "X", "x0*2", logical_ts=3)       # t3
+        hist.read("F1", "Y", "yf2", logical_ts=3)         # cursor t3
+        order = halfmoon_read_order(hist)
+        validate_total_order(hist, order)
+
+    def test_missing_timestamp_rejected(self):
+        hist = History()
+        hist.read("p", "x", 0)  # no logical_ts
+        with pytest.raises(ConsistencyViolation):
+            halfmoon_read_order(hist)
+
+
+class TestHalfmoonWriteOrder:
+    def test_successful_writes_keep_real_time_positions(self):
+        hist = History(initial_values={"x": 0})
+        w1 = hist.write("p1", "x", 1, logical_ts=(1, 1))
+        r = hist.read("p2", "x", 1)
+        w2 = hist.write("p2", "x", 2, logical_ts=(2, 1))
+        assert halfmoon_write_order(hist) == [w1, r, w2]
+
+    def test_rejected_write_moves_before_its_blocker(self):
+        """Figure 6: F1's stale Write(X) is placed immediately before
+        F2's fresher Write(X)."""
+        hist = History(initial_values={"x": 0})
+        fresh = hist.write("F2", "x", "f2", logical_ts=(5, 1))
+        stale = hist.write("F1", "x", "f1", logical_ts=(2, 1),
+                           applied=False)
+        order = halfmoon_write_order(hist)
+        assert order == [stale, fresh]
+        validate_total_order(
+            hist, order, allow_reorder=commutable_log_free_writes
+        )
+
+    def test_duplicate_replay_write_dropped(self):
+        hist = History(initial_values={"x": 0})
+        original = hist.write("p", "x", 1, logical_ts=(3, 1))
+        replay = hist.write("p", "x", 1, logical_ts=(3, 1), applied=False)
+        order = halfmoon_write_order(hist)
+        assert order == [original]
+
+    def test_impossible_rejection_detected(self):
+        """A write rejected with no higher-version successful write is a
+        corruption signal."""
+        hist = History(initial_values={"x": 0})
+        hist.write("p", "x", 1, logical_ts=(9, 9), applied=False)
+        with pytest.raises(ConsistencyViolation):
+            halfmoon_write_order(hist)
+
+    def test_figure8_commuting_writes(self):
+        """Figure 8(a): F1's W(X) is reordered past its own later W(Y) —
+        allowed because consecutive log-free writes to different objects
+        commute; rejected when program order is enforced strictly."""
+        hist = History(initial_values={"X": 0, "Y": 0})
+        wx_f1 = hist.write("F1", "X", "f1x", logical_ts=(0, 1))
+        wy_f1 = hist.write("F1", "Y", "f1y", logical_ts=(0, 2))
+        ry_f2 = hist.read("F2", "Y", "f1y")
+        wx_f2 = hist.write("F2", "X", "f2x", logical_ts=(2, 1))
+        # Redo with F1's W(X) arriving *after* F2's (stale, rejected):
+        hist2 = History(initial_values={"X": 0, "Y": 0})
+        a = hist2.write("F2", "X", "f2x", logical_ts=(2, 1))
+        b = hist2.read("F2", "Y", 0)
+        c = hist2.write("F1", "X", "f1x", logical_ts=(0, 1), applied=False)
+        d = hist2.write("F1", "Y", "f1y", logical_ts=(0, 2))
+        order = halfmoon_write_order(hist2)
+        # F1's W(X) hides before F2's W(X), which precedes F1's W(Y):
+        # F1's program order W(X) < W(Y) survives here, but F2's read of Y
+        # shows the general commuting need; the order must validate under
+        # the relaxed rule either way.
+        validate_total_order(
+            hist2, order, allow_reorder=commutable_log_free_writes
+        )
+        assert order.index(c) < order.index(a)
+
+
+class TestLiveDerivation:
+    """Derive orders from real protocol runs via TracedSession."""
+
+    def test_halfmoon_read_random_interleavings(self):
+        import numpy as np
+        from repro.consistency import TracedSession
+        from tests.conftest import make_runtime
+
+        rng = np.random.default_rng(5)
+        for trial in range(20):
+            runtime = make_runtime("halfmoon-read", seed=trial)
+            runtime.populate("x", 0)
+            runtime.populate("y", 0)
+            hist = History(initial_values={"x": 0, "y": 0})
+            sessions = [
+                TracedSession(runtime.open_session(), hist, f"P{i}").init()
+                for i in range(3)
+            ]
+            for step in range(6):
+                session = sessions[int(rng.integers(3))]
+                key = "x" if rng.random() < 0.5 else "y"
+                if rng.random() < 0.5:
+                    session.read(key)
+                else:
+                    session.write(key, f"{trial}.{step}")
+            order = halfmoon_read_order(hist)
+            validate_total_order(hist, order)
+
+    def test_halfmoon_write_random_interleavings(self):
+        import numpy as np
+        from repro.consistency import TracedSession
+        from tests.conftest import make_runtime
+
+        rng = np.random.default_rng(6)
+        for trial in range(20):
+            runtime = make_runtime("halfmoon-write", seed=trial)
+            runtime.populate("x", 0)
+            runtime.populate("y", 0)
+            hist = History(initial_values={"x": 0, "y": 0})
+            sessions = [
+                TracedSession(runtime.open_session(), hist, f"P{i}").init()
+                for i in range(3)
+            ]
+            for step in range(6):
+                session = sessions[int(rng.integers(3))]
+                key = "x" if rng.random() < 0.5 else "y"
+                if rng.random() < 0.5:
+                    session.read(key)
+                else:
+                    session.write(key, f"{trial}.{step}")
+            order = halfmoon_write_order(hist)
+            validate_total_order(
+                hist, order, allow_reorder=commutable_log_free_writes
+            )

@@ -1,0 +1,54 @@
+"""Unit tests for histories and events."""
+
+from repro.consistency import History, READ, WRITE
+
+
+def test_real_time_counter_increments():
+    hist = History()
+    e1 = hist.read("p1", "x", 1)
+    e2 = hist.write("p2", "x", 2)
+    assert e1.real_time < e2.real_time
+
+
+def test_program_order_filters_by_process():
+    hist = History()
+    hist.read("a", "x", 1)
+    hist.write("b", "x", 2)
+    hist.read("a", "y", 3)
+    program = hist.program_order("a")
+    assert [e.key for e in program] == ["x", "y"]
+
+
+def test_processes_in_first_seen_order():
+    hist = History()
+    hist.read("b", "x", 1)
+    hist.read("a", "x", 1)
+    hist.read("b", "y", 1)
+    assert hist.processes() == ["b", "a"]
+
+
+def test_keys_in_first_seen_order():
+    hist = History()
+    hist.read("p", "y", 1)
+    hist.write("p", "x", 1)
+    hist.read("p", "y", 2)
+    assert hist.keys() == ["y", "x"]
+
+
+def test_by_real_time_sorted():
+    hist = History()
+    events = [hist.read("p", "x", i) for i in range(5)]
+    assert hist.by_real_time() == events
+
+
+def test_brief_marks_rejected_writes():
+    hist = History()
+    e = hist.write("p", "x", 1, applied=False)
+    assert e.brief().endswith("!")
+
+
+def test_len_counts_events():
+    hist = History()
+    hist.read("p", "x", 1)
+    hist.write("p", "x", 2)
+    assert len(hist) == 2

@@ -1,0 +1,72 @@
+"""Unit tests for TracedSession recording."""
+
+import pytest
+
+from repro.consistency import History, TracedSession
+from tests.conftest import make_runtime
+
+
+def test_records_reads_with_cursor_timestamp():
+    runtime = make_runtime("halfmoon-read")
+    runtime.populate("x", 7)
+    history = History(initial_values={"x": 7})
+    session = TracedSession(runtime.open_session(), history, "P").init()
+    cursor = session.env.cursor_ts
+    assert session.read("x") == 7
+    event = history.events[-1]
+    assert event.kind == "read"
+    assert event.logical_ts == cursor
+    assert event.value == 7
+    session.finish()
+
+
+def test_records_write_commit_seqnum_under_halfmoon_read():
+    runtime = make_runtime("halfmoon-read")
+    runtime.populate("x", 0)
+    history = History(initial_values={"x": 0})
+    session = TracedSession(runtime.open_session(), history, "P").init()
+    session.write("x", 1)
+    event = history.events[-1]
+    assert event.kind == "write"
+    assert event.applied is True
+    assert event.logical_ts == session.env.cursor_ts
+    session.finish()
+
+
+def test_records_version_tuple_and_outcome_under_halfmoon_write():
+    runtime = make_runtime("halfmoon-write")
+    runtime.populate("x", 0)
+    history = History(initial_values={"x": 0})
+    stale = TracedSession(runtime.open_session(), history, "S").init()
+    fresh = TracedSession(runtime.open_session(), history, "F").init()
+    fresh.read("x")
+    fresh.write("x", "fresh")
+    stale.write("x", "stale")
+    applied = [e for e in history.events if e.kind == "write"]
+    assert applied[0].applied is True
+    assert applied[1].applied is False
+    assert applied[0].logical_ts > applied[1].logical_ts
+    stale.finish()
+    fresh.finish()
+
+
+def test_process_defaults_to_instance_id():
+    runtime = make_runtime("boki")
+    history = History()
+    session = TracedSession(runtime.open_session(), history)
+    assert session.process == session.env.instance_id
+    session.session.finish()
+
+
+def test_sync_passthrough():
+    runtime = make_runtime("halfmoon-read")
+    runtime.populate("x", 0)
+    history = History(initial_values={"x": 0})
+    session = TracedSession(runtime.open_session(), history, "P").init()
+    before = session.env.cursor_ts
+    other = runtime.open_session().init()
+    other.write("x", 1)
+    other.finish()
+    session.sync()
+    assert session.env.cursor_ts > before
+    session.finish()

@@ -1,0 +1,185 @@
+"""Small-scale runs of every experiment, asserting the paper's shapes.
+
+These are the same harness entry points the benchmarks use, scaled down
+so the whole file runs in well under a minute.  Each test encodes the
+acceptance criteria from DESIGN.md.
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ClusterConfig
+from repro.harness import (
+    crossover_ratio,
+    run_fig10,
+    run_fig12,
+    run_fig13,
+    run_fig14_point,
+    run_recovery_sweep,
+    run_table1,
+)
+
+SMALL = SystemConfig(
+    seed=31, cluster=ClusterConfig(function_nodes=2, workers_per_node=6)
+)
+
+
+class TestTable1:
+    def test_primitive_latencies_match_paper(self):
+        table = run_table1(samples=4_000)
+        log_median = table.lookup({"metric": "median"}, "Log (ms)")
+        read_median = table.lookup({"metric": "median"}, "Read (ms)")
+        write_median = table.lookup({"metric": "median"}, "Write (ms)")
+        assert log_median == pytest.approx(1.18, rel=0.10)
+        assert read_median == pytest.approx(1.88, rel=0.10)
+        assert write_median == pytest.approx(2.47, rel=0.10)
+        # Ordering: log < read < write, at median and at the tail.
+        assert log_median < read_median < write_median
+        p99s = [
+            table.lookup({"metric": "99%-tile"}, col)
+            for col in ("Log (ms)", "Read (ms)", "Write (ms)")
+        ]
+        assert p99s == sorted(p99s)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return run_fig10(requests=600, num_keys=800)
+
+    def median(self, tables, op, system):
+        return tables[op].lookup({"system": system}, "median (ms)")
+
+    def test_read_shape(self, tables):
+        unsafe = self.median(tables, "read", "unsafe")
+        boki = self.median(tables, "read", "boki")
+        hm_read = self.median(tables, "read", "halfmoon-read")
+        hm_write = self.median(tables, "read", "halfmoon-write")
+        # HM-read 20-40% below Boki; HM-write ~= Boki; small overhead
+        # over raw.
+        assert 0.60 <= hm_read / boki <= 0.85
+        assert hm_write == pytest.approx(boki, rel=0.10)
+        assert 1.0 <= hm_read / unsafe <= 1.35
+
+    def test_write_shape(self, tables):
+        unsafe = self.median(tables, "write", "unsafe")
+        boki = self.median(tables, "write", "boki")
+        hm_read = self.median(tables, "write", "halfmoon-read")
+        hm_write = self.median(tables, "write", "halfmoon-write")
+        # HM-write 25-45% below Boki; HM-read ~= Boki (aligned logging).
+        assert 0.50 <= hm_write / boki <= 0.75
+        assert hm_read == pytest.approx(boki, rel=0.12)
+        assert hm_write > unsafe  # conditional update cost remains
+
+    def test_read_overhead_ratio(self, tables):
+        """HM-read's overhead over raw reads is several times below
+        Boki's (paper: 4-5x)."""
+        unsafe = self.median(tables, "read", "unsafe")
+        boki = self.median(tables, "read", "boki")
+        hm_read = self.median(tables, "read", "halfmoon-read")
+        ratio = (boki - unsafe) / max(hm_read - unsafe, 1e-9)
+        assert ratio > 2.0
+
+
+class TestFig12:
+    def test_storage_crossover_slightly_above_half(self):
+        table = run_fig12(
+            value_bytes=256, gc_interval_ms=5_000.0,
+            read_ratios=(0.1, 0.3, 0.5, 0.7, 0.9),
+            config=SMALL, rate_per_s=40.0, duration_ms=12_000.0,
+            num_keys=200,
+        )
+        crossing = crossover_ratio(
+            table, "avg total (KB)", (0.1, 0.3, 0.5, 0.7, 0.9)
+        )
+        assert 0.45 <= crossing <= 0.70
+        # Monotone trends: HM-read shrinks, HM-write grows with reads.
+        hm_read = [
+            table.lookup(
+                {"system": "halfmoon-read", "read ratio": r},
+                "avg total (KB)",
+            ) for r in (0.1, 0.5, 0.9)
+        ]
+        hm_write = [
+            table.lookup(
+                {"system": "halfmoon-write", "read ratio": r},
+                "avg total (KB)",
+            ) for r in (0.1, 0.5, 0.9)
+        ]
+        assert hm_read[0] > hm_read[-1]
+        assert hm_write[0] < hm_write[-1]
+
+    def test_boki_storage_above_best_protocol(self):
+        table = run_fig12(
+            value_bytes=256, gc_interval_ms=5_000.0,
+            read_ratios=(0.1, 0.9), config=SMALL,
+            rate_per_s=40.0, duration_ms=10_000.0, num_keys=200,
+        )
+        for ratio in (0.1, 0.9):
+            boki = table.lookup(
+                {"system": "boki", "read ratio": ratio}, "avg total (KB)"
+            )
+            best = min(
+                table.lookup(
+                    {"system": s, "read ratio": ratio}, "avg total (KB)"
+                )
+                for s in ("halfmoon-read", "halfmoon-write")
+            )
+            assert boki > best
+
+
+class TestFig13:
+    def test_runtime_crossover_near_two_thirds(self):
+        tables = run_fig13(
+            rates=(150.0,), read_ratios=(0.1, 0.3, 0.5, 0.7, 0.9),
+            config=SMALL, duration_ms=5_000.0, num_keys=400,
+        )
+        crossing = crossover_ratio(
+            tables[150.0], "median (ms)", (0.1, 0.3, 0.5, 0.7, 0.9)
+        )
+        assert 0.55 <= crossing <= 0.85
+
+    def test_both_protocols_beat_boki(self):
+        tables = run_fig13(
+            rates=(150.0,), read_ratios=(0.1, 0.9),
+            config=SMALL, duration_ms=5_000.0, num_keys=400,
+        )
+        table = tables[150.0]
+        for ratio in (0.1, 0.9):
+            boki = table.lookup(
+                {"system": "boki", "read ratio": ratio}, "median (ms)"
+            )
+            for system in ("halfmoon-read", "halfmoon-write"):
+                assert table.lookup(
+                    {"system": system, "read ratio": ratio}, "median (ms)"
+                ) < boki
+
+
+class TestFig14:
+    def test_switching_is_subsecond_and_asymmetric_under_load(self):
+        moderate = run_fig14_point(250.0, num_keys=400)
+        heavy = run_fig14_point(600.0, num_keys=400)
+        for result in (moderate, heavy):
+            assert result.delays_ms()
+            assert max(result.delays_ms()) < 1_000.0
+        # Under load, draining the write phase takes longer than the
+        # read phase (write-phase SSFs are slower and more backlogged).
+        to_read_heavy = heavy.delay_for("halfmoon-read")
+        to_write_heavy = heavy.delay_for("halfmoon-write")
+        assert max(to_read_heavy) > max(to_write_heavy)
+        # And the heavy load slows switching relative to moderate load.
+        assert max(heavy.delays_ms()) > max(moderate.delays_ms())
+
+
+class TestRecovery:
+    def test_halfmoon_beats_boki_at_realistic_failure_rates(self):
+        table = run_recovery_sweep(
+            f_values=(0.0, 0.2), read_ratio=0.4,
+            systems=("boki", "halfmoon-write"), requests=150,
+        )
+        for f in (0.0, 0.2):
+            boki = table.lookup({"system": "boki", "f": f}, "mean (ms)")
+            halfmoon = table.lookup(
+                {"system": "halfmoon-write", "f": f}, "mean (ms)"
+            )
+            assert halfmoon < boki

@@ -1,0 +1,77 @@
+"""Logging-layer contention model.
+
+Validates the paper's Section 6.2 remark — "logging is typically not the
+bottleneck of Boki" — and that the model has teeth when the layer is
+made artificially slow.
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ClusterConfig
+from repro.harness import SimPlatform
+from repro.workloads import MixedRatioWorkload
+
+
+def run(contention: bool, sequencer_service_ms: float = 0.02,
+        rate: float = 250.0):
+    config = SystemConfig(
+        seed=4,
+        cluster=ClusterConfig(
+            function_nodes=4, workers_per_node=8,
+            model_log_contention=contention,
+            sequencer_service_ms=sequencer_service_ms,
+        ),
+    )
+    platform = SimPlatform(
+        MixedRatioWorkload(0.5, num_keys=300), "boki", config
+    )
+    result = platform.run(rate, 4_000.0, warmup_ms=800.0)
+    return platform, result
+
+
+def test_logging_layer_is_not_the_bottleneck():
+    """With realistic sequencer/shard service times the added queueing is
+    negligible: per-request log wait well under a millisecond."""
+    platform_off, result_off = run(contention=False)
+    platform_on, result_on = run(contention=True)
+    assert result_on.median_ms == pytest.approx(
+        result_off.median_ms, rel=0.05
+    )
+    per_request_wait = platform_on.log_wait_ms_total / max(
+        result_on.completed, 1
+    )
+    assert per_request_wait < 1.0
+
+
+def test_contention_disabled_tracks_no_waits():
+    platform, _ = run(contention=False)
+    assert platform.log_wait_ms_total == 0.0
+
+
+def test_slow_sequencer_does_bottleneck():
+    """Sanity check that the model is live: a 0.3 ms per-append sequencer
+    cannot sustain ~5000 appends/s and the backlog explodes."""
+    _, fast = run(contention=True, sequencer_service_ms=0.02)
+    _, slow = run(contention=True, sequencer_service_ms=0.3)
+    assert slow.median_ms > fast.median_ms * 3
+
+
+def test_halfmoon_gains_survive_contention_model():
+    """Relative protocol ordering is unchanged with the model on."""
+    def median(protocol):
+        config = SystemConfig(
+            seed=4,
+            cluster=ClusterConfig(
+                function_nodes=4, workers_per_node=8,
+                model_log_contention=True,
+            ),
+        )
+        platform = SimPlatform(
+            MixedRatioWorkload(0.8, num_keys=300), protocol, config
+        )
+        return platform.run(250.0, 4_000.0, warmup_ms=800.0).median_ms
+
+    boki = median("boki")
+    hm_read = median("halfmoon-read")
+    assert hm_read < boki

@@ -1,0 +1,54 @@
+"""Unit tests for the microbenchmark harness itself."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.harness import measure_op_latencies, run_table1
+
+
+def test_measure_returns_read_and_write_recorders():
+    result = measure_op_latencies(
+        "boki", SystemConfig(seed=2), requests=50, num_keys=50
+    )
+    assert set(result) == {"read", "write"}
+    assert result["read"].count == 50
+    assert result["write"].count == 50
+
+
+def test_measurements_are_deterministic():
+    a = measure_op_latencies(
+        "halfmoon-read", SystemConfig(seed=2), requests=40, num_keys=40
+    )
+    b = measure_op_latencies(
+        "halfmoon-read", SystemConfig(seed=2), requests=40, num_keys=40
+    )
+    assert a["read"].samples == b["read"].samples
+    assert a["write"].samples == b["write"].samples
+
+
+def test_different_seeds_differ():
+    a = measure_op_latencies(
+        "boki", SystemConfig(seed=1), requests=40, num_keys=40
+    )
+    b = measure_op_latencies(
+        "boki", SystemConfig(seed=2), requests=40, num_keys=40
+    )
+    assert a["read"].samples != b["read"].samples
+
+
+def test_op_latency_excludes_init_cost():
+    """The measured per-op latencies must be in the range of single
+    operations, not whole invocations."""
+    result = measure_op_latencies(
+        "unsafe", SystemConfig(seed=3), requests=60, num_keys=50
+    )
+    # An unsafe read is one raw DB read: ~1.9 ms median.
+    assert 1.0 < result["read"].median() < 3.0
+    assert 1.5 < result["write"].median() < 4.0
+
+
+def test_table1_row_structure():
+    table = run_table1(samples=500)
+    assert table.column("metric") == ["median", "99%-tile"]
+    assert len(table.headers) == 4
+    assert table.rows[0][1] < table.rows[1][1]  # median < p99

@@ -1,0 +1,120 @@
+"""Unit tests for the DES platform."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ClusterConfig, FailureConfig, GCConfig
+from repro.harness import SimPlatform
+from repro.workloads import MixedRatioWorkload, ReadWriteMicrobench
+
+
+def small_config(**kwargs):
+    return SystemConfig(
+        seed=21,
+        cluster=ClusterConfig(function_nodes=2, workers_per_node=4),
+        **kwargs,
+    )
+
+
+def run_small(protocol="halfmoon-read", rate=100.0, duration=2_000.0,
+              config=None, workload=None, **run_kwargs):
+    platform = SimPlatform(
+        workload if workload is not None
+        else ReadWriteMicrobench(num_keys=100),
+        protocol,
+        config if config is not None else small_config(),
+    )
+    return platform, platform.run(rate, duration, **run_kwargs)
+
+
+def test_throughput_tracks_offered_load():
+    _, result = run_small(rate=100.0, duration=4_000.0)
+    assert result.throughput_per_s == pytest.approx(100.0, rel=0.15)
+    assert result.completed > 300
+
+
+def test_latency_statistics_populated():
+    _, result = run_small()
+    assert 0 < result.median_ms < result.p99_ms
+    assert result.mean_ms > 0
+
+
+def test_storage_gauges_positive():
+    _, result = run_small()
+    assert result.avg_log_bytes > 0
+    assert result.avg_db_bytes > 0
+    assert result.avg_total_bytes == pytest.approx(
+        result.avg_log_bytes + result.avg_db_bytes
+    )
+
+
+def test_warmup_excludes_leading_samples():
+    platform_a, result_a = run_small(duration=3_000.0, warmup_ms=0.0)
+    platform_b, result_b = run_small(duration=3_000.0, warmup_ms=1_500.0)
+    assert result_b.completed < result_a.completed
+
+
+def test_runs_are_deterministic():
+    _, a = run_small()
+    _, b = run_small()
+    assert a.completed == b.completed
+    assert a.median_ms == b.median_ms
+
+
+def test_saturation_raises_latency():
+    # 8 workers; the microbench takes ~8 ms -> capacity ~1000/s.
+    _, light = run_small(rate=200.0, duration=4_000.0)
+    _, heavy = run_small(rate=950.0, duration=4_000.0)
+    assert heavy.median_ms > light.median_ms
+
+
+def test_gc_process_bounds_log_growth():
+    config_gc = small_config(gc=GCConfig(interval_ms=500.0))
+    platform, result = run_small(
+        config=config_gc, duration=4_000.0,
+        workload=MixedRatioWorkload(0.5, num_keys=50),
+        rate=50.0,
+    )
+    no_gc = small_config(gc=GCConfig(interval_ms=500.0, enabled=False))
+    platform2, result2 = run_small(
+        config=no_gc, duration=4_000.0,
+        workload=MixedRatioWorkload(0.5, num_keys=50),
+        rate=50.0,
+    )
+    assert result.avg_log_bytes < result2.avg_log_bytes
+
+
+def test_crash_injection_in_des():
+    from repro.runtime import BernoulliCrashes
+
+    platform = SimPlatform(
+        ReadWriteMicrobench(num_keys=100), "halfmoon-read",
+        small_config(),
+    )
+    platform.runtime.crash_policy = BernoulliCrashes(
+        0.2, platform.runtime.backend.rng.stream("crash"), horizon=10
+    )
+    result = platform.run(100.0, 3_000.0)
+    assert result.crashed_attempts > 0
+    assert result.completed > 0
+
+
+def test_scheduled_action_fires():
+    platform = SimPlatform(
+        ReadWriteMicrobench(num_keys=10), "halfmoon-read", small_config()
+    )
+    fired = []
+    platform.at(500.0, lambda: fired.append(platform.sim.now))
+    platform.run(50.0, 1_000.0)
+    assert fired == [500.0]
+
+
+def test_latency_series_recorded():
+    _, result = run_small()
+    assert len(result.latency_series.points) == result.completed
+
+
+def test_counters_exposed():
+    _, result = run_small(protocol="boki")
+    assert result.counters.get("log_append", 0) > 0
+    assert result.counters.get("db_read", 0) > 0

@@ -1,0 +1,98 @@
+"""Direct assertions on switching behaviour inside the DES platform."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ClusterConfig
+from repro.harness import SimPlatform
+from repro.workloads import MixedRatioWorkload
+
+
+def build_platform(protocol="halfmoon-write", workers=8):
+    config = SystemConfig(
+        seed=37,
+        cluster=ClusterConfig(function_nodes=2, workers_per_node=workers),
+    )
+    platform = SimPlatform(
+        MixedRatioWorkload(0.3, num_keys=200), protocol, config,
+        enable_switching=True,
+    )
+    return platform
+
+
+def test_switch_during_des_traffic_completes():
+    platform = build_platform()
+    platform.at(1_000.0, lambda: platform.runtime.begin_switch(
+        "halfmoon-read"
+    ))
+    result = platform.run(100.0, 3_000.0)
+    manager = platform.runtime.switch_manager
+    assert not manager.in_progress
+    assert manager.current_protocol == "halfmoon-read"
+    assert result.completed > 100
+
+
+def test_switch_history_carries_sim_timestamps():
+    platform = build_platform()
+    platform.at(1_000.0, lambda: platform.runtime.begin_switch(
+        "halfmoon-read"
+    ))
+    platform.run(100.0, 3_000.0)
+    entry = platform.runtime.switch_manager.switch_history[0]
+    assert entry["begin_time_ms"] == pytest.approx(1_000.0, abs=1.0)
+    assert entry["end_time_ms"] > entry["begin_time_ms"]
+    assert entry["delay_ms"] == pytest.approx(
+        entry["end_time_ms"] - entry["begin_time_ms"]
+    )
+
+
+def test_values_survive_des_switch():
+    platform = build_platform()
+    platform.at(1_500.0, lambda: platform.runtime.begin_switch(
+        "halfmoon-read"
+    ))
+    platform.run(120.0, 4_000.0)
+    # Every populated key still resolves through the new protocol.
+    runtime = platform.runtime
+    probe = runtime.open_session().init()
+    workload = platform.workload
+    for i in range(0, 200, 37):
+        value = probe.read(workload.key(i))
+        assert value is not None
+    probe.finish()
+
+
+def test_back_to_back_switches_in_des():
+    platform = build_platform()
+    platform.at(800.0, lambda: platform.runtime.begin_switch(
+        "halfmoon-read"
+    ))
+
+    def second():
+        manager = platform.runtime.switch_manager
+        if not manager.in_progress:
+            platform.runtime.begin_switch("halfmoon-write")
+
+    platform.at(2_000.0, second)
+    platform.run(100.0, 3_500.0)
+    history = platform.runtime.switch_manager.switch_history
+    assert [h["to"] for h in history] == [
+        "halfmoon-read", "halfmoon-write"
+    ]
+
+
+def test_gc_runs_during_switched_traffic():
+    config = SystemConfig(
+        seed=37,
+        cluster=ClusterConfig(function_nodes=2, workers_per_node=8),
+    ).with_gc_interval(500.0)
+    platform = SimPlatform(
+        MixedRatioWorkload(0.3, num_keys=100), "halfmoon-write", config,
+        enable_switching=True,
+    )
+    platform.at(1_000.0, lambda: platform.runtime.begin_switch(
+        "halfmoon-read"
+    ))
+    platform.run(80.0, 3_000.0)
+    assert platform.runtime.gc.stats.scans >= 4
+    assert platform.runtime.gc.stats.total_trimmed() > 0

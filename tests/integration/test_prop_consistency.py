@@ -1,0 +1,102 @@
+"""Property-based consistency tests (Propositions 4.7 and 4.8).
+
+Hypothesis generates random interleavings of concurrent SSFs; the
+recorded history must validate against the protocol's derived effective
+order, and for Halfmoon-read a sequentially consistent witness must
+exist.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LocalRuntime, SystemConfig
+from repro.consistency import (
+    History,
+    TracedSession,
+    commutable_log_free_writes,
+    find_sequential_witness,
+    halfmoon_read_order,
+    halfmoon_write_order,
+    validate_total_order,
+)
+
+KEYS = ("x", "y")
+
+#: An interleaving step: (session index, op kind, key index).
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from(["r", "w"]),
+        st.integers(min_value=0, max_value=len(KEYS) - 1),
+    ),
+    min_size=1,
+    max_size=7,
+)
+
+
+def run_interleaving(protocol, interleaving, seed=17):
+    runtime = LocalRuntime(SystemConfig(seed=seed), protocol=protocol)
+    for key in KEYS:
+        runtime.populate(key, 0)
+    history = History(initial_values={key: 0 for key in KEYS})
+    sessions = {}
+    counter = 0
+    for session_index, kind, key_index in interleaving:
+        if session_index not in sessions:
+            sessions[session_index] = TracedSession(
+                runtime.open_session(), history, f"P{session_index}"
+            ).init()
+        session = sessions[session_index]
+        key = KEYS[key_index]
+        if kind == "r":
+            session.read(key)
+        else:
+            counter += 1
+            session.write(key, counter)
+    return history
+
+
+@given(interleaving=steps)
+@settings(max_examples=60, deadline=None)
+def test_halfmoon_read_is_sequentially_consistent(interleaving):
+    history = run_interleaving("halfmoon-read", interleaving)
+    order = halfmoon_read_order(history)
+    validate_total_order(history, order)
+    # And an SC witness exists for the bare history.
+    if len(history) <= 8:
+        assert find_sequential_witness(history) is not None
+
+
+@given(interleaving=steps)
+@settings(max_examples=60, deadline=None)
+def test_halfmoon_write_order_is_valid(interleaving):
+    history = run_interleaving("halfmoon-write", interleaving)
+    order = halfmoon_write_order(history)
+    validate_total_order(
+        history, order, allow_reorder=commutable_log_free_writes
+    )
+
+
+@given(interleaving=steps)
+@settings(max_examples=40, deadline=None)
+def test_boki_histories_are_sequentially_consistent(interleaving):
+    """The symmetric baseline reads latest and writes conditionally; its
+    histories admit an SC witness too (reads are real-time)."""
+    history = run_interleaving("boki", interleaving)
+    if len(history) <= 8:
+        assert find_sequential_witness(history) is not None
+
+
+@given(interleaving=steps)
+@settings(max_examples=40, deadline=None)
+def test_halfmoon_read_repeatable_reads(interleaving):
+    """Within one SSF, reads of a key with no interleaved own-logging are
+    repeatable: derive from the recorded history."""
+    history = run_interleaving("halfmoon-read", interleaving)
+    for process in history.processes():
+        program = history.program_order(process)
+        for a, b in zip(program, program[1:]):
+            if (a.kind == "read" and b.kind == "read"
+                    and a.key == b.key
+                    and a.logical_ts == b.logical_ts):
+                assert a.value == b.value

@@ -1,0 +1,94 @@
+"""Property-based exactly-once tests.
+
+Hypothesis generates arbitrary operation programs and crash points; for
+every logged protocol the crashed-and-replayed execution must be
+indistinguishable (output and final state) from a crash-free run.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CrashOnceAtEvery, LocalRuntime, SystemConfig
+from tests.conftest import PROTOCOLS
+
+KEYS = ("k0", "k1", "k2")
+
+#: A program is a list of (op, key) pairs; values derive from a counter
+#: so every write is distinguishable.
+programs = st.lists(
+    st.tuples(st.sampled_from(["r", "w"]), st.sampled_from(KEYS)),
+    min_size=1,
+    max_size=6,
+)
+
+crash_points = st.integers(min_value=1, max_value=30)
+
+
+def make_runtime(protocol, crash_policy=None):
+    runtime = LocalRuntime(
+        SystemConfig(seed=99), protocol=protocol,
+        crash_policy=crash_policy,
+    )
+    for key in KEYS:
+        runtime.populate(key, 0)
+
+    def program_fn(ctx, ops):
+        outputs = []
+        counter = 0
+        for kind, key in ops:
+            if kind == "r":
+                outputs.append(ctx.read(key))
+            else:
+                counter += 1
+                ctx.write(key, counter * 1000 + len(outputs))
+        return tuple(outputs)
+
+    runtime.register("program", program_fn)
+    runtime.register(
+        "probe", lambda ctx, inp: tuple(ctx.read(k) for k in KEYS)
+    )
+    return runtime
+
+
+def run_program(protocol, ops, crash_policy=None):
+    runtime = make_runtime(protocol, crash_policy)
+    result = runtime.invoke("program", list(ops))
+    state = runtime.invoke("probe").output
+    return result.output, state
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@given(ops=programs, crash_at=crash_points)
+@settings(max_examples=40, deadline=None)
+def test_crashed_run_equals_clean_run(protocol, ops, crash_at):
+    clean_output, clean_state = run_program(protocol, ops)
+    crashed_output, crashed_state = run_program(
+        protocol, ops, CrashOnceAtEvery(crash_at)
+    )
+    assert crashed_output == clean_output
+    assert crashed_state == clean_state
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@given(ops=programs)
+@settings(max_examples=25, deadline=None)
+def test_full_replay_leaves_state_untouched(protocol, ops):
+    """Replaying a *completed* invocation (zombie instance) must change
+    neither the state nor the step log."""
+    runtime = make_runtime(protocol)
+    result = runtime.invoke("program", list(ops))
+    state_before = runtime.invoke("probe").output
+    appends_before = runtime.backend.log.append_count
+    writes_before = runtime.backend.kv.write_count
+
+    replayed = runtime.invoke(
+        "program", list(ops), instance_id=result.instance_id
+    )
+    assert replayed.output == result.output
+    # Check log growth before probing (the probe itself logs its reads).
+    assert runtime.backend.log.append_count == appends_before
+    assert runtime.invoke("probe").output == state_before
+    # Halfmoon-write re-issues conditional updates on replay (they are
+    # rejected); the others skip the store entirely.
+    if protocol != "halfmoon-write":
+        assert runtime.backend.kv.write_count == writes_before

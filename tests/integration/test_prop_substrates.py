@@ -1,0 +1,112 @@
+"""Property-based tests of the substrate invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sharedlog import SharedLog
+from repro.store import GENESIS_VERSION, KVStore
+
+TAGS = ("a", "b", "c")
+
+log_ops = st.lists(
+    st.tuples(
+        st.sets(st.sampled_from(TAGS), min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=512),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(ops=log_ops)
+@settings(max_examples=60, deadline=None)
+def test_shared_log_matches_reference_model(ops):
+    """read_prev/read_next agree with a naive reference implementation."""
+    log = SharedLog()
+    reference = []  # (seqnum, tags)
+    for tags, payload in ops:
+        seqnum = log.append(sorted(tags), {"p": payload}, payload)
+        reference.append((seqnum, tags))
+
+    max_seq = log.tail_seqnum
+    for tag in TAGS:
+        tagged = [s for s, tags in reference if tag in tags]
+        for probe in range(0, max_seq + 2):
+            expected_prev = max(
+                (s for s in tagged if s <= probe), default=None
+            )
+            record = log.read_prev(tag, probe)
+            assert (record.seqnum if record else None) == expected_prev
+            expected_next = min(
+                (s for s in tagged if s >= probe), default=None
+            )
+            record = log.read_next(tag, probe)
+            assert (record.seqnum if record else None) == expected_next
+
+
+@given(ops=log_ops, trim_fraction=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_storage_accounting_is_exact(ops, trim_fraction):
+    log = SharedLog(meta_bytes=48)
+    for tags, payload in ops:
+        log.append(sorted(tags), {"p": payload}, payload)
+    # Trim a prefix of one tag.
+    horizon = int(log.tail_seqnum * trim_fraction)
+    log.trim("a", horizon)
+    # Recompute expected storage from live records.
+    expected = sum(
+        48 + record.payload_bytes
+        for seq in range(1, log.tail_seqnum + 1)
+        for record in [log._records.get(seq)]
+        if record is not None
+    )
+    assert log.storage_bytes() == expected
+
+
+version_tuples = st.tuples(
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=5),
+)
+
+
+@given(writes=st.lists(version_tuples, min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_conditional_put_version_is_monotone(writes):
+    """However conditional writes interleave, the stored version never
+    decreases and equals the running max of accepted versions."""
+    kv = KVStore()
+    accepted_max = None
+    for version in writes:
+        applied = kv.conditional_put("k", version, version)
+        if accepted_max is None or version > accepted_max:
+            assert applied
+            accepted_max = version
+        else:
+            assert not applied
+        _, stored = kv.get_with_version("k")
+        assert stored == accepted_max
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.sampled_from(["x", "y"]), st.text("ab", min_size=1,
+                                                       max_size=4),
+                  st.integers()),
+        min_size=1, max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_multiversion_store_never_loses_versions(entries):
+    from repro.store import MultiVersionStore
+
+    mv = MultiVersionStore(KVStore())
+    expected = {}
+    for key, version, value in entries:
+        mv.write_version(key, version, value)
+        expected[(key, version)] = value
+    for (key, version), value in expected.items():
+        assert mv.read_version(key, version) == value
+    for key in {k for k, _ in expected}:
+        assert sorted(mv.list_versions(key)) == sorted(
+            {v for k, v in expected if k == key}
+        )

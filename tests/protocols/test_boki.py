@@ -1,0 +1,100 @@
+"""Unit tests for the symmetric (Boki-style) baseline protocol."""
+
+import pytest
+
+from repro.runtime import instance_tag
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def runtime():
+    rt = make_runtime("boki")
+    rt.populate("X", "x0")
+    rt.populate("Y", "y0")
+    return rt
+
+
+def test_reads_and_writes_both_logged(runtime):
+    session = runtime.open_session().init()
+    before = runtime.backend.log.append_count
+    session.read("X")
+    assert runtime.backend.log.append_count == before + 1
+    session.write("X", "x1")
+    assert runtime.backend.log.append_count == before + 3  # intent+commit
+    session.finish()
+
+
+def test_step_log_order(runtime):
+    session = runtime.open_session().init()
+    session.read("X")
+    session.write("Y", "y1")
+    ops = [
+        r["op"] for r in runtime.backend.log.read_stream(
+            instance_tag(session.env.instance_id)
+        )
+    ]
+    assert ops == ["init", "read", "write-intent", "write"]
+    session.finish()
+
+
+def test_reads_see_latest(runtime):
+    a = runtime.open_session().init()
+    b = runtime.open_session().init()
+    b.write("X", "newer")
+    assert a.read("X") == "newer"
+    a.finish()
+    b.finish()
+
+
+def test_replayed_read_recovers_logged_value(runtime):
+    session = runtime.open_session().init()
+    assert session.read("X") == "x0"
+    other = runtime.open_session().init()
+    other.write("X", "changed")
+    other.finish()
+    replay = session.replay().init()
+    assert replay.read("X") == "x0"
+    replay.finish()
+
+
+def test_replayed_write_not_duplicated(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    writes = runtime.backend.kv.write_count
+    replay = session.replay().init()
+    replay.write("X", "x1")
+    assert runtime.backend.kv.write_count == writes
+    replay.finish()
+
+
+def test_write_is_conditional_on_intent_version(runtime):
+    """A replayed Boki write that raced with a newer write must lose the
+    conditional update."""
+    from repro.errors import CrashError
+
+    state = {"arm": False}
+
+    def hook(label):
+        if state["arm"] and label.startswith("log_cond_append:pre"):
+            state["arm"] = False
+            raise CrashError()
+
+    session = runtime.open_session(fault_hook=hook).init()
+    # Crash after the conditional DB write but before the commit record.
+    state["arm"] = False
+    session.write("X", "mine")          # completes fully
+    other = runtime.open_session().init()
+    other.write("X", "newer")           # newer intent seqnum wins
+    other.finish()
+    replay = session.replay().init()
+    replay.write("X", "mine")           # replays; commit record exists
+    assert runtime.backend.kv.get("X") == "newer"
+    replay.finish()
+
+
+def test_boki_is_single_version(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    session.write("X", "x2")
+    assert runtime.backend.mv.list_versions("X") == ["genesis"]
+    session.finish()

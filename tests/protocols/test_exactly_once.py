@@ -1,0 +1,143 @@
+"""Exhaustive exactly-once verification.
+
+For every logged protocol and several workload shapes, crash the first
+attempt at *every* checkpoint in turn and verify that the re-executed
+invocation produces exactly the effects of a single crash-free run: same
+return value, same externally visible state, no duplicated updates.
+"""
+
+import pytest
+
+from repro import CrashOnceAtEvery, LocalRuntime, ScriptedCrashes, SystemConfig
+from tests.conftest import PROTOCOLS, make_runtime
+
+MAX_CHECKPOINTS = 80
+
+
+def read_modify_write(ctx, inp):
+    value = ctx.read("X")
+    ctx.write("X", value + 1)
+    y = ctx.read("Y")
+    ctx.write("Y", y + value + 1)
+    return (value, y)
+
+
+def write_only(ctx, inp):
+    ctx.write("X", inp)
+    ctx.write("Y", inp * 2)
+    ctx.write("X", inp + 1)
+    return inp
+
+
+def chained_workflow(ctx, inp):
+    first = ctx.invoke("step1", inp)
+    second = ctx.invoke("step2", first)
+    return second
+
+
+def step1(ctx, inp):
+    value = ctx.read("X")
+    ctx.write("X", value + inp)
+    return value + inp
+
+
+def step2(ctx, inp):
+    value = ctx.read("Y")
+    ctx.write("Y", value + inp)
+    return value + inp
+
+
+WORKLOADS = {
+    "read-modify-write": (read_modify_write, 7),
+    "write-only": (write_only, 7),
+    "workflow": (chained_workflow, 7),
+}
+
+
+def build(protocol, crash_policy=None, seed=77):
+    runtime = LocalRuntime(
+        SystemConfig(seed=seed), protocol=protocol,
+        crash_policy=crash_policy,
+    )
+    runtime.populate("X", 100)
+    runtime.populate("Y", 1000)
+    for name, (fn, _) in WORKLOADS.items():
+        runtime.register(name, fn)
+    runtime.register("step1", step1)
+    runtime.register("step2", step2)
+    runtime.register(
+        "probe", lambda ctx, inp: (ctx.read("X"), ctx.read("Y"))
+    )
+    return runtime
+
+
+def reference_run(protocol, workload):
+    fn, inp = WORKLOADS[workload]
+    runtime = build(protocol)
+    result = runtime.invoke(workload, inp)
+    state = runtime.invoke("probe").output
+    return result.output, state
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_crash_at_every_checkpoint(protocol, workload):
+    expected_output, expected_state = reference_run(protocol, workload)
+    fired_any = False
+    for checkpoint in range(1, MAX_CHECKPOINTS):
+        policy = CrashOnceAtEvery(checkpoint)
+        runtime = build(protocol, crash_policy=policy)
+        _, inp = WORKLOADS[workload]
+        result = runtime.invoke(workload, inp)
+        state = runtime.invoke("probe").output
+        assert result.output == expected_output, (
+            f"{protocol}/{workload}: output diverged at checkpoint "
+            f"{checkpoint}"
+        )
+        assert state == expected_state, (
+            f"{protocol}/{workload}: state diverged at checkpoint "
+            f"{checkpoint}"
+        )
+        if policy.crashes_fired == 0:
+            fired_any = checkpoint > 1
+            break
+    assert fired_any, "the sweep never exhausted the checkpoint range"
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_double_crash_still_exactly_once(protocol):
+    expected_output, expected_state = reference_run(
+        protocol, "read-modify-write"
+    )
+    for first in range(2, 14, 3):
+        for second in range(2, 14, 4):
+            runtime = build(
+                protocol,
+                crash_policy=ScriptedCrashes({1: first, 2: second}),
+            )
+            result = runtime.invoke("read-modify-write", 7)
+            state = runtime.invoke("probe").output
+            assert result.output == expected_output
+            assert state == expected_state
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_concurrent_traffic_with_crashes(protocol):
+    """Crashing invocations interleaved with clean ones on shared keys:
+    the final counter equals the number of increments."""
+    runtime = build(protocol, crash_policy=None)
+
+    def increment(ctx, inp):
+        ctx.write("X", ctx.read("X") + 1)
+        return None
+
+    runtime.register("increment", increment)
+    crash_points = {1: 4, 3: 6, 5: 3, 7: 9}
+    for i in range(10):
+        runtime.crash_policy = (
+            ScriptedCrashes({1: crash_points[i]})
+            if i in crash_points else ScriptedCrashes({})
+        )
+        runtime.invoke("increment")
+    probe = runtime.invoke("probe")
+    assert probe.output[0] == 110  # 100 + 10 increments exactly-once

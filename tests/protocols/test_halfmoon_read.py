@@ -1,0 +1,182 @@
+"""Unit tests for the Halfmoon-read protocol (Figure 5, Section 4.1)."""
+
+import pytest
+
+from repro import LocalRuntime, ProtocolConfig, SystemConfig
+from repro.errors import KeyMissingError
+from repro.runtime import Cost, instance_tag, object_tag
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def runtime():
+    rt = make_runtime("halfmoon-read")
+    rt.populate("X", "x0")
+    rt.populate("Y", "y0")
+    return rt
+
+
+def test_reads_are_log_free(runtime):
+    """A read appends nothing: the log's record count is unchanged."""
+    session = runtime.open_session().init()
+    appends_before = runtime.backend.log.append_count
+    assert session.read("X") == "x0"
+    assert session.read("Y") == "y0"
+    assert runtime.backend.log.append_count == appends_before
+    session.finish()
+
+
+def test_read_does_not_advance_step(runtime):
+    session = runtime.open_session().init()
+    session.read("X")
+    assert session.env.step == 0  # log-free reads occupy no step
+
+
+def test_write_creates_version_and_commit_record(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    records = runtime.backend.log.read_stream(object_tag("X"))
+    assert records[-1]["op"] == "write"
+    version = records[-1]["version"]
+    assert runtime.backend.mv.read_version("X", version) == "x1"
+    session.finish()
+
+
+def test_write_logs_twice_in_prototype_mode(runtime):
+    """Aligned with Boki: one intent record plus one commit record."""
+    session = runtime.open_session().init()
+    before = runtime.backend.log.append_count
+    session.write("X", "x1")
+    assert runtime.backend.log.append_count == before + 2
+    steps = [
+        r["op"] for r in runtime.backend.log.read_stream(
+            instance_tag(session.env.instance_id)
+        )
+    ]
+    assert steps == ["init", "write-intent", "write"]
+
+
+def test_deterministic_version_mode_logs_once():
+    config = SystemConfig(
+        protocol=ProtocolConfig(align_write_logging_with_boki=False)
+    )
+    runtime = LocalRuntime(config, protocol="halfmoon-read")
+    runtime.populate("X", "x0")
+    session = runtime.open_session().init()
+    before = runtime.backend.log.append_count
+    session.write("X", "x1")
+    assert runtime.backend.log.append_count == before + 1
+    record = runtime.backend.log.read_stream(object_tag("X"))[-1]
+    # Deterministic version: instance id + step.
+    assert record["version"] == f"{session.env.instance_id}.1"
+    session.finish()
+
+
+def test_read_seeks_backward_from_cursor(runtime):
+    """The Figure 4 guarantee: a stale cursor pins a stale snapshot."""
+    reader = runtime.open_session().init()
+    writer = runtime.open_session().init()
+    writer.write("X", "newer")
+    # The reader's cursorTS predates the write: it must not see it.
+    assert reader.read("X") == "x0"
+    # After the reader logs something (a write), its cursor advances.
+    reader.write("Y", "y1")
+    assert reader.read("X") == "newer"
+    reader.finish()
+    writer.finish()
+
+
+def test_writes_visible_to_later_ssfs(runtime):
+    first = runtime.open_session().init()
+    first.write("X", "x1")
+    first.finish()
+    second = runtime.open_session().init()
+    assert second.read("X") == "x1"
+    second.finish()
+
+
+def test_read_of_never_written_key_raises(runtime):
+    session = runtime.open_session().init()
+    with pytest.raises(KeyMissingError):
+        session.read("unknown-key")
+
+
+def test_commit_logging_happens_after_dbwrite(runtime):
+    """The commit record must never expose a version that is not yet in
+    the store (Section 4.1 mandates logging after DBWrite)."""
+    from repro.errors import CrashError
+
+    # Crash exactly between DBWrite and the commit append: the version
+    # exists but is not exposed; a concurrent reader sees the old value.
+    # Checkpoint order within write(): intent cond_append, db_write_version
+    # (pre/post), commit cond_append — so the crash targets the *second*
+    # cond_append after arming.
+    state = {"armed": False, "cond_appends": 0}
+
+    def hook(label):
+        if not state["armed"]:
+            return
+        if label == "log_cond_append:pre":
+            state["cond_appends"] += 1
+            if state["cond_appends"] == 2:
+                raise CrashError()
+
+    writer = runtime.open_session(fault_hook=hook).init()
+    state["armed"] = True  # arm after init's own append
+    with pytest.raises(CrashError):
+        writer.write("X", "x1")
+    # The version was installed in the store but never committed.
+    assert len(runtime.backend.mv.list_versions("X")) == 2
+
+    reader = runtime.open_session().init()
+    assert reader.read("X") == "x0"  # uncommitted write invisible
+    reader.finish()
+
+    # The replay commits the same version exactly once.
+    replay = writer.replay().init()
+    replay.write("X", "x1")
+    replay.finish()
+    probe = runtime.open_session().init()
+    assert probe.read("X") == "x1"
+    versions = runtime.backend.mv.list_versions("X")
+    assert len(versions) == 2  # genesis + exactly one new version
+
+
+def test_replayed_write_skips_db_and_log(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    writes_before = runtime.backend.kv.write_count
+    appends_before = runtime.backend.log.append_count
+
+    replay = session.replay().init()
+    replay.write("X", "x1")
+    assert runtime.backend.kv.write_count == writes_before
+    assert runtime.backend.log.append_count == appends_before
+    session.finish()
+
+
+def test_version_numbers_unordered_but_log_ordered(runtime):
+    """Version numbers are opaque pointers; the write log is the order."""
+    for value in ["a", "b", "c"]:
+        session = runtime.open_session().init()
+        session.write("X", value)
+        session.finish()
+    records = runtime.backend.log.read_stream(object_tag("X"))
+    ordered_values = [
+        runtime.backend.mv.read_version("X", r["version"])
+        for r in records
+    ]
+    assert ordered_values == ["x0", "a", "b", "c"]
+
+
+def test_snapshot_reads_within_one_ssf_are_stable(runtime):
+    """Two reads of the same object with no interleaved logging return
+    the same value even if another SSF wrote in between (repeatable
+    reads at a fixed cursor)."""
+    reader = runtime.open_session().init()
+    assert reader.read("X") == "x0"
+    other = runtime.open_session().init()
+    other.write("X", "x1")
+    other.finish()
+    assert reader.read("X") == "x0"
+    reader.finish()

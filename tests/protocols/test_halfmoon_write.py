@@ -1,0 +1,204 @@
+"""Unit tests for the Halfmoon-write protocol (Figure 7, Section 4.2)."""
+
+import pytest
+
+from repro import LocalRuntime, ProtocolConfig, SystemConfig
+from repro.runtime import instance_tag
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def runtime():
+    rt = make_runtime("halfmoon-write")
+    rt.populate("X", "x0")
+    rt.populate("Y", "y0")
+    rt.populate("Z", "z0")
+    return rt
+
+
+def test_writes_are_log_free(runtime):
+    session = runtime.open_session().init()
+    before = runtime.backend.log.append_count
+    session.write("X", "x1")
+    session.write("Y", "y1")
+    assert runtime.backend.log.append_count == before
+    assert runtime.backend.kv.get("X") == "x1"
+    session.finish()
+
+
+def test_reads_are_logged_with_data(runtime):
+    session = runtime.open_session().init()
+    session.read("X")
+    records = runtime.backend.log.read_stream(
+        instance_tag(session.env.instance_id)
+    )
+    assert records[-1]["op"] == "read"
+    assert records[-1]["data"] == "x0"
+    session.finish()
+
+
+def test_read_log_is_private_to_instance(runtime):
+    """No per-object read log: the record carries only the instance tag."""
+    session = runtime.open_session().init()
+    session.read("X")
+    records = runtime.backend.log.read_stream(
+        instance_tag(session.env.instance_id)
+    )
+    read_record = records[-1]
+    assert read_record.tags == (instance_tag(session.env.instance_id),)
+
+
+def test_reads_always_see_latest(runtime):
+    a = runtime.open_session().init()
+    b = runtime.open_session().init()
+    b.write("X", "from-b")
+    assert a.read("X") == "from-b"  # real-time reads, unlike HM-read
+    a.finish()
+    b.finish()
+
+
+def test_version_tuple_structure(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    _, version = runtime.backend.kv.get_with_version("X")
+    assert version == (session.env.cursor_ts, 1)
+    session.write("X", "x2")
+    _, version = runtime.backend.kv.get_with_version("X")
+    assert version == (session.env.cursor_ts, 2)
+    session.finish()
+
+
+def test_counter_resets_on_read(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    session.write("X", "x2")
+    assert session.env.consecutive_writes == 2
+    session.read("Y")
+    assert session.env.consecutive_writes == 0
+    session.write("X", "x3")
+    _, version = runtime.backend.kv.get_with_version("X")
+    assert version[1] == 1  # counter restarted after the read
+    session.finish()
+
+
+def test_stale_write_loses_conditional_update(runtime):
+    """The Figure 6 scenario: a writer with an older cursor must not
+    overwrite a fresher writer's value."""
+    f1 = runtime.open_session().init()   # older cursor
+    f2 = runtime.open_session().init()
+    f2.read("Y")                          # f2's cursor advances
+    f2.write("X", "from-f2")
+    f1.write("X", "from-f1")              # older version: rejected
+    assert runtime.backend.kv.get("X") == "from-f2"
+    f1.finish()
+    f2.finish()
+
+
+def test_fresher_write_wins(runtime):
+    f1 = runtime.open_session().init()
+    f2 = runtime.open_session().init()
+    f2.write("Z", "from-f2")
+    f1.read("Y")                          # f1 is now at least as fresh
+    f1.write("Z", "from-f1")
+    assert runtime.backend.kv.get("Z") == "from-f1"
+    f1.finish()
+    f2.finish()
+
+
+def test_replayed_write_is_rejected_not_duplicated(runtime):
+    session = runtime.open_session().init()
+    session.read("Y")
+    session.write("X", "mine")
+    # Another SSF with a fresher cursor overwrites.
+    other = runtime.open_session().init()
+    other.read("Y")
+    other.write("X", "fresher")
+    other.finish()
+    # The first SSF replays: its write must not clobber the fresher value.
+    replay = session.replay().init()
+    replay.read("Y")   # replayed from the step log, cursor restored
+    replay.write("X", "mine")
+    assert runtime.backend.kv.get("X") == "fresher"
+    replay.finish()
+
+
+def test_replayed_read_returns_logged_value_not_current(runtime):
+    session = runtime.open_session().init()
+    assert session.read("X") == "x0"
+    other = runtime.open_session().init()
+    other.write("X", "changed")
+    other.finish()
+    replay = session.replay().init()
+    assert replay.read("X") == "x0"  # recovered from the read log
+    replay.finish()
+
+
+def test_replayed_read_does_not_relog(runtime):
+    session = runtime.open_session().init()
+    session.read("X")
+    appends = runtime.backend.log.append_count
+    replay = session.replay().init()
+    replay.read("X")
+    assert runtime.backend.log.append_count == appends
+
+
+class TestOrderedWriteExtension:
+    @pytest.fixture
+    def ordered_runtime(self):
+        config = SystemConfig(
+            protocol=ProtocolConfig(preserve_consecutive_write_order=True)
+        )
+        rt = LocalRuntime(config, protocol="halfmoon-write")
+        rt.populate("X", "x0")
+        rt.populate("Y", "y0")
+        return rt
+
+    def test_barrier_between_writes_to_different_objects(
+        self, ordered_runtime
+    ):
+        session = ordered_runtime.open_session().init()
+        before = ordered_runtime.backend.log.append_count
+        session.write("X", "x1")
+        session.write("Y", "y1")  # different object: barrier logged
+        assert ordered_runtime.backend.log.append_count == before + 1
+        session.finish()
+
+    def test_no_barrier_for_same_object_runs(self, ordered_runtime):
+        session = ordered_runtime.open_session().init()
+        before = ordered_runtime.backend.log.append_count
+        session.write("X", "x1")
+        session.write("X", "x2")
+        session.write("X", "x3")
+        assert ordered_runtime.backend.log.append_count == before
+        session.finish()
+
+    def test_no_barrier_after_read(self, ordered_runtime):
+        session = ordered_runtime.open_session().init()
+        session.write("X", "x1")
+        session.read("Y")  # the read's log record is the barrier
+        before = ordered_runtime.backend.log.append_count
+        session.write("Y", "y1")
+        assert ordered_runtime.backend.log.append_count == before
+        session.finish()
+
+    def test_barrier_orders_cross_object_writes(self, ordered_runtime):
+        """With the extension, the second write's version exceeds the
+        first's cursor, so the pair cannot commute."""
+        session = ordered_runtime.open_session().init()
+        session.write("X", "x1")
+        _, vx = ordered_runtime.backend.kv.get_with_version("X")
+        session.write("Y", "y1")
+        _, vy = ordered_runtime.backend.kv.get_with_version("Y")
+        assert vy[0] > vx[0]  # strictly ordered by cursor
+        session.finish()
+
+    def test_barrier_replay_is_stable(self, ordered_runtime):
+        session = ordered_runtime.open_session().init()
+        session.write("X", "x1")
+        session.write("Y", "y1")
+        appends = ordered_runtime.backend.log.append_count
+        replay = session.replay().init()
+        replay.write("X", "x1")
+        replay.write("Y", "y1")
+        assert ordered_runtime.backend.log.append_count == appends
+        session.finish()

@@ -1,0 +1,145 @@
+"""Unit tests for workflow invocation (Figure 5's Invoke, shared logic)."""
+
+import pytest
+
+from repro import LocalRuntime, ScriptedCrashes, SystemConfig
+from repro.runtime import instance_tag
+from tests.conftest import make_runtime
+
+
+def build_workflow(runtime):
+    runtime.populate("total", 0)
+    calls = {"child": 0}
+
+    def child(ctx, inp):
+        calls["child"] += 1
+        value = ctx.read("total")
+        ctx.write("total", value + inp)
+        return value + inp
+
+    def parent(ctx, inp):
+        first = ctx.invoke("child", inp)
+        second = ctx.invoke("child", inp * 10)
+        return (first, second)
+
+    runtime.register("child", child)
+    runtime.register("parent", parent)
+    return calls
+
+
+def test_workflow_composition(runtime):
+    build_workflow(runtime)
+    result = runtime.invoke("parent", 1)
+    assert result.output == (1, 11)
+    probe = runtime.open_session().init()
+    assert probe.read("total") == 11
+    probe.finish()
+
+
+def test_invoke_logs_intent_and_result(runtime):
+    build_workflow(runtime)
+    result = runtime.invoke("parent", 1)
+    ops = [
+        r["op"] for r in runtime.backend.log.read_stream(
+            instance_tag(result.instance_id)
+        )
+    ]
+    assert ops == [
+        "init", "invoke-intent", "invoke", "invoke-intent", "invoke",
+    ]
+
+
+def test_child_latency_charged_to_parent(runtime):
+    build_workflow(runtime)
+    result = runtime.invoke("parent", 1)
+    # The parent's latency must exceed the children's bare operations.
+    assert result.latency_ms > 5.0
+
+
+def test_parent_crash_does_not_duplicate_children(protocol_name):
+    """Crash the parent between the two invokes: the completed child must
+    not run again, and the state reflects exactly one increment each."""
+    calls_per_checkpoint = {}
+    # Sweep the parent's crash point over a wide range of checkpoints.
+    for checkpoint in range(1, 40):
+        runtime = make_runtime(protocol_name)
+        calls = build_workflow(runtime)
+        # Only the parent instance should crash, so filter on it: the
+        # parent is the only top-level invocation (children have ids from
+        # the parent's intent records, but the policy sees them too).
+        # Instead: crash globally at attempt 1; children run under
+        # attempt 1 of their own invocations and may crash too, which is
+        # still a valid execution — exactly-once must hold regardless.
+        runtime.crash_policy = ScriptedCrashes({1: checkpoint})
+        result = runtime.invoke("parent", 1)
+        assert result.output == (1, 11), f"checkpoint {checkpoint}"
+        probe = runtime.open_session().init()
+        assert probe.read("total") == 11, f"checkpoint {checkpoint}"
+        probe.finish()
+        calls_per_checkpoint[checkpoint] = calls["child"]
+    # The child body may re-execute (replay), but its *effects* were
+    # verified exactly-once above.
+    assert max(calls_per_checkpoint.values()) >= 1
+
+
+def test_replayed_parent_skips_completed_invokes(runtime):
+    calls = build_workflow(runtime)
+    result = runtime.invoke("parent", 1)
+    executed_first_time = calls["child"]
+
+    # Manually replay the whole parent (simulating a zombie retry).
+    session = runtime.open_session(
+        instance_id=result.instance_id
+    ).init()
+    first = session.invoke("child", 1)
+    second = session.invoke("child", 10)
+    assert (first, second) == (1, 11)
+    assert calls["child"] == executed_first_time  # bodies not re-run
+    session.finish()
+
+
+def test_nested_workflows(runtime):
+    runtime.populate("total", 0)
+
+    def leaf(ctx, inp):
+        value = ctx.read("total")
+        ctx.write("total", value + 1)
+        return value + 1
+
+    def mid(ctx, inp):
+        return ctx.invoke("leaf")
+
+    def top(ctx, inp):
+        a = ctx.invoke("mid")
+        b = ctx.invoke("mid")
+        return (a, b)
+
+    runtime.register("leaf", leaf)
+    runtime.register("mid", mid)
+    runtime.register("top", top)
+    result = runtime.invoke("top")
+    assert result.output == (1, 2)
+
+
+def test_callee_ids_stable_across_replay(runtime):
+    build_workflow(runtime)
+    result = runtime.invoke("parent", 1)
+    records = runtime.backend.log.read_stream(
+        instance_tag(result.instance_id)
+    )
+    callees = [
+        r["callee"] for r in records if r["op"] == "invoke-intent"
+    ]
+    assert len(callees) == 2
+    assert callees[0] != callees[1]
+    # A replay reuses the same callee ids (pinned by the intent records).
+    session = runtime.open_session(instance_id=result.instance_id).init()
+    session.invoke("child", 1)
+    records_after = runtime.backend.log.read_stream(
+        instance_tag(result.instance_id)
+    )
+    callees_after = [
+        r["callee"] for r in records_after if r["op"] == "invoke-intent"
+    ]
+    assert callees_after == callees
+    session.finish()

@@ -1,0 +1,151 @@
+"""Tests for the Section 7 optional features: opportunistic read
+checkpointing (recovery speed-up) and read-only object hints."""
+
+import pytest
+
+from repro import (
+    CrashOnceAtEvery,
+    LocalRuntime,
+    ProtocolConfig,
+    SystemConfig,
+)
+from repro.errors import ProtocolError
+from repro.runtime import Cost, checkpoint_tag
+from tests.conftest import make_runtime
+
+
+def checkpointing_runtime(crash_policy=None):
+    config = SystemConfig(
+        seed=3,
+        protocol=ProtocolConfig(checkpoint_log_free_reads=True),
+    )
+    runtime = LocalRuntime(config, protocol="halfmoon-read",
+                           crash_policy=crash_policy)
+    runtime.populate("X", "x0")
+    runtime.populate("Y", "y0")
+    return runtime
+
+
+class TestReadCheckpointing:
+    def test_checkpoints_written_to_own_stream(self):
+        runtime = checkpointing_runtime()
+        session = runtime.open_session().init()
+        session.read("X")
+        session.read("Y")
+        records = runtime.backend.log.read_stream(
+            checkpoint_tag(session.env.instance_id)
+        )
+        assert [r["idx"] for r in records] == [0, 1]
+        assert [r["data"] for r in records] == ["x0", "y0"]
+        session.finish()
+
+    def test_checkpoints_cost_no_latency(self):
+        # Degenerate latency distributions make the comparison exact.
+        from dataclasses import replace
+
+        from tests.conftest import deterministic_config
+
+        def build(checkpointing):
+            config = replace(
+                deterministic_config(),
+                protocol=ProtocolConfig(
+                    checkpoint_log_free_reads=checkpointing
+                ),
+            )
+            runtime = LocalRuntime(config, protocol="halfmoon-read")
+            runtime.populate("X", "x0")
+            runtime.register("r", lambda ctx, inp: ctx.read("X"))
+            return runtime
+
+        plain = build(False)
+        with_ckpt = build(True)
+        baseline = plain.invoke("r").latency_ms
+        checkpointed = with_ckpt.invoke("r").latency_ms
+        assert checkpointed == pytest.approx(baseline, rel=1e-6)
+        assert with_ckpt.backend.counters.get(
+            Cost.LOG_APPEND_BACKGROUND
+        ) == 1
+
+    def test_replay_recovers_reads_from_checkpoints(self):
+        runtime = checkpointing_runtime()
+        session = runtime.open_session().init()
+        assert session.read("X") == "x0"
+        # Replay: the read must come from the checkpoint, not a fresh
+        # version lookup.
+        log_reads_before = runtime.backend.counters.get(Cost.LOG_READ)
+        replay = session.replay().init()
+        assert replay.read("X") == "x0"
+        log_reads_after = runtime.backend.counters.get(Cost.LOG_READ)
+        # init loads step log + checkpoint stream (2 reads); the read
+        # itself does no logReadPrev.
+        assert log_reads_after - log_reads_before == 2
+        session.finish()
+
+    def test_exactly_once_with_checkpointing(self):
+        def fn(ctx, inp):
+            a = ctx.read("X")
+            ctx.write("X", a + "!")
+            b = ctx.read("Y")
+            return (a, b)
+
+        reference = None
+        for crash_at in range(0, 25):
+            policy = CrashOnceAtEvery(crash_at) if crash_at else None
+            runtime = checkpointing_runtime(policy)
+            runtime.register("fn", fn)
+            result = runtime.invoke("fn")
+            probe = runtime.open_session().init()
+            state = (probe.read("X"), probe.read("Y"))
+            probe.finish()
+            if reference is None:
+                reference = (result.output, state)
+            else:
+                assert (result.output, state) == reference, crash_at
+
+    def test_gc_reclaims_checkpoint_stream(self):
+        runtime = checkpointing_runtime()
+        result_holder = {}
+
+        def fn(ctx, inp):
+            result_holder["id"] = ctx.env.instance_id
+            return ctx.read("X")
+
+        runtime.register("fn", fn)
+        runtime.invoke("fn")
+        tag = checkpoint_tag(result_holder["id"])
+        assert len(runtime.backend.log.read_stream(tag)) == 1
+        runtime.run_gc()
+        assert runtime.backend.log.read_stream(tag) == []
+
+
+class TestReadOnlyHints:
+    def test_read_only_reads_bypass_logging(self, protocol_name):
+        runtime = make_runtime(protocol_name)
+        runtime.populate("const", 42)
+        runtime.mark_read_only("const")
+        session = runtime.open_session().init()
+        appends = runtime.backend.log.append_count
+        log_reads = runtime.backend.counters.get(Cost.LOG_READ)
+        assert session.read("const") == 42
+        assert runtime.backend.log.append_count == appends
+        assert runtime.backend.counters.get(Cost.LOG_READ) == log_reads
+        session.finish()
+
+    def test_read_only_write_rejected(self, protocol_name):
+        runtime = make_runtime(protocol_name)
+        runtime.populate("const", 42)
+        runtime.mark_read_only("const")
+        session = runtime.open_session().init()
+        with pytest.raises(ProtocolError):
+            session.write("const", 43)
+        session.finish()
+
+    def test_read_only_replay_is_trivially_idempotent(self, protocol_name):
+        runtime = make_runtime(protocol_name)
+        runtime.populate("const", 42)
+        runtime.mark_read_only("const")
+        session = runtime.open_session().init()
+        assert session.read("const") == 42
+        replay = session.replay().init()
+        assert replay.read("const") == 42
+        session.finish()

@@ -1,0 +1,120 @@
+"""Tests for linearizable sync (Section 4.4) and table scans (Section 4.1
+remark)."""
+
+import pytest
+
+from repro.runtime import instance_tag
+from tests.conftest import make_runtime
+
+
+class TestSync:
+    def test_sync_advances_cursor_to_tail(self, protocol_name):
+        runtime = make_runtime(protocol_name)
+        runtime.populate("X", "x0")
+        session = runtime.open_session().init()
+        # Another SSF logs something, advancing the global tail.
+        other = runtime.open_session().init()
+        other.write("X", "newer")
+        other.finish()
+        assert session.env.cursor_ts < runtime.backend.log.tail_seqnum
+        session.sync()
+        assert session.env.cursor_ts == runtime.backend.log.tail_seqnum
+        session.finish()
+
+    def test_sync_makes_halfmoon_read_linearizable(self):
+        """Without sync, HM-read may serve a stale snapshot; after sync it
+        must observe every previously completed write."""
+        runtime = make_runtime("halfmoon-read")
+        runtime.populate("X", "x0")
+        reader = runtime.open_session().init()
+        writer = runtime.open_session().init()
+        writer.write("X", "fresh")
+        writer.finish()
+        assert reader.read("X") == "x0"      # sequential, not real-time
+        reader.sync()
+        assert reader.read("X") == "fresh"   # linearizable after sync
+        reader.finish()
+
+    def test_sync_is_replay_stable(self, protocol_name):
+        runtime = make_runtime(protocol_name)
+        runtime.populate("X", "x0")
+        session = runtime.open_session().init()
+        session.sync()
+        cursor = session.env.cursor_ts
+        appends = runtime.backend.log.append_count
+        replay = session.replay().init()
+        replay.sync()
+        assert replay.env.cursor_ts == cursor
+        assert runtime.backend.log.append_count == appends
+        session.finish()
+
+    def test_sync_appears_in_step_log(self, protocol_name):
+        runtime = make_runtime(protocol_name)
+        session = runtime.open_session().init()
+        session.sync()
+        ops = [
+            r["op"] for r in runtime.backend.log.read_stream(
+                instance_tag(session.env.instance_id)
+            )
+        ]
+        assert ops == ["init", "sync"]
+        session.finish()
+
+    def test_unsafe_sync_is_noop(self):
+        runtime = make_runtime("unsafe")
+        session = runtime.open_session().init()
+        session.sync()
+        assert runtime.backend.log.append_count == 0
+        session.finish()
+
+
+class TestScan:
+    @pytest.fixture
+    def runtime(self, protocol_name):
+        rt = make_runtime(protocol_name)
+        for i in range(4):
+            rt.populate(f"acct{i}", i * 100, table="accounts")
+        rt.populate("unrelated", 1)
+        return rt
+
+    def test_scan_returns_all_rows(self, runtime):
+        session = runtime.open_session().init()
+        rows = session.scan("accounts")
+        assert rows == {f"acct{i}": i * 100 for i in range(4)}
+        session.finish()
+
+    def test_scan_unknown_table_empty(self, runtime):
+        session = runtime.open_session().init()
+        assert session.scan("nope") == {}
+        session.finish()
+
+    def test_scan_sees_committed_updates(self, runtime):
+        writer = runtime.open_session().init()
+        writer.write("acct0", 999)
+        writer.finish()
+        reader = runtime.open_session().init()
+        assert reader.scan("accounts")["acct0"] == 999
+        reader.finish()
+
+    def test_halfmoon_read_scan_is_a_snapshot(self):
+        """Under HM-read, a scan resolves every row at the same cursorTS:
+        concurrent writes do not tear the snapshot."""
+        runtime = make_runtime("halfmoon-read")
+        for i in range(3):
+            runtime.populate(f"row{i}", 0, table="t")
+        reader = runtime.open_session().init()
+        first = reader.scan("t")
+        # Concurrent writer changes every row.
+        writer = runtime.open_session().init()
+        for i in range(3):
+            writer.write(f"row{i}", 777)
+        writer.finish()
+        second = reader.scan("t")
+        assert first == second == {f"row{i}": 0 for i in range(3)}
+        reader.finish()
+
+    def test_scan_usable_from_registered_function(self, runtime):
+        runtime.register(
+            "total", lambda ctx, inp: sum(ctx.scan("accounts").values())
+        )
+        assert runtime.invoke("total").output == 600

@@ -1,0 +1,97 @@
+"""Unit tests for the transitional protocol (Section 5.2)."""
+
+import pytest
+
+from repro import LocalRuntime, SystemConfig
+from repro.runtime import instance_tag, object_tag
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def runtime():
+    # A runtime whose *default* protocol is transitional, so sessions use
+    # it directly without a switch window.
+    rt = LocalRuntime(SystemConfig(seed=11), protocol="transitional")
+    rt.populate("X", "x0")
+    rt.populate("Y", "y0")
+    return rt
+
+
+def test_write_updates_both_schemas(runtime):
+    session = runtime.open_session().init()
+    session.write("X", "x1")
+    # Single-version LATEST slot updated...
+    assert runtime.backend.kv.get("X") == "x1"
+    # ...and a separate version committed through the write log.
+    record = runtime.backend.log.read_stream(object_tag("X"))[-1]
+    assert runtime.backend.mv.read_version(
+        "X", record["version"]
+    ) == "x1"
+    session.finish()
+
+
+def test_reads_and_writes_all_logged(runtime):
+    session = runtime.open_session().init()
+    before = runtime.backend.log.append_count
+    session.read("X")
+    session.write("X", "x1")
+    # read record + write intent + write commit = 3 appends.
+    assert runtime.backend.log.append_count == before + 3
+    session.finish()
+
+
+def test_read_prefers_fresher_latest_slot(runtime):
+    """When a Halfmoon-write style writer updated only the LATEST slot,
+    the transitional read must pick it over the stale version."""
+    hmw = make_runtime("halfmoon-write", enable_switching=False)
+    # Reuse the same backend so both protocols touch the same state.
+    hmw.backend = runtime.backend
+    hmw_session = hmw.open_session().init()
+    hmw_session.read("Y")  # advance cursor so the write wins
+    hmw_session.write("X", "only-latest")
+    hmw_session.finish()
+
+    session = runtime.open_session().init()
+    assert session.read("X") == "only-latest"
+    session.finish()
+
+
+def test_read_prefers_fresher_versioned_world(runtime):
+    hmr = make_runtime("halfmoon-read")
+    hmr.backend = runtime.backend
+    hmr_session = hmr.open_session().init()
+    hmr_session.write("X", "only-versioned")
+    hmr_session.finish()
+
+    session = runtime.open_session().init()
+    assert session.read("X") == "only-versioned"
+    session.finish()
+
+
+def test_replay_is_idempotent(runtime):
+    session = runtime.open_session().init()
+    session.read("X")
+    session.write("X", "x1")
+    appends = runtime.backend.log.append_count
+    writes = runtime.backend.kv.write_count
+    replay = session.replay().init()
+    assert replay.read("X") == "x0"
+    replay.write("X", "x1")
+    assert runtime.backend.log.append_count == appends
+    assert runtime.backend.kv.write_count == writes
+    replay.finish()
+
+
+def test_replayed_write_does_not_clobber_newer(runtime):
+    session = runtime.open_session().init()
+    session.read("Y")
+    session.write("X", "mine")
+    newer = runtime.open_session().init()
+    newer.read("Y")
+    newer.write("X", "newer")
+    newer.finish()
+    replay = session.replay().init()
+    replay.read("Y")
+    replay.write("X", "mine")
+    assert runtime.backend.kv.get("X") == "newer"
+    replay.finish()

@@ -1,0 +1,87 @@
+"""Unit tests for the unsafe baseline — including the anomaly it permits."""
+
+import pytest
+
+from repro import LocalRuntime, ScriptedCrashes, SystemConfig
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def runtime():
+    rt = make_runtime("unsafe")
+    rt.populate("X", 0)
+    return rt
+
+
+def test_no_logging_at_all(runtime):
+    runtime.register("rw", lambda ctx, inp: (
+        ctx.write("X", ctx.read("X") + 1)
+    ))
+    before = runtime.backend.log.append_count
+    runtime.invoke("rw")
+    assert runtime.backend.log.append_count == before
+
+
+def test_reads_and_writes_raw(runtime):
+    session = runtime.open_session().init()
+    assert session.read("X") == 0
+    session.write("X", 10)
+    assert session.read("X") == 10
+    session.finish()
+
+
+def test_duplicate_write_anomaly_on_retry():
+    """The motivating anomaly (Section 1): a crash after the write, then a
+    retry, applies the increment twice under the unsafe protocol."""
+    runtime = LocalRuntime(
+        SystemConfig(seed=3), protocol="unsafe",
+        # Crash on the first attempt *after* the DB write took effect
+        # (checkpoints: read pre, write pre, write post).
+        crash_policy=ScriptedCrashes({1: 3}),
+    )
+    runtime.populate("X", 0)
+
+    def increment(ctx, inp):
+        value = ctx.read("X")
+        ctx.write("X", value + 1)
+        return value + 1
+
+    runtime.register("increment", increment)
+    result = runtime.invoke("increment")
+    assert result.attempts == 2
+    # Exactly-once would leave 1; unsafe leaves 2.
+    assert runtime.backend.kv.get("X") == 2
+
+
+def test_logged_protocols_prevent_the_same_anomaly(protocol_name):
+    runtime = make_runtime(
+        protocol_name, crash_policy=ScriptedCrashes({1: 8})
+    )
+    runtime.populate("X", 0)
+
+    def increment(ctx, inp):
+        value = ctx.read("X")
+        ctx.write("X", value + 1)
+        return value + 1
+
+    runtime.register("increment", increment)
+    result = runtime.invoke("increment")
+    probe = runtime.open_session().init()
+    assert probe.read("X") == 1
+    probe.finish()
+
+
+def test_unsafe_invoke_spawns_fresh_children(runtime):
+    calls = []
+
+    def child(ctx, inp):
+        calls.append(ctx.env.instance_id)
+        return "ok"
+
+    runtime.register("child", child)
+    runtime.register(
+        "parent", lambda ctx, inp: ctx.invoke("child")
+    )
+    runtime.invoke("parent")
+    runtime.invoke("parent")
+    assert len(set(calls)) == 2  # every invocation gets a fresh child id

@@ -1,0 +1,106 @@
+"""Unit tests for crash-injection policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrashError
+from repro.runtime import (
+    BernoulliCrashes,
+    CrashOnceAtEvery,
+    NoCrashes,
+    ScriptedCrashes,
+)
+
+
+def fire(hook, n):
+    """Drive a fault hook through n checkpoints; return the crash index."""
+    for i in range(1, n + 1):
+        try:
+            hook(f"op{i}")
+        except CrashError:
+            return i
+    return None
+
+
+def test_no_crashes_returns_no_hook():
+    assert NoCrashes().hook_for("x", 1) is None
+
+
+def test_scripted_crash_at_exact_checkpoint():
+    policy = ScriptedCrashes({1: 3})
+    hook = policy.hook_for("x", 1)
+    assert fire(hook, 10) == 3
+    assert policy.crashes_fired == 1
+
+
+def test_scripted_unlisted_attempt_clean():
+    policy = ScriptedCrashes({1: 3})
+    assert policy.hook_for("x", 2) is None
+
+
+def test_scripted_multiple_attempts():
+    policy = ScriptedCrashes({1: 2, 2: 5})
+    assert fire(policy.hook_for("x", 1), 10) == 2
+    assert fire(policy.hook_for("x", 2), 10) == 5
+    assert policy.hook_for("x", 3) is None
+
+
+def test_scripted_instance_filter():
+    policy = ScriptedCrashes({1: 1}, instance_id="target")
+    assert policy.hook_for("other", 1) is None
+    assert fire(policy.hook_for("target", 1), 3) == 1
+
+
+def test_crash_once_at_every():
+    policy = CrashOnceAtEvery(4)
+    assert fire(policy.hook_for("x", 1), 10) == 4
+    assert policy.hook_for("x", 2) is None
+    assert policy.crashes_fired == 1
+
+
+def test_crash_once_beyond_range_never_fires():
+    policy = CrashOnceAtEvery(100)
+    assert fire(policy.hook_for("x", 1), 10) is None
+    assert policy.crashes_fired == 0
+
+
+class TestBernoulli:
+    def test_f_zero_never_crashes(self):
+        policy = BernoulliCrashes(0.0, np.random.default_rng(1))
+        assert policy.hook_for("x", 1) is None
+
+    def test_invalid_f_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliCrashes(1.0, np.random.default_rng(1))
+
+    def test_crash_frequency_tracks_f(self):
+        rng = np.random.default_rng(2)
+        policy = BernoulliCrashes(0.3, rng, horizon=5)
+        crashed = 0
+        for i in range(2000):
+            hook = policy.hook_for(f"inst{i}", 1)
+            if hook is not None and fire(hook, 5) is not None:
+                crashed += 1
+        assert crashed / 2000 == pytest.approx(0.3, abs=0.03)
+
+    def test_per_instance_crash_cap(self):
+        rng = np.random.default_rng(3)
+        policy = BernoulliCrashes(
+            0.99, rng, horizon=1, max_crashes_per_instance=2
+        )
+        crashes = 0
+        for attempt in range(1, 50):
+            hook = policy.hook_for("inst", attempt)
+            if hook is None:
+                continue
+            if fire(hook, 1) is not None:
+                crashes += 1
+        assert crashes == 2
+
+    def test_draw_beyond_checkpoint_count_survives(self):
+        rng = np.random.default_rng(4)
+        policy = BernoulliCrashes(0.999, rng, horizon=50)
+        hook = policy.hook_for("inst", 1)
+        # Only 2 checkpoints actually execute; a target > 2 never fires.
+        result = fire(hook, 2) if hook else None
+        assert result in (None, 1, 2)

@@ -1,0 +1,118 @@
+"""Unit tests for garbage collection (Section 4.5)."""
+
+import pytest
+
+from repro.runtime import instance_tag, object_tag
+from tests.conftest import make_runtime
+
+
+def rw(ctx, inp):
+    value = ctx.read(inp["key"])
+    ctx.write(inp["key"], inp["value"])
+    return value
+
+
+@pytest.fixture
+def hm_read_runtime():
+    runtime = make_runtime("halfmoon-read")
+    runtime.populate("obj", "v0")
+    runtime.register("rw", rw)
+    return runtime
+
+
+def test_step_logs_trimmed_after_finish(hm_read_runtime):
+    runtime = hm_read_runtime
+    result = runtime.invoke("rw", {"key": "obj", "value": "v1"})
+    tag = instance_tag(result.instance_id)
+    assert len(runtime.backend.log.read_stream(tag)) > 0
+    stats = runtime.run_gc()
+    assert runtime.backend.log.read_stream(tag) == []
+    assert stats.step_log_records_trimmed > 0
+
+
+def test_old_versions_collected_once_unobservable(hm_read_runtime):
+    runtime = hm_read_runtime
+    for i in range(5):
+        runtime.invoke("rw", {"key": "obj", "value": f"v{i + 1}"})
+    mv = runtime.backend.mv
+    assert mv.version_count("obj") == 6  # genesis + 5 writes
+    stats = runtime.run_gc()
+    # Only the newest version can still be observed (no SSF is running).
+    assert mv.version_count("obj") == 1
+    assert stats.versions_deleted == 5
+    # The surviving version is the latest value.
+    probe = runtime.invoke("rw", {"key": "obj", "value": "v6"})
+    assert probe.output == "v5"
+
+
+def test_latest_version_always_survives(hm_read_runtime):
+    runtime = hm_read_runtime
+    runtime.invoke("rw", {"key": "obj", "value": "v1"})
+    runtime.run_gc()
+    tag = object_tag("obj")
+    records = runtime.backend.log.read_stream(tag)
+    assert len(records) == 1
+    assert records[0]["version"] in (
+        runtime.backend.mv.list_versions("obj")
+    )
+
+
+def test_running_ssf_blocks_collection(hm_read_runtime):
+    runtime = hm_read_runtime
+    # A session that started early is still running.
+    early = runtime.open_session().init()
+    for i in range(4):
+        runtime.invoke("rw", {"key": "obj", "value": f"v{i + 1}"})
+    runtime.run_gc()
+    # The early session's cursor must still resolve: versions visible at
+    # its initial cursorTS survive.
+    assert early.read("obj") == "v0"
+    early.finish()
+    runtime.run_gc()
+    assert runtime.backend.mv.version_count("obj") == 1
+
+
+def test_gc_is_idempotent(hm_read_runtime):
+    runtime = hm_read_runtime
+    for i in range(3):
+        runtime.invoke("rw", {"key": "obj", "value": f"v{i}"})
+    first = runtime.run_gc()
+    deleted_after_first = first.versions_deleted
+    second = runtime.run_gc()
+    assert second.versions_deleted == deleted_after_first
+
+
+def test_gc_under_halfmoon_write_trims_read_logs():
+    runtime = make_runtime("halfmoon-write")
+    runtime.populate("obj", "v0")
+    runtime.register("rw", rw)
+    for i in range(4):
+        runtime.invoke("rw", {"key": "obj", "value": f"v{i}"})
+    log = runtime.backend.log
+    live_before = log.live_record_count
+    stats = runtime.run_gc()
+    assert log.live_record_count < live_before
+    assert stats.step_log_records_trimmed > 0
+    # Halfmoon-write is single-version: nothing to collect in the store.
+    assert stats.versions_deleted == 0
+    assert runtime.backend.kv.get("obj") == "v3"
+
+
+def test_gc_respects_boki_step_logs():
+    runtime = make_runtime("boki")
+    runtime.populate("obj", "v0")
+    runtime.register("rw", rw)
+    runtime.invoke("rw", {"key": "obj", "value": "v1"})
+    runtime.run_gc()
+    # After GC the whole step log is gone but the object remains.
+    assert runtime.backend.kv.get("obj") == "v1"
+
+
+def test_gc_stats_accumulate(hm_read_runtime):
+    runtime = hm_read_runtime
+    runtime.invoke("rw", {"key": "obj", "value": "v1"})
+    runtime.run_gc()
+    runtime.invoke("rw", {"key": "obj", "value": "v2"})
+    stats = runtime.run_gc()
+    assert stats.scans == 2
+    assert stats.last_safe_seqnum > 0

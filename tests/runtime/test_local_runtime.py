@@ -1,0 +1,146 @@
+"""Unit tests for the direct-mode runtime."""
+
+import pytest
+
+from repro import (
+    LocalRuntime,
+    ReadOp,
+    RetriesExhaustedError,
+    ScriptedCrashes,
+    SystemConfig,
+    WriteOp,
+)
+from repro.config import FailureConfig
+from tests.conftest import make_runtime
+
+
+def counter_fn(ctx, inp):
+    value = ctx.read("counter")
+    ctx.write("counter", value + inp)
+    return value + inp
+
+
+def counter_gen(inp):
+    value = yield ReadOp("counter")
+    yield WriteOp("counter", value + inp)
+    return value + inp
+
+
+class TestInvocation:
+    def test_ctx_style(self, runtime):
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        result = runtime.invoke("bump", 5)
+        assert result.output == 5
+        assert result.attempts == 1
+        assert result.latency_ms > 0
+
+    def test_generator_style(self, runtime):
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_gen)
+        assert runtime.invoke("bump", 3).output == 3
+        assert runtime.invoke("bump", 4).output == 7
+
+    def test_populate_visible_to_all_protocols(self, runtime):
+        runtime.populate("k", "initial")
+        runtime.register("probe", lambda ctx, inp: ctx.read("k"))
+        assert runtime.invoke("probe").output == "initial"
+
+    def test_instance_ids_unique(self, runtime):
+        ids = {runtime.new_instance_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_explicit_instance_id(self, runtime):
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        result = runtime.invoke("bump", 1, instance_id="fixed-id")
+        assert result.instance_id == "fixed-id"
+
+    def test_tracker_updated(self, runtime):
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        runtime.invoke("bump", 1)
+        assert runtime.tracker.running_count == 0
+        assert runtime.tracker.finished_count == 1
+
+
+class TestCrashRetry:
+    def test_crash_is_retried(self, protocol_name):
+        runtime = make_runtime(
+            protocol_name, crash_policy=ScriptedCrashes({1: 2})
+        )
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        result = runtime.invoke("bump", 5)
+        assert result.output == 5
+        assert result.attempts == 2
+
+    def test_retries_exhausted(self, protocol_name):
+        config = SystemConfig(failures=FailureConfig(max_retries=2))
+        runtime = LocalRuntime(
+            config, protocol=protocol_name,
+            crash_policy=ScriptedCrashes({1: 1, 2: 1, 3: 1}),
+        )
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        with pytest.raises(RetriesExhaustedError):
+            runtime.invoke("bump", 5)
+
+    def test_crash_latency_includes_detection_delay(self, protocol_name):
+        # Degenerate latency distributions make the comparison exact: the
+        # crashed run pays the pre-crash work plus the detection delay on
+        # top of a clean run's cost.
+        from tests.conftest import deterministic_config
+
+        config = deterministic_config()
+        runtime = LocalRuntime(
+            config, protocol=protocol_name,
+            crash_policy=ScriptedCrashes({1: 2}),
+        )
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        crashed = runtime.invoke("bump", 5)
+
+        clean_runtime = LocalRuntime(config, protocol=protocol_name)
+        clean_runtime.populate("counter", 0)
+        clean_runtime.register("bump", counter_fn)
+        clean = clean_runtime.invoke("bump", 5)
+        assert crashed.latency_ms > clean.latency_ms
+
+
+class TestStorageAccounting:
+    def test_storage_bytes_reports_log_and_db(self, runtime):
+        runtime.populate("counter", 0)
+        runtime.register("bump", counter_fn)
+        runtime.invoke("bump", 1)
+        usage = runtime.storage_bytes()
+        assert usage["log"] > 0
+        assert usage["db"] > 0
+        assert usage["total"] == usage["log"] + usage["db"]
+
+
+class TestSessions:
+    def test_session_basic_ops(self, runtime):
+        runtime.populate("k", 1)
+        session = runtime.open_session().init()
+        assert session.read("k") == 1
+        session.write("k", 2)
+        assert session.read("k") == 2
+        session.finish()
+        assert runtime.tracker.finished_count == 1
+
+    def test_session_finish_idempotent(self, runtime):
+        session = runtime.open_session().init()
+        session.finish()
+        session.finish()
+        assert runtime.tracker.finished_count == 1
+
+    def test_replay_session_shares_identity(self, runtime):
+        runtime.populate("k", 1)
+        s1 = runtime.open_session().init()
+        s1.write("k", 99)
+        s2 = s1.replay().init()
+        assert s2.env.instance_id == s1.env.instance_id
+        assert s2.env.attempt == s1.env.attempt + 1
+        # The replay sees the same init record (same initial cursor).
+        assert s2.env.init_cursor_ts == s1.env.init_cursor_ts

@@ -1,0 +1,136 @@
+"""Tests for op descriptors and Context.apply dispatch."""
+
+import pytest
+
+from repro import (
+    ComputeOp,
+    InvokeOp,
+    LocalRuntime,
+    ReadOp,
+    SyncOp,
+    SystemConfig,
+    TxnOp,
+    WriteOp,
+)
+from repro.errors import InvocationError
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def runtime(protocol_name):
+    rt = make_runtime(protocol_name)
+    rt.populate("k", 10)
+    return rt
+
+
+def test_read_and_write_ops(runtime):
+    def fn(inp):
+        value = yield ReadOp("k")
+        yield WriteOp("k", value * 2)
+        return value
+
+    runtime.register("fn", fn)
+    assert runtime.invoke("fn").output == 10
+    probe = runtime.open_session().init()
+    assert probe.read("k") == 20
+    probe.finish()
+
+
+def test_invoke_op(runtime):
+    def child(inp):
+        value = yield ReadOp("k")
+        return value + inp
+
+    def parent(inp):
+        result = yield InvokeOp("child", 5)
+        return result
+
+    runtime.register("child", child)
+    runtime.register("parent", parent)
+    assert runtime.invoke("parent").output == 15
+
+
+def test_compute_op_charges_time(runtime):
+    def fn(inp):
+        yield ComputeOp(duration_ms=5.0)
+        return "done"
+
+    runtime.register("fn", fn)
+    result = runtime.invoke("fn")
+    # 5 ms of compute at 0.25 ms per tick = 20 charges plus init costs.
+    assert result.latency_ms >= 5.0
+
+
+def test_sync_op(runtime):
+    def fn(inp):
+        yield SyncOp()
+        value = yield ReadOp("k")
+        return value
+
+    runtime.register("fn", fn)
+    assert runtime.invoke("fn").output == 10
+
+
+def test_txn_op(protocol_name):
+    runtime = make_runtime(protocol_name)
+    runtime.populate("a", 1)
+    runtime.populate("b", 2)
+
+    def swap(txn):
+        a, b = txn.read("a"), txn.read("b")
+        txn.write("a", b)
+        txn.write("b", a)
+        return (a, b)
+
+    def fn(inp):
+        result = yield TxnOp(swap)
+        return result
+
+    runtime.register("fn", fn)
+    assert runtime.invoke("fn").output == (1, 2)
+    probe = runtime.open_session().init()
+    assert (probe.read("a"), probe.read("b")) == (2, 1)
+    probe.finish()
+
+
+def test_unknown_op_rejected(runtime):
+    def fn(inp):
+        yield object()
+
+    runtime.register("fn", fn)
+    with pytest.raises(InvocationError):
+        runtime.invoke("fn")
+
+
+def test_txn_op_in_des():
+    """TxnOp works under the simulated platform too."""
+    from repro.harness import SimPlatform
+    from repro.workloads.base import Request, Workload
+
+    class TxnWorkload(Workload):
+        name = "txn-workload"
+
+        def register(self, runtime):
+            def body(txn):
+                txn.write("counter", txn.read("counter") + 1)
+
+            def fn(inp):
+                yield TxnOp(body)
+
+            runtime.register("txn", fn)
+
+        def populate(self, runtime):
+            runtime.populate("counter", 0)
+
+        def next_request(self, rng):
+            return Request("txn", None)
+
+        def read_write_profile(self):
+            return (1.0, 1.0)
+
+    platform = SimPlatform(
+        TxnWorkload(), "halfmoon-write", SystemConfig(seed=19)
+    )
+    result = platform.run(rate_per_s=50.0, duration_ms=2_000.0)
+    assert result.completed > 0
+    assert platform.runtime.backend.kv.get("counter") == result.completed

@@ -1,0 +1,98 @@
+"""Unit tests for the function registry and invocation tracker."""
+
+import pytest
+
+from repro.errors import InvocationError, RuntimeStateError
+from repro.runtime import FunctionRegistry, InvocationTracker
+
+
+class TestFunctionRegistry:
+    def test_register_and_get(self):
+        reg = FunctionRegistry()
+        fn = lambda ctx, inp: None
+        reg.register("f", fn)
+        assert reg.get("f") is fn
+        assert reg.names() == ["f"]
+
+    def test_duplicate_registration_rejected(self):
+        reg = FunctionRegistry()
+        reg.register("f", lambda ctx, inp: None)
+        with pytest.raises(RuntimeStateError):
+            reg.register("f", lambda ctx, inp: None)
+
+    def test_unknown_function(self):
+        with pytest.raises(InvocationError):
+            FunctionRegistry().get("missing")
+
+    def test_generator_style_detection(self):
+        def plain(ctx, inp):
+            return 1
+
+        def gen(inp):
+            yield 1
+
+        assert FunctionRegistry.is_generator_style(plain) is False
+        assert FunctionRegistry.is_generator_style(gen) is True
+
+
+class TestInvocationTracker:
+    def test_start_finish_lifecycle(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        assert t.is_running("a")
+        assert t.running_count == 1
+        t.finish("a")
+        assert not t.is_running("a")
+        assert t.finished_count == 1
+
+    def test_restart_of_running_instance_is_noop(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.start("a", 99)  # re-execution must not move the init ts
+        assert t.safe_seqnum(log_frontier=1000) == 10
+
+    def test_finish_unknown_instance_is_noop(self):
+        t = InvocationTracker()
+        t.finish("ghost")
+        assert t.finished_count == 0
+
+    def test_set_init_ts_updates(self):
+        t = InvocationTracker()
+        t.start("a", 5)
+        t.set_init_ts("a", 7)
+        assert t.safe_seqnum(log_frontier=100) == 7
+
+    def test_safe_seqnum_min_of_running(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.start("b", 4)
+        t.start("c", 20)
+        assert t.safe_seqnum(log_frontier=100) == 4
+        t.finish("b")
+        assert t.safe_seqnum(log_frontier=100) == 10
+
+    def test_safe_seqnum_frontier_when_idle(self):
+        t = InvocationTracker()
+        assert t.safe_seqnum(log_frontier=42) == 42
+
+    def test_running_started_before(self):
+        t = InvocationTracker()
+        t.start("a", 5)
+        t.start("b", 15)
+        assert t.running_started_before(10) == {"a"}
+        assert t.running_started_before(20) == {"a", "b"}
+
+    def test_finish_listeners(self):
+        t = InvocationTracker()
+        seen = []
+        t.add_finish_listener(seen.append)
+        t.start("a", 1)
+        t.finish("a")
+        assert seen == ["a"]
+
+    def test_drain_finished_clears(self):
+        t = InvocationTracker()
+        t.start("a", 1)
+        t.finish("a")
+        assert t.drain_finished() == {"a"}
+        assert t.drain_finished() == set()

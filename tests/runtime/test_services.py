@@ -1,0 +1,135 @@
+"""Unit tests for the service bindings (latency charging, checkpoints)."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.errors import ConditionalAppendError, CrashError
+from repro.runtime import Cost, InstanceServices, ServiceBackend
+
+
+@pytest.fixture
+def backend():
+    return ServiceBackend(SystemConfig(seed=5))
+
+
+@pytest.fixture
+def svc(backend):
+    return InstanceServices(backend)
+
+
+def test_log_append_charges_and_counts(svc, backend):
+    svc.log_append(["t"], {"op": "x"})
+    assert backend.counters.get(Cost.LOG_APPEND) == 1
+    assert svc.trace.total_ms() > 0
+
+
+def test_overlapped_append_charges_partial_latency(backend):
+    sync_svc = InstanceServices(backend)
+    sync_svc.log_append(["t"], {"op": "x"}, synchronous=True)
+    async_svc = InstanceServices(backend)
+    async_svc.log_append(["t"], {"op": "x"}, synchronous=False)
+    assert backend.counters.get(Cost.LOG_APPEND_OVERLAPPED) == 1
+    # Overlapped appends cost a fraction of a synchronous one on average.
+    assert backend.latency.mean(Cost.LOG_APPEND_OVERLAPPED) < (
+        backend.latency.mean(Cost.LOG_APPEND)
+    )
+
+
+def test_control_append_kind(svc, backend):
+    svc.log_append(["t"], {"op": "init"}, control=True)
+    assert backend.counters.get(Cost.LOG_APPEND_CONTROL) == 1
+
+
+def test_trace_drain_resets(svc):
+    svc.db_read("missing")
+    total = svc.trace.total_ms()
+    assert total > 0
+    assert svc.trace.drain() == total
+    assert svc.trace.total_ms() == 0.0
+
+
+def test_db_ops_route_to_substrates(svc, backend):
+    svc.db_write("k", "v")
+    assert svc.db_read("k") == "v"
+    svc.db_write_version("k", "v1", "old")
+    assert svc.db_read_version("k", "v1") == "old"
+    assert svc.db_cond_write("k", "new", (1, 1)) is True
+    value, version = svc.db_read_with_version("k")
+    assert value == "new"
+    assert version == (1, 1)
+
+
+def test_cond_append_conflict_still_charged(svc, backend):
+    svc.log_cond_append(["i"], {"s": 0}, "i", 0)
+    before = len(svc.trace.entries)
+    with pytest.raises(ConditionalAppendError):
+        svc.log_cond_append(["i"], {"s": 0}, "i", 0)
+    assert len(svc.trace.entries) == before + 1  # losing round trip paid
+
+
+def test_checkpoints_fire_in_order(backend):
+    labels = []
+    svc = InstanceServices(backend, fault_hook=labels.append)
+    svc.db_write("k", "v")
+    assert labels == ["db_write:pre", "db_write:post"]
+
+
+def test_crash_hook_aborts_before_effect(backend):
+    def hook(label):
+        if label == "db_write:pre":
+            raise CrashError()
+
+    svc = InstanceServices(backend, fault_hook=hook)
+    with pytest.raises(CrashError):
+        svc.db_write("k", "v")
+    assert "k" not in backend.kv
+
+
+def test_crash_hook_after_effect(backend):
+    def hook(label):
+        if label == "db_write:post":
+            raise CrashError()
+
+    svc = InstanceServices(backend, fault_hook=hook)
+    with pytest.raises(CrashError):
+        svc.db_write("k", "v")
+    assert backend.kv.get("k") == "v"  # effect applied before the crash
+
+
+def test_log_reads_charge_cache_path(svc, backend):
+    seq = svc.log_append(["t"], {"op": "x"})
+    svc.log_read_prev("t", seq)
+    assert backend.counters.get(Cost.LOG_READ) == 1
+
+
+def test_log_read_stream_returns_records(svc):
+    svc.log_append(["t"], {"op": "a"})
+    svc.log_append(["t"], {"op": "b"})
+    records = svc.log_read_stream("t")
+    assert [r["op"] for r in records] == ["a", "b"]
+
+
+def test_random_hex_shape_and_determinism():
+    b1 = ServiceBackend(SystemConfig(seed=5))
+    b2 = ServiceBackend(SystemConfig(seed=5))
+    h1 = [b1.random_hex() for _ in range(3)]
+    h2 = [b2.random_hex() for _ in range(3)]
+    assert h1 == h2
+    assert all(len(h) == 16 for h in h1)
+    assert len(set(h1)) == 3
+
+
+def test_log_tail_property(svc, backend):
+    tail_before = svc.log_tail
+    svc.log_append(["t"], {})
+    assert svc.log_tail == tail_before + 1
+
+
+def test_latency_samples_reproducible():
+    a = ServiceBackend(SystemConfig(seed=9))
+    b = ServiceBackend(SystemConfig(seed=9))
+    sa = InstanceServices(a)
+    sb = InstanceServices(b)
+    sa.db_read("x")
+    sb.db_read("x")
+    assert sa.trace.entries == sb.trace.entries

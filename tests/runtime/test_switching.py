@@ -1,0 +1,185 @@
+"""Unit tests for protocol switching (Sections 4.7 and 5.2)."""
+
+import pytest
+
+from repro.errors import SwitchError
+from tests.conftest import make_runtime
+
+
+def rw(ctx, inp):
+    value = ctx.read(inp["key"])
+    ctx.write(inp["key"], inp["value"])
+    return value
+
+
+def make_switching_runtime(initial="halfmoon-write"):
+    runtime = make_runtime(initial, enable_switching=True)
+    runtime.populate("obj", "v0")
+    runtime.populate("other", "o0")
+    runtime.register("rw", rw)
+    return runtime
+
+
+class TestSwitchLifecycle:
+    def test_idle_switch_completes_immediately(self):
+        runtime = make_switching_runtime()
+        runtime.begin_switch("halfmoon-read")
+        manager = runtime.switch_manager
+        assert not manager.in_progress
+        assert manager.current_protocol == "halfmoon-read"
+        assert manager.switch_history[-1]["to"] == "halfmoon-read"
+
+    def test_switch_waits_for_running_ssfs(self):
+        runtime = make_switching_runtime()
+        straggler = runtime.open_session().init()
+        runtime.begin_switch("halfmoon-read")
+        manager = runtime.switch_manager
+        assert manager.in_progress
+        assert manager.pending_count == 1
+        straggler.finish()
+        assert not manager.in_progress
+        assert manager.current_protocol == "halfmoon-read"
+
+    def test_double_switch_rejected(self):
+        runtime = make_switching_runtime()
+        straggler = runtime.open_session().init()
+        runtime.begin_switch("halfmoon-read")
+        with pytest.raises(SwitchError):
+            runtime.begin_switch("halfmoon-write")
+        straggler.finish()
+
+    def test_switch_to_current_rejected(self):
+        runtime = make_switching_runtime()
+        with pytest.raises(SwitchError):
+            runtime.begin_switch("halfmoon-write")
+
+    def test_switch_to_non_switchable_rejected(self):
+        runtime = make_switching_runtime()
+        with pytest.raises(SwitchError):
+            runtime.begin_switch("boki")
+
+    def test_runtime_without_switching_rejects_begin(self):
+        from repro.errors import InvocationError
+
+        runtime = make_runtime("halfmoon-write")
+        with pytest.raises(InvocationError):
+            runtime.begin_switch("halfmoon-read")
+
+
+class TestProtocolResolution:
+    def test_pre_switch_ssfs_use_initial_protocol(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        session = runtime.open_session().init()
+        assert session.read("obj") == "v0"  # resolves halfmoon-write
+        assert session.env.object_protocols["obj"] == "halfmoon-write"
+        session.finish()
+
+    def test_ssf_during_window_uses_transitional(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        straggler = runtime.open_session().init()
+        runtime.begin_switch("halfmoon-read")
+        mid = runtime.open_session().init()
+        mid.read("obj")
+        assert mid.env.object_protocols["obj"] == "transitional"
+        straggler.finish()
+        mid.finish()
+
+    def test_ssf_after_end_uses_target(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        runtime.begin_switch("halfmoon-read")
+        session = runtime.open_session().init()
+        session.read("obj")
+        assert session.env.object_protocols["obj"] == "halfmoon-read"
+        session.finish()
+
+    def test_protocol_choice_sticky_per_invocation(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        straggler = runtime.open_session().init()
+        mid = runtime.open_session().init()
+        mid.read("obj")  # pins transitional? no switch yet -> initial
+        assert mid.env.object_protocols["obj"] == "halfmoon-write"
+        runtime.begin_switch("halfmoon-read")
+        # Subsequent ops of the same invocation keep the pinned protocol.
+        mid.write("obj", "v1")
+        assert mid.env.object_protocols["obj"] == "halfmoon-write"
+        straggler.finish()
+        mid.finish()
+
+
+class TestSealing:
+    def test_write_to_read_seal_exposes_latest(self):
+        """Values written by pure Halfmoon-write must be visible to
+        Halfmoon-read SSFs after the switch."""
+        runtime = make_switching_runtime("halfmoon-write")
+        runtime.invoke("rw", {"key": "obj", "value": "hmw-value"})
+        runtime.begin_switch("halfmoon-read")
+        probe = runtime.invoke("rw", {"key": "obj", "value": "next"})
+        assert probe.output == "hmw-value"
+
+    def test_read_to_write_seal_exposes_latest(self):
+        runtime = make_switching_runtime("halfmoon-read")
+        runtime.invoke("rw", {"key": "obj", "value": "hmr-value"})
+        runtime.begin_switch("halfmoon-write")
+        probe = runtime.invoke("rw", {"key": "obj", "value": "next"})
+        assert probe.output == "hmr-value"
+
+    def test_round_trip_switch_preserves_values(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        runtime.invoke("rw", {"key": "obj", "value": "a"})
+        runtime.begin_switch("halfmoon-read")
+        runtime.invoke("rw", {"key": "obj", "value": "b"})
+        runtime.begin_switch("halfmoon-write")
+        probe = runtime.invoke("rw", {"key": "obj", "value": "c"})
+        assert probe.output == "b"
+
+    def test_untouched_object_survives_switch(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        runtime.begin_switch("halfmoon-read")
+        probe = runtime.invoke("rw", {"key": "other", "value": "x"})
+        assert probe.output == "o0"
+
+
+class TestTransitionalCoexistence:
+    def test_transitional_write_visible_to_both_worlds(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        old = runtime.open_session().init()       # will use halfmoon-write
+        runtime.begin_switch("halfmoon-read")
+        mid = runtime.open_session().init()       # transitional
+        mid.write("obj", "from-transitional")
+        # The old-protocol SSF (halfmoon-write) reads the LATEST slot.
+        assert old.read("obj") == "from-transitional"
+        mid.finish()
+        old.finish()
+        # After END, halfmoon-read SSFs see it through the write log.
+        new = runtime.open_session().init()
+        assert new.read("obj") == "from-transitional"
+        new.finish()
+
+    def test_transitional_read_prefers_fresher_world(self):
+        runtime = make_switching_runtime("halfmoon-write")
+        old = runtime.open_session().init()
+        runtime.begin_switch("halfmoon-read")
+        # Old-protocol write lands only in the LATEST slot.
+        old.write("obj", "fresh-latest")
+        mid = runtime.open_session().init()
+        assert mid.read("obj") == "fresh-latest"
+        old.finish()
+        mid.finish()
+
+
+class TestFaultTolerantSwitching:
+    def test_replayed_ssf_resolves_same_protocol(self):
+        """Re-execution spanning a switch must keep the original protocol
+        (the transition log is queried with the persistent initial
+        cursorTS)."""
+        runtime = make_switching_runtime("halfmoon-write")
+        crashed = runtime.open_session().init()
+        crashed.read("obj")
+        assert crashed.env.object_protocols["obj"] == "halfmoon-write"
+        # The instance "crashes"; meanwhile a switch begins (it cannot
+        # finish: the instance is still tracked as running).
+        runtime.begin_switch("halfmoon-read")
+        replay = crashed.replay().init()
+        replay.read("obj")
+        assert replay.env.object_protocols["obj"] == "halfmoon-write"
+        replay.finish()

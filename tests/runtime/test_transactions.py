@@ -1,0 +1,167 @@
+"""Tests for the transaction layer (OCC over the logging protocols)."""
+
+import pytest
+
+from repro import CrashOnceAtEvery, LocalRuntime, SystemConfig
+from repro.errors import ProtocolError
+from repro.runtime import TransactionAborted
+from tests.conftest import make_runtime
+
+
+def build(protocol, crash_policy=None):
+    runtime = make_runtime(protocol, crash_policy=crash_policy)
+    runtime.populate("src", 100)
+    runtime.populate("dst", 0)
+    runtime.populate("audit", 0)
+
+    def transfer(ctx, amount):
+        def body(txn):
+            source = txn.read("src")
+            if source < amount:
+                return False
+            txn.write("src", source - amount)
+            txn.write("dst", txn.read("dst") + amount)
+            txn.write("audit", txn.read("audit") + 1)
+            return True
+
+        return ctx.transaction(body)
+
+    runtime.register("transfer", transfer)
+    runtime.register(
+        "probe",
+        lambda ctx, inp: (ctx.read("src"), ctx.read("dst"),
+                          ctx.read("audit")),
+    )
+    return runtime
+
+
+class TestBasics:
+    def test_commit_applies_all_writes(self, protocol_name):
+        runtime = build(protocol_name)
+        assert runtime.invoke("transfer", 30).output is True
+        assert runtime.invoke("probe").output == (70, 30, 1)
+
+    def test_read_your_writes(self, protocol_name):
+        runtime = build(protocol_name)
+
+        def double_bump(ctx, inp):
+            def body(txn):
+                txn.write("dst", txn.read("dst") + 1)
+                txn.write("dst", txn.read("dst") + 1)  # sees the buffer
+                return txn.read("dst")
+
+            return ctx.transaction(body)
+
+        runtime.register("double", double_bump)
+        assert runtime.invoke("double").output == 2
+        assert runtime.invoke("probe").output[1] == 2
+
+    def test_abort_path_applies_nothing(self, protocol_name):
+        runtime = build(protocol_name)
+        # Insufficient funds: body returns False without writes? No — it
+        # returns False but writes nothing, so the txn commits an empty
+        # write set.  Verify state is untouched.
+        assert runtime.invoke("transfer", 500).output is False
+        assert runtime.invoke("probe").output == (100, 0, 0)
+
+    def test_unsafe_protocol_rejected(self):
+        runtime = make_runtime("unsafe")
+        runtime.populate("k", 1)
+        runtime.register(
+            "t", lambda ctx, inp: ctx.transaction(lambda txn: txn.read("k"))
+        )
+        with pytest.raises(ProtocolError):
+            runtime.invoke("t")
+
+
+class TestConflicts:
+    def test_concurrent_conflicting_txn_aborts_and_retries(
+        self, protocol_name
+    ):
+        runtime = build(protocol_name)
+        interfered = {"done": False}
+
+        def sneaky_transfer(ctx, amount):
+            def body(txn):
+                source = txn.read("src")
+                # Another SSF writes src mid-transaction, once.
+                if not interfered["done"]:
+                    interfered["done"] = True
+                    other = runtime.open_session().init()
+                    other.write("src", source - 1)
+                    other.finish()
+                txn.write("src", source - amount)
+                return source
+
+            return ctx.transaction(body)
+
+        runtime.register("sneaky", sneaky_transfer)
+        result = runtime.invoke("sneaky", 10)
+        # The first attempt aborted; the retry read the interfering
+        # value (99) and committed 89.
+        assert result.output == 99
+        assert runtime.invoke("probe").output[0] == 89
+
+    def test_exhausted_retries_raise(self, protocol_name):
+        runtime = build(protocol_name)
+
+        def always_conflicting(ctx, inp):
+            def body(txn):
+                source = txn.read("src")
+                other = runtime.open_session().init()
+                other.write("src", source)  # any write bumps the version
+                other.finish()
+                txn.write("src", source - 1)
+                return source
+
+            return ctx.transaction(body, max_attempts=3)
+
+        runtime.register("conflict", always_conflicting)
+        with pytest.raises(TransactionAborted):
+            runtime.invoke("conflict")
+
+
+class TestCrashRecovery:
+    def test_exactly_once_across_all_crash_points(self, protocol_name):
+        reference = None
+        for crash_at in range(0, 45):
+            policy = CrashOnceAtEvery(crash_at) if crash_at else None
+            runtime = build(protocol_name, crash_policy=policy)
+            result = runtime.invoke("transfer", 25)
+            state = runtime.invoke("probe").output
+            assert result.output is True
+            if reference is None:
+                reference = state
+            else:
+                assert state == reference, (
+                    f"{protocol_name} diverged at crash point {crash_at}"
+                )
+        assert reference == (75, 25, 1)
+
+    def test_replay_repeats_logged_decision(self, protocol_name):
+        """A completed transaction replays from its decision record: no
+        second validation, no duplicate writes."""
+        runtime = build(protocol_name)
+        result = runtime.invoke("transfer", 10)
+        state = runtime.invoke("probe").output
+        replay = runtime.invoke(
+            "transfer", 10, instance_id=result.instance_id
+        )
+        assert replay.output is True
+        assert runtime.invoke("probe").output == state
+
+    def test_money_conserved_under_random_crashes(self, protocol_name):
+        from repro import BernoulliCrashes
+
+        runtime = build(protocol_name)
+        runtime.crash_policy = BernoulliCrashes(
+            0.3, runtime.backend.rng.stream("crashes"), horizon=40
+        )
+        transfers = 0
+        for _ in range(10):
+            if runtime.invoke("transfer", 5).output:
+                transfers += 1
+        src, dst, audit = runtime.invoke("probe").output
+        assert src + dst == 100
+        assert dst == transfers * 5
+        assert audit == transfers

@@ -1,0 +1,106 @@
+"""Tests for trigger edges (Section 4.4's recommended design pattern)."""
+
+import pytest
+
+from repro import CrashOnceAtEvery, LocalRuntime, ScriptedCrashes
+from repro.errors import ProtocolError
+from tests.conftest import make_runtime
+
+
+def build(protocol, crash_policy=None):
+    runtime = make_runtime(protocol, crash_policy=crash_policy)
+    runtime.populate("events", [])
+    runtime.populate("derived", 0)
+
+    def ingest(ctx, inp):
+        events = ctx.read("events")
+        ctx.write("events", events + [inp])
+        ctx.trigger("postprocess", inp)
+        return len(events) + 1
+
+    def postprocess(ctx, inp):
+        # Sees the ingest's write: triggers start after the parent ends.
+        events = ctx.read("events")
+        assert inp in events, "trigger ran before its cause was visible"
+        ctx.write("derived", ctx.read("derived") + inp)
+        return inp
+
+    runtime.register("ingest", ingest)
+    runtime.register("postprocess", postprocess)
+    runtime.register(
+        "probe",
+        lambda ctx, inp: (ctx.read("events"), ctx.read("derived")),
+    )
+    return runtime
+
+
+def test_trigger_fires_after_completion(protocol_name):
+    runtime = build(protocol_name)
+    result = runtime.invoke("ingest", 5)
+    assert result.output == 1
+    events, derived = runtime.invoke("probe").output
+    assert events == [5]
+    assert derived == 5
+
+
+def test_trigger_sees_parent_effects(protocol_name):
+    """The real-time boundary property: an SSF started after another
+    finishes observes all of its effects — the assert inside
+    ``postprocess`` enforces it on every run."""
+    runtime = build(protocol_name)
+    for value in (1, 2, 3):
+        runtime.invoke("ingest", value)
+    events, derived = runtime.invoke("probe").output
+    assert events == [1, 2, 3]
+    assert derived == 6
+
+
+def test_trigger_exactly_once_under_crashes(protocol_name):
+    for crash_at in range(1, 30):
+        runtime = build(
+            protocol_name, crash_policy=CrashOnceAtEvery(crash_at)
+        )
+        runtime.invoke("ingest", 7)
+        events, derived = runtime.invoke("probe").output
+        assert events == [7], crash_at
+        assert derived == 7, crash_at
+
+
+def test_trigger_callee_id_stable_across_replay(protocol_name):
+    """A replayed parent re-registers the same callee id, so a zombie
+    parent retriggering produces a replayed (no-op) child."""
+    runtime = build(protocol_name)
+    result = runtime.invoke("ingest", 9)
+    state = runtime.invoke("probe").output
+    # Zombie replay of the completed parent fires the trigger again —
+    # with the pinned callee id, so the child replays idempotently.
+    runtime.invoke("ingest", 9, instance_id=result.instance_id)
+    assert runtime.invoke("probe").output == state
+
+
+def test_trigger_requires_logged_protocol():
+    runtime = make_runtime("unsafe")
+    runtime.populate("events", [])
+    runtime.register(
+        "bad", lambda ctx, inp: ctx.trigger("whatever")
+    )
+    with pytest.raises(ProtocolError):
+        runtime.invoke("bad")
+
+
+def test_chained_triggers(protocol_name):
+    runtime = make_runtime(protocol_name)
+    runtime.populate("chain", [])
+
+    def stage(ctx, inp):
+        chain = ctx.read("chain")
+        ctx.write("chain", chain + [inp])
+        if inp < 3:
+            ctx.trigger("stage", inp + 1)
+        return inp
+
+    runtime.register("stage", stage)
+    runtime.invoke("stage", 1)
+    probe = runtime.open_session().init()
+    assert probe.read("chain") == [1, 2, 3]
+    probe.finish()

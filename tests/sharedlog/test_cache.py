@@ -1,0 +1,66 @@
+"""Unit tests for the function-node record cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sharedlog import RecordCache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigError):
+        RecordCache(0)
+
+
+def test_lookup_miss_then_hit():
+    cache = RecordCache(4)
+    assert cache.lookup(1) is False   # miss, now resident
+    assert cache.lookup(1) is True    # hit
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_ratio == 0.5
+
+
+def test_insert_makes_resident():
+    cache = RecordCache(4)
+    cache.insert(7)
+    assert cache.lookup(7) is True
+
+
+def test_lru_eviction_order():
+    cache = RecordCache(2)
+    cache.insert(1)
+    cache.insert(2)
+    cache.insert(3)  # evicts 1
+    assert cache.lookup(2) is True
+    assert cache.lookup(1) is False
+
+
+def test_lookup_refreshes_recency():
+    cache = RecordCache(2)
+    cache.insert(1)
+    cache.insert(2)
+    cache.lookup(1)      # 1 is now most recent
+    cache.insert(3)      # evicts 2
+    assert cache.lookup(1) is True
+    assert cache.lookup(2) is False
+
+
+def test_invalidate_and_clear():
+    cache = RecordCache(4)
+    cache.insert(1)
+    cache.invalidate(1)
+    assert cache.lookup(1) is False
+    cache.insert(2)
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_reinsert_does_not_grow():
+    cache = RecordCache(4)
+    cache.insert(1)
+    cache.insert(1)
+    assert len(cache) == 1
+
+
+def test_hit_ratio_empty_cache():
+    assert RecordCache().hit_ratio == 0.0

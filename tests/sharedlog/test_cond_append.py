@@ -1,0 +1,77 @@
+"""Unit tests for logCondAppend (Section 5.1)."""
+
+import pytest
+
+from repro.errors import ConditionalAppendError, LogError, ProtocolError
+from repro.sharedlog import SharedLog
+
+
+@pytest.fixture
+def log():
+    return SharedLog()
+
+
+def test_append_at_expected_offset_succeeds(log):
+    s0 = log.cond_append(["i"], {"step": 0}, cond_tag="i", cond_pos=0)
+    s1 = log.cond_append(["i"], {"step": 1}, cond_tag="i", cond_pos=1)
+    assert s1 > s0
+    assert [r["step"] for r in log.read_stream("i")] == [0, 1]
+
+
+def test_conflict_reports_existing_seqnum(log):
+    s0 = log.cond_append(["i"], {"who": "winner"}, "i", 0)
+    with pytest.raises(ConditionalAppendError) as excinfo:
+        log.cond_append(["i"], {"who": "loser"}, "i", 0)
+    assert excinfo.value.existing_seqnum == s0
+    # The losing append left no trace.
+    assert len(log.read_stream("i")) == 1
+    assert log.read_stream("i")[0]["who"] == "winner"
+
+
+def test_gap_offset_is_a_protocol_error(log):
+    log.cond_append(["i"], {}, "i", 0)
+    with pytest.raises(ProtocolError):
+        log.cond_append(["i"], {}, "i", 5)  # skipped steps 1-4
+
+
+def test_cond_tag_must_be_in_tags(log):
+    with pytest.raises(LogError):
+        log.cond_append(["a"], {}, cond_tag="b", cond_pos=0)
+
+
+def test_cond_append_with_extra_tags_lands_in_all_streams(log):
+    log.cond_append(["i", "k"], {"v": 1}, "i", 0)
+    assert len(log.read_stream("i")) == 1
+    assert len(log.read_stream("k")) == 1
+
+
+def test_offsets_remain_stable_after_trim(log):
+    """Trimmed prefixes keep offsets stable: condPos semantics survive GC."""
+    for step in range(3):
+        log.cond_append(["i"], {"step": step}, "i", step)
+    first_two = log.read_stream("i")[1].seqnum
+    log.trim("i", first_two)  # removes offsets 0 and 1
+    # Appending at offset 3 (the next logical position) still works.
+    log.cond_append(["i"], {"step": 3}, "i", 3)
+    # Appending at an already-taken (but trimmed) offset fails loudly.
+    with pytest.raises(ConditionalAppendError):
+        log.cond_append(["i"], {"step": 2}, "i", 2)
+
+
+def test_conflict_on_trimmed_offset_raises_trimmed(log):
+    from repro.errors import TrimmedError
+
+    for step in range(2):
+        log.cond_append(["i"], {"step": step}, "i", step)
+    log.trim("i", log.tail_seqnum)
+    with pytest.raises(TrimmedError):
+        log.cond_append(["i"], {"step": 0}, "i", 0)
+
+
+def test_interleaved_streams_do_not_interfere(log):
+    log.cond_append(["i1"], {"s": 0}, "i1", 0)
+    log.cond_append(["i2"], {"s": 0}, "i2", 0)
+    log.cond_append(["i1"], {"s": 1}, "i1", 1)
+    log.cond_append(["i2"], {"s": 1}, "i2", 1)
+    assert [r["s"] for r in log.read_stream("i1")] == [0, 1]
+    assert [r["s"] for r in log.read_stream("i2")] == [0, 1]

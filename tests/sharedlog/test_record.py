@@ -1,0 +1,53 @@
+"""Unit tests for LogRecord."""
+
+import pytest
+
+from repro.sharedlog import LogRecord
+
+
+def test_dict_style_access():
+    record = LogRecord(5, ("a",), {"op": "write", "version": "v1"})
+    assert record["seqnum"] == 5
+    assert record["op"] == "write"
+    assert record["version"] == "v1"
+
+
+def test_get_with_default():
+    record = LogRecord(5, ("a",), {"op": "read"})
+    assert record.get("missing") is None
+    assert record.get("missing", 7) == 7
+    assert record.get("seqnum") == 5
+
+
+def test_missing_key_raises():
+    record = LogRecord(1, ("a",), {})
+    with pytest.raises(KeyError):
+        _ = record["nope"]
+
+
+def test_data_is_frozen():
+    record = LogRecord(1, ("a",), {"op": "read"})
+    with pytest.raises(TypeError):
+        record.data["op"] = "write"
+
+
+def test_source_dict_mutation_does_not_leak():
+    source = {"op": "read"}
+    record = LogRecord(1, ("a",), source)
+    source["op"] = "write"
+    assert record["op"] == "read"
+
+
+def test_op_and_step_properties():
+    record = LogRecord(1, ("a",), {"op": "write", "step": 3})
+    assert record.op == "write"
+    assert record.step == 3
+    bare = LogRecord(2, ("a",), {})
+    assert bare.op == "?"
+    assert bare.step == -1
+
+
+def test_repr_mentions_fields():
+    record = LogRecord(9, ("t",), {"op": "init"})
+    assert "seqnum=9" in repr(record)
+    assert "op='init'" in repr(record)

@@ -1,0 +1,238 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simulation import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        return "done"
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == 5.0
+    assert p.triggered
+    assert p.value == "done"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        seen.append(sim.now)
+        yield sim.timeout(2.5)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [1.0, 3.5]
+
+
+def test_timeout_value_passed_to_process():
+    sim = Simulator()
+    received = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        received.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert received == ["payload"]
+
+
+def test_processes_interleave_by_time():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            order.append((name, sim.now))
+
+    sim.process(proc("a", [2.0, 2.0]))   # fires at 2, 4
+    sim.process(proc("b", [1.0, 2.0]))   # fires at 1, 3
+    sim.run()
+    assert order == [("b", 1.0), ("a", 2.0), ("b", 3.0), ("a", 4.0)]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ["first", "second", "third"]:
+        sim.process(proc(name))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_limits_clock():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.run(until=25.0)
+    assert sim.now == 25.0
+
+
+def test_run_until_sets_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_process_waits_on_manual_event():
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(7.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert log == [(7.0, "open")]
+
+
+def test_event_cannot_fire_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_process_waiting_on_already_fired_event():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+    got = []
+
+    def proc():
+        value = yield gate
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_process_return_value_via_nested_wait():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3.0)
+        return 42
+
+    def parent():
+        result = yield sim.process(child())
+        return result * 2
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 84
+    assert sim.now == 3.0
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return "finished"
+
+    p = sim.process(proc())
+    assert sim.run_until_complete(p) == "finished"
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    gate = sim.event()  # nobody ever fires this
+
+    def proc():
+        yield gate
+
+    p = sim.process(proc())
+    with pytest.raises(DeadlockError):
+        sim.run_until_complete(p)
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def proc():
+        yield "not an event"
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+
+    def proc():
+        yield sim.timeout(9.0)
+
+    sim.process(proc())
+    assert sim.peek() == 0.0  # the process start event
+    sim.run()
+    assert sim.peek() is None
+
+
+def test_many_processes_deterministic():
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def proc(i):
+            yield sim.timeout(float(i % 7))
+            trace.append(i)
+            yield sim.timeout(float(i % 3))
+            trace.append(-i)
+
+        for i in range(50):
+            sim.process(proc(i))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

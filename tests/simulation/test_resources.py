@@ -1,0 +1,87 @@
+"""Unit tests for FIFO resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Resource, Simulator
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, 0)
+
+
+def test_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, 2)
+    e1, e2, e3 = res.request(), res.request(), res.request()
+    assert e1.triggered and e2.triggered
+    assert not e3.triggered
+    assert res.in_use == 2
+    assert res.queued == 1
+
+
+def test_release_grants_next_waiter_fifo():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    first = res.request()
+    second = res.request()
+    third = res.request()
+    assert first.triggered and not second.triggered
+    res.release()
+    assert second.triggered and not third.triggered
+    res.release()
+    assert third.triggered
+
+
+def test_release_of_idle_resource_raises():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_use_helper_serialises_work():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    finish_times = []
+
+    def worker():
+        yield from res.use(10.0)
+        finish_times.append(sim.now)
+
+    for _ in range(3):
+        sim.process(worker())
+    sim.run()
+    assert finish_times == [10.0, 20.0, 30.0]
+
+
+def test_parallel_capacity_two():
+    sim = Simulator()
+    res = Resource(sim, 2)
+    finish_times = []
+
+    def worker():
+        yield from res.use(10.0)
+        finish_times.append(sim.now)
+
+    for _ in range(4):
+        sim.process(worker())
+    sim.run()
+    assert finish_times == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_peak_and_grant_counters():
+    sim = Simulator()
+    res = Resource(sim, 3)
+
+    def worker():
+        yield from res.use(5.0)
+
+    for _ in range(5):
+        sim.process(worker())
+    sim.run()
+    assert res.peak_in_use == 3
+    assert res.grants == 5
+    assert res.in_use == 0

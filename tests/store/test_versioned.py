@@ -1,0 +1,83 @@
+"""Unit tests for the multi-version store layer."""
+
+import pytest
+
+from repro.errors import KeyMissingError, StoreError
+from repro.store import (
+    KVStore,
+    MultiVersionStore,
+    split_version_key,
+    version_key,
+)
+
+
+@pytest.fixture
+def mv():
+    return MultiVersionStore(KVStore())
+
+
+def test_write_and_read_version(mv):
+    mv.write_version("k", "v1", "hello")
+    assert mv.read_version("k", "v1") == "hello"
+
+
+def test_versions_are_independent(mv):
+    mv.write_version("k", "v1", "one")
+    mv.write_version("k", "v2", "two")
+    assert mv.read_version("k", "v1") == "one"
+    assert mv.read_version("k", "v2") == "two"
+
+
+def test_missing_version_raises(mv):
+    mv.write_version("k", "v1", "one")
+    with pytest.raises(KeyMissingError):
+        mv.read_version("k", "v2")
+
+
+def test_reinstalling_same_version_is_idempotent(mv):
+    """A crash between DBWrite and logging re-runs the version install."""
+    mv.write_version("k", "v1", "value")
+    mv.write_version("k", "v1", "value")
+    assert mv.read_version("k", "v1") == "value"
+    assert mv.version_count("k") == 1
+
+
+def test_has_and_delete_version(mv):
+    mv.write_version("k", "v1", "one")
+    assert mv.has_version("k", "v1")
+    assert mv.delete_version("k", "v1") is True
+    assert mv.delete_version("k", "v1") is False
+    assert not mv.has_version("k", "v1")
+
+
+def test_list_versions_unordered_pointers(mv):
+    mv.write_version("k", "zzz", 1)
+    mv.write_version("k", "aaa", 2)
+    assert sorted(mv.list_versions("k")) == ["aaa", "zzz"]
+
+
+def test_versions_do_not_collide_with_plain_keys(mv):
+    mv.kv.put("k", "latest")
+    mv.write_version("k", "v1", "versioned")
+    assert mv.kv.get("k") == "latest"
+    assert mv.read_version("k", "v1") == "versioned"
+    assert mv.list_versions("k") == ["v1"]
+
+
+def test_key_with_separator_rejected():
+    with pytest.raises(StoreError):
+        version_key("bad@key", "v1")
+
+
+def test_split_version_key_roundtrip():
+    composite = version_key("obj1", "deadbeef")
+    assert split_version_key(composite) == ("obj1", "deadbeef")
+    with pytest.raises(StoreError):
+        split_version_key("noseparator")
+
+
+def test_iter_versioned_keys(mv):
+    mv.kv.put("plain", 1)
+    mv.write_version("a", "v1", 1)
+    mv.write_version("b", "v2", 2)
+    assert sorted(mv.iter_versioned_keys()) == [("a", "v1"), ("b", "v2")]

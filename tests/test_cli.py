@@ -1,0 +1,49 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--samples", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "median" in out
+
+
+def test_fig10_command(capsys):
+    assert main(["fig10", "--requests", "100", "--keys", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10 (a) Read latency" in out
+    assert "Figure 10 (b) Write latency" in out
+    assert "halfmoon-read" in out
+
+
+def test_advise_read_heavy(capsys):
+    assert main(["advise", "--read-ratio", "0.9"]) == 0
+    out = capsys.readouterr().out
+    assert "halfmoon-read" in out
+
+
+def test_advise_write_heavy(capsys):
+    assert main(["advise", "--read-ratio", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "halfmoon-write" in out
+
+
+def test_recovery_command(capsys):
+    assert main(["recovery", "--f", "0.0", "--requests", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery cost" in out
+    assert "boki" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])
+
+
+def test_missing_required_argument():
+    with pytest.raises(SystemExit):
+        main(["advise"])  # --read-ratio is required

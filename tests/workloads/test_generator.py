@@ -1,0 +1,56 @@
+"""Unit tests for load generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import Phase, PhasedSchedule, PoissonArrivals
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestPoissonArrivals:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(0.0)
+
+    def test_mean_gap_matches_rate(self, rng):
+        arrivals = PoissonArrivals(rate_per_s=200.0)
+        gaps = [arrivals.inter_arrival_ms(rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(5.0, rel=0.05)
+
+    def test_schedule_count_matches_rate(self, rng):
+        arrivals = PoissonArrivals(rate_per_s=100.0)
+        times = arrivals.schedule(10_000.0, rng)
+        assert len(times) == pytest.approx(1000, rel=0.15)
+        assert times == sorted(times)
+        assert all(0 <= t < 10_000.0 for t in times)
+
+
+class TestPhasedSchedule:
+    def test_requires_phases(self):
+        with pytest.raises(ConfigError):
+            PhasedSchedule([])
+
+    def test_phase_lookup(self):
+        schedule = PhasedSchedule([
+            Phase(5_000.0, 0.2, "halfmoon-write"),
+            Phase(5_000.0, 0.8, "halfmoon-read"),
+        ])
+        assert schedule.total_duration_ms() == 10_000.0
+        index, phase = schedule.phase_at(1_000.0)
+        assert index == 0 and phase.read_ratio == 0.2
+        index, phase = schedule.phase_at(7_500.0)
+        assert index == 1 and phase.read_ratio == 0.8
+        # Clamped past the end.
+        index, _ = schedule.phase_at(99_999.0)
+        assert index == 1
+
+    def test_boundaries(self):
+        schedule = PhasedSchedule([
+            Phase(3_000.0, 0.2), Phase(2_000.0, 0.8), Phase(1_000.0, 0.5),
+        ])
+        assert schedule.boundaries_ms() == [0.0, 3_000.0, 5_000.0]

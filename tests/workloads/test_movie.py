@@ -1,0 +1,104 @@
+"""Unit tests for the movie-review workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MovieReviewWorkload
+from repro.workloads.movie import (
+    counter_key,
+    movie_reviews_key,
+    rating_key,
+    user_reviews_key,
+)
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def setup(protocol_name):
+    runtime = make_runtime(protocol_name)
+    wl = MovieReviewWorkload(num_movies=5, num_users=6)
+    wl.register(runtime)
+    wl.populate(runtime)
+    return runtime, wl
+
+
+def compose(runtime, movie=1, user=2, stars=4):
+    return runtime.invoke("movie.frontend", {
+        "action": "compose", "movie": movie, "user": user,
+        "stars": stars, "text": "  padded review text  ",
+    })
+
+
+def test_thirteen_ssfs_registered(setup):
+    runtime, _ = setup
+    assert len(runtime.functions.names()) == 13
+
+
+def test_compose_review_updates_all_stores(setup):
+    runtime, _ = setup
+    out = compose(runtime, movie=1, user=2, stars=4)
+    assert out.output["status"] == "posted"
+    review_id = out.output["review"]
+    probe = runtime.open_session().init()
+    assert probe.read(counter_key()) == review_id
+    assert probe.read(f"review{review_id:07d}")["stars"] == 4
+    assert review_id in probe.read(movie_reviews_key(1))
+    assert review_id in probe.read(user_reviews_key(2))
+    rating = probe.read(rating_key(1))
+    assert rating == {"sum": 4, "count": 1}
+    probe.finish()
+
+
+def test_text_sanitised(setup):
+    runtime, _ = setup
+    out = compose(runtime)
+    review_id = out.output["review"]
+    probe = runtime.open_session().init()
+    assert probe.read(f"review{review_id:07d}")["text"] == (
+        "padded review text"
+    )
+    probe.finish()
+
+
+def test_ratings_aggregate_across_reviews(setup):
+    runtime, _ = setup
+    compose(runtime, movie=0, stars=2)
+    compose(runtime, movie=0, stars=4)
+    probe = runtime.open_session().init()
+    assert probe.read(rating_key(0)) == {"sum": 6, "count": 2}
+    probe.finish()
+
+
+def test_page_view_returns_info_and_reviews(setup):
+    runtime, _ = setup
+    compose(runtime, movie=3, stars=5)
+    out = runtime.invoke("movie.frontend", {
+        "action": "page", "movie": 3, "user": 0,
+        "stars": 0, "text": "",
+    })
+    page = out.output["page"]
+    assert page["info"]["title"] == "title0003"
+    assert page["info"]["rating"] == 5.0
+    assert len(page["reviews"]) == 1
+    assert page["cast"]
+
+
+def test_unique_ids_monotone(setup):
+    runtime, _ = setup
+    ids = [compose(runtime).output["review"] for _ in range(3)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 3
+
+
+def test_request_mix(setup):
+    _, wl = setup
+    rng = np.random.default_rng(9)
+    actions = [wl.next_request(rng).input["action"] for _ in range(300)]
+    compose_fraction = actions.count("compose") / len(actions)
+    assert compose_fraction == pytest.approx(0.7, abs=0.08)
+
+
+def test_profile_is_write_leaning():
+    wl = MovieReviewWorkload()
+    reads, writes = wl.read_write_profile()
+    assert writes > 0.4 * (reads + writes)

@@ -1,0 +1,105 @@
+"""Unit tests for the Retwis workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import RetwisWorkload
+from repro.workloads.retwis import (
+    followers_key,
+    following_key,
+    posts_key,
+    timeline_key,
+)
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def setup(protocol_name):
+    runtime = make_runtime(protocol_name)
+    wl = RetwisWorkload(num_users=10)
+    wl.register(runtime)
+    wl.populate(runtime)
+    return runtime, wl
+
+
+def test_post_appears_in_timeline_and_posts(setup):
+    runtime, _ = setup
+    out = runtime.invoke("retwis.post", {"user": 3, "text": "hi"})
+    tweet_id = out.output
+    probe = runtime.open_session().init()
+    assert tweet_id in probe.read(timeline_key())
+    assert tweet_id in probe.read(posts_key(3))
+    assert probe.read(f"rtweet{tweet_id:07d}")["author"] == 3
+    probe.finish()
+
+
+def test_timeline_hydrates_recent_tweets(setup):
+    runtime, _ = setup
+    for i in range(3):
+        runtime.invoke("retwis.post", {"user": i, "text": f"t{i}"})
+    out = runtime.invoke("retwis.timeline", {"user": 0})
+    assert [t["text"] for t in out.output] == ["t0", "t1", "t2"]
+
+
+def test_profile_returns_recent_posts(setup):
+    runtime, _ = setup
+    runtime.invoke("retwis.post", {"user": 5, "text": "mine"})
+    out = runtime.invoke("retwis.profile", {"user": 5})
+    assert out.output["user"]["handle"] == "@user0005"
+    assert [t["text"] for t in out.output["recent"]] == ["mine"]
+
+
+def test_follow_creates_both_edges(setup):
+    runtime, _ = setup
+    runtime.invoke("retwis.follow", {"follower": 1, "followee": 2})
+    probe = runtime.open_session().init()
+    assert 2 in probe.read(following_key(1))
+    assert 1 in probe.read(followers_key(2))
+    probe.finish()
+
+
+def test_follow_is_set_like(setup):
+    runtime, _ = setup
+    for _ in range(2):
+        runtime.invoke("retwis.follow", {"follower": 1, "followee": 2})
+    probe = runtime.open_session().init()
+    assert probe.read(following_key(1)) == [2]
+    probe.finish()
+
+
+def test_timeline_capped(setup):
+    runtime, _ = setup
+    for i in range(12):
+        runtime.invoke("retwis.post", {"user": 0, "text": f"t{i}"})
+    out = runtime.invoke("retwis.timeline", {"user": 0})
+    assert len(out.output) == 8  # TIMELINE_FANOUT
+
+
+def test_request_mix_and_zipf():
+    wl = RetwisWorkload(num_users=10)
+    rng = np.random.default_rng(2)
+    names = [wl.next_request(rng).func_name for _ in range(500)]
+    assert names.count("retwis.timeline") > names.count("retwis.post")
+    assert set(names) <= {
+        "retwis.post", "retwis.timeline", "retwis.profile",
+        "retwis.follow",
+    }
+
+
+def test_follow_never_self():
+    wl = RetwisWorkload(num_users=3)
+    rng = np.random.default_rng(4)
+    for _ in range(300):
+        req = wl.next_request(rng)
+        if req.func_name == "retwis.follow":
+            assert req.input["follower"] != req.input["followee"]
+
+
+def test_fractions_must_sum_to_at_most_one():
+    with pytest.raises(ValueError):
+        RetwisWorkload(post_fraction=0.5, timeline_fraction=0.4,
+                       profile_fraction=0.3)
+
+
+def test_profile_is_read_intensive():
+    assert RetwisWorkload().read_ratio() > 0.7

@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MixedRatioWorkload, ReadWriteMicrobench
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestReadWriteMicrobench:
+    def test_populates_configured_keys(self, rng):
+        runtime = make_runtime("boki")
+        wl = ReadWriteMicrobench(num_keys=50)
+        wl.register(runtime)
+        wl.populate(runtime)
+        assert runtime.backend.kv.get(wl.key(0)) is not None
+        assert runtime.backend.kv.get(wl.key(49)) is not None
+
+    def test_requests_target_known_keys(self, rng):
+        wl = ReadWriteMicrobench(num_keys=10)
+        for _ in range(50):
+            req = wl.next_request(rng)
+            assert req.func_name == "rw"
+            assert req.input["read_key"].startswith("obj")
+            assert req.input["write_key"].startswith("obj")
+
+    def test_runs_end_to_end(self, rng, protocol_name):
+        runtime = make_runtime(protocol_name)
+        wl = ReadWriteMicrobench(num_keys=10)
+        wl.register(runtime)
+        wl.populate(runtime)
+        req = wl.next_request(rng)
+        result = runtime.invoke(req.func_name, req.input)
+        assert result.output is not None
+
+    def test_profile(self):
+        assert ReadWriteMicrobench().read_write_profile() == (1.0, 1.0)
+        assert ReadWriteMicrobench().read_ratio() == 0.5
+
+
+class TestMixedRatioWorkload:
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            MixedRatioWorkload(read_ratio=1.5)
+
+    def test_ops_per_request(self, rng):
+        wl = MixedRatioWorkload(0.5, num_keys=10, ops_per_request=10)
+        req = wl.next_request(rng)
+        assert len(req.input["ops"]) == 10
+
+    def test_read_fraction_tracks_ratio(self, rng):
+        wl = MixedRatioWorkload(0.7, num_keys=100)
+        reads = total = 0
+        for _ in range(200):
+            for kind, _key, _value in wl.next_request(rng).input["ops"]:
+                reads += kind == "r"
+                total += 1
+        assert reads / total == pytest.approx(0.7, abs=0.05)
+
+    def test_extreme_ratios(self, rng):
+        all_reads = MixedRatioWorkload(1.0, num_keys=10)
+        assert all(
+            k == "r"
+            for k, _, _ in all_reads.next_request(rng).input["ops"]
+        )
+        all_writes = MixedRatioWorkload(0.0, num_keys=10)
+        assert all(
+            k == "w"
+            for k, _, _ in all_writes.next_request(rng).input["ops"]
+        )
+
+    def test_runs_end_to_end(self, rng, protocol_name):
+        runtime = make_runtime(protocol_name)
+        wl = MixedRatioWorkload(0.5, num_keys=20)
+        wl.register(runtime)
+        wl.populate(runtime)
+        for _ in range(5):
+            req = wl.next_request(rng)
+            runtime.invoke(req.func_name, req.input)
+
+    def test_profile_scales_with_ratio(self):
+        wl = MixedRatioWorkload(0.3, ops_per_request=10)
+        reads, writes = wl.read_write_profile()
+        assert reads == pytest.approx(3.0)
+        assert writes == pytest.approx(7.0)

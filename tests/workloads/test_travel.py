@@ -1,0 +1,87 @@
+"""Unit tests for the travel-reservation workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import TravelReservationWorkload
+from repro.workloads.travel import availability_key, user_key
+from tests.conftest import make_runtime
+
+
+@pytest.fixture
+def setup(protocol_name):
+    runtime = make_runtime(protocol_name)
+    wl = TravelReservationWorkload(
+        num_hotels=8, num_users=10, num_regions=2
+    )
+    wl.register(runtime)
+    wl.populate(runtime)
+    return runtime, wl
+
+
+def test_ten_ssfs_registered(setup):
+    runtime, _ = setup
+    assert len(runtime.functions.names()) == 10
+
+
+def test_search_returns_ranked_hotels(setup):
+    runtime, _ = setup
+    result = runtime.invoke("travel.search", {"region": 0})
+    assert len(result.output) == 3
+    assert all(h.startswith("hotel") for h in result.output)
+
+
+def test_reservation_decrements_availability(setup):
+    runtime, wl = setup
+    out = runtime.invoke("travel.frontend", {
+        "region": 0, "user": 1, "reserve": True, "resv_seq": 1,
+    })
+    assert out.output["status"] == "reserved"
+    # Exactly one room was taken from the chosen hotel; read through the
+    # protocol so the multi-version schema is resolved correctly.
+    probe = runtime.open_session().init()
+    availabilities = [
+        probe.read(availability_key(i)) for i in range(8)
+    ]
+    probe.finish()
+    assert sorted(availabilities)[0] == 49
+    assert sum(1 for a in availabilities if a == 49) == 1
+
+
+def test_reservation_records_order_and_trip(setup):
+    runtime, _ = setup
+    runtime.invoke("travel.frontend", {
+        "region": 0, "user": 3, "reserve": True, "resv_seq": 9,
+    })
+    probe = runtime.open_session().init()
+    assert probe.read(user_key(3))["trips"] == 1
+    assert probe.read("resv003.000009")["user"] == 3
+    probe.finish()
+
+
+def test_search_only_request_writes_nothing(setup):
+    runtime, _ = setup
+    writes_before = runtime.backend.kv.write_count
+    runtime.invoke("travel.frontend", {
+        "region": 1, "user": 2, "reserve": False, "resv_seq": 2,
+    })
+    assert runtime.backend.kv.write_count == writes_before
+
+
+def test_request_stream_well_formed():
+    wl = TravelReservationWorkload(num_hotels=8, num_users=10,
+                                   num_regions=2)
+    rng = np.random.default_rng(3)
+    seqs = set()
+    for _ in range(20):
+        req = wl.next_request(rng)
+        assert req.func_name == "travel.frontend"
+        assert 0 <= req.input["region"] < 2
+        assert 0 <= req.input["user"] < 10
+        seqs.add(req.input["resv_seq"])
+    assert len(seqs) == 20  # unique reservation sequence numbers
+
+
+def test_profile_is_read_intensive():
+    wl = TravelReservationWorkload()
+    assert wl.read_ratio() > 0.75
