@@ -1,0 +1,113 @@
+"""Chaos resilience: crashes × infrastructure faults, exactly-once audit.
+
+Sweeps the per-operation infrastructure fault rate (transient errors,
+timeouts, gray failure) composed with Bernoulli instance crashes for all
+four systems, auditing every key against its ground-truth increment
+count.  The logged protocols must report zero exactly-once violations
+at every fault rate up to 10%; the unsafe baseline is the control that
+demonstrably violates.  A second table ablates the circuit breaker's
+degraded-read fallback under a log-scoped brown-out.
+"""
+
+import pytest
+
+from repro.harness import run_brownout_comparison, run_chaos_sweep
+from repro.harness.chaos import EXACTLY_ONCE_SYSTEMS
+
+from bench_utils import run_once, scaled
+
+SEED = 42
+FAULT_RATES = (0.0, 0.02, 0.05, 0.1)
+REQUESTS = scaled(150, 600)
+
+
+@pytest.fixture(scope="module")
+def chaos_table():
+    return run_chaos_sweep(
+        fault_rates=FAULT_RATES, requests=REQUESTS, seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def brownout_table():
+    return run_brownout_comparison(
+        requests=scaled(250, 1_000), seed=SEED
+    )
+
+
+def test_chaos_tables(benchmark, save_table, chaos_table, brownout_table):
+    run_once(
+        benchmark,
+        lambda: run_chaos_sweep(
+            fault_rates=(0.05,), systems=("boki",), requests=40,
+            seed=SEED,
+        ),
+    )
+    save_table("chaos_resilience", chaos_table, brownout_table)
+
+
+def test_logged_protocols_zero_violations(chaos_table):
+    for system in EXACTLY_ONCE_SYSTEMS:
+        for rate in FAULT_RATES:
+            violations = chaos_table.lookup(
+                {"system": system, "fault rate": rate}, "violations"
+            )
+            assert violations == 0, (system, rate)
+
+
+def test_unsafe_baseline_violates(chaos_table):
+    violations = [
+        chaos_table.lookup(
+            {"system": "unsafe", "fault rate": rate}, "violations"
+        )
+        for rate in FAULT_RATES
+    ]
+    assert any(v > 0 for v in violations)
+
+
+def test_faults_amplify_tail_latency(chaos_table):
+    """Retry/backoff under faults is visible in the tail: p99 at a 10%
+    fault rate strictly exceeds the failure-free p99."""
+    for system in EXACTLY_ONCE_SYSTEMS:
+        amp = chaos_table.lookup(
+            {"system": system, "fault rate": 0.1}, "p99 amp"
+        )
+        assert amp > 1.0, system
+
+
+def test_retries_grow_with_fault_rate(chaos_table):
+    for system in EXACTLY_ONCE_SYSTEMS:
+        none = chaos_table.lookup(
+            {"system": system, "fault rate": 0.0}, "retries"
+        )
+        heavy = chaos_table.lookup(
+            {"system": system, "fault rate": 0.1}, "retries"
+        )
+        assert none == 0
+        assert heavy > 0
+
+
+def test_goodput_degrades_gracefully(chaos_table):
+    """Faults cost throughput but never availability: goodput at a 10%
+    fault rate stays within 2x of failure-free."""
+    for system in EXACTLY_ONCE_SYSTEMS:
+        clean = chaos_table.lookup(
+            {"system": system, "fault rate": 0.0}, "goodput (req/s)"
+        )
+        faulted = chaos_table.lookup(
+            {"system": system, "fault rate": 0.1}, "goodput (req/s)"
+        )
+        assert faulted > 0.5 * clean, system
+
+
+def test_degraded_fallback_improves_brownout_p99(brownout_table):
+    on_p99 = brownout_table.lookup(
+        {"fallback": "on"}, "request p99 (ms)"
+    )
+    off_p99 = brownout_table.lookup(
+        {"fallback": "off"}, "request p99 (ms)"
+    )
+    assert on_p99 < off_p99
+    assert brownout_table.lookup({"fallback": "on"}, "degraded reads") > 0
+    assert brownout_table.lookup({"fallback": "off"},
+                                 "degraded reads") == 0

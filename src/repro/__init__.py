@@ -28,9 +28,11 @@ from .config import (
     ClusterConfig,
     DEFAULT_CONFIG,
     FailureConfig,
+    FaultConfig,
     GCConfig,
     LatencyConfig,
     ProtocolConfig,
+    ResilienceConfig,
     StorageSizeConfig,
     SystemConfig,
 )
@@ -43,13 +45,24 @@ from .errors import (
     InvocationError,
     KeyMissingError,
     LogError,
+    PermanentServiceError,
     ProtocolError,
     ReproError,
     RetriesExhaustedError,
+    ServiceFaultError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
     SimulationError,
     StoreError,
     SwitchError,
+    TransientServiceError,
     TrimmedError,
+)
+from .faults import (
+    CircuitBreaker,
+    FaultDecision,
+    FaultInjector,
+    RetryPolicy,
 )
 from .protocols import (
     BokiProtocol,
@@ -85,6 +98,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BernoulliCrashes",
     "BokiProtocol",
+    "CircuitBreaker",
     "ClusterConfig",
     "ComputeOp",
     "ConditionFailedError",
@@ -96,6 +110,9 @@ __all__ = [
     "CrashOnceAtEvery",
     "DEFAULT_CONFIG",
     "FailureConfig",
+    "FaultConfig",
+    "FaultDecision",
+    "FaultInjector",
     "GCConfig",
     "HalfmoonReadProtocol",
     "HalfmoonWriteProtocol",
@@ -112,11 +129,17 @@ __all__ = [
     "NoCrashes",
     "Protocol",
     "ProtocolConfig",
+    "PermanentServiceError",
     "ProtocolError",
     "ReadOp",
     "ReproError",
+    "ResilienceConfig",
     "RetriesExhaustedError",
+    "RetryPolicy",
     "ScriptedCrashes",
+    "ServiceFaultError",
+    "ServiceTimeoutError",
+    "ServiceUnavailableError",
     "Session",
     "SharedLog",
     "SimulationError",
@@ -126,6 +149,7 @@ __all__ = [
     "SyncOp",
     "SystemConfig",
     "TxnOp",
+    "TransientServiceError",
     "TransitionalProtocol",
     "TrimmedError",
     "UnsafeProtocol",

@@ -9,7 +9,13 @@ Commands map one-to-one onto the experiment harness::
     python -m repro fig13  [--rates 150 350]
     python -m repro fig14  [--rates 300 600]
     python -m repro recovery [--f 0.0 0.2 0.4]
+    python -m repro chaos  [--fault-rates 0.0 0.05 0.1] [--brownout]
     python -m repro advise --read-ratio 0.8 --rate 300
+
+Every experiment command additionally accepts ``--seed N`` (reseed the
+whole run deterministically) and ``--fault-rate R`` (inject transient
+infrastructure faults — errors, timeouts, gray failure — into every
+log/store operation at rate ``R``; see :mod:`repro.faults`).
 
 Each command prints the same table the corresponding benchmark saves.
 """
@@ -21,8 +27,11 @@ import sys
 from typing import List, Optional
 
 from .analysis import ProtocolAdvisor, WorkloadProfile
+from .config import SystemConfig
 from .harness import (
     APP_FACTORIES,
+    run_brownout_comparison,
+    run_chaos_sweep,
     run_fig10,
     run_fig11,
     run_fig12,
@@ -38,39 +47,68 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Halfmoon (SOSP 2023) reproduction experiments",
     )
+    # Shared experiment options, inherited by every subcommand so they
+    # can be given after the command name.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=None,
+        help="master RNG seed (non-negative; default: config seed)",
+    )
+    common.add_argument(
+        "--fault-rate", type=float, default=None,
+        help="per-operation infrastructure fault rate in [0, 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="primitive op latencies").add_argument(
-        "--samples", type=int, default=10_000
-    )
+    sub.add_parser(
+        "table1", help="primitive op latencies", parents=[common]
+    ).add_argument("--samples", type=int, default=10_000)
 
-    fig10 = sub.add_parser("fig10", help="read/write latency, 4 systems")
+    fig10 = sub.add_parser("fig10", help="read/write latency, 4 systems",
+                           parents=[common])
     fig10.add_argument("--requests", type=int, default=1_500)
     fig10.add_argument("--keys", type=int, default=2_000)
 
-    fig11 = sub.add_parser("fig11", help="apps: latency vs throughput")
+    fig11 = sub.add_parser("fig11", help="apps: latency vs throughput",
+                           parents=[common])
     fig11.add_argument("--apps", nargs="+", default=list(APP_FACTORIES),
                        choices=list(APP_FACTORIES))
     fig11.add_argument("--duration", type=float, default=5_000.0)
 
-    fig12 = sub.add_parser("fig12", help="storage vs read ratio")
+    fig12 = sub.add_parser("fig12", help="storage vs read ratio",
+                           parents=[common])
     fig12.add_argument("--size", type=int, default=256)
     fig12.add_argument("--gc", type=float, default=10_000.0)
     fig12.add_argument("--duration", type=float, default=25_000.0)
 
-    fig13 = sub.add_parser("fig13", help="latency vs read ratio")
+    fig13 = sub.add_parser("fig13", help="latency vs read ratio",
+                           parents=[common])
     fig13.add_argument("--rates", nargs="+", type=float,
                        default=[150.0, 350.0])
     fig13.add_argument("--duration", type=float, default=8_000.0)
 
-    fig14 = sub.add_parser("fig14", help="protocol switching delay")
+    fig14 = sub.add_parser("fig14", help="protocol switching delay",
+                           parents=[common])
     fig14.add_argument("--rates", nargs="+", type=float,
                        default=[300.0, 600.0])
 
-    recovery = sub.add_parser("recovery", help="cost under failures")
+    recovery = sub.add_parser("recovery", help="cost under failures",
+                              parents=[common])
     recovery.add_argument("--f", nargs="+", type=float,
                           default=[0.0, 0.1, 0.2, 0.3, 0.4])
     recovery.add_argument("--requests", type=int, default=300)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crashes × infra faults: goodput, p99, exactly-once audit",
+        parents=[common],
+    )
+    chaos.add_argument("--fault-rates", nargs="+", type=float,
+                       default=[0.0, 0.02, 0.05, 0.1])
+    chaos.add_argument("--requests", type=int, default=200)
+    chaos.add_argument("--crash-f", type=float, default=0.15)
+    chaos.add_argument("--brownout", action="store_true",
+                       help="also run the log brown-out fallback ablation")
 
     advise = sub.add_parser("advise", help="recommend a protocol")
     advise.add_argument("--read-ratio", type=float, required=True)
@@ -79,18 +117,48 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _experiment_config(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> Optional[SystemConfig]:
+    """Build the shared config from ``--seed`` / ``--fault-rate``.
+
+    Returns ``None`` when neither flag was given so each experiment keeps
+    its own defaults; rejects invalid values with a parser error.
+    """
+    seed = getattr(args, "seed", None)
+    fault_rate = getattr(args, "fault_rate", None)
+    if seed is not None and seed < 0:
+        parser.error(f"--seed must be non-negative, got {seed}")
+    if fault_rate is not None and not (0.0 <= fault_rate < 1.0):
+        parser.error(
+            f"--fault-rate must be in [0, 1), got {fault_rate}"
+        )
+    if seed is None and fault_rate is None:
+        return None
+    config = SystemConfig()
+    if seed is not None:
+        config = config.with_seed(seed)
+    if fault_rate is not None:
+        config = config.with_fault_rate(fault_rate)
+    return config.validate()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    config = _experiment_config(parser, args)
 
     if args.command == "table1":
-        print(run_table1(samples=args.samples).render())
+        print(run_table1(config=config, samples=args.samples).render())
     elif args.command == "fig10":
-        tables = run_fig10(requests=args.requests, num_keys=args.keys)
+        tables = run_fig10(config=config, requests=args.requests,
+                           num_keys=args.keys)
         print(tables["read"].render())
         print()
         print(tables["write"].render())
     elif args.command == "fig11":
-        tables = run_fig11(apps=args.apps, duration_ms=args.duration)
+        tables = run_fig11(apps=args.apps, config=config,
+                           duration_ms=args.duration)
         for table in tables.values():
             print(table.render())
             print()
@@ -98,23 +166,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             run_fig12(
                 value_bytes=args.size, gc_interval_ms=args.gc,
-                duration_ms=args.duration,
+                config=config, duration_ms=args.duration,
             ).render()
         )
     elif args.command == "fig13":
         for table in run_fig13(
-            rates=args.rates, duration_ms=args.duration
+            rates=args.rates, config=config, duration_ms=args.duration
         ).values():
             print(table.render())
             print()
     elif args.command == "fig14":
-        print(run_fig14(rates=args.rates).render())
+        print(run_fig14(rates=args.rates, config=config).render())
     elif args.command == "recovery":
         print(
             run_recovery_sweep(
-                f_values=args.f, requests=args.requests
+                f_values=args.f, config=config, requests=args.requests
             ).render()
         )
+    elif args.command == "chaos":
+        print(
+            run_chaos_sweep(
+                fault_rates=args.fault_rates, config=config,
+                requests=args.requests, crash_f=args.crash_f,
+                seed=getattr(args, "seed", None),
+            ).render()
+        )
+        if args.brownout:
+            print()
+            print(
+                run_brownout_comparison(
+                    config=config, seed=getattr(args, "seed", None)
+                ).render()
+            )
     elif args.command == "advise":
         profile = WorkloadProfile(
             p_read=args.read_ratio,

@@ -227,6 +227,130 @@ class FailureConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Infrastructure fault injection — the second fault dimension.
+
+    Orthogonal to :class:`FailureConfig` (instance crashes): these faults
+    strike the *substrates*.  Every externally visible operation draws
+    from a dedicated RNG stream and can
+
+    * fail transiently (``error_rate`` — the request is dropped before it
+      takes effect, so injected errors never duplicate substrate effects);
+    * hang until the per-attempt timeout (``timeout_rate``); or
+    * suffer gray-failure latency inflation (``gray_rate`` — the call
+      succeeds but costs up to ``gray_factor``× the sampled latency,
+      modelling a slow storage node).
+
+    ``scope`` restricts injection to one substrate ("log" or "store"),
+    which is how the brown-out experiments target the logging layer.
+    """
+
+    enabled: bool = False
+    error_rate: float = 0.0
+    timeout_rate: float = 0.0
+    gray_rate: float = 0.0
+    gray_factor: float = 8.0
+    scope: str = "all"
+
+    #: Split of a single headline fault rate across the three kinds,
+    #: used by :meth:`uniform` and the CLI's ``--fault-rate``.
+    ERROR_SHARE = 0.6
+    TIMEOUT_SHARE = 0.2
+    GRAY_SHARE = 0.2
+
+    @classmethod
+    def uniform(cls, rate: float, scope: str = "all",
+                gray_factor: float = 8.0) -> "FaultConfig":
+        """A plan where each operation faults with probability ``rate``,
+        split 60/20/20 across error, timeout, and gray failures."""
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError("fault rate must be in [0, 1)")
+        return cls(
+            enabled=rate > 0.0,
+            error_rate=rate * cls.ERROR_SHARE,
+            timeout_rate=rate * cls.TIMEOUT_SHARE,
+            gray_rate=rate * cls.GRAY_SHARE,
+            gray_factor=gray_factor,
+            scope=scope,
+        )
+
+    @property
+    def total_rate(self) -> float:
+        return self.error_rate + self.timeout_rate + self.gray_rate
+
+    def validate(self) -> None:
+        for name, rate in [
+            ("error_rate", self.error_rate),
+            ("timeout_rate", self.timeout_rate),
+            ("gray_rate", self.gray_rate),
+        ]:
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1)")
+        if self.total_rate >= 1.0:
+            raise ConfigError("combined fault rate must be < 1")
+        if self.gray_factor < 1.0:
+            raise ConfigError("gray_factor must be >= 1")
+        if self.scope not in ("all", "log", "store"):
+            raise ConfigError("scope must be 'all', 'log', or 'store'")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry/backoff/deadline policy governing every substrate operation.
+
+    A faulted operation is retried up to ``max_attempts`` times with
+    exponential backoff (``base_backoff_ms`` × ``backoff_multiplier``^n,
+    capped at ``max_backoff_ms``) plus deterministic jitter drawn from a
+    seeded stream (``jitter_fraction`` of the backoff).  Failed attempts
+    charge real time to the cost trace: ``error_latency_ms`` for an error
+    reply, ``attempt_timeout_ms`` for a hang.  When the cumulative time
+    spent inside one operation exceeds ``op_deadline_ms``, or the budget
+    runs out, the operation escalates to the instance level
+    (:class:`~repro.errors.ServiceUnavailableError`) and the runtime
+    re-executes the whole attempt.
+
+    The circuit breaker watches consecutive substrate failures per
+    service; after ``breaker_failure_threshold`` it opens for
+    ``breaker_cooldown_ops`` operations and degraded modes kick in:
+    cache-resident ``logReadPrev``/``logReadNext`` results are served
+    from the node-local record cache (``degraded_log_reads``) and
+    opportunistic background appends become droppable best-effort work
+    (``drop_background_appends``).
+    """
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 8.0
+    jitter_fraction: float = 0.2
+    attempt_timeout_ms: float = 10.0
+    error_latency_ms: float = 1.0
+    op_deadline_ms: float = 100.0
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_ops: int = 50
+    degraded_log_reads: bool = True
+    drop_background_appends: bool = True
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ConfigError("backoff times must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigError("jitter_fraction must be in [0, 1]")
+        if self.attempt_timeout_ms < 0 or self.error_latency_ms < 0:
+            raise ConfigError("fault latencies must be >= 0")
+        if self.op_deadline_ms <= 0:
+            raise ConfigError("op_deadline_ms must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_ops < 1:
+            raise ConfigError("breaker_cooldown_ops must be >= 1")
+
+
+@dataclass(frozen=True)
 class ProtocolConfig:
     """Per-protocol knobs.
 
@@ -258,6 +382,8 @@ class SystemConfig:
     gc: GCConfig = field(default_factory=GCConfig)
     storage: StorageSizeConfig = field(default_factory=StorageSizeConfig)
     failures: FailureConfig = field(default_factory=FailureConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
 
     def validate(self) -> "SystemConfig":
@@ -266,6 +392,8 @@ class SystemConfig:
         self.gc.validate()
         self.storage.validate()
         self.failures.validate()
+        self.faults.validate()
+        self.resilience.validate()
         return self
 
     def with_seed(self, seed: int) -> "SystemConfig":
@@ -282,6 +410,19 @@ class SystemConfig:
     def with_crash_probability(self, p: float) -> "SystemConfig":
         return replace(
             self, failures=replace(self.failures, crash_probability=p)
+        )
+
+    def with_fault_rate(self, rate: float, scope: str = "all",
+                        gray_factor: float = 8.0) -> "SystemConfig":
+        """Inject infrastructure faults at ``rate`` per operation."""
+        return replace(
+            self, faults=FaultConfig.uniform(rate, scope, gray_factor)
+        )
+
+    def with_resilience(self, **overrides) -> "SystemConfig":
+        """Override retry/backoff/breaker policy knobs."""
+        return replace(
+            self, resilience=replace(self.resilience, **overrides)
         )
 
 

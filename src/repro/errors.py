@@ -63,6 +63,49 @@ class ConditionFailedError(StoreError):
     """
 
 
+class ServiceFaultError(ReproError):
+    """An infrastructure service (shared log or store) misbehaved.
+
+    This is the *second* fault dimension, orthogonal to instance crashes
+    (:class:`CrashError`): the function instance is healthy, but a
+    substrate it depends on returned an error, timed out, or browned out.
+    ``retryable`` tells the runtime whether re-executing the instance can
+    help; the services-layer retry loop has already exhausted its
+    per-operation budget by the time one of these escapes.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, service: str = "", op: str = ""):
+        super().__init__(message)
+        self.service = service
+        self.op = op
+
+
+class TransientServiceError(ServiceFaultError):
+    """A fault expected to clear on retry (error reply, dropped request)."""
+
+    retryable = True
+
+
+class ServiceTimeoutError(TransientServiceError):
+    """An operation exceeded its per-attempt timeout or overall deadline."""
+
+
+class ServiceUnavailableError(TransientServiceError):
+    """The per-operation retry budget was exhausted without success.
+
+    Still ``retryable`` at the *instance* level: the runtime abandons the
+    attempt (charging fault-detection delay) and re-executes, exactly as
+    it would after a crash — the exactly-once machinery makes the replay
+    safe.
+    """
+
+
+class PermanentServiceError(ServiceFaultError):
+    """A fault that retries cannot fix (misconfiguration, data loss)."""
+
+
 class RuntimeStateError(ReproError):
     """The serverless runtime was driven through an invalid transition."""
 

@@ -1,0 +1,99 @@
+"""Circuit breaker over a substrate service.
+
+Classic three-state breaker (closed / open / half-open), with one twist:
+direct mode has no wall clock, so the open-state cooldown is measured in
+*consulted operations* rather than milliseconds — after
+``cooldown_ops`` further calls the breaker half-opens and lets one trial
+through.
+
+A second twist: because every substrate call is required for
+correctness (an SSF cannot simply skip its commit record), the breaker
+never fails fast.  Opening instead *enables degraded modes* in the
+services layer — cache-resident log reads are served from the
+node-local :class:`~repro.sharedlog.cache.RecordCache`, and
+opportunistic background appends are dropped — while required calls
+keep going through the (retried) primary path.
+"""
+
+from __future__ import annotations
+
+
+class BreakerState:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with operation-count cooldown."""
+
+    def __init__(self, name: str = "service", failure_threshold: int = 5,
+                 cooldown_ops: int = 50):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ops < 1:
+            raise ValueError("cooldown_ops must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_ops = cooldown_ops
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        #: Number of closed -> open transitions (for chaos reports).
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def is_open(self) -> bool:
+        return self._state == BreakerState.OPEN
+
+    def consult(self) -> bool:
+        """Report whether degraded mode is active for the next call.
+
+        Each consultation while open burns one cooldown tick; when the
+        cooldown elapses the breaker half-opens, and the next recorded
+        outcome decides whether it closes or re-opens.
+        """
+        if self._state == BreakerState.OPEN:
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining <= 0:
+                self._state = BreakerState.HALF_OPEN
+                return False
+            return True
+        return False
+
+    def record_success(self) -> None:
+        # Outcomes while open are ignored: required calls keep flowing
+        # through the primary path during a brown-out, and the ~65%
+        # that still succeed must not mask it — only the half-open
+        # trial (the first outcome after the cooldown) decides.
+        if self._state == BreakerState.OPEN:
+            return
+        self._consecutive_failures = 0
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        if self._state == BreakerState.OPEN:
+            return
+        if self._state == BreakerState.HALF_OPEN:
+            # The trial failed: straight back to open.
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._cooldown_remaining = self.cooldown_ops
+        self._consecutive_failures = 0
+        self.trips += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker({self.name!r}, state={self._state!r}, "
+            f"trips={self.trips})"
+        )

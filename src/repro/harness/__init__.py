@@ -5,9 +5,18 @@
 * :mod:`repro.harness.overhead` — Figures 12 and 13
 * :mod:`repro.harness.switching_exp` — Figure 14
 * :mod:`repro.harness.recovery_exp` — Section 7 recovery cost
+* :mod:`repro.harness.chaos` — fault rate × resilience policy sweep
+  (crashes composed with infrastructure faults) and the log brown-out
+  degraded-read ablation
 """
 
 from .apps import APP_FACTORIES, run_app_point, run_fig11
+from .chaos import (
+    ChaosPoint,
+    run_brownout_comparison,
+    run_chaos_point,
+    run_chaos_sweep,
+)
 from .micro import measure_op_latencies, run_fig10, run_table1
 from .overhead import (
     crossover_ratio,
@@ -26,6 +35,7 @@ from .switching_exp import (
 
 __all__ = [
     "APP_FACTORIES",
+    "ChaosPoint",
     "ExperimentTable",
     "RunResult",
     "SimPlatform",
@@ -33,6 +43,9 @@ __all__ = [
     "crossover_ratio",
     "measure_op_latencies",
     "run_app_point",
+    "run_brownout_comparison",
+    "run_chaos_point",
+    "run_chaos_sweep",
     "run_fig10",
     "run_fig11",
     "run_fig12",

@@ -24,7 +24,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
-from ..errors import CrashError, RetriesExhaustedError
+from ..errors import (
+    CrashError,
+    RetriesExhaustedError,
+    ServiceFaultError,
+)
 from ..runtime.env import Env
 from ..runtime.local import Context, LocalRuntime
 from ..runtime.registry import FunctionRegistry
@@ -50,6 +54,8 @@ class RunResult:
     duration_ms: float
     completed: int
     crashed_attempts: int
+    #: Attempts abandoned because a substrate blew its retry budget.
+    faulted_attempts: int
     median_ms: float
     p99_ms: float
     mean_ms: float
@@ -104,6 +110,7 @@ class SimPlatform:
         self.latency_series = TimeSeries("latency-over-time")
         self.throughput = ThroughputMeter()
         self.crashed_attempts = 0
+        self.faulted_attempts = 0
         self._warmup_ms = 0.0
         self.time_by_kind: Dict[str, float] = {}
         # Logging-layer contention model (optional): analytic FIFO
@@ -195,6 +202,15 @@ class SimPlatform:
                     done = True
                 except CrashError:
                     self.crashed_attempts += 1
+                    yield self.sim.timeout(
+                        self._drain(svc)
+                        + self.config.failures.detection_delay_ms
+                    )
+                    continue
+                except ServiceFaultError as fault:
+                    if not fault.retryable:
+                        raise
+                    self.faulted_attempts += 1
                     yield self.sim.timeout(
                         self._drain(svc)
                         + self.config.failures.detection_delay_ms
@@ -305,6 +321,7 @@ class SimPlatform:
             duration_ms=duration_ms,
             completed=self.latencies.count,
             crashed_attempts=self.crashed_attempts,
+            faulted_attempts=self.faulted_attempts,
             median_ms=self.latencies.median() if have_samples else 0.0,
             p99_ms=self.latencies.p99() if have_samples else 0.0,
             mean_ms=self.latencies.mean() if have_samples else 0.0,

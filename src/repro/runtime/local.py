@@ -28,6 +28,7 @@ from ..errors import (
     CrashError,
     InvocationError,
     RetriesExhaustedError,
+    ServiceFaultError,
 )
 from ..protocols import Protocol
 from ..simulation.rng import RngRegistry
@@ -284,8 +285,22 @@ class LocalRuntime:
             try:
                 output = self._execute(svc, env, func_name, input)
             except CrashError:
+                # Fault dimension 1: the instance itself died.  Charge
+                # what the attempt spent plus failure detection, then
+                # re-execute (the protocols make the replay idempotent).
                 total_latency += svc.trace.total_ms()
                 total_latency += self.config.failures.detection_delay_ms
+                continue
+            except ServiceFaultError as fault:
+                # Fault dimension 2: a substrate kept failing past the
+                # per-operation retry budget.  Retryable faults abandon
+                # the attempt exactly like a crash — replay is safe for
+                # the same reason — while permanent ones escalate.
+                if not fault.retryable:
+                    raise
+                total_latency += svc.trace.total_ms()
+                total_latency += self.config.failures.detection_delay_ms
+                self.backend.counters.add("attempts_lost_to_service_faults")
                 continue
             total_latency += svc.trace.total_ms()
             # Fire trigger edges: downstream SSFs start strictly after
@@ -301,8 +316,8 @@ class LocalRuntime:
                 attempts=attempt,
             )
         raise RetriesExhaustedError(
-            f"{func_name!r} ({instance_id}) crashed on every one of "
-            f"{max_attempts} attempts"
+            f"{func_name!r} ({instance_id}) lost every one of "
+            f"{max_attempts} attempts to crashes or service faults"
         )
 
     def _execute(self, svc: InstanceServices, env: Env,

@@ -9,7 +9,14 @@ through :class:`InstanceServices`, which
   convert the trace into simulated time),
 * exposes crash checkpoints before and after every externally visible
   effect, which the failure injector uses to re-execute the SSF from any
-  intermediate state, and
+  intermediate state,
+* routes every substrate call through the resilience layer
+  (:mod:`repro.faults`): seeded infrastructure faults (transient errors,
+  timeouts, gray-failure latency inflation) are injected per operation,
+  absorbed by bounded retries with exponential backoff — all charged to
+  the cost trace, so fault amplification is visible in latency plots —
+  and, when a service browns out, a circuit breaker enables degraded
+  modes (cache-served log reads, dropped background appends), and
 * counts operations per kind for the logging-overhead experiments.
 """
 
@@ -21,14 +28,26 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..config import SystemConfig
-from ..errors import ConditionalAppendError
+from ..errors import (
+    ReproError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from ..faults import (
+    BreakerState,
+    CircuitBreaker,
+    FAULT_GRAY,
+    FAULT_TIMEOUT,
+    FaultInjector,
+    RetryPolicy,
+)
 from ..sharedlog import LogRecord, RecordCache, SharedLog
 from ..simulation.latency import (
     ConstantLatency,
     LatencyModel,
     LogNormalLatency,
 )
-from ..simulation.metrics import Counter
+from ..simulation.metrics import Counter, LatencyRecorder
 from ..simulation.rng import RngRegistry
 from ..store import KVStore, MultiVersionStore
 
@@ -56,6 +75,12 @@ class Cost:
     INVOKE_OVERHEAD = "invoke_overhead"
     COMPUTE = "compute"
 
+    #: Resilience-layer charges (no latency model; amounts come from the
+    #: retry policy).  They make fault amplification visible in traces.
+    RETRY_BACKOFF = "retry_backoff"
+    SERVICE_ERROR = "service_error"
+    SERVICE_TIMEOUT = "service_timeout"
+
     ALL = (
         LOG_APPEND,
         LOG_APPEND_OVERLAPPED,
@@ -75,6 +100,12 @@ class Cost:
     LOGGING_KINDS = frozenset(
         {LOG_APPEND, LOG_APPEND_OVERLAPPED, LOG_APPEND_CONTROL,
          LOG_APPEND_BACKGROUND}
+    )
+
+    #: Charges produced by the fault/retry machinery rather than by a
+    #: successful substrate round trip.
+    RESILIENCE_KINDS = frozenset(
+        {RETRY_BACKOFF, SERVICE_ERROR, SERVICE_TIMEOUT}
     )
 
 
@@ -171,23 +202,62 @@ class ServiceBackend:
         self.cache = RecordCache()
         self.latency = LatencyProvider(config, self.cache)
         self.counters = Counter()
+        #: Per-kind latency samples (successful, faulted, and degraded
+        #: charges alike), so experiments can report e.g. log-read p99
+        #: under brown-out without instrumenting every call site.
+        self.op_latency: Dict[str, LatencyRecorder] = {}
+        #: Infrastructure-fault plan and resilience policy (platform-wide
+        #: state: breakers outlive individual invocations).
+        self.faults = FaultInjector(
+            config.faults, self.rng.stream("infra-faults")
+        )
+        self.retry_policy = RetryPolicy.from_config(config.resilience)
+        self.breakers: Dict[str, CircuitBreaker] = {
+            service: CircuitBreaker(
+                service,
+                failure_threshold=config.resilience
+                .breaker_failure_threshold,
+                cooldown_ops=config.resilience.breaker_cooldown_ops,
+            )
+            for service in ("log", "store")
+        }
         self._latency_rng = self.rng.stream("service-latency")
         self._uuid_rng = self.rng.stream("uuid")
+        self._jitter_rng = self.rng.stream("retry-jitter")
 
     # -- helpers used by InstanceServices -------------------------------
 
-    def charge(self, kind: str, trace: CostTrace) -> float:
-        ms = self.latency.sample(kind, self._latency_rng)
+    def charge(self, kind: str, trace: CostTrace,
+               factor: float = 1.0) -> float:
+        ms = self.latency.sample(kind, self._latency_rng) * factor
         trace.charge(kind, ms)
         self.counters.add(kind)
+        self._note(kind, ms)
         return ms
 
-    def charge_log_read(self, seqnum: Optional[int],
-                        trace: CostTrace) -> float:
-        ms = self.latency.sample_log_read(seqnum, self._latency_rng)
+    def charge_log_read(self, seqnum: Optional[int], trace: CostTrace,
+                        factor: float = 1.0) -> float:
+        ms = self.latency.sample_log_read(seqnum, self._latency_rng) * factor
         trace.charge(Cost.LOG_READ, ms)
         self.counters.add(Cost.LOG_READ)
+        self._note(Cost.LOG_READ, ms)
         return ms
+
+    def charge_raw(self, kind: str, ms: float, trace: CostTrace) -> float:
+        """Charge a policy-determined amount (backoff, timeout burn)."""
+        trace.charge(kind, ms)
+        self.counters.add(kind)
+        self._note(kind, ms)
+        return ms
+
+    def _note(self, kind: str, ms: float) -> None:
+        recorder = self.op_latency.get(kind)
+        if recorder is None:
+            recorder = self.op_latency[kind] = LatencyRecorder(kind)
+        recorder.record(ms)
+
+    def breaker_trips(self) -> int:
+        return sum(b.trips for b in self.breakers.values())
 
     def random_hex(self, bits: int = 64) -> str:
         if bits > 63:
@@ -227,6 +297,112 @@ class InstanceServices:
         if self._fault_hook is not None:
             self._fault_hook(label)
 
+    # -- resilient substrate calls ----------------------------------------
+
+    def _service_call(
+        self,
+        service: str,
+        kind: str,
+        do: Callable[[], Any],
+        charge: Callable[[Any, float], None],
+        charge_error: Optional[Callable[[float], None]] = None,
+        droppable: bool = False,
+        degraded: Optional[Callable[[], Any]] = None,
+    ) -> Any:
+        """Run one substrate call under the resilience policy.
+
+        ``do`` performs the substrate effect and returns its result; it
+        only runs on healthy or gray draws, so injected faults are
+        request omissions and can never duplicate an effect.  ``charge``
+        receives ``(result, latency_factor)`` and charges the success
+        latency.  ``charge_error`` charges a substrate *exception* path
+        (the service responded; the round trip was paid) before the
+        exception propagates.  ``droppable`` marks best-effort work
+        (opportunistic background appends) that is dropped — returning
+        ``None`` — instead of retried.  ``degraded`` is the graceful-
+        degradation path tried while the service's breaker is open; it
+        returns ``(served, result)``.
+        """
+        backend = self.backend
+        breaker = backend.breakers[service]
+        if (not backend.faults.enabled
+                and breaker.state == BreakerState.CLOSED):
+            # Failure-free fast path: identical to the pre-fault code.
+            try:
+                result = do()
+            except ReproError:
+                # e.g. a lost conditional append: the round trip was
+                # still paid.
+                if charge_error is not None:
+                    charge_error(1.0)
+                raise
+            charge(result, 1.0)
+            return result
+
+        resilience = backend.config.resilience
+        if breaker.consult():
+            if droppable and resilience.drop_background_appends:
+                backend.counters.add("background_appends_dropped")
+                return None
+            if degraded is not None and resilience.degraded_log_reads:
+                served, result = degraded()
+                if served:
+                    backend.counters.add("degraded_log_reads")
+                    return result
+
+        policy = backend.retry_policy
+        spent_ms = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            decision = backend.faults.draw(service, kind)
+            if not decision.omitted:
+                try:
+                    result = do()
+                except ReproError:
+                    # The substrate responded (e.g. a lost conditional
+                    # append): a service success, not a fault.
+                    breaker.record_success()
+                    if charge_error is not None:
+                        charge_error(decision.latency_factor)
+                    raise
+                if decision.kind == FAULT_GRAY:
+                    # Gray success: slow node.  Feed the brown-out
+                    # detector but return the (inflated) result.
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+                charge(result, decision.latency_factor)
+                return result
+
+            # Omission fault: the request never took effect.
+            breaker.record_failure()
+            if droppable:
+                backend.counters.add("background_appends_dropped")
+                return None
+            fault_ms = policy.fault_cost_ms(decision.kind)
+            fault_label = (
+                Cost.SERVICE_TIMEOUT if decision.kind == FAULT_TIMEOUT
+                else Cost.SERVICE_ERROR
+            )
+            backend.charge_raw(fault_label, fault_ms, self.trace)
+            spent_ms += fault_ms
+            if spent_ms > policy.op_deadline_ms:
+                raise ServiceTimeoutError(
+                    f"{service} {kind} blew its {policy.op_deadline_ms}ms "
+                    f"deadline after {attempt} attempts",
+                    service=service, op=kind,
+                )
+            if attempt >= policy.max_attempts:
+                raise ServiceUnavailableError(
+                    f"{service} {kind} failed all {attempt} attempts",
+                    service=service, op=kind,
+                )
+            backoff_ms = policy.backoff_ms(attempt, backend._jitter_rng)
+            backend.charge_raw(Cost.RETRY_BACKOFF, backoff_ms, self.trace)
+            backend.counters.add("service_retries")
+            spent_ms += backoff_ms
+
     # -- log operations ---------------------------------------------------
 
     def log_append(
@@ -239,13 +415,23 @@ class InstanceServices:
         background: bool = False,
     ) -> int:
         self.checkpoint("log_append:pre")
-        seqnum = self.backend.log.append(tags, data, payload_bytes)
-        self.backend.cache.insert(seqnum)
-        self.backend.charge(
-            self._append_kind(synchronous, control, background),
-            self.trace,
+        kind = self._append_kind(synchronous, control, background)
+
+        def do() -> int:
+            seqnum = self.backend.log.append(tags, data, payload_bytes)
+            self.backend.cache.insert(seqnum)
+            return seqnum
+
+        seqnum = self._service_call(
+            "log", kind, do,
+            charge=lambda _r, f: self.backend.charge(kind, self.trace, f),
+            droppable=background,
         )
         self.checkpoint("log_append:post")
+        if seqnum is None:
+            # Best-effort append dropped under faults/brown-out; callers
+            # of background appends ignore the seqnum by contract.
+            return -1
         return seqnum
 
     @staticmethod
@@ -272,48 +458,79 @@ class InstanceServices:
         the winning record's seqnum when a peer instance got there first."""
         self.checkpoint("log_cond_append:pre")
         kind = self._append_kind(synchronous, control)
-        try:
+
+        def do() -> int:
             seqnum = self.backend.log.cond_append(
                 tags, data, cond_tag, cond_pos, payload_bytes
             )
-        except ConditionalAppendError:
-            # The losing attempt still paid for the round trip.
-            self.backend.charge(kind, self.trace)
-            raise
-        self.backend.cache.insert(seqnum)
-        self.backend.charge(kind, self.trace)
+            self.backend.cache.insert(seqnum)
+            return seqnum
+
+        # A lost race still pays for the round trip (charge_error).
+        seqnum = self._service_call(
+            "log", kind, do,
+            charge=lambda _r, f: self.backend.charge(kind, self.trace, f),
+            charge_error=lambda f: self.backend.charge(
+                kind, self.trace, f
+            ),
+        )
         self.checkpoint("log_cond_append:post")
         return seqnum
 
+    def _read_from_cache(self, record: Optional[LogRecord]):
+        """Degraded mode: serve a log read node-locally when the record
+        is resident in the function-node cache (log brown-out path)."""
+        if record is not None and self.backend.cache.contains(record.seqnum):
+            self.backend.charge_log_read(record.seqnum, self.trace)
+            return True, record
+        return False, None
+
     def log_read_prev(self, tag: str, max_seqnum: int) -> Optional[LogRecord]:
         self.checkpoint("log_read_prev:pre")
-        record = self.backend.log.read_prev(tag, max_seqnum)
-        self.backend.charge_log_read(
-            record.seqnum if record is not None else None, self.trace
+        return self._service_call(
+            "log", Cost.LOG_READ,
+            lambda: self.backend.log.read_prev(tag, max_seqnum),
+            charge=lambda r, f: self.backend.charge_log_read(
+                r.seqnum if r is not None else None, self.trace, f
+            ),
+            degraded=lambda: self._read_from_cache(
+                self.backend.log.read_prev(tag, max_seqnum)
+            ),
         )
-        return record
 
     def log_read_next(self, tag: str, min_seqnum: int) -> Optional[LogRecord]:
         self.checkpoint("log_read_next:pre")
-        record = self.backend.log.read_next(tag, min_seqnum)
-        self.backend.charge_log_read(
-            record.seqnum if record is not None else None, self.trace
+        return self._service_call(
+            "log", Cost.LOG_READ,
+            lambda: self.backend.log.read_next(tag, min_seqnum),
+            charge=lambda r, f: self.backend.charge_log_read(
+                r.seqnum if r is not None else None, self.trace, f
+            ),
+            degraded=lambda: self._read_from_cache(
+                self.backend.log.read_next(tag, min_seqnum)
+            ),
         )
-        return record
 
     def log_read_stream(self, tag: str) -> List[LogRecord]:
         """Fetch a whole sub-stream (``getStepLogs`` in the pseudocode)."""
         self.checkpoint("log_read_stream:pre")
-        records = self.backend.log.read_stream(tag)
-        last = records[-1].seqnum if records else None
-        self.backend.charge_log_read(last, self.trace)
-        return records
+        return self._service_call(
+            "log", Cost.LOG_READ,
+            lambda: self.backend.log.read_stream(tag),
+            charge=lambda r, f: self.backend.charge_log_read(
+                r[-1].seqnum if r else None, self.trace, f
+            ),
+        )
 
     def log_record_at(self, tag: str, offset: int) -> LogRecord:
         """Fetch the record at a stream offset (post-conflict recovery)."""
-        record = self.backend.log._record_at_offset(tag, offset)
-        self.backend.charge_log_read(record.seqnum, self.trace)
-        return record
+        return self._service_call(
+            "log", Cost.LOG_READ,
+            lambda: self.backend.log._record_at_offset(tag, offset),
+            charge=lambda r, f: self.backend.charge_log_read(
+                r.seqnum, self.trace, f
+            ),
+        )
 
     @property
     def log_tail(self) -> int:
@@ -321,47 +538,64 @@ class InstanceServices:
 
     # -- database operations ----------------------------------------------
 
+    def _db_call(self, kind: str, do: Callable[[], Any]) -> Any:
+        return self._service_call(
+            "store", kind, do,
+            charge=lambda _r, f: self.backend.charge(kind, self.trace, f),
+        )
+
     def db_read(self, key: str, default: Any = None) -> Any:
         self.checkpoint("db_read:pre")
-        value = self.backend.kv.get_optional(key, default)
-        self.backend.charge(Cost.DB_READ, self.trace)
-        return value
+        return self._db_call(
+            Cost.DB_READ,
+            lambda: self.backend.kv.get_optional(key, default),
+        )
 
     def db_read_with_version(self, key: str) -> Any:
         self.checkpoint("db_read:pre")
-        result = self.backend.kv.get_with_version(key)
-        self.backend.charge(Cost.DB_READ, self.trace)
-        return result
+        return self._db_call(
+            Cost.DB_READ,
+            lambda: self.backend.kv.get_with_version(key),
+        )
 
     def db_read_version(self, key: str, version_number: str) -> Any:
         self.checkpoint("db_read_version:pre")
-        value = self.backend.mv.read_version(key, version_number)
-        self.backend.charge(Cost.DB_READ_VERSION, self.trace)
-        return value
+        return self._db_call(
+            Cost.DB_READ_VERSION,
+            lambda: self.backend.mv.read_version(key, version_number),
+        )
 
     def db_write(self, key: str, value: Any) -> None:
         self.checkpoint("db_write:pre")
-        self.backend.kv.put(key, value, self.backend.value_bytes)
-        self.backend.charge(Cost.DB_WRITE, self.trace)
+        self._db_call(
+            Cost.DB_WRITE,
+            lambda: self.backend.kv.put(
+                key, value, self.backend.value_bytes
+            ),
+        )
         self.checkpoint("db_write:post")
 
     def db_write_version(
         self, key: str, version_number: str, value: Any
     ) -> None:
         self.checkpoint("db_write_version:pre")
-        self.backend.mv.write_version(
-            key, version_number, value, self.backend.value_bytes
+        self._db_call(
+            Cost.DB_WRITE_VERSION,
+            lambda: self.backend.mv.write_version(
+                key, version_number, value, self.backend.value_bytes
+            ),
         )
-        self.backend.charge(Cost.DB_WRITE_VERSION, self.trace)
         self.checkpoint("db_write_version:post")
 
     def db_cond_write(self, key: str, value: Any, version: Any) -> bool:
         """Conditional update: applies iff stored VERSION < ``version``."""
         self.checkpoint("db_cond_write:pre")
-        applied = self.backend.kv.conditional_put(
-            key, value, version, self.backend.value_bytes
+        applied = self._db_call(
+            Cost.DB_COND_WRITE,
+            lambda: self.backend.kv.conditional_put(
+                key, value, version, self.backend.value_bytes
+            ),
         )
-        self.backend.charge(Cost.DB_COND_WRITE, self.trace)
         self.checkpoint("db_cond_write:post")
         return applied
 

@@ -55,6 +55,14 @@ class RecordCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def contains(self, seqnum: int) -> bool:
+        """Residency peek that mutates neither recency nor statistics.
+
+        Used by the degraded-read path to decide whether a log read can
+        be served node-locally while the log service is browning out.
+        """
+        return seqnum in self._entries
+
     def lookup(self, seqnum: int) -> bool:
         """Check residency, updating recency and hit/miss statistics."""
         if seqnum in self._entries:

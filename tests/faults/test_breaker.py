@@ -1,0 +1,91 @@
+"""Unit tests for the circuit breaker state machine."""
+
+import pytest
+
+from repro.faults import BreakerState, CircuitBreaker
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+
+
+class TestClosed:
+    def test_starts_closed_and_passive(self):
+        breaker = CircuitBreaker("log")
+        assert breaker.state == BreakerState.CLOSED
+        assert not breaker.is_open
+        assert not breaker.consult()
+
+    def test_needs_consecutive_failures_to_trip(self):
+        breaker = CircuitBreaker("log", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_ops=0)
+
+
+class TestOpen:
+    def test_open_reports_degraded_until_cooldown(self):
+        breaker = CircuitBreaker("log", failure_threshold=2,
+                                 cooldown_ops=3)
+        trip(breaker)
+        assert breaker.is_open
+        # cooldown_ops - 1 degraded consultations, then half-open trial.
+        assert breaker.consult() is True
+        assert breaker.consult() is True
+        assert breaker.consult() is False
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker = CircuitBreaker("log", failure_threshold=2,
+                                 cooldown_ops=1)
+        trip(breaker)
+        assert breaker.consult() is False  # straight to half-open
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.trips == 1
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker = CircuitBreaker("log", failure_threshold=2,
+                                 cooldown_ops=1)
+        trip(breaker)
+        breaker.consult()
+        assert breaker.state == BreakerState.HALF_OPEN
+        breaker.record_failure()  # trial failed: no threshold needed
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_outcomes_while_open_are_ignored(self):
+        """Required calls keep flowing during a brown-out; individual
+        successes (or further failures) must not flip an open breaker —
+        only the half-open trial decides."""
+        breaker = CircuitBreaker("log", failure_threshold=2,
+                                 cooldown_ops=5)
+        trip(breaker)
+        breaker.record_success()
+        assert breaker.is_open
+        breaker.record_failure()
+        assert breaker.is_open
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak_after_reclose(self):
+        breaker = CircuitBreaker("log", failure_threshold=2,
+                                 cooldown_ops=1)
+        trip(breaker)
+        breaker.consult()
+        breaker.record_success()
+        # A single failure must not re-trip a freshly closed breaker.
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED

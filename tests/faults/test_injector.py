@@ -1,0 +1,117 @@
+"""Unit tests for the seeded fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig
+from repro.errors import ConfigError
+from repro.faults import (
+    FAULT_ERROR,
+    FAULT_GRAY,
+    FAULT_TIMEOUT,
+    FaultInjector,
+)
+
+
+def make_injector(rate=0.3, seed=7, **kwargs):
+    config = FaultConfig.uniform(rate, **kwargs)
+    return FaultInjector(config, np.random.default_rng(seed))
+
+
+class TestConfig:
+    def test_uniform_split_matches_shares(self):
+        config = FaultConfig.uniform(0.1)
+        assert config.error_rate == pytest.approx(0.06)
+        assert config.timeout_rate == pytest.approx(0.02)
+        assert config.gray_rate == pytest.approx(0.02)
+        assert config.total_rate == pytest.approx(0.1)
+        assert config.enabled
+
+    def test_zero_rate_is_disabled(self):
+        config = FaultConfig.uniform(0.0)
+        assert not config.enabled
+        assert not FaultInjector(
+            config, np.random.default_rng(0)
+        ).enabled
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig.uniform(-0.1)
+        with pytest.raises(ConfigError):
+            FaultConfig.uniform(1.0)
+
+    def test_validate_rejects_bad_fields(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(enabled=True, error_rate=0.6,
+                        timeout_rate=0.3, gray_rate=0.2).validate()
+        with pytest.raises(ConfigError):
+            FaultConfig(enabled=True, gray_rate=0.1,
+                        gray_factor=0.5).validate()
+
+
+class TestDraws:
+    def test_disabled_injector_is_always_healthy(self):
+        injector = make_injector(0.0)
+        for _ in range(100):
+            assert injector.draw("log", "log_append").healthy
+        assert injector.injected_total() == 0
+
+    def test_same_seed_same_fault_plan(self):
+        plan_a = [make_injector(seed=42).draw("log", "op").kind
+                  for _ in range(1)]
+        # Draw full sequences from two injectors with the same seed.
+        inj1, inj2 = make_injector(seed=42), make_injector(seed=42)
+        seq1 = [inj1.draw("log", "op") for _ in range(500)]
+        seq2 = [inj2.draw("log", "op") for _ in range(500)]
+        assert seq1 == seq2
+        assert plan_a[0] == seq1[0].kind
+
+    def test_different_seeds_differ(self):
+        inj1, inj2 = make_injector(seed=1), make_injector(seed=2)
+        seq1 = [inj1.draw("log", "op").kind for _ in range(200)]
+        seq2 = [inj2.draw("log", "op").kind for _ in range(200)]
+        assert seq1 != seq2
+
+    def test_empirical_rates_track_config(self):
+        injector = make_injector(0.3, seed=3)
+        kinds = [injector.draw("store", "db_read").kind
+                 for _ in range(20_000)]
+        n = len(kinds)
+        assert kinds.count(FAULT_ERROR) / n == pytest.approx(0.18, abs=0.02)
+        assert kinds.count(FAULT_TIMEOUT) / n == pytest.approx(0.06,
+                                                               abs=0.01)
+        assert kinds.count(FAULT_GRAY) / n == pytest.approx(0.06, abs=0.01)
+        assert kinds.count(None) / n == pytest.approx(0.7, abs=0.02)
+
+    def test_gray_decisions_inflate_latency(self):
+        injector = make_injector(0.5, seed=11, gray_factor=4.0)
+        grays = [d for d in (injector.draw("log", "op")
+                             for _ in range(2_000))
+                 if d.kind == FAULT_GRAY]
+        assert grays, "expected some gray failures at rate 0.5"
+        assert all(1.0 < d.latency_factor <= 4.0 for d in grays)
+        # Omission faults never inflate; gray faults never omit.
+        assert all(not d.omitted for d in grays)
+
+    def test_scope_filters_services(self):
+        injector = make_injector(0.8, seed=5, scope="log")
+        assert injector.applies_to("log")
+        assert not injector.applies_to("store")
+        for _ in range(200):
+            assert injector.draw("store", "db_write").healthy
+        assert any(not injector.draw("log", "log_append").healthy
+                   for _ in range(200))
+        # Only log faults were counted.
+        assert all(key.startswith("log:") for key in injector.injected)
+
+    def test_injected_counts_by_service_and_kind(self):
+        injector = make_injector(0.5, seed=9)
+        for _ in range(1_000):
+            injector.draw("log", "log_append")
+            injector.draw("store", "db_read")
+        assert injector.injected_total() == sum(
+            injector.injected.values()
+        )
+        assert injector.injected_total() > 0
+        assert any(k.startswith("log:") for k in injector.injected)
+        assert any(k.startswith("store:") for k in injector.injected)

@@ -39,6 +39,45 @@ def test_recovery_command(capsys):
     assert "boki" in out
 
 
+def test_chaos_command(capsys):
+    assert main(["chaos", "--fault-rates", "0.0", "0.1",
+                 "--requests", "40", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Chaos" in out
+    assert "violations" in out
+    assert "unsafe" in out
+
+
+def test_seed_and_fault_rate_accepted_everywhere(capsys):
+    assert main(["table1", "--samples", "200", "--seed", "7",
+                 "--fault-rate", "0.05"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_seed_makes_output_deterministic(capsys):
+    main(["chaos", "--fault-rates", "0.05", "--requests", "30",
+          "--seed", "9"])
+    first = capsys.readouterr().out
+    main(["chaos", "--fault-rates", "0.05", "--requests", "30",
+          "--seed", "9"])
+    assert capsys.readouterr().out == first
+
+
+def test_negative_seed_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "--seed", "-1"])
+    assert "--seed must be non-negative" in capsys.readouterr().err
+
+
+def test_fault_rate_out_of_range_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig10", "--fault-rate", "1.5"])
+    assert "--fault-rate must be in [0, 1)" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["fig10", "--fault-rate", "-0.2"])
+    assert "--fault-rate must be in [0, 1)" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-command"])

@@ -86,3 +86,42 @@ class TestSystemConfig:
         config = SystemConfig(gc=GCConfig(interval_ms=-1))
         with pytest.raises(ConfigError):
             config.validate()
+
+
+class TestResilienceAndFaults:
+    def test_with_fault_rate_builds_uniform_plan(self):
+        config = SystemConfig().with_fault_rate(0.1, scope="log")
+        assert config.faults.enabled
+        assert config.faults.scope == "log"
+        assert config.faults.total_rate == pytest.approx(0.1)
+        config.validate()
+
+    def test_with_resilience_overrides_knobs(self):
+        config = SystemConfig().with_resilience(
+            max_attempts=8, degraded_log_reads=False
+        )
+        assert config.resilience.max_attempts == 8
+        assert not config.resilience.degraded_log_reads
+        # Untouched knobs keep their defaults.
+        assert config.resilience.drop_background_appends
+
+    def test_invalid_resilience_caught_by_system_validate(self):
+        from repro.config import ResilienceConfig
+
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                resilience=ResilienceConfig(max_attempts=0)
+            ).validate()
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                resilience=ResilienceConfig(backoff_multiplier=0.5)
+            ).validate()
+
+    def test_invalid_fault_scope_caught(self):
+        from repro.config import FaultConfig
+
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                faults=FaultConfig(enabled=True, error_rate=0.1,
+                                   scope="network")
+            ).validate()
