@@ -32,6 +32,7 @@ from .config import (
     GCConfig,
     LatencyConfig,
     ProtocolConfig,
+    RecoveryConfig,
     ResilienceConfig,
     StorageSizeConfig,
     SystemConfig,
@@ -129,6 +130,7 @@ __all__ = [
     "NoCrashes",
     "Protocol",
     "ProtocolConfig",
+    "RecoveryConfig",
     "PermanentServiceError",
     "ProtocolError",
     "ReadOp",

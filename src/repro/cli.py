@@ -10,6 +10,7 @@ Commands map one-to-one onto the experiment harness::
     python -m repro fig14  [--rates 300 600]
     python -m repro recovery [--f 0.0 0.2 0.4]
     python -m repro chaos  [--fault-rates 0.0 0.05 0.1] [--brownout]
+    python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
     python -m repro advise --read-ratio 0.8 --rate 300
 
 Every experiment command additionally accepts ``--seed N`` (reseed the
@@ -32,6 +33,7 @@ from .harness import (
     APP_FACTORIES,
     run_brownout_comparison,
     run_chaos_sweep,
+    run_failover_sweep,
     run_fig10,
     run_fig11,
     run_fig12,
@@ -109,6 +111,27 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-f", type=float, default=0.15)
     chaos.add_argument("--brownout", action="store_true",
                        help="also run the log brown-out fallback ablation")
+
+    failover = sub.add_parser(
+        "failover",
+        help="node crash under load: lease detection, orphan takeover, "
+             "exactly-once audit",
+        parents=[common],
+    )
+    failover.add_argument("--leases", nargs="+", type=float,
+                          default=[250.0, 1_000.0, 4_000.0],
+                          help="lease durations (ms) to sweep")
+    failover.add_argument("--crash-at", type=float, default=1_500.0,
+                          help="simulated time (ms) of the node crash")
+    failover.add_argument("--rate", type=float, default=600.0,
+                          help="offered load (requests per second)")
+    failover.add_argument("--duration", type=float, default=4_000.0,
+                          help="arrival window (ms)")
+    failover.add_argument(
+        "--systems", nargs="+",
+        default=["boki", "halfmoon-read", "halfmoon-write"],
+        help="protocols to sweep",
+    )
 
     advise = sub.add_parser("advise", help="recommend a protocol")
     advise.add_argument("--read-ratio", type=float, required=True)
@@ -198,6 +221,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     config=config, seed=getattr(args, "seed", None)
                 ).render()
             )
+    elif args.command == "failover":
+        fault_rate = getattr(args, "fault_rate", None)
+        print(
+            run_failover_sweep(
+                lease_values=args.leases, systems=args.systems,
+                crash_at_ms=args.crash_at, rate_per_s=args.rate,
+                duration_ms=args.duration,
+                seed=getattr(args, "seed", None),
+                # Compose node crashes with infra faults by default; an
+                # explicit --fault-rate (including 0) overrides.
+                fault_rate=(0.05 if fault_rate is None else fault_rate),
+            ).render()
+        )
     elif args.command == "advise":
         profile = WorkloadProfile(
             p_read=args.read_ratio,

@@ -227,6 +227,49 @@ class FailureConfig:
 
 
 @dataclass(frozen=True)
+class RecoveryConfig:
+    """Node-level crash recovery: lease-based detection and takeover.
+
+    The third fault dimension (after instance crashes and infrastructure
+    faults): a whole *function node* dies, killing every in-flight SSF
+    instance on it and losing its slice of the record cache.  Recovery
+    follows the paper's Section 4.5 story with Boki-style engine
+    fail-over timing: every node holds a lease it renews by heartbeating
+    the gateway every ``heartbeat_interval_ms``; the gateway's failure
+    detector polls each ``detector_poll_ms`` and declares a node dead
+    once its lease has been silent for ``lease_ms``.  Detection is thus
+    a first-class simulated cost in ``[lease_ms, lease_ms +
+    heartbeat_interval_ms + detector_poll_ms)``.  Orphaned SSFs are then
+    re-dispatched to surviving nodes, where the normal protocol replay
+    paths (symmetric replay vs. log-free re-execution) take over.  A
+    crashed node rejoins ``restart_delay_ms`` after the crash when
+    ``restart_enabled`` — with empty worker slots and a cold cache.
+    """
+
+    enabled: bool = False
+    lease_ms: float = 1_000.0
+    heartbeat_interval_ms: float = 200.0
+    detector_poll_ms: float = 50.0
+    restart_enabled: bool = True
+    restart_delay_ms: float = 8_000.0
+
+    def validate(self) -> None:
+        if self.lease_ms <= 0:
+            raise ConfigError("lease_ms must be positive")
+        if self.heartbeat_interval_ms <= 0:
+            raise ConfigError("heartbeat_interval_ms must be positive")
+        if self.heartbeat_interval_ms >= self.lease_ms:
+            raise ConfigError(
+                "heartbeat_interval_ms must be shorter than lease_ms "
+                "(otherwise healthy nodes look dead)"
+            )
+        if self.detector_poll_ms <= 0:
+            raise ConfigError("detector_poll_ms must be positive")
+        if self.restart_delay_ms < 0:
+            raise ConfigError("restart_delay_ms must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Infrastructure fault injection — the second fault dimension.
 
@@ -384,6 +427,7 @@ class SystemConfig:
     failures: FailureConfig = field(default_factory=FailureConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
 
     def validate(self) -> "SystemConfig":
@@ -394,6 +438,7 @@ class SystemConfig:
         self.failures.validate()
         self.faults.validate()
         self.resilience.validate()
+        self.recovery.validate()
         return self
 
     def with_seed(self, seed: int) -> "SystemConfig":
@@ -423,6 +468,13 @@ class SystemConfig:
         """Override retry/backoff/breaker policy knobs."""
         return replace(
             self, resilience=replace(self.resilience, **overrides)
+        )
+
+    def with_node_recovery(self, **overrides) -> "SystemConfig":
+        """Enable node-failure detection/takeover; override lease knobs."""
+        overrides.setdefault("enabled", True)
+        return replace(
+            self, recovery=replace(self.recovery, **overrides)
         )
 
 

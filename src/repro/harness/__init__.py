@@ -8,6 +8,8 @@
 * :mod:`repro.harness.chaos` — fault rate × resilience policy sweep
   (crashes composed with infrastructure faults) and the log brown-out
   degraded-read ablation
+* :mod:`repro.harness.failover` — node crash under load: lease-based
+  detection, orphan takeover, exactly-once audit
 """
 
 from .apps import APP_FACTORIES, run_app_point, run_fig11
@@ -16,6 +18,12 @@ from .chaos import (
     run_brownout_comparison,
     run_chaos_point,
     run_chaos_sweep,
+)
+from .failover import (
+    CounterWorkload,
+    FailoverPoint,
+    run_failover_point,
+    run_failover_sweep,
 )
 from .micro import measure_op_latencies, run_fig10, run_table1
 from .overhead import (
@@ -36,7 +44,9 @@ from .switching_exp import (
 __all__ = [
     "APP_FACTORIES",
     "ChaosPoint",
+    "CounterWorkload",
     "ExperimentTable",
+    "FailoverPoint",
     "RunResult",
     "SimPlatform",
     "SwitchingResult",
@@ -46,6 +56,8 @@ __all__ = [
     "run_brownout_comparison",
     "run_chaos_point",
     "run_chaos_sweep",
+    "run_failover_point",
+    "run_failover_sweep",
     "run_fig10",
     "run_fig11",
     "run_fig12",

@@ -59,6 +59,11 @@ class ChaosPoint:
     counters: Dict[str, int] = field(default_factory=dict)
 
     @property
+    def faulted_attempts(self) -> int:
+        """Attempts abandoned because a substrate blew its retry budget."""
+        return self.counters.get("attempts_lost_to_service_faults", 0)
+
+    @property
     def goodput_per_s(self) -> float:
         """Requests completed per simulated second (direct mode runs
         requests back-to-back, so total simulated time is the latency
@@ -178,7 +183,8 @@ def run_chaos_sweep(
         "Chaos: goodput and latency under crashes + infrastructure "
         f"faults (crash f={crash_f})",
         ["system", "fault rate", "goodput (req/s)", "median (ms)",
-         "p99 (ms)", "p99 amp", "retries", "degraded", "violations"],
+         "p99 (ms)", "p99 amp", "retries", "degraded", "faulted",
+         "violations"],
     )
     for system in systems:
         baseline_p99 = None
@@ -195,7 +201,8 @@ def run_chaos_sweep(
                 system, rate, point.goodput_per_s,
                 point.latency.median(), p99,
                 p99 / baseline_p99 if baseline_p99 > 0 else 1.0,
-                point.retries, point.degraded_reads, point.violations,
+                point.retries, point.degraded_reads,
+                point.faulted_attempts, point.violations,
             )
     table.add_note(
         "expected: zero violations for every logged protocol at every "

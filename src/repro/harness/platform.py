@@ -16,12 +16,21 @@ Fidelity notes (documented substitutions):
   *internal* interleaving with other invocations is not.
 * queueing happens at the worker pool; log/store latencies are sampled
   i.i.d. from their calibrated distributions (an open-service model).
+
+Node failures (``config.recovery``): invocations are dispatched to
+per-node worker slots; :meth:`SimPlatform.crash_node` kills a node —
+interrupting every in-flight invocation process on it (they become
+*orphans*), dropping the node's slice of the record cache, and wiping
+its worker slots.  A :class:`~repro.recovery.lease.LeaseManager` turns
+the crash into a detection event after the configured lease expires, and
+the :class:`~repro.recovery.coordinator.RecoveryCoordinator` re-dispatches
+orphans to surviving nodes, where protocol replay finishes them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from ..config import SystemConfig
 from ..errors import (
@@ -29,18 +38,19 @@ from ..errors import (
     RetriesExhaustedError,
     ServiceFaultError,
 )
+from ..recovery import LeaseManager, Orphan, RecoveryCoordinator
 from ..runtime.env import Env
 from ..runtime.local import Context, LocalRuntime
 from ..runtime.registry import FunctionRegistry
 from ..runtime.services import InstanceServices
-from ..simulation.kernel import Simulator
+from ..simulation.kernel import Interrupt, Simulator
 from ..simulation.metrics import (
     LatencyRecorder,
     ThroughputMeter,
     TimeSeries,
     TimeWeightedGauge,
 )
-from ..simulation.resources import Resource
+from ..simulation.resources import NodeWorkerPool
 from ..workloads.base import Request, Workload
 
 
@@ -70,6 +80,12 @@ class RunResult:
     time_by_kind: Dict[str, float] = field(repr=False,
                                            default_factory=dict)
     extras: Dict[str, Any] = field(repr=False, default_factory=dict)
+    #: Node-failure accounting (zero unless the run crashed nodes).
+    node_crashes: int = 0
+    orphaned_invocations: int = 0
+    recovered_orphans: int = 0
+    detection_ms: LatencyRecorder = field(repr=False, default=None)
+    takeover_ms: LatencyRecorder = field(repr=False, default=None)
 
     @property
     def avg_total_mb(self) -> float:
@@ -100,8 +116,11 @@ class SimPlatform:
         workload.populate(self.runtime)
 
         backend = self.runtime.backend
-        self.workers = Resource(
-            self.sim, self.config.cluster.total_workers, "workers"
+        self.workers = NodeWorkerPool(
+            self.sim,
+            self.config.cluster.function_nodes,
+            self.config.cluster.workers_per_node,
+            "workers",
         )
         self._request_rng = backend.rng.stream("requests")
         self._arrival_rng = backend.rng.stream("arrivals")
@@ -112,6 +131,36 @@ class SimPlatform:
         self.crashed_attempts = 0
         self.faulted_attempts = 0
         self._warmup_ms = 0.0
+
+        # -- node-failure machinery ------------------------------------
+        #: Per node: instance_id -> in-flight invocation Process, i.e.
+        #: the gateway's dispatch table (mirrors init records without a
+        #: matching finish).
+        self._inflight: List[Dict[str, Any]] = [
+            {} for _ in range(self.workers.num_nodes)
+        ]
+        self._crashed_at: Dict[int, float] = {}
+        self.node_crashes = 0
+        self.orphaned_invocations = 0
+        self.detection_latency = LatencyRecorder("failure-detection")
+        #: Optional ``callback(request, latency_ms)`` fired at each
+        #: completion — failover audits use it to build ground truth.
+        self.on_request_complete: Optional[
+            Callable[[Request, float], None]
+        ] = None
+        self.lease: Optional[LeaseManager] = None
+        self.coordinator: Optional[RecoveryCoordinator] = None
+        if self.config.recovery.enabled:
+            self.lease = LeaseManager(
+                self.sim,
+                self.workers.num_nodes,
+                self.config.recovery,
+                self.workers.is_alive,
+            )
+            self.coordinator = RecoveryCoordinator(
+                self.sim, self.runtime.tracker, self._redispatch_orphan
+            )
+            self.lease.on_failure(self._node_declared_dead)
         self.time_by_kind: Dict[str, float] = {}
         # Logging-layer contention model (optional): analytic FIFO
         # bookkeeping for the sequencer and the storage shards.  Works
@@ -147,28 +196,54 @@ class SimPlatform:
             if self.sim.now >= duration_ms:
                 return
             request = self.workload.next_request(self._request_rng)
-            self.sim.process(
-                self._invocation_process(request, self.sim.now),
-                name=f"inv-{request.func_name}",
-            )
+            self._spawn_invocation(request, self.sim.now)
 
-    def _invocation_process(self, request: Request, arrival_ms: float):
-        runtime = self.runtime
-        # The invocation exists (and is tracked) from arrival: the switch
-        # manager and the GC must conservatively wait for requests that
-        # were dispatched before a BEGIN record even if they are still
-        # queued for a worker — this is what makes switching away from a
-        # backlogged phase slower (Figure 14).
-        instance_id = runtime.new_instance_id()
-        runtime.tracker.start(
-            instance_id, runtime.backend.log.next_seqnum
+    def _spawn_invocation(
+        self,
+        request: Request,
+        arrival_ms: float,
+        instance_id: Optional[str] = None,
+        first_attempt: int = 1,
+    ):
+        # The generator needs a handle on its own Process so it can file
+        # itself in the dispatch table; the box is filled before the
+        # body's first step runs (processes start on the next tick).
+        box: Dict[str, Any] = {}
+        gen = self._invocation_process(
+            request, arrival_ms, box, instance_id, first_attempt
         )
-        yield self.workers.request()
+        box["process"] = self.sim.process(
+            gen, name=f"inv-{request.func_name}"
+        )
+        return box["process"]
+
+    def _invocation_process(
+        self,
+        request: Request,
+        arrival_ms: float,
+        box: Dict[str, Any],
+        instance_id: Optional[str] = None,
+        first_attempt: int = 1,
+    ):
+        runtime = self.runtime
+        if instance_id is None:
+            # The invocation exists (and is tracked) from arrival: the
+            # switch manager and the GC must conservatively wait for
+            # requests that were dispatched before a BEGIN record even
+            # if they are still queued for a worker — this is what makes
+            # switching away from a backlogged phase slower (Figure 14).
+            instance_id = runtime.new_instance_id()
+            runtime.tracker.start(
+                instance_id, runtime.backend.log.next_seqnum
+            )
+        grant = yield self.workers.request()
+        self._inflight[grant.node_id][instance_id] = box["process"]
         try:
             max_attempts = self.config.failures.max_retries + 1
             fn = runtime.functions.get(request.func_name)
             done = False
-            for attempt in range(1, max_attempts + 1):
+            attempt = first_attempt
+            while attempt <= max_attempts:
                 hook = runtime.crash_policy.hook_for(instance_id, attempt)
                 svc = InstanceServices(runtime.backend, fault_hook=hook)
                 env = Env(
@@ -202,6 +277,7 @@ class SimPlatform:
                     done = True
                 except CrashError:
                     self.crashed_attempts += 1
+                    attempt += 1
                     yield self.sim.timeout(
                         self._drain(svc)
                         + self.config.failures.detection_delay_ms
@@ -211,6 +287,7 @@ class SimPlatform:
                     if not fault.retryable:
                         raise
                     self.faulted_attempts += 1
+                    attempt += 1
                     yield self.sim.timeout(
                         self._drain(svc)
                         + self.config.failures.detection_delay_ms
@@ -228,8 +305,104 @@ class SimPlatform:
                 self.latencies.record(latency)
                 self.throughput.record(self.sim.now)
             self.latency_series.record(self.sim.now, latency)
+            if self.on_request_complete is not None:
+                self.on_request_complete(request, latency)
+        except Interrupt:
+            # Node crash while executing: the invocation is stranded on
+            # the dead node.  The interrupted attempt counts as lost
+            # (like an instance crash); takeover resumes at the next.
+            self.orphaned_invocations += 1
+            orphan = Orphan(
+                instance_id=instance_id,
+                request=request,
+                arrival_ms=arrival_ms,
+                next_attempt=attempt + 1,
+                node_id=grant.node_id,
+                orphaned_at_ms=self.sim.now,
+            )
+            if self.coordinator is not None:
+                self.coordinator.add_orphan(orphan)
+            else:
+                # No recovery configured: the orphan is still pinned in
+                # the tracker so GC stays conservative, but nobody will
+                # re-dispatch it.
+                runtime.tracker.mark_orphaned(instance_id)
+            return
         finally:
-            self.workers.release()
+            self._inflight[grant.node_id].pop(instance_id, None)
+            self.workers.release(grant)
+
+    def _redispatch_orphan(self, orphan: Orphan) -> None:
+        self._spawn_invocation(
+            orphan.request,
+            orphan.arrival_ms,
+            instance_id=orphan.instance_id,
+            first_attempt=orphan.next_attempt,
+        )
+
+    # ------------------------------------------------------------------
+    # Node failures
+    # ------------------------------------------------------------------
+
+    def crash_node(
+        self,
+        node_id: int,
+        restart_after_ms: Optional[float] = None,
+    ) -> None:
+        """Kill function node ``node_id`` at the current instant.
+
+        Every in-flight invocation process on the node is interrupted
+        (→ orphaned), the node's slice of the record cache is dropped,
+        and its worker slots are wiped.  If restarts are enabled the
+        node comes back after ``restart_after_ms`` (default: the
+        configured ``restart_delay_ms``).
+        """
+        if not self.workers.is_alive(node_id):
+            return
+        self.node_crashes += 1
+        self._crashed_at[node_id] = self.sim.now
+        # Interrupt handlers pop themselves from the table via their
+        # ``finally``; iterate over a snapshot.
+        for process in list(self._inflight[node_id].values()):
+            process.interrupt(cause=f"node-{node_id}-crash")
+        self.workers.crash(node_id)
+        self.runtime.backend.drop_node_cache(
+            node_id, self.workers.num_nodes
+        )
+        recovery = self.config.recovery
+        if recovery.restart_enabled:
+            delay = (restart_after_ms if restart_after_ms is not None
+                     else recovery.restart_delay_ms)
+            self.at(self.sim.now + delay,
+                    lambda: self.restart_node(node_id))
+
+    def restart_node(self, node_id: int) -> None:
+        """Bring a crashed node back with empty workers and a cold cache."""
+        if self.workers.is_alive(node_id):
+            return
+        self._crashed_at.pop(node_id, None)
+        self.workers.restart(node_id)
+        if self.coordinator is not None:
+            # A node restarting before its lease expired recovers its
+            # own orphans by scanning the log (Section 4.5).
+            self.coordinator.node_restarted(node_id)
+
+    def schedule_node_crash(
+        self,
+        at_ms: float,
+        node_id: int = 0,
+        restart_after_ms: Optional[float] = None,
+    ) -> None:
+        """Arrange for ``node_id`` to crash at simulated time ``at_ms``."""
+        self.at(at_ms, lambda: self.crash_node(node_id, restart_after_ms))
+
+    def _node_declared_dead(self, node_id: int, detected_at_ms: float
+                            ) -> None:
+        crashed_at = self._crashed_at.get(node_id)
+        if crashed_at is not None:
+            self.detection_latency.record(detected_at_ms - crashed_at)
+        if self.coordinator is not None:
+            self.coordinator.node_failed(node_id, detected_at_ms)
 
     def _drain(self, svc: InstanceServices) -> float:
         """Account the trace per cost kind, then drain it.
@@ -309,6 +482,8 @@ class SimPlatform:
         )
         if self.config.gc.enabled:
             self.sim.process(self._gc_process(), name="gc")
+        if self.lease is not None:
+            self.lease.start()
         self.sim.run(until=duration_ms + drain_ms)
 
         backend = self.runtime.backend
@@ -338,4 +513,15 @@ class SimPlatform:
             latency_series=self.latency_series,
             counters=backend.counters.as_dict(),
             time_by_kind=dict(self.time_by_kind),
+            node_crashes=self.node_crashes,
+            orphaned_invocations=self.orphaned_invocations,
+            recovered_orphans=(
+                self.coordinator.recovered
+                if self.coordinator is not None else 0
+            ),
+            detection_ms=self.detection_latency,
+            takeover_ms=(
+                self.coordinator.takeover_latency
+                if self.coordinator is not None else None
+            ),
         )

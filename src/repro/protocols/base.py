@@ -56,6 +56,10 @@ class Protocol(ABC):
     #: (Halfmoon-read and the transitional protocol); Boki's write
     #: records live only in the private step log.
     public_write_log: bool = False
+    #: How a takeover node recovers a crashed SSF (Sections 4.5 and 7):
+    #: re-execution against whatever the protocol logged.  Subclasses
+    #: refine the label so the failover tables can name the asymmetry.
+    recovery_mode: str = "re-execution"
 
     def __init__(self, config: Optional[ProtocolConfig] = None):
         self.config = config if config is not None else ProtocolConfig()

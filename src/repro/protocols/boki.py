@@ -28,6 +28,7 @@ class BokiProtocol(LoggedProtocol):
     name = "boki"
     logs_reads = True
     logs_writes = True
+    recovery_mode = "symmetric replay"
 
     def read(self, svc: InstanceServices, env: Env, key: str) -> Any:
         record = self._next_step(env)

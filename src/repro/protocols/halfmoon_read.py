@@ -42,6 +42,7 @@ class HalfmoonReadProtocol(LoggedProtocol):
     logs_reads = False
     logs_writes = True
     public_write_log = True
+    recovery_mode = "re-execute log-free reads"
 
     def init(self, svc: InstanceServices, env: Env) -> None:
         super().init(svc, env)

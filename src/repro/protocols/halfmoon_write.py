@@ -36,6 +36,7 @@ class HalfmoonWriteProtocol(LoggedProtocol):
     name = "halfmoon-write"
     logs_reads = True
     logs_writes = False
+    recovery_mode = "re-execute log-free writes"
 
     def __init__(self, config=None):
         super().__init__(config)

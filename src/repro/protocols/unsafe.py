@@ -24,6 +24,7 @@ class UnsafeProtocol(Protocol):
     name = "unsafe"
     logs_reads = False
     logs_writes = False
+    recovery_mode = "blind re-execution (at-least-once)"
 
     def init(self, svc: InstanceServices, env: Env) -> None:
         env.step = 0

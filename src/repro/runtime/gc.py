@@ -18,6 +18,11 @@ The GC reclaims two kinds of state:
 
 Note the asymmetry with condition (a): the marked record itself always
 survives, so each object retains at least one readable version.
+
+Node failures interact with condition (b) through the tracker's orphan
+state: an SSF whose hosting node died stays *orphaned* (not finished)
+until a survivor reclaims it, so ``safe_seqnum`` cannot advance past its
+init cursorTS and the takeover replay finds every version it may read.
 """
 
 from __future__ import annotations

@@ -43,10 +43,21 @@ class FunctionRegistry:
 
 
 class InvocationTracker:
-    """Tracks running invocations and their initial cursorTS values."""
+    """Tracks running invocations and their initial cursorTS values.
+
+    Besides *running* and *finished*, an invocation can be **orphaned**:
+    its hosting node died mid-flight and no survivor has taken it over
+    yet.  Orphans keep their init cursorTS pinned — they count for
+    :meth:`safe_seqnum` and :meth:`running_started_before` exactly like
+    running invocations — because the takeover replay still needs every
+    log record and object version the original execution could observe.
+    Letting the GC frontier advance past an orphan would trim state the
+    recovering SSF reads (see ``tests/runtime/test_gc.py``).
+    """
 
     def __init__(self):
         self._running: Dict[str, int] = {}
+        self._orphaned: Dict[str, int] = {}
         self._finished_pending_gc: Set[str] = set()
         self._finished_count = 0
         self._started_count = 0
@@ -62,7 +73,7 @@ class InvocationTracker:
         replaced by the real value once init completes.  Re-executions of
         an already-tracked instance are no-ops.
         """
-        if instance_id in self._running:
+        if instance_id in self._running or instance_id in self._orphaned:
             return
         self._running[instance_id] = provisional_init_ts
         self._started_count += 1
@@ -70,11 +81,31 @@ class InvocationTracker:
     def set_init_ts(self, instance_id: str, init_ts: int) -> None:
         if instance_id in self._running:
             self._running[instance_id] = init_ts
+        elif instance_id in self._orphaned:
+            self._orphaned[instance_id] = init_ts
+
+    def mark_orphaned(self, instance_id: str) -> None:
+        """The invocation's node died; keep its init cursorTS pinned
+        until a survivor reclaims it (or it is finished)."""
+        ts = self._running.pop(instance_id, None)
+        if ts is None:
+            return
+        self._orphaned[instance_id] = ts
+
+    def reclaim(self, instance_id: str) -> None:
+        """A surviving node took the orphan over: running again."""
+        ts = self._orphaned.pop(instance_id, None)
+        if ts is None:
+            return
+        self._running[instance_id] = ts
 
     def finish(self, instance_id: str) -> None:
-        if instance_id not in self._running:
+        if instance_id in self._running:
+            del self._running[instance_id]
+        elif instance_id in self._orphaned:
+            del self._orphaned[instance_id]
+        else:
             return
-        del self._running[instance_id]
         self._finished_pending_gc.add(instance_id)
         self._finished_count += 1
         for listener in list(self._finish_listeners):
@@ -94,22 +125,42 @@ class InvocationTracker:
     def finished_count(self) -> int:
         return self._finished_count
 
+    @property
+    def orphan_count(self) -> int:
+        return len(self._orphaned)
+
     def is_running(self, instance_id: str) -> bool:
         return instance_id in self._running
 
+    def is_orphaned(self, instance_id: str) -> bool:
+        return instance_id in self._orphaned
+
+    def orphans(self) -> Dict[str, int]:
+        """Orphaned instances and their pinned init cursorTS values."""
+        return dict(self._orphaned)
+
     def running_started_before(self, seqnum: int) -> Set[str]:
-        """Running invocations whose init record precedes ``seqnum``."""
+        """Unfinished invocations whose init record precedes ``seqnum``
+        (orphans included: a takeover will resume them)."""
         return {
-            iid for iid, ts in self._running.items() if ts < seqnum
+            iid
+            for store in (self._running, self._orphaned)
+            for iid, ts in store.items() if ts < seqnum
         }
 
     def safe_seqnum(self, log_frontier: int) -> int:
         """Largest ``t`` such that every SSF with initial cursorTS below
-        ``t`` has finished (Section 4.5's condition (b)).  When nothing is
-        running, everything up to the log frontier is safe."""
-        if not self._running:
+        ``t`` has finished (Section 4.5's condition (b)).  Orphaned
+        invocations pin the frontier like running ones — their replay is
+        still owed.  When nothing is unfinished, everything up to the log
+        frontier is safe."""
+        pinned = [
+            ts for store in (self._running, self._orphaned)
+            for ts in store.values()
+        ]
+        if not pinned:
             return log_frontier
-        return min(self._running.values())
+        return min(pinned)
 
     def drain_finished(self) -> Set[str]:
         """Hand the set of finished-but-not-yet-collected instances to the

@@ -259,6 +259,18 @@ class ServiceBackend:
     def breaker_trips(self) -> int:
         return sum(b.trips for b in self.breakers.values())
 
+    def drop_node_cache(self, node_id: int, num_nodes: int) -> int:
+        """A crashed function node loses its slice of the record cache.
+
+        Called by the platform's node-crash event; replays that land on
+        survivors then miss these records and pay the storage round trip
+        (the recovery-cost asymmetry of Section 7 in wall-clock form).
+        """
+        evicted = self.cache.evict_partition(node_id, num_nodes)
+        if evicted:
+            self.counters.add("node_cache_records_lost", evicted)
+        return evicted
+
     def random_hex(self, bits: int = 64) -> str:
         if bits > 63:
             high = int(self._uuid_rng.integers(0, 1 << (bits - 32)))

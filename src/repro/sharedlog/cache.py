@@ -76,5 +76,23 @@ class RecordCache:
     def invalidate(self, seqnum: int) -> None:
         self._entries.pop(seqnum, None)
 
+    def evict_partition(self, partition: int, num_partitions: int) -> int:
+        """Drop every cached record in one hash partition.
+
+        Models a function node crash: the distributed record cache loses
+        the dead node's share (records are assumed hash-placed by seqnum
+        modulo the node count), so takeover replays pay storage-trip
+        latency for them until re-read.  Returns the eviction count.
+        """
+        if num_partitions <= 0:
+            raise ConfigError("num_partitions must be positive")
+        victims = [
+            seqnum for seqnum in self._entries
+            if seqnum % num_partitions == partition
+        ]
+        for seqnum in victims:
+            del self._entries[seqnum]
+        return len(victims)
+
     def clear(self) -> None:
         self._entries.clear()

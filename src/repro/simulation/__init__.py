@@ -2,7 +2,7 @@
 and measurement primitives.
 """
 
-from .kernel import Event, Process, Simulator, Timeout
+from .kernel import Event, Interrupt, Process, Simulator, Timeout
 from .latency import (
     ConstantLatency,
     EmpiricalLatency,
@@ -20,7 +20,7 @@ from .metrics import (
     TimeSeries,
     TimeWeightedGauge,
 )
-from .resources import Resource
+from .resources import NodeWorkerPool, Resource, WorkerGrant
 from .rng import RngRegistry, derive_seed
 
 __all__ = [
@@ -28,11 +28,13 @@ __all__ = [
     "Counter",
     "EmpiricalLatency",
     "Event",
+    "Interrupt",
     "LatencyModel",
     "LatencyRecorder",
     "LatencySummary",
     "LogNormalLatency",
     "MixtureLatency",
+    "NodeWorkerPool",
     "Process",
     "Resource",
     "RngRegistry",
@@ -43,5 +45,6 @@ __all__ = [
     "TimeWeightedGauge",
     "Timeout",
     "UniformLatency",
+    "WorkerGrant",
     "derive_seed",
 ]

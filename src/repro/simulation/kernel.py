@@ -80,26 +80,59 @@ class Timeout(Event):
         sim._schedule_at(sim.now + delay, self)
 
 
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries arbitrary context (e.g. the id of a crashed node).
+    A process that catches it can clean up and return; one that does not
+    is simply terminated (its event fires with value ``None``).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
 class Process(Event):
     """Wraps a generator; the event fires when the generator returns."""
 
-    __slots__ = ("generator", "name")
+    __slots__ = ("generator", "name", "_waiting_on", "_waiting_cb")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "process"):
         super().__init__(sim)
         self.generator = generator
         self.name = name
+        self._waiting_on: Optional[Event] = None
+        self._waiting_cb: Optional[Callable[[Event], None]] = None
         # Kick off the process at the current simulation time.
         start = Event(sim)
         start.callbacks.append(self._resume)
+        self._waiting_on, self._waiting_cb = start, self._resume
         start.succeed(None)
 
     def _resume(self, event: Event) -> None:
+        self._step(lambda: self.generator.send(event.value))
+
+    def _throw(self, exc: BaseException) -> None:
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        if self._triggered:
+            # The process already finished (e.g. it was interrupted twice
+            # at the same instant); nothing left to resume.
+            return
+        self._waiting_on = None
+        self._waiting_cb = None
         try:
-            target = self.generator.send(event.value)
+            target = advance()
         except StopIteration as stop:
             self.succeed(stop.value)
+            return
+        except Interrupt:
+            # The generator did not handle the interrupt: the process is
+            # killed at this instant.
+            self.succeed(None)
             return
         if not isinstance(target, Event):
             raise SimulationError(
@@ -108,15 +141,38 @@ class Process(Event):
         if target.triggered and not isinstance(target, Timeout):
             # Already-fired events resume the process on the next tick.
             immediate = Event(self.sim)
-            immediate.callbacks.append(
-                lambda _e, t=target: self._resume_with(t)
-            )
+            callback = lambda _e, t=target: self._resume_with(t)  # noqa: E731
+            immediate.callbacks.append(callback)
+            self._waiting_on, self._waiting_cb = immediate, callback
             immediate.succeed(None)
         else:
             target.callbacks.append(self._resume)
+            self._waiting_on, self._waiting_cb = target, self._resume
 
     def _resume_with(self, target: Event) -> None:
         self._resume(target)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The event the process was waiting on is detached (it may still
+        fire, but no longer resumes this process).  Interrupting a
+        finished process is a no-op.
+        """
+        if self._triggered:
+            return
+        if self._waiting_on is not None and self._waiting_cb is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._waiting_cb)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._waiting_cb = None
+        kick = Event(self.sim)
+        kick.callbacks.append(
+            lambda _e, c=cause: self._throw(Interrupt(c))
+        )
+        kick.succeed(None)
 
 
 class Simulator:

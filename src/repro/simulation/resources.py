@@ -4,12 +4,19 @@ A :class:`Resource` models a pool of identical servers (e.g. the worker
 slots of the function nodes).  Requests are granted strictly in FIFO order,
 which keeps simulations deterministic and matches how a serverless gateway
 dispatches queued invocations.
+
+:class:`NodeWorkerPool` refines the model for node-failure experiments:
+the same single gateway FIFO, but every grant names the *function node*
+whose slot it occupies, and nodes can crash (wiping their occupied
+slots) and restart.  With all nodes alive it is grant-for-grant
+identical to a pooled :class:`Resource` of the same total capacity.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generator, Optional
+from dataclasses import dataclass
+from typing import Deque, Generator, List, Optional
 
 from ..errors import SimulationError
 from .kernel import Event, Simulator
@@ -74,3 +81,147 @@ class Resource:
             yield self.sim.timeout(duration)
         finally:
             self.release()
+
+
+@dataclass(frozen=True)
+class WorkerGrant:
+    """A worker slot granted by :class:`NodeWorkerPool`.
+
+    ``epoch`` identifies the node incarnation that granted the slot;
+    releases carrying a stale epoch (the node crashed in between) are
+    ignored, because the crash already reclaimed every slot.
+    """
+
+    node_id: int
+    epoch: int
+
+
+class _NodeSlots:
+    __slots__ = ("capacity", "in_use", "alive", "epoch")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.in_use = 0
+        self.alive = True
+        self.epoch = 0
+
+
+class NodeWorkerPool:
+    """Worker slots of the function nodes behind one gateway FIFO.
+
+    Requests queue at the gateway; a grant assigns the invocation to an
+    alive node with a free slot, round-robin across nodes so in-flight
+    work spreads evenly (and a single node crash orphans ~1/N of it).
+    Crashing a node zeroes its occupied slots — the holders are
+    interrupted separately by the platform — and bumps its epoch so
+    their late releases become no-ops.  Restarting re-admits the node
+    and immediately drains the gateway queue into its free slots.
+    """
+
+    def __init__(self, sim: Simulator, function_nodes: int,
+                 workers_per_node: int, name: str = "workers"):
+        if function_nodes <= 0 or workers_per_node <= 0:
+            raise SimulationError("pool dimensions must be positive")
+        self.sim = sim
+        self.name = name
+        self._nodes = [_NodeSlots(workers_per_node)
+                       for _ in range(function_nodes)]
+        self._waiters: Deque[Event] = deque()
+        self._rr = 0
+        self._grants = 0
+
+    # -- sizing / introspection ------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def in_use(self) -> int:
+        return sum(n.in_use for n in self._nodes if n.alive)
+
+    @property
+    def grants(self) -> int:
+        return self._grants
+
+    def is_alive(self, node_id: int) -> bool:
+        return self._nodes[node_id].alive
+
+    def alive_nodes(self) -> List[int]:
+        return [i for i, n in enumerate(self._nodes) if n.alive]
+
+    def node_in_use(self, node_id: int) -> int:
+        return self._nodes[node_id].in_use
+
+    # -- request / release -----------------------------------------------
+
+    def request(self) -> Event:
+        """Return an event that fires with a :class:`WorkerGrant`."""
+        event = self.sim.event()
+        node_id = self._free_node()
+        if node_id is None:
+            self._waiters.append(event)
+        else:
+            self._grant(event, node_id)
+        return event
+
+    def release(self, grant: WorkerGrant) -> None:
+        node = self._nodes[grant.node_id]
+        if not node.alive or node.epoch != grant.epoch:
+            # The node crashed after this grant: its slots were already
+            # reclaimed wholesale.
+            return
+        if node.in_use <= 0:
+            raise SimulationError(
+                f"release of idle node {grant.node_id} in {self.name!r}"
+            )
+        node.in_use -= 1
+        self._drain_waiters()
+
+    def _free_node(self) -> Optional[int]:
+        count = len(self._nodes)
+        for offset in range(count):
+            idx = (self._rr + offset) % count
+            node = self._nodes[idx]
+            if node.alive and node.in_use < node.capacity:
+                self._rr = (idx + 1) % count
+                return idx
+        return None
+
+    def _grant(self, event: Event, node_id: int) -> None:
+        node = self._nodes[node_id]
+        node.in_use += 1
+        self._grants += 1
+        event.succeed(WorkerGrant(node_id, node.epoch))
+
+    def _drain_waiters(self) -> None:
+        while self._waiters:
+            node_id = self._free_node()
+            if node_id is None:
+                return
+            self._grant(self._waiters.popleft(), node_id)
+
+    # -- failure events ----------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Take a node down *now*: its occupied slots vanish."""
+        node = self._nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        node.in_use = 0
+        node.epoch += 1
+
+    def restart(self, node_id: int) -> None:
+        """Bring a crashed node back with a cold cache and empty slots."""
+        node = self._nodes[node_id]
+        if node.alive:
+            return
+        node.alive = True
+        node.in_use = 0
+        node.epoch += 1
+        self._drain_waiters()

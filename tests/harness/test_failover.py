@@ -1,0 +1,112 @@
+"""Tests for the failover experiment harness."""
+
+import pytest
+
+from repro.harness.failover import (
+    CounterWorkload,
+    run_failover_point,
+    run_failover_sweep,
+)
+
+#: One small, fully deterministic point shared by several assertions.
+#: The long compute step keeps the crashed node's workers saturated, so
+#: the crash reliably strands in-flight invocations.
+POINT_KW = dict(
+    lease_ms=200.0,
+    crash_at_ms=500.0,
+    rate_per_s=500.0,
+    duration_ms=1_500.0,
+    seed=7,
+    compute_ms=40.0,
+    drain_ms=12_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def boki_point():
+    return run_failover_point("boki", **POINT_KW)
+
+
+def test_crash_orphans_and_recovers_invocations(boki_point):
+    result = boki_point.result
+    assert result.node_crashes == 1
+    assert result.orphaned_invocations > 0
+    assert result.recovered_orphans == result.orphaned_invocations
+    assert result.takeover_ms.count == result.recovered_orphans
+
+
+def test_exactly_once_audit_is_clean(boki_point):
+    assert boki_point.violations == 0
+    assert boki_point.expected_bumps > 0
+    assert boki_point.result.completed > 0
+
+
+def test_detection_latency_within_lease_window(boki_point):
+    detect = boki_point.result.detection_ms
+    assert detect.count == 1
+    lease = POINT_KW["lease_ms"]
+    # Renewal at most one heartbeat (lease/5) before the crash; the
+    # detector fires within one poll (lease/20) of expiry.
+    assert lease * 0.8 <= detect.mean() <= lease * 1.05
+
+
+def test_takeover_latency_scales_with_lease():
+    kw = dict(POINT_KW)
+    del kw["lease_ms"]
+    short = run_failover_point("halfmoon-read", lease_ms=100.0, **kw)
+    long = run_failover_point("halfmoon-read", lease_ms=1_600.0, **kw)
+    assert short.result.orphaned_invocations > 0
+    assert long.result.orphaned_invocations > 0
+    assert (long.result.takeover_ms.mean()
+            > 4 * short.result.takeover_ms.mean())
+
+
+def test_point_is_deterministic(boki_point):
+    again = run_failover_point("boki", **POINT_KW)
+    a, b = boki_point.result, again.result
+    assert a.completed == b.completed
+    assert a.orphaned_invocations == b.orphaned_invocations
+    assert a.recovered_orphans == b.recovered_orphans
+    assert a.median_ms == b.median_ms
+    assert a.p99_ms == b.p99_ms
+    assert boki_point.violations == again.violations
+    assert (a.takeover_ms.samples if a.takeover_ms else []) == (
+        b.takeover_ms.samples if b.takeover_ms else []
+    )
+
+
+def test_exactly_once_under_composed_faults():
+    # Node crash composed with 5% infrastructure faults: still clean.
+    for protocol in ("boki", "halfmoon-read", "halfmoon-write"):
+        point = run_failover_point(protocol, fault_rate=0.05, **POINT_KW)
+        assert point.violations == 0, protocol
+        assert point.result.recovered_orphans == (
+            point.result.orphaned_invocations
+        ), protocol
+
+
+def test_sweep_table_shape():
+    table = run_failover_sweep(
+        lease_values=(200.0,), systems=("halfmoon-write",),
+        crash_at_ms=500.0, rate_per_s=500.0, duration_ms=1_500.0,
+        seed=7, fault_rate=0.0, compute_ms=40.0,
+    )
+    assert table.column("system") == ["halfmoon-write"]
+    assert table.column("violations") == [0]
+    assert table.lookup({"system": "halfmoon-write"}, "recovery") == (
+        "re-execute log-free writes"
+    )
+    assert table.lookup({"system": "halfmoon-write"}, "recovered") > 0
+    out = table.render()
+    assert "takeover p99 (ms)" in out
+
+
+def test_counter_workload_exhaustion_guard():
+    import numpy as np
+
+    workload = CounterWorkload(num_keys=2, read_ratio=0.0)
+    rng = np.random.default_rng(0)
+    workload.next_request(rng)
+    workload.next_request(rng)
+    with pytest.raises(RuntimeError):
+        workload.next_request(rng)

@@ -1,0 +1,125 @@
+"""Integration: instance crash composed with node failure.
+
+The hardest recovery sequence the paper's fault model allows: an SSF
+attempt dies at a checkpoint (instance crash), its retry is stranded by
+the hosting *node* dying, the lease expires, and a surviving node takes
+the orphan over.  The invocation must complete exactly once — the final
+counter value reflects a single increment — for every logged protocol.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.platform import SimPlatform
+from repro.runtime.failures import ScriptedCrashes
+from repro.runtime.ops import ComputeOp, ReadOp, WriteOp
+from repro.workloads.base import Request, Workload
+
+
+class OneShotWorkload(Workload):
+    """Registers the bump function but generates no open-loop traffic;
+    the test spawns the single invocation explicitly."""
+
+    name = "one-shot"
+
+    def register(self, runtime) -> None:
+        def bump(key):
+            value = yield ReadOp(key)
+            yield ComputeOp(30.0)
+            yield WriteOp(key, value + 1)
+            return value + 1
+
+        def probe(ctx, key):
+            return ctx.read(key)
+
+        runtime.register("bump", bump)
+        runtime.register("probe", probe)
+
+    def populate(self, runtime) -> None:
+        runtime.populate("k", 0)
+
+    def next_request(self, rng: np.random.Generator) -> Request:
+        return Request("bump", "k")
+
+    def read_write_profile(self):
+        return (1.0, 1.0)
+
+
+def run_composed_failure(protocol: str):
+    base = SystemConfig().with_node_recovery(
+        lease_ms=50.0,
+        heartbeat_interval_ms=10.0,
+        detector_poll_ms=5.0,
+        restart_delay_ms=10_000.0,
+    )
+    cfg = replace(
+        base,
+        cluster=replace(base.cluster, function_nodes=2,
+                        workers_per_node=2),
+    ).validate()
+    platform = SimPlatform(OneShotWorkload(), protocol, config=cfg)
+    # Attempt 1 dies at its second checkpoint (instance crash)...
+    platform.runtime.crash_policy = ScriptedCrashes({1: 2})
+    # ...and attempt 2 is stranded mid-compute by its node dying.
+    platform.schedule_node_crash(10.0, node_id=0)
+    platform._spawn_invocation(Request("bump", "k"), 0.0)
+    # Effectively no open-loop arrivals; run long enough for lease
+    # expiry plus the takeover replay.
+    result = platform.run(rate_per_s=1e-9, duration_ms=1.0,
+                          drain_ms=6_000.0)
+    return platform, result
+
+
+@pytest.mark.parametrize(
+    "protocol", ["boki", "halfmoon-read", "halfmoon-write"]
+)
+def test_instance_crash_then_node_death_recovers_exactly_once(protocol):
+    platform, result = run_composed_failure(protocol)
+    assert result.node_crashes == 1
+    assert result.orphaned_invocations == 1
+    assert result.recovered_orphans == 1
+    assert result.completed == 1
+    assert result.crashed_attempts >= 1  # the scripted instance crash
+    # Exactly once: a single increment survives the composed failures.
+    assert platform.runtime.invoke("probe", "k").output == 1
+    # The takeover landed on the survivor: node 0 was dead throughout
+    # the replay (restart_delay_ms puts its return after completion).
+    assert result.takeover_ms.count == 1
+    assert result.takeover_ms.mean() >= 50.0 - 10.0  # ≥ lease − heartbeat
+    # Tracker is clean: nothing still pinned.
+    assert platform.runtime.tracker.orphan_count == 0
+    assert platform.runtime.tracker.running_count == 0
+
+
+@pytest.mark.parametrize("protocol", ["boki", "halfmoon-write"])
+def test_tracker_pins_gc_until_takeover(protocol):
+    """While the orphan is pending, the GC frontier must not advance
+    past its init cursorTS (the takeover still needs that state)."""
+    base = SystemConfig().with_node_recovery(
+        lease_ms=2_000.0,           # long lease: orphan stays pending
+        heartbeat_interval_ms=100.0,
+        detector_poll_ms=50.0,
+        restart_delay_ms=60_000.0,
+    )
+    cfg = replace(
+        base,
+        cluster=replace(base.cluster, function_nodes=2,
+                        workers_per_node=2),
+    ).validate()
+    platform = SimPlatform(OneShotWorkload(), protocol, config=cfg)
+    platform.schedule_node_crash(10.0, node_id=0)
+    platform._spawn_invocation(Request("bump", "k"), 0.0)
+    # Stop before the lease expires: the orphan is still pending.
+    platform.sim.process(platform._arrival_process(1e-9, 1.0))
+    if platform.lease is not None:
+        platform.lease.start()
+    platform.sim.run(until=1_000.0)
+    tracker = platform.runtime.tracker
+    assert tracker.orphan_count == 1
+    pinned = tracker.safe_seqnum(
+        log_frontier=platform.runtime.backend.log.next_seqnum
+    )
+    assert pinned <= min(tracker.orphans().values())

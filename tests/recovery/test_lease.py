@@ -1,0 +1,99 @@
+"""Unit tests for lease-based failure detection."""
+
+from repro.config import RecoveryConfig
+from repro.recovery import LeaseManager
+from repro.simulation import Simulator
+
+
+def make_lease(sim, alive, lease_ms=100.0, heartbeat_ms=20.0,
+               poll_ms=5.0, num_nodes=2):
+    config = RecoveryConfig(
+        enabled=True, lease_ms=lease_ms,
+        heartbeat_interval_ms=heartbeat_ms, detector_poll_ms=poll_ms,
+    )
+    config.validate()
+    return LeaseManager(sim, num_nodes, config,
+                        lambda node_id: alive[node_id])
+
+
+def test_healthy_nodes_never_declared_dead():
+    sim = Simulator()
+    alive = {0: True, 1: True}
+    lease = make_lease(sim, alive)
+    deaths = []
+    lease.on_failure(lambda node, at: deaths.append((node, at)))
+    lease.start()
+    sim.run(until=1_000.0)
+    assert deaths == []
+    assert lease.detections == 0
+
+
+def test_dead_node_detected_within_lease_window():
+    sim = Simulator()
+    alive = {0: True, 1: True}
+    lease = make_lease(sim, alive, lease_ms=100.0, heartbeat_ms=20.0,
+                       poll_ms=5.0)
+    deaths = []
+    lease.on_failure(lambda node, at: deaths.append((node, at)))
+    lease.start()
+
+    def crash():
+        yield sim.timeout(250.0)
+        alive[0] = False
+
+    sim.process(crash())
+    sim.run(until=1_000.0)
+    assert [node for node, _ in deaths] == [0]
+    detected_at = deaths[0][1]
+    # Last renewal was at most one heartbeat before the crash; the
+    # detector fires within one poll of lease expiry.
+    assert 250.0 + 100.0 - 20.0 <= detected_at <= 250.0 + 100.0 + 5.0
+    assert lease.is_declared_dead(0)
+    assert not lease.is_declared_dead(1)
+
+
+def test_detection_fires_once_per_death():
+    sim = Simulator()
+    alive = {0: False, 1: True}
+    lease = make_lease(sim, alive)
+    deaths = []
+    lease.on_failure(lambda node, at: deaths.append(node))
+    lease.start()
+    sim.run(until=2_000.0)
+    assert deaths == [0]
+
+
+def test_restarted_node_revives_lease_and_can_die_again():
+    sim = Simulator()
+    alive = {0: True, 1: True}
+    lease = make_lease(sim, alive, lease_ms=100.0, heartbeat_ms=20.0,
+                       poll_ms=5.0)
+    deaths = []
+    lease.on_failure(lambda node, at: deaths.append((node, at)))
+    lease.start()
+
+    def chaos():
+        yield sim.timeout(200.0)
+        alive[0] = False          # first death
+        yield sim.timeout(400.0)
+        alive[0] = True           # restart: next heartbeat renews
+        yield sim.timeout(400.0)
+        alive[0] = False          # second death
+
+    sim.process(chaos())
+    sim.run(until=2_000.0)
+    assert [node for node, _ in deaths] == [0, 0]
+    assert lease.detections == 2
+
+
+def test_start_is_idempotent():
+    sim = Simulator()
+    alive = {0: False}
+    lease = make_lease(sim, alive, num_nodes=1)
+    lease.start()
+    lease.start()
+    deaths = []
+    lease.on_failure(lambda node, at: deaths.append(node))
+    sim.run(until=500.0)
+    # One detector, one declaration — not doubled.
+    assert deaths == [0]

@@ -116,3 +116,40 @@ def test_gc_stats_accumulate(hm_read_runtime):
     stats = runtime.run_gc()
     assert stats.scans == 2
     assert stats.last_safe_seqnum > 0
+
+
+def test_orphaned_ssf_blocks_collection(hm_read_runtime):
+    """Regression (node recovery × GC): an invocation orphaned by a node
+    crash must pin the GC frontier exactly like a running one — the
+    takeover replay still reads the versions its init cursorTS could
+    observe."""
+    runtime = hm_read_runtime
+    early = runtime.open_session().init()
+    for i in range(4):
+        runtime.invoke("rw", {"key": "obj", "value": f"v{i + 1}"})
+    # The hosting node dies: the session is orphaned, not finished.
+    runtime.tracker.mark_orphaned(early.env.instance_id)
+    runtime.run_gc()
+    # The orphan's observable version must have survived collection.
+    assert early.read("obj") == "v0"
+
+    # A survivor reclaims and finishes it; only then may GC trim.
+    runtime.tracker.reclaim(early.env.instance_id)
+    early.finish()
+    runtime.run_gc()
+    assert runtime.backend.mv.version_count("obj") == 1
+
+
+def test_finished_orphan_releases_gc_frontier(hm_read_runtime):
+    """Contrast case: once the orphan is finished the frontier advances
+    and its old versions are collected."""
+    runtime = hm_read_runtime
+    early = runtime.open_session().init()
+    for i in range(3):
+        runtime.invoke("rw", {"key": "obj", "value": f"v{i + 1}"})
+    runtime.tracker.mark_orphaned(early.env.instance_id)
+    runtime.run_gc()
+    assert runtime.backend.mv.version_count("obj") > 1
+    runtime.tracker.finish(early.env.instance_id)
+    runtime.run_gc()
+    assert runtime.backend.mv.version_count("obj") == 1

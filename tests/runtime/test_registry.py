@@ -96,3 +96,72 @@ class TestInvocationTracker:
         t.finish("a")
         assert t.drain_finished() == {"a"}
         assert t.drain_finished() == set()
+
+
+class TestOrphanLifecycle:
+    def test_mark_orphaned_moves_out_of_running(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.mark_orphaned("a")
+        assert not t.is_running("a")
+        assert t.is_orphaned("a")
+        assert t.orphan_count == 1
+        assert t.running_count == 0
+
+    def test_orphan_pins_safe_seqnum(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.start("b", 50)
+        t.mark_orphaned("a")
+        # The orphan's init ts pins the frontier like a running one.
+        assert t.safe_seqnum(log_frontier=1000) == 10
+        t.finish("a")
+        assert t.safe_seqnum(log_frontier=1000) == 50
+
+    def test_reclaim_returns_orphan_to_running(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.mark_orphaned("a")
+        t.reclaim("a")
+        assert t.is_running("a")
+        assert t.orphan_count == 0
+        assert t.safe_seqnum(log_frontier=1000) == 10
+
+    def test_restart_of_orphaned_instance_is_noop(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.mark_orphaned("a")
+        t.start("a", 999)  # takeover re-dispatch must not move the ts
+        assert t.is_orphaned("a")
+        assert t.safe_seqnum(log_frontier=1000) == 10
+
+    def test_set_init_ts_reaches_orphaned_store(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.mark_orphaned("a")
+        t.set_init_ts("a", 7)
+        assert t.orphans() == {"a": 7}
+
+    def test_finish_of_orphan_counts_and_unpins(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.mark_orphaned("a")
+        t.finish("a")
+        assert t.finished_count == 1
+        assert t.orphan_count == 0
+        assert t.safe_seqnum(log_frontier=88) == 88
+
+    def test_mark_orphaned_of_unknown_instance_is_noop(self):
+        t = InvocationTracker()
+        t.mark_orphaned("ghost")
+        t.reclaim("ghost")
+        assert t.orphan_count == 0
+        assert t.running_count == 0
+
+    def test_running_started_before_includes_orphans(self):
+        t = InvocationTracker()
+        t.start("a", 10)
+        t.start("b", 90)
+        t.mark_orphaned("a")
+        assert t.running_started_before(50) == {"a"}
+        assert t.running_started_before(100) == {"a", "b"}

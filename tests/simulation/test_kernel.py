@@ -236,3 +236,135 @@ def test_many_processes_deterministic():
         return trace
 
     assert run_once() == run_once()
+
+
+class TestInterrupt:
+    def test_interrupt_during_timeout(self):
+        from repro.simulation import Interrupt
+
+        sim = Simulator()
+        caught = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as exc:
+                caught.append((sim.now, exc.cause))
+
+        proc = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(3.0)
+            proc.interrupt(cause="node-0")
+
+        sim.process(killer())
+        sim.run()
+        assert caught == [(3.0, "node-0")]
+        assert proc.triggered
+
+    def test_unhandled_interrupt_kills_process(self):
+        sim = Simulator()
+        reached = []
+
+        def victim():
+            yield sim.timeout(100.0)
+            reached.append(True)
+
+        proc = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert proc.triggered
+        assert proc.value is None
+        assert reached == []
+        # The detached timeout still fires, but nothing resumes.
+        assert sim.now == 100.0
+
+    def test_interrupt_of_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        proc = sim.process(quick())
+        sim.run()
+        assert proc.value == "ok"
+        proc.interrupt()  # must not raise or re-trigger
+        sim.run()
+        assert proc.value == "ok"
+
+    def test_double_interrupt_same_instant(self):
+        sim = Simulator()
+
+        def victim():
+            yield sim.timeout(50.0)
+
+        proc = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(2.0)
+            proc.interrupt(cause="first")
+            proc.interrupt(cause="second")
+
+        sim.process(killer())
+        sim.run()
+        assert proc.triggered and proc.value is None
+
+    def test_interrupted_process_can_clean_up_and_return(self):
+        from repro.simulation import Interrupt
+
+        sim = Simulator()
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                return "cleaned-up"
+            return "finished"
+
+        proc = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(5.0)
+            proc.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert proc.value == "cleaned-up"
+
+    def test_interrupt_detaches_from_waited_process(self):
+        # Interrupting a process that waits on another process must not
+        # leave a dangling resume when the awaited process completes.
+        from repro.simulation import Interrupt
+
+        sim = Simulator()
+        log = []
+
+        def slow():
+            yield sim.timeout(10.0)
+            return "slow-done"
+
+        slow_proc = sim.process(slow())
+
+        def waiter():
+            try:
+                value = yield slow_proc
+                log.append(("resumed", value))
+            except Interrupt:
+                log.append(("interrupted", sim.now))
+
+        waiter_proc = sim.process(waiter())
+
+        def killer():
+            yield sim.timeout(4.0)
+            waiter_proc.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert log == [("interrupted", 4.0)]
+        assert slow_proc.value == "slow-done"

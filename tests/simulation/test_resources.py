@@ -85,3 +85,110 @@ def test_peak_and_grant_counters():
     assert res.peak_in_use == 3
     assert res.grants == 5
     assert res.in_use == 0
+
+
+class TestNodeWorkerPool:
+    def _pool(self, nodes=2, per_node=2):
+        from repro.simulation import NodeWorkerPool, Simulator
+
+        sim = Simulator()
+        return sim, NodeWorkerPool(sim, nodes, per_node)
+
+    def test_dimensions_must_be_positive(self):
+        from repro.simulation import NodeWorkerPool, Simulator
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            NodeWorkerPool(sim, 0, 4)
+        with pytest.raises(SimulationError):
+            NodeWorkerPool(sim, 4, 0)
+
+    def test_round_robin_grant_assignment(self):
+        sim, pool = self._pool(nodes=2, per_node=2)
+        grants = [pool.request().value for _ in range(4)]
+        assert [g.node_id for g in grants] == [0, 1, 0, 1]
+        assert pool.in_use == 4
+        assert pool.request().triggered is False
+        assert pool.queued == 1
+
+    def test_release_grants_next_waiter_fifo(self):
+        sim, pool = self._pool(nodes=1, per_node=1)
+        first = pool.request()
+        second = pool.request()
+        third = pool.request()
+        assert first.triggered and not second.triggered
+        pool.release(first.value)
+        assert second.triggered and not third.triggered
+        pool.release(second.value)
+        assert third.triggered
+
+    def test_crash_wipes_slots_and_ignores_stale_release(self):
+        sim, pool = self._pool(nodes=2, per_node=2)
+        grants = [pool.request().value for _ in range(4)]
+        pool.crash(0)
+        assert not pool.is_alive(0)
+        assert pool.alive_nodes() == [1]
+        assert pool.in_use == 2  # only node 1's slots still count
+        # Releases of pre-crash grants on the dead node are no-ops.
+        for grant in grants:
+            if grant.node_id == 0:
+                pool.release(grant)
+        assert pool.in_use == 2
+
+    def test_waiters_only_get_surviving_nodes_after_crash(self):
+        sim, pool = self._pool(nodes=2, per_node=1)
+        g0 = pool.request().value
+        g1 = pool.request().value
+        waiting = pool.request()
+        pool.crash(0)
+        assert not waiting.triggered  # dead node's capacity is gone
+        pool.release(g1)
+        assert waiting.triggered
+        assert waiting.value.node_id == 1
+        assert g0.node_id == 0  # sanity: the dead node held the other
+
+    def test_restart_drains_queue_with_fresh_epoch(self):
+        sim, pool = self._pool(nodes=1, per_node=1)
+        before = pool.request().value
+        waiting = pool.request()
+        pool.crash(0)
+        assert not waiting.triggered
+        pool.restart(0)
+        assert waiting.triggered
+        after = waiting.value
+        assert after.epoch == before.epoch + 2  # crash + restart
+        # The pre-crash grant's release must not free the new slot.
+        pool.release(before)
+        assert pool.node_in_use(0) == 1
+        pool.release(after)
+        assert pool.node_in_use(0) == 0
+
+    def test_crash_and_restart_are_idempotent(self):
+        sim, pool = self._pool(nodes=2, per_node=1)
+        pool.crash(0)
+        epoch_after_crash = pool.request().value  # lands on node 1
+        pool.crash(0)  # second crash: no-op
+        pool.restart(0)
+        pool.restart(0)  # second restart: no-op
+        assert pool.is_alive(0)
+        assert epoch_after_crash.node_id == 1
+
+    def test_equivalent_to_pooled_resource_when_all_alive(self):
+        # Grant-for-grant identical admission to a pooled Resource of
+        # the same total capacity: the k-th request is granted
+        # immediately iff fewer than capacity slots are in use.
+        from repro.simulation import NodeWorkerPool, Simulator
+
+        sim = Simulator()
+        pool = NodeWorkerPool(sim, 3, 2)
+        res = Resource(sim, 6)
+        pool_events = [pool.request() for _ in range(9)]
+        res_events = [res.request() for _ in range(9)]
+        assert ([e.triggered for e in pool_events]
+                == [e.triggered for e in res_events])
+        for event in pool_events[:6]:
+            pool.release(event.value)
+        for _ in range(6):
+            res.release()
+        assert ([e.triggered for e in pool_events]
+                == [e.triggered for e in res_events])
