@@ -11,12 +11,19 @@ Commands map one-to-one onto the experiment harness::
     python -m repro recovery [--f 0.0 0.2 0.4]
     python -m repro chaos  [--fault-rates 0.0 0.05 0.1] [--brownout]
     python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
+    python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
     python -m repro advise --read-ratio 0.8 --rate 300
 
 Every experiment command additionally accepts ``--seed N`` (reseed the
 whole run deterministically) and ``--fault-rate R`` (inject transient
 infrastructure faults — errors, timeouts, gray failure — into every
 log/store operation at rate ``R``; see :mod:`repro.faults`).
+
+``--trace-out PATH`` attaches a span tracer to the run and writes a
+Chrome trace-event JSON file (loadable in https://ui.perfetto.dev or
+``chrome://tracing``); supported by the commands that execute
+invocations (fig10-13, chaos, failover, trace).  Tracing never changes
+results: the same seed prints the same tables with or without it.
 
 Each command prints the same table the corresponding benchmark saves.
 """
@@ -39,9 +46,18 @@ from .harness import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_latency_breakdown,
     run_recovery_sweep,
     run_table1,
+    run_trace,
+    trace_breakdown_table,
+    trace_summary_table,
 )
+from .observe import Tracer, breakdown_table, write_chrome_trace
+
+#: Commands that execute invocations and accept an attached tracer.
+_TRACEABLE = ("fig10", "fig11", "fig12", "fig13", "chaos", "failover",
+              "trace")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--fault-rate", type=float, default=None,
         help="per-operation infrastructure fault rate in [0, 1)",
+    )
+    common.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of the run to PATH "
+             "(Perfetto-loadable; invocation-executing commands only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -133,6 +154,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="protocols to sweep",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="one traced DES run: latency breakdown + Chrome trace "
+             "export",
+        parents=[common],
+    )
+    trace.add_argument(
+        "--protocol", default="halfmoon-read",
+        choices=["unsafe", "boki", "halfmoon-read", "halfmoon-write"],
+    )
+    trace.add_argument("--rate", type=float, default=150.0,
+                       help="offered load (requests per second)")
+    trace.add_argument("--duration", type=float, default=5_000.0,
+                       help="arrival window (ms)")
+    trace.add_argument("--read-ratio", type=float, default=0.5)
+    trace.add_argument("--crash-node", type=int, default=None,
+                       help="function node to crash (default 0 when "
+                            "--crash-at is given)")
+    trace.add_argument("--crash-at", type=float, default=None,
+                       help="simulated time (ms) of a node crash; "
+                            "enables lease-based recovery")
+    trace.add_argument("--out", type=str, default=None, metavar="PATH",
+                       help="write the Chrome trace-event JSON here "
+                            "(same as --trace-out)")
+    trace.add_argument("--no-trace", action="store_true",
+                       help="run without a tracer attached (results "
+                            "are identical; used by the determinism "
+                            "check)")
+
     advise = sub.add_parser("advise", help="recommend a protocol")
     advise.add_argument("--read-ratio", type=float, required=True)
     advise.add_argument("--rate", type=float, default=100.0)
@@ -171,17 +221,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     config = _experiment_config(parser, args)
 
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None and args.command not in _TRACEABLE:
+        parser.error(
+            f"--trace-out is not supported by {args.command!r} "
+            "(it executes no invocations)"
+        )
+    tracer = Tracer() if trace_out is not None else None
+
     if args.command == "table1":
         print(run_table1(config=config, samples=args.samples).render())
     elif args.command == "fig10":
         tables = run_fig10(config=config, requests=args.requests,
-                           num_keys=args.keys)
+                           num_keys=args.keys, tracer=tracer)
         print(tables["read"].render())
         print()
         print(tables["write"].render())
     elif args.command == "fig11":
         tables = run_fig11(apps=args.apps, config=config,
-                           duration_ms=args.duration)
+                           duration_ms=args.duration, tracer=tracer)
         for table in tables.values():
             print(table.render())
             print()
@@ -190,14 +248,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_fig12(
                 value_bytes=args.size, gc_interval_ms=args.gc,
                 config=config, duration_ms=args.duration,
+                tracer=tracer,
             ).render()
         )
     elif args.command == "fig13":
         for table in run_fig13(
-            rates=args.rates, config=config, duration_ms=args.duration
+            rates=args.rates, config=config, duration_ms=args.duration,
+            tracer=tracer,
         ).values():
             print(table.render())
             print()
+        # Where the milliseconds go at the first swept rate: the
+        # mechanism behind the crossover the tables above show.
+        print(
+            run_latency_breakdown(
+                config=config, rate_per_s=args.rates[0],
+                duration_ms=args.duration, tracer=tracer,
+            ).render()
+        )
     elif args.command == "fig14":
         print(run_fig14(rates=args.rates, config=config).render())
     elif args.command == "recovery":
@@ -207,11 +275,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             ).render()
         )
     elif args.command == "chaos":
+        chaos_breakdowns: dict = {}
         print(
             run_chaos_sweep(
                 fault_rates=args.fault_rates, config=config,
                 requests=args.requests, crash_f=args.crash_f,
                 seed=getattr(args, "seed", None),
+                tracer=tracer, breakdowns=chaos_breakdowns,
+            ).render()
+        )
+        print()
+        print(
+            breakdown_table(
+                chaos_breakdowns,
+                "Latency breakdown at fault rate "
+                f"{max(args.fault_rates)}",
             ).render()
         )
         if args.brownout:
@@ -223,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     elif args.command == "failover":
         fault_rate = getattr(args, "fault_rate", None)
+        failover_breakdowns: dict = {}
         print(
             run_failover_sweep(
                 lease_values=args.leases, systems=args.systems,
@@ -232,8 +311,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # Compose node crashes with infra faults by default; an
                 # explicit --fault-rate (including 0) overrides.
                 fault_rate=(0.05 if fault_rate is None else fault_rate),
+                tracer=tracer, breakdowns=failover_breakdowns,
             ).render()
         )
+        print()
+        print(
+            breakdown_table(
+                failover_breakdowns,
+                f"Latency breakdown at lease {args.leases[0]:.0f}ms",
+            ).render()
+        )
+    elif args.command == "trace":
+        result, run_tracer = run_trace(
+            protocol=args.protocol,
+            rate_per_s=args.rate,
+            duration_ms=args.duration,
+            read_ratio=args.read_ratio,
+            crash_node=args.crash_node,
+            crash_at_ms=args.crash_at,
+            config=config,
+            tracing=not args.no_trace,
+        )
+        print(trace_summary_table(result).render())
+        print()
+        print(trace_breakdown_table(result).render())
+        out = args.out if args.out is not None else trace_out
+        if run_tracer is not None and out is not None:
+            trace_json = write_chrome_trace(run_tracer, out)
+            print(
+                f"trace written to {out} "
+                f"({trace_json['otherData']['spans']} spans, "
+                f"{len(trace_json['traceEvents'])} events)"
+            )
     elif args.command == "advise":
         profile = WorkloadProfile(
             p_read=args.read_ratio,
@@ -244,6 +353,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         recommendation = advisor.recommend(profile)
         print(recommendation.explain())
         print(f"recommended protocol: {recommendation.protocol}")
+
+    if tracer is not None and args.command != "trace":
+        trace_json = write_chrome_trace(tracer, trace_out)
+        print(
+            f"trace written to {trace_out} "
+            f"({trace_json['otherData']['spans']} spans, "
+            f"{len(trace_json['traceEvents'])} events)"
+        )
     return 0
 
 

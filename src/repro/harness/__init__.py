@@ -10,6 +10,8 @@
   degraded-read ablation
 * :mod:`repro.harness.failover` — node crash under load: lease-based
   detection, orphan takeover, exactly-once audit
+* :mod:`repro.harness.trace_exp` — one fully traced DES run for
+  Chrome trace-event export and latency-breakdown reports
 """
 
 from .apps import APP_FACTORIES, run_app_point, run_fig11
@@ -30,11 +32,17 @@ from .overhead import (
     crossover_ratio,
     run_fig12,
     run_fig13,
+    run_latency_breakdown,
     run_overhead_point,
 )
 from .platform import RunResult, SimPlatform
 from .recovery_exp import run_recovery_point, run_recovery_sweep
 from .report import ExperimentTable
+from .trace_exp import (
+    run_trace,
+    trace_breakdown_table,
+    trace_summary_table,
+)
 from .switching_exp import (
     SwitchingResult,
     run_fig14,
@@ -64,8 +72,12 @@ __all__ = [
     "run_fig13",
     "run_fig14",
     "run_fig14_point",
+    "run_latency_breakdown",
     "run_overhead_point",
     "run_recovery_point",
     "run_recovery_sweep",
     "run_table1",
+    "run_trace",
+    "trace_breakdown_table",
+    "trace_summary_table",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
+from ..observe import Tracer
 from ..workloads import (
     MovieReviewWorkload,
     RetwisWorkload,
@@ -42,12 +43,14 @@ def run_app_point(
     config: Optional[SystemConfig] = None,
     duration_ms: float = 6_000.0,
     warmup_ms: float = 1_000.0,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """One (app, system, rate) cell of Figure 11."""
     workload = APP_FACTORIES[app]()
     platform = SimPlatform(
         workload, protocol,
         config if config is not None else SystemConfig(),
+        tracer=tracer,
     )
     return platform.run(rate_per_s, duration_ms, warmup_ms=warmup_ms)
 
@@ -59,6 +62,7 @@ def run_fig11(
     config: Optional[SystemConfig] = None,
     duration_ms: float = 6_000.0,
     warmup_ms: float = 1_000.0,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, ExperimentTable]:
     """Figure 11: latency vs throughput for the three applications."""
     rates = rates if rates is not None else DEFAULT_RATES
@@ -72,7 +76,8 @@ def run_fig11(
         for system in systems:
             for rate in rates[app]:
                 result = run_app_point(
-                    app, system, rate, config, duration_ms, warmup_ms
+                    app, system, rate, config, duration_ms, warmup_ms,
+                    tracer=tracer,
                 )
                 table.add_row(
                     system, rate, round(result.throughput_per_s, 1),

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from ..config import SystemConfig
+from ..observe import LatencyBreakdown, Tracer
 from ..runtime.failures import BernoulliCrashes
 from ..runtime.local import LocalRuntime
 from ..simulation.metrics import LatencyRecorder
@@ -57,6 +58,9 @@ class ChaosPoint:
     breaker_trips: int
     crashes_fired: int
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-request latency decomposition built from each invocation's
+    #: ``cost_by_kind`` (stages sum exactly to the request latency).
+    breakdown: Optional[LatencyBreakdown] = None
 
     @property
     def faulted_attempts(self) -> int:
@@ -108,6 +112,7 @@ def run_chaos_point(
     crash_f: float = 0.15,
     crash_horizon: int = 6,
     seed: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ChaosPoint:
     """One chaos cell: drive the workload, then audit the final state.
 
@@ -121,6 +126,7 @@ def run_chaos_point(
         base = base.with_seed(seed)
     cfg = base.with_fault_rate(fault_rate).validate()
     runtime = LocalRuntime(cfg, protocol=protocol)
+    runtime.backend.tracer = tracer
     if crash_f > 0.0:
         runtime.crash_policy = BernoulliCrashes(
             crash_f, runtime.backend.rng.stream("chaos-crashes"),
@@ -130,6 +136,7 @@ def run_chaos_point(
     rng = runtime.backend.rng.stream("chaos-requests")
 
     latency = LatencyRecorder(f"{protocol}@fault={fault_rate}")
+    breakdown = LatencyBreakdown(f"{protocol}@fault={fault_rate}")
     expected: Dict[str, int] = {key: 0 for key in keys}
     for _ in range(requests):
         key = keys[int(rng.integers(0, len(keys)))]
@@ -139,6 +146,7 @@ def run_chaos_point(
             result = runtime.invoke("bump", key)
             expected[key] += 1
         latency.record(result.latency_ms)
+        breakdown.record(result.cost_by_kind)
 
     # Audit: read every key through the protocol (a fresh invocation, so
     # the value observed is the committed state) and compare against the
@@ -164,6 +172,7 @@ def run_chaos_point(
         breaker_trips=runtime.backend.breaker_trips(),
         crashes_fired=getattr(policy, "crashes_fired", 0),
         counters=counters,
+        breakdown=breakdown,
     )
 
 
@@ -177,8 +186,15 @@ def run_chaos_sweep(
     crash_f: float = 0.15,
     crash_horizon: int = 6,
     seed: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    breakdowns: Optional[Dict[str, LatencyBreakdown]] = None,
 ) -> ExperimentTable:
-    """Fault rate × system sweep under composed crashes + infra faults."""
+    """Fault rate × system sweep under composed crashes + infra faults.
+
+    ``breakdowns``, if supplied, is filled with each system's
+    per-request latency decomposition at the *highest* fault rate —
+    the point where retry/detection stages matter most.
+    """
     table = ExperimentTable(
         "Chaos: goodput and latency under crashes + infrastructure "
         f"faults (crash f={crash_f})",
@@ -193,7 +209,11 @@ def run_chaos_sweep(
                 system, rate, config=config, requests=requests,
                 num_keys=num_keys, read_ratio=read_ratio,
                 crash_f=crash_f, crash_horizon=crash_horizon, seed=seed,
+                tracer=tracer,
             )
+            if breakdowns is not None:
+                # Fault rates sweep in ascending order; keep the last.
+                breakdowns[system] = point.breakdown
             p99 = point.latency.p99()
             if baseline_p99 is None:
                 baseline_p99 = p99

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import SystemConfig
+from ..observe import LatencyBreakdown, Tracer
 from ..protocols.registry import PROTOCOL_CLASSES
 from ..runtime.ops import ComputeOp, ReadOp, WriteOp
 from ..workloads.base import Request, Workload
@@ -128,6 +129,7 @@ def run_failover_point(
     num_keys: Optional[int] = None,
     compute_ms: float = 8.0,
     drain_ms: float = 12_000.0,
+    tracer: Optional[Tracer] = None,
 ) -> FailoverPoint:
     """One failover cell: crash ``crash_nodes`` at ``crash_at_ms``.
 
@@ -157,7 +159,8 @@ def run_failover_point(
         num_keys = int(rate_per_s * duration_ms / 1000.0) * 2 + 64
     workload = CounterWorkload(num_keys=num_keys,
                                compute_ms=compute_ms)
-    platform = SimPlatform(workload, protocol, config=cfg)
+    platform = SimPlatform(workload, protocol, config=cfg,
+                           tracer=tracer)
 
     expected: Dict[str, int] = {key: 0 for key in workload.keys}
 
@@ -201,12 +204,18 @@ def run_failover_sweep(
     fault_rate: float = 0.05,
     num_keys: Optional[int] = None,
     compute_ms: float = 8.0,
+    tracer: Optional[Tracer] = None,
+    breakdowns: Optional[Dict[str, LatencyBreakdown]] = None,
 ) -> ExperimentTable:
     """Lease duration × system sweep with one node crash under load.
 
     Node crashes are composed with infrastructure faults at
     ``fault_rate`` so recovery is exercised against the same substrate
     misbehaviour the chaos experiment injects.
+
+    ``breakdowns``, if supplied, is filled with each system's
+    per-request latency decomposition at the *first* (shortest) lease —
+    where takeover-gap and detection stages are easiest to compare.
     """
     table = ExperimentTable(
         "Failover: node crash at "
@@ -223,9 +232,11 @@ def run_failover_sweep(
                 crash_nodes=crash_nodes, rate_per_s=rate_per_s,
                 duration_ms=duration_ms, config=config, seed=seed,
                 fault_rate=fault_rate, num_keys=num_keys,
-                compute_ms=compute_ms,
+                compute_ms=compute_ms, tracer=tracer,
             )
             result = point.result
+            if breakdowns is not None:
+                breakdowns.setdefault(system, result.breakdown)
             detect = result.detection_ms
             takeover = result.takeover_ms
             table.add_row(

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
+from ..observe import Tracer
 from ..runtime.local import LocalRuntime
 from ..runtime.services import Cost
 from ..simulation.metrics import LatencyRecorder
@@ -74,6 +75,7 @@ def measure_op_latencies(
     config: Optional[SystemConfig] = None,
     requests: int = 1_000,
     num_keys: int = 2_000,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, LatencyRecorder]:
     """Per-operation read/write latencies for one system (Figure 10).
 
@@ -83,6 +85,7 @@ def measure_op_latencies(
     """
     config = (config if config is not None else SystemConfig()).validate()
     runtime = LocalRuntime(config, protocol=protocol)
+    runtime.backend.tracer = tracer
     workload = ReadWriteMicrobench(num_keys=num_keys)
     workload.register(runtime)
     workload.populate(runtime)
@@ -113,10 +116,12 @@ def run_fig10(
     requests: int = 1_000,
     num_keys: int = 2_000,
     systems: Sequence[str] = SYSTEMS,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, ExperimentTable]:
     """Figure 10: read/write latency of the four systems."""
     results = {
-        system: measure_op_latencies(system, config, requests, num_keys)
+        system: measure_op_latencies(system, config, requests, num_keys,
+                                     tracer=tracer)
         for system in systems
     }
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
+from ..observe import LatencyBreakdown, Tracer, breakdown_table
 from ..workloads.synthetic import MixedRatioWorkload
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
@@ -35,6 +36,7 @@ def run_overhead_point(
     warmup_ms: float = 2_000.0,
     num_keys: int = 600,
     ops_per_request: int = 10,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """One (system, read-ratio) cell shared by Figures 12 and 13."""
     workload = MixedRatioWorkload(
@@ -43,6 +45,7 @@ def run_overhead_point(
     platform = SimPlatform(
         workload, protocol,
         config if config is not None else SystemConfig(),
+        tracer=tracer,
     )
     return platform.run(rate_per_s, duration_ms, warmup_ms=warmup_ms)
 
@@ -56,6 +59,7 @@ def run_fig12(
     rate_per_s: float = 60.0,
     duration_ms: float = 30_000.0,
     num_keys: int = 600,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentTable:
     """One panel of Figure 12: storage vs read ratio."""
     base = config if config is not None else SystemConfig()
@@ -72,7 +76,7 @@ def run_fig12(
         for ratio in read_ratios:
             result = run_overhead_point(
                 system, ratio, base, rate_per_s, duration_ms,
-                num_keys=num_keys,
+                num_keys=num_keys, tracer=tracer,
             )
             table.add_row(
                 system, ratio,
@@ -96,6 +100,7 @@ def run_fig13(
     config: Optional[SystemConfig] = None,
     duration_ms: float = 8_000.0,
     num_keys: int = 2_000,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[float, ExperimentTable]:
     """Figure 13: median latency vs read ratio at several request rates."""
     tables: Dict[float, ExperimentTable] = {}
@@ -108,7 +113,7 @@ def run_fig13(
             for ratio in read_ratios:
                 result = run_overhead_point(
                     system, ratio, config, rate, duration_ms,
-                    warmup_ms=1_000.0, num_keys=num_keys,
+                    warmup_ms=1_000.0, num_keys=num_keys, tracer=tracer,
                 )
                 table.add_row(
                     system, ratio, result.median_ms, result.p99_ms
@@ -120,6 +125,39 @@ def run_fig13(
         )
         tables[rate] = table
     return tables
+
+
+def run_latency_breakdown(
+    read_ratio: float = 0.5,
+    systems: Sequence[str] = SYSTEMS,
+    config: Optional[SystemConfig] = None,
+    rate_per_s: float = 150.0,
+    duration_ms: float = 8_000.0,
+    warmup_ms: float = 1_000.0,
+    num_keys: int = 2_000,
+    tracer: Optional[Tracer] = None,
+) -> ExperimentTable:
+    """Per-protocol latency breakdown at one overhead operating point.
+
+    Shows *where* each system's request milliseconds go — queueing vs
+    logAppend vs logReadPrev vs store operations vs retries — which is
+    the mechanism behind the Figure 13 crossover: Halfmoon-read removes
+    the read log from the critical path, Halfmoon-write the write log.
+    Stage components sum exactly to the end-to-end latency (see
+    :mod:`repro.observe.breakdown`).
+    """
+    breakdowns: Dict[str, LatencyBreakdown] = {}
+    for system in systems:
+        result = run_overhead_point(
+            system, read_ratio, config, rate_per_s, duration_ms,
+            warmup_ms=warmup_ms, num_keys=num_keys, tracer=tracer,
+        )
+        breakdowns[system] = result.breakdown
+    return breakdown_table(
+        breakdowns,
+        f"Latency breakdown (read ratio {read_ratio}, "
+        f"{rate_per_s:.0f} req/s)",
+    )
 
 
 def crossover_ratio(

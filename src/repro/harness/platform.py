@@ -38,6 +38,14 @@ from ..errors import (
     RetriesExhaustedError,
     ServiceFaultError,
 )
+from ..observe import (
+    CAT_ATTEMPT,
+    CAT_INVOCATION,
+    CAT_QUEUE,
+    LatencyBreakdown,
+    Span,
+    Tracer,
+)
 from ..recovery import LeaseManager, Orphan, RecoveryCoordinator
 from ..runtime.env import Env
 from ..runtime.local import Context, LocalRuntime
@@ -86,6 +94,13 @@ class RunResult:
     recovered_orphans: int = 0
     detection_ms: LatencyRecorder = field(repr=False, default=None)
     takeover_ms: LatencyRecorder = field(repr=False, default=None)
+    #: Per-request latency decomposition (post-warmup completions);
+    #: stage vectors sum exactly to end-to-end latency.
+    breakdown: LatencyBreakdown = field(repr=False, default=None)
+    #: ``MetricsRegistry.snapshot()`` of the backend registry at the
+    #: end of the run — every component's metrics in one namespace.
+    metrics: Dict[str, Dict[str, Any]] = field(repr=False,
+                                               default_factory=dict)
 
     @property
     def avg_total_mb(self) -> float:
@@ -101,6 +116,7 @@ class SimPlatform:
         protocol: str,
         config: Optional[SystemConfig] = None,
         enable_switching: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = (config if config is not None
                        else SystemConfig()).validate()
@@ -116,6 +132,12 @@ class SimPlatform:
         workload.populate(self.runtime)
 
         backend = self.runtime.backend
+        self.tracer = tracer
+        backend.tracer = tracer
+        # Child invocations (ctx.invoke) run synchronously through the
+        # direct-mode runtime; anchor their trace timestamps at the
+        # parent's simulated instant.
+        self.runtime.now_fn = lambda: self.sim.now
         self.workers = NodeWorkerPool(
             self.sim,
             self.config.cluster.function_nodes,
@@ -125,9 +147,17 @@ class SimPlatform:
         self._request_rng = backend.rng.stream("requests")
         self._arrival_rng = backend.rng.stream("arrivals")
 
-        self.latencies = LatencyRecorder("request-latency")
-        self.latency_series = TimeSeries("latency-over-time")
-        self.throughput = ThroughputMeter()
+        metrics = backend.metrics
+        self.latencies = metrics.register(
+            "request_latency", LatencyRecorder("request-latency")
+        )
+        self.latency_series = metrics.register(
+            "latency_over_time", TimeSeries("latency-over-time")
+        )
+        self.throughput = metrics.register(
+            "completions", ThroughputMeter()
+        )
+        self.breakdown = LatencyBreakdown(protocol)
         self.crashed_attempts = 0
         self.faulted_attempts = 0
         self._warmup_ms = 0.0
@@ -142,7 +172,10 @@ class SimPlatform:
         self._crashed_at: Dict[int, float] = {}
         self.node_crashes = 0
         self.orphaned_invocations = 0
-        self.detection_latency = LatencyRecorder("failure-detection")
+        self.detection_latency = metrics.register(
+            "failure_detection_latency",
+            LatencyRecorder("failure-detection"),
+        )
         #: Optional ``callback(request, latency_ms)`` fired at each
         #: completion — failover audits use it to build ground truth.
         self.on_request_complete: Optional[
@@ -158,7 +191,11 @@ class SimPlatform:
                 self.workers.is_alive,
             )
             self.coordinator = RecoveryCoordinator(
-                self.sim, self.runtime.tracker, self._redispatch_orphan
+                self.sim, self.runtime.tracker, self._redispatch_orphan,
+                tracer=tracer,
+            )
+            metrics.register(
+                "takeover_latency", self.coordinator.takeover_latency
             )
             self.lease.on_failure(self._node_declared_dead)
         self.time_by_kind: Dict[str, float] = {}
@@ -171,11 +208,17 @@ class SimPlatform:
         self._shard_cursor = 0
         self.log_wait_ms_total = 0.0
 
-        self.log_gauge = TimeWeightedGauge(
-            "log-bytes", 0.0, backend.log.storage_bytes()
+        self.log_gauge = metrics.register(
+            "storage_bytes",
+            TimeWeightedGauge("log-bytes", 0.0,
+                              backend.log.storage_bytes()),
+            store="log",
         )
-        self.db_gauge = TimeWeightedGauge(
-            "db-bytes", 0.0, backend.kv.storage_bytes()
+        self.db_gauge = metrics.register(
+            "storage_bytes",
+            TimeWeightedGauge("db-bytes", 0.0,
+                              backend.kv.storage_bytes()),
+            store="db",
         )
         backend.log.add_storage_listener(
             lambda b: self.log_gauge.set(b, self.sim.now)
@@ -226,6 +269,7 @@ class SimPlatform:
         first_attempt: int = 1,
     ):
         runtime = self.runtime
+        redispatched = instance_id is not None
         if instance_id is None:
             # The invocation exists (and is tracked) from arrival: the
             # switch manager and the GC must conservatively wait for
@@ -236,8 +280,41 @@ class SimPlatform:
             runtime.tracker.start(
                 instance_id, runtime.backend.log.next_seqnum
             )
+        # Per-request stage vector ({kind_or_segment: ms}); by
+        # construction every simulated millisecond between arrival and
+        # completion lands in exactly one entry, so the vector sums to
+        # the end-to-end latency.
+        stages: Dict[str, float] = {}
+        takeover_gap = self.sim.now - arrival_ms
+        if takeover_gap > 0:
+            # Orphan re-dispatch: time since the original arrival (the
+            # lost dispatch, detection, and coordination) is recovery.
+            stages["takeover_gap"] = takeover_gap
+        tracer = self.tracer
+        root: Optional[Span] = None
+        queue_span: Optional[Span] = None
+        if tracer is not None:
+            root = tracer.start_span(
+                f"invoke:{request.func_name}", CAT_INVOCATION,
+                arrival_ms if not redispatched else self.sim.now,
+                trace_id=instance_id, func=request.func_name,
+                redispatched=redispatched,
+            )
+            queue_span = root.child(
+                "worker-queue", CAT_QUEUE, self.sim.now,
+            )
+        queued_at = self.sim.now
         grant = yield self.workers.request()
+        stages["queue_wait"] = (
+            stages.get("queue_wait", 0.0) + self.sim.now - queued_at
+        )
+        if queue_span is not None:
+            queue_span.finish(self.sim.now)
+        if root is not None:
+            root.annotate("worker-granted", self.sim.now,
+                          node=grant.node_id)
         self._inflight[grant.node_id][instance_id] = box["process"]
+        attempt_span: Optional[Span] = None
         try:
             max_attempts = self.config.failures.max_retries + 1
             fn = runtime.functions.get(request.func_name)
@@ -246,6 +323,12 @@ class SimPlatform:
             while attempt <= max_attempts:
                 hook = runtime.crash_policy.hook_for(instance_id, attempt)
                 svc = InstanceServices(runtime.backend, fault_hook=hook)
+                if root is not None:
+                    attempt_span = root.child(
+                        f"attempt-{attempt}", CAT_ATTEMPT, self.sim.now,
+                        attempt=attempt, node=grant.node_id,
+                    )
+                    svc.attach_span(attempt_span, self.sim.now)
                 env = Env(
                     instance_id=instance_id,
                     input=request.input,
@@ -259,7 +342,8 @@ class SimPlatform:
                     runtime.tracker.set_init_ts(
                         instance_id, env.init_cursor_ts
                     )
-                    yield self.sim.timeout(self._drain(svc))
+                    yield self.sim.timeout(self._drain(svc, stages))
+                    svc.span_base_ms = self.sim.now
                     svc.charge_compute()
                     if FunctionRegistry.is_generator_style(fn):
                         gen = fn(request.input)
@@ -267,31 +351,51 @@ class SimPlatform:
                             op = next(gen)
                             while True:
                                 result = ctx.apply(op)
-                                yield self.sim.timeout(self._drain(svc))
+                                yield self.sim.timeout(
+                                    self._drain(svc, stages)
+                                )
+                                svc.span_base_ms = self.sim.now
                                 op = gen.send(result)
                         except StopIteration:
                             pass
                     else:
                         fn(ctx, request.input)
-                    yield self.sim.timeout(self._drain(svc))
+                    yield self.sim.timeout(self._drain(svc, stages))
+                    svc.span_base_ms = self.sim.now
                     done = True
                 except CrashError:
                     self.crashed_attempts += 1
                     attempt += 1
-                    yield self.sim.timeout(
-                        self._drain(svc)
-                        + self.config.failures.detection_delay_ms
+                    detection = self.config.failures.detection_delay_ms
+                    stages["failure_detection"] = (
+                        stages.get("failure_detection", 0.0) + detection
                     )
+                    yield self.sim.timeout(
+                        self._drain(svc, stages) + detection
+                    )
+                    if attempt_span is not None:
+                        attempt_span.annotate("crash", self.sim.now)
+                        attempt_span.finish(self.sim.now)
+                        attempt_span = None
                     continue
                 except ServiceFaultError as fault:
                     if not fault.retryable:
                         raise
                     self.faulted_attempts += 1
                     attempt += 1
-                    yield self.sim.timeout(
-                        self._drain(svc)
-                        + self.config.failures.detection_delay_ms
+                    detection = self.config.failures.detection_delay_ms
+                    stages["failure_detection"] = (
+                        stages.get("failure_detection", 0.0) + detection
                     )
+                    yield self.sim.timeout(
+                        self._drain(svc, stages) + detection
+                    )
+                    if attempt_span is not None:
+                        attempt_span.annotate(
+                            "service-fault", self.sim.now
+                        )
+                        attempt_span.finish(self.sim.now)
+                        attempt_span = None
                     continue
                 break
             if not done:
@@ -301,9 +405,14 @@ class SimPlatform:
                 )
             runtime.tracker.finish(instance_id)
             latency = self.sim.now - arrival_ms
+            if attempt_span is not None:
+                attempt_span.finish(self.sim.now)
+            if root is not None:
+                root.finish(self.sim.now)
             if arrival_ms >= self._warmup_ms:
                 self.latencies.record(latency)
                 self.throughput.record(self.sim.now)
+                self.breakdown.record(stages)
             self.latency_series.record(self.sim.now, latency)
             if self.on_request_complete is not None:
                 self.on_request_complete(request, latency)
@@ -312,6 +421,14 @@ class SimPlatform:
             # the dead node.  The interrupted attempt counts as lost
             # (like an instance crash); takeover resumes at the next.
             self.orphaned_invocations += 1
+            if attempt_span is not None and not attempt_span.finished:
+                attempt_span.annotate("node-crash", self.sim.now,
+                                      node=grant.node_id)
+                attempt_span.finish(self.sim.now)
+            if root is not None:
+                root.annotate("orphaned", self.sim.now,
+                              node=grant.node_id)
+                root.finish(self.sim.now)
             orphan = Orphan(
                 instance_id=instance_id,
                 request=request,
@@ -361,6 +478,11 @@ class SimPlatform:
             return
         self.node_crashes += 1
         self._crashed_at[node_id] = self.sim.now
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node-crash", self.sim.now, node=node_id,
+                in_flight=len(self._inflight[node_id]),
+            )
         # Interrupt handlers pop themselves from the table via their
         # ``finally``; iterate over a snapshot.
         for process in list(self._inflight[node_id].values()):
@@ -381,6 +503,9 @@ class SimPlatform:
         if self.workers.is_alive(node_id):
             return
         self._crashed_at.pop(node_id, None)
+        if self.tracer is not None:
+            self.tracer.instant("node-restart", self.sim.now,
+                                node=node_id)
         self.workers.restart(node_id)
         if self.coordinator is not None:
             # A node restarting before its lease expired recovers its
@@ -401,15 +526,24 @@ class SimPlatform:
         crashed_at = self._crashed_at.get(node_id)
         if crashed_at is not None:
             self.detection_latency.record(detected_at_ms - crashed_at)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node-declared-dead", detected_at_ms, node=node_id,
+                detection_ms=(detected_at_ms - crashed_at
+                              if crashed_at is not None else None),
+            )
         if self.coordinator is not None:
             self.coordinator.node_failed(node_id, detected_at_ms)
 
-    def _drain(self, svc: InstanceServices) -> float:
+    def _drain(self, svc: InstanceServices,
+               stages: Optional[Dict[str, float]] = None) -> float:
         """Account the trace per cost kind, then drain it.
 
         With ``model_log_contention`` enabled, every append also queues
         at the sequencer and a storage shard; the waits extend the
-        invocation's simulated time and are tallied separately."""
+        invocation's simulated time and are tallied separately.
+        ``stages`` (the per-request breakdown vector) receives the same
+        per-kind milliseconds plus the contention wait."""
         from ..runtime.services import Cost
 
         cluster = self.config.cluster
@@ -422,6 +556,8 @@ class SimPlatform:
             self.time_by_kind[kind] = (
                 self.time_by_kind.get(kind, 0.0) + ms
             )
+            if stages is not None:
+                stages[kind] = stages.get(kind, 0.0) + ms
             if (cluster.model_log_contention
                     and kind in Cost.LOGGING_KINDS):
                 wait = max(0.0, self._seq_next_free - now)
@@ -440,6 +576,10 @@ class SimPlatform:
                 )
                 extra_wait += wait + shard_wait
                 self.log_wait_ms_total += wait + shard_wait
+        if stages is not None and extra_wait > 0:
+            stages["log_queue_wait"] = (
+                stages.get("log_queue_wait", 0.0) + extra_wait
+            )
         return svc.trace.drain() + extra_wait
 
     def _gc_process(self):
@@ -524,4 +664,6 @@ class SimPlatform:
                 self.coordinator.takeover_latency
                 if self.coordinator is not None else None
             ),
+            breakdown=self.breakdown,
+            metrics=backend.metrics.snapshot(now_ms=self.sim.now),
         )

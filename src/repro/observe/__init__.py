@@ -1,0 +1,55 @@
+"""Observability layer: tracing, unified metrics, latency breakdowns.
+
+* :mod:`repro.observe.tracing` — deterministic simulated-clock span
+  trees per invocation (``tracer=None`` disables with zero overhead);
+* :mod:`repro.observe.registry` — one labelled registry unifying the
+  measurement primitives of :mod:`repro.simulation.metrics`;
+* :mod:`repro.observe.export` — Chrome trace-event JSON for
+  Perfetto / ``chrome://tracing``;
+* :mod:`repro.observe.breakdown` — per-request latency decomposition
+  with exact-sum stage accounting.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from .breakdown import (
+    STAGES,
+    LatencyBreakdown,
+    breakdown_table,
+    stage_of,
+)
+from .export import chrome_trace, chrome_trace_events, write_chrome_trace
+from .registry import MetricsRegistry
+from .tracing import (
+    CAT_ATTEMPT,
+    CAT_INVOCATION,
+    CAT_PLATFORM,
+    CAT_QUEUE,
+    CAT_RECOVERY,
+    CAT_SERVICE,
+    PLATFORM_TRACE_ID,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "CAT_ATTEMPT",
+    "CAT_INVOCATION",
+    "CAT_PLATFORM",
+    "CAT_QUEUE",
+    "CAT_RECOVERY",
+    "CAT_SERVICE",
+    "LatencyBreakdown",
+    "MetricsRegistry",
+    "PLATFORM_TRACE_ID",
+    "STAGES",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "breakdown_table",
+    "chrome_trace",
+    "chrome_trace_events",
+    "stage_of",
+    "write_chrome_trace",
+]

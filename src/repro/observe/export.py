@@ -1,0 +1,117 @@
+"""Chrome trace-event export.
+
+Serialises a :class:`~repro.observe.tracing.Tracer` into the Chrome
+trace-event JSON format, loadable in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``:
+
+* every finished span becomes a complete event (``ph: "X"``) with its
+  duration; unfinished spans (an invocation still queued when the run
+  ended, an orphan never recovered) are exported as zero-duration
+  events flagged ``"unfinished": true`` rather than dropped;
+* span annotations and tracer-level instants become thread-scoped
+  instant events (``ph: "i"``);
+* each trace id (one SSF invocation, or the platform lane) is mapped
+  to its own *thread* so Perfetto renders one swim-lane per
+  invocation, named via ``thread_name`` metadata events.
+
+Timestamps: the tracer records simulated milliseconds; the trace-event
+format wants microseconds, so values are scaled by 1000.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .tracing import Tracer
+
+#: Synthetic process id for the whole simulated deployment.
+_PID = 1
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten the tracer into a list of trace-event dicts."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_of(trace_id: str) -> int:
+        tid = tids.get(trace_id)
+        if tid is None:
+            tid = tids[trace_id] = len(tids) + 1
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": trace_id},
+            })
+        return tid
+
+    events.append({
+        "name": "process_name",
+        "ph": "M",
+        "pid": _PID,
+        "args": {"name": "repro"},
+    })
+
+    for span in tracer.spans:
+        tid = tid_of(span.trace_id)
+        args = dict(span.args)
+        end_ms = span.end_ms
+        if end_ms is None:
+            end_ms = span.start_ms
+            args["unfinished"] = True
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_ms * 1000.0,
+            "dur": (end_ms - span.start_ms) * 1000.0,
+            "pid": _PID,
+            "tid": tid,
+            "args": args,
+        })
+        for event in span.events:
+            events.append({
+                "name": event.name,
+                "cat": span.category,
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts_ms * 1000.0,
+                "pid": _PID,
+                "tid": tid,
+                "args": dict(event.args),
+            })
+
+    for trace_id, event in tracer.instants:
+        events.append({
+            "name": event.name,
+            "cat": "platform",
+            "ph": "i",
+            "s": "t",
+            "ts": event.ts_ms * 1000.0,
+            "pid": _PID,
+            "tid": tid_of(trace_id),
+            "args": dict(event.args),
+        })
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The full trace-event JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.observe",
+            "spans": len(tracer),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> Dict[str, Any]:
+    """Write the trace JSON to ``path`` and return the object."""
+    trace = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(trace, f, indent=1)
+    return trace

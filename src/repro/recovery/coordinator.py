@@ -19,8 +19,9 @@ advances past state a pending takeover still needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
+from ..observe import Tracer
 from ..runtime.registry import InvocationTracker
 from ..simulation.kernel import Simulator
 from ..simulation.metrics import LatencyRecorder
@@ -48,10 +49,12 @@ class RecoveryCoordinator:
         sim: Simulator,
         tracker: InvocationTracker,
         redispatch: Callable[[Orphan], None],
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         self.tracker = tracker
         self._redispatch = redispatch
+        self.tracer = tracer
         self._pending: Dict[int, List[Orphan]] = {}
         self.recovered = 0
         #: Time from node crash to the orphan's re-dispatch on a
@@ -94,4 +97,12 @@ class RecoveryCoordinator:
             self.takeover_latency.record(
                 self.sim.now - orphan.orphaned_at_ms
             )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "orphan-takeover", self.sim.now,
+                    trace_id=orphan.instance_id,
+                    node=node_id,
+                    next_attempt=orphan.next_attempt,
+                    orphaned_ms=self.sim.now - orphan.orphaned_at_ms,
+                )
             self._redispatch(orphan)

@@ -20,7 +20,7 @@ Three entry points:
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..config import SystemConfig
@@ -30,6 +30,7 @@ from ..errors import (
     RetriesExhaustedError,
     ServiceFaultError,
 )
+from ..observe import CAT_ATTEMPT, CAT_INVOCATION, Span
 from ..protocols import Protocol
 from ..simulation.rng import RngRegistry
 from ..store import TableIndex
@@ -49,6 +50,10 @@ class InvocationResult:
     output: Any
     latency_ms: float
     attempts: int
+    #: Per cost-kind milliseconds summed over every attempt (plus the
+    #: synthetic ``failure_detection`` segment after a lost attempt);
+    #: the values sum exactly to ``latency_ms``.
+    cost_by_kind: Dict[str, float] = field(default_factory=dict)
 
 
 class Context:
@@ -221,6 +226,12 @@ class LocalRuntime:
         #: protocol entirely, writes are rejected.
         self.read_only_keys: set = set()
         self._id_rng = self.backend.rng.stream("instance-ids")
+        #: Base clock for trace timestamps.  Direct mode runs at virtual
+        #: time 0; the DES platform points this at its simulation clock
+        #: so child invocations (``ctx.invoke`` runs them synchronously
+        #: through this runtime) produce spans anchored at the parent's
+        #: simulated instant.
+        self.now_fn: Callable[[], float] = lambda: 0.0
 
     # ------------------------------------------------------------------
     # Setup
@@ -271,17 +282,40 @@ class LocalRuntime:
         instance_id = (instance_id if instance_id is not None
                        else self.new_instance_id())
         total_latency = 0.0
+        cost_by_kind: Dict[str, float] = {}
         max_attempts = self.config.failures.max_retries + 1
         self.tracker.start(instance_id, self.backend.log.next_seqnum)
+        tracer = self.backend.tracer
+        root: Optional[Span] = None
+        base = 0.0
+        if tracer is not None:
+            base = self.now_fn()
+            root = tracer.start_span(
+                f"invoke:{func_name}", CAT_INVOCATION, base,
+                trace_id=instance_id, func=func_name,
+            )
+
+        def absorb(svc: InstanceServices) -> None:
+            for kind, ms in svc.trace.entries:
+                cost_by_kind[kind] = cost_by_kind.get(kind, 0.0) + ms
+
         for attempt in range(1, max_attempts + 1):
             hook = self.crash_policy.hook_for(instance_id, attempt)
             svc = InstanceServices(self.backend, fault_hook=hook)
+            attempt_span: Optional[Span] = None
+            if root is not None:
+                attempt_span = root.child(
+                    f"attempt-{attempt}", CAT_ATTEMPT,
+                    base + total_latency, attempt=attempt,
+                )
+                svc.attach_span(attempt_span, base + total_latency)
             env = Env(
                 instance_id=instance_id,
                 input=input,
                 func_name=func_name,
                 attempt=attempt,
             )
+            detection_ms = self.config.failures.detection_delay_ms
             try:
                 output = self._execute(svc, env, func_name, input)
             except CrashError:
@@ -289,20 +323,46 @@ class LocalRuntime:
                 # what the attempt spent plus failure detection, then
                 # re-execute (the protocols make the replay idempotent).
                 total_latency += svc.trace.total_ms()
-                total_latency += self.config.failures.detection_delay_ms
+                absorb(svc)
+                if attempt_span is not None:
+                    attempt_span.annotate("crash", base + total_latency)
+                    attempt_span.finish(base + total_latency)
+                total_latency += detection_ms
+                cost_by_kind["failure_detection"] = (
+                    cost_by_kind.get("failure_detection", 0.0)
+                    + detection_ms
+                )
                 continue
             except ServiceFaultError as fault:
                 # Fault dimension 2: a substrate kept failing past the
                 # per-operation retry budget.  Retryable faults abandon
                 # the attempt exactly like a crash — replay is safe for
                 # the same reason — while permanent ones escalate.
-                if not fault.retryable:
-                    raise
                 total_latency += svc.trace.total_ms()
-                total_latency += self.config.failures.detection_delay_ms
+                absorb(svc)
+                if attempt_span is not None:
+                    attempt_span.annotate(
+                        "service-fault", base + total_latency,
+                        retryable=fault.retryable,
+                    )
+                    attempt_span.finish(base + total_latency)
+                if not fault.retryable:
+                    if root is not None:
+                        root.finish(base + total_latency)
+                    raise
+                total_latency += detection_ms
+                cost_by_kind["failure_detection"] = (
+                    cost_by_kind.get("failure_detection", 0.0)
+                    + detection_ms
+                )
                 self.backend.counters.add("attempts_lost_to_service_faults")
                 continue
             total_latency += svc.trace.total_ms()
+            absorb(svc)
+            if attempt_span is not None:
+                attempt_span.finish(base + total_latency)
+            if root is not None:
+                root.finish(base + total_latency)
             # Fire trigger edges: downstream SSFs start strictly after
             # this invocation's effects, so the paper's real-time
             # boundary property orders them after everything above.
@@ -314,7 +374,11 @@ class LocalRuntime:
                 output=output,
                 latency_ms=total_latency,
                 attempts=attempt,
+                cost_by_kind=cost_by_kind,
             )
+        if root is not None:
+            root.annotate("retries-exhausted", base + total_latency)
+            root.finish(base + total_latency)
         raise RetriesExhaustedError(
             f"{func_name!r} ({instance_id}) lost every one of "
             f"{max_attempts} attempts to crashes or service faults"
@@ -359,6 +423,13 @@ class LocalRuntime:
         svc = InstanceServices(self.backend, fault_hook=fault_hook)
         env = Env(instance_id=instance_id, input=input)
         self.tracker.start(instance_id, self.backend.log.next_seqnum)
+        tracer = self.backend.tracer
+        if tracer is not None:
+            base = self.now_fn()
+            span = tracer.start_span(
+                "session", CAT_INVOCATION, base, trace_id=instance_id,
+            )
+            svc.attach_span(span, base)
         return Session(self, svc, env)
 
     # ------------------------------------------------------------------
@@ -422,12 +493,25 @@ class Session(Context):
             input=self.env.input,
             attempt=self.env.attempt + 1,
         )
+        parent = self.svc.span
+        if parent is not None:
+            now = self.svc.now_ms()
+            svc.attach_span(
+                parent.child(
+                    f"attempt-{env.attempt}", CAT_ATTEMPT, now,
+                    attempt=env.attempt,
+                ),
+                now,
+            )
         return Session(self._runtime, svc, env)
 
     def finish(self) -> None:
         if not self._finished:
             self._finished = True
             self._runtime.tracker.finish(self.env.instance_id)
+            span = self.svc.span
+            if span is not None and not span.finished:
+                span.finish(self.svc.now_ms())
 
     @property
     def latency_ms(self) -> float:

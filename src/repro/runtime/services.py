@@ -41,13 +41,14 @@ from ..faults import (
     FaultInjector,
     RetryPolicy,
 )
+from ..observe import CAT_SERVICE, MetricsRegistry, Span, Tracer
 from ..sharedlog import LogRecord, RecordCache, SharedLog
 from ..simulation.latency import (
     ConstantLatency,
     LatencyModel,
     LogNormalLatency,
 )
-from ..simulation.metrics import Counter, LatencyRecorder
+from ..simulation.metrics import LatencyRecorder
 from ..simulation.rng import RngRegistry
 from ..store import KVStore, MultiVersionStore
 
@@ -170,17 +171,22 @@ class CostTrace:
     """Latency charges accumulated by one protocol-level operation."""
 
     entries: List[Any] = field(default_factory=list)
+    #: Running sum, so ``total_ms`` is O(1) — the tracer's virtual
+    #: clock reads it on every span boundary.
+    _total_ms: float = 0.0
 
     def charge(self, kind: str, latency_ms: float) -> None:
         self.entries.append((kind, latency_ms))
+        self._total_ms += latency_ms
 
     def total_ms(self) -> float:
-        return sum(ms for _, ms in self.entries)
+        return self._total_ms
 
     def drain(self) -> float:
         """Return the accumulated latency and reset the trace."""
-        total = self.total_ms()
+        total = self._total_ms
         self.entries.clear()
+        self._total_ms = 0.0
         return total
 
 
@@ -201,11 +207,19 @@ class ServiceBackend:
         self.mv = MultiVersionStore(self.kv)
         self.cache = RecordCache()
         self.latency = LatencyProvider(config, self.cache)
-        self.counters = Counter()
+        #: Central labelled metrics registry; every component below
+        #: (and the DES platform on top) registers here, and
+        #: ``RunResult.metrics`` is its snapshot.
+        self.metrics = MetricsRegistry()
+        self.counters = self.metrics.counters("ops")
         #: Per-kind latency samples (successful, faulted, and degraded
         #: charges alike), so experiments can report e.g. log-read p99
         #: under brown-out without instrumenting every call site.
+        #: Registry-backed: each recorder is ``op_latency{kind=...}``.
         self.op_latency: Dict[str, LatencyRecorder] = {}
+        #: Attach a :class:`repro.observe.Tracer` to record span trees;
+        #: ``None`` (the default) disables tracing with zero overhead.
+        self.tracer: Optional[Tracer] = None
         #: Infrastructure-fault plan and resilience policy (platform-wide
         #: state: breakers outlive individual invocations).
         self.faults = FaultInjector(
@@ -224,6 +238,42 @@ class ServiceBackend:
         self._latency_rng = self.rng.stream("service-latency")
         self._uuid_rng = self.rng.stream("uuid")
         self._jitter_rng = self.rng.stream("retry-jitter")
+        self._register_component_metrics()
+
+    def _register_component_metrics(self) -> None:
+        """Expose substrate state in the registry via snapshot probes."""
+        for service, breaker in self.breakers.items():
+            self.metrics.probe(
+                "circuit_breaker",
+                lambda b=breaker: {"state": b.state, "trips": b.trips},
+                service=service,
+            )
+        self.metrics.probe(
+            "record_cache",
+            lambda: {
+                "records": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_ratio": self.cache.hit_ratio,
+            },
+        )
+        self.metrics.probe(
+            "shared_log",
+            lambda: {
+                "bytes": self.log.storage_bytes(),
+                "tail_seqnum": self.log.tail_seqnum,
+            },
+        )
+        self.metrics.probe(
+            "kv_store", lambda: {"bytes": self.kv.storage_bytes()}
+        )
+        self.metrics.probe(
+            "fault_injector",
+            lambda: {
+                "enabled": self.faults.enabled,
+                "injected": dict(self.faults.injected),
+            },
+        )
 
     # -- helpers used by InstanceServices -------------------------------
 
@@ -253,7 +303,9 @@ class ServiceBackend:
     def _note(self, kind: str, ms: float) -> None:
         recorder = self.op_latency.get(kind)
         if recorder is None:
-            recorder = self.op_latency[kind] = LatencyRecorder(kind)
+            recorder = self.op_latency[kind] = self.metrics.latency(
+                "op_latency", kind=kind
+            )
         recorder.record(ms)
 
     def breaker_trips(self) -> int:
@@ -302,6 +354,44 @@ class InstanceServices:
         self.backend = backend
         self.trace = trace if trace is not None else CostTrace()
         self._fault_hook = fault_hook
+        #: Tracing context: the attempt span service-call spans nest
+        #: under, and the virtual-time base the cost trace offsets.
+        #: ``None`` span ⇒ tracing disabled for this attempt (the
+        #: default): every instrumentation site below is a single
+        #: ``is None`` check and allocates nothing.
+        self._span: Optional[Span] = None
+        self.span_base_ms = 0.0
+
+    # -- tracing ----------------------------------------------------------
+
+    def attach_span(self, span: Span, base_ms: float) -> None:
+        """Nest this attempt's service-call spans under ``span``;
+        ``base_ms`` anchors the cost-trace virtual clock."""
+        self._span = span
+        self.span_base_ms = base_ms
+
+    @property
+    def span(self) -> Optional[Span]:
+        return self._span
+
+    def now_ms(self) -> float:
+        """Attempt-virtual time: base plus charged latency so far."""
+        return self.span_base_ms + self.trace.total_ms()
+
+    def _breaker_outcome(self, breaker: CircuitBreaker, failed: bool,
+                         op_span: Optional[Span]) -> None:
+        """Record a breaker outcome, annotating state transitions."""
+        if op_span is None:
+            (breaker.record_failure if failed
+             else breaker.record_success)()
+            return
+        before = breaker.state
+        (breaker.record_failure if failed else breaker.record_success)()
+        if breaker.state != before:
+            op_span.annotate(
+                f"breaker:{breaker.state}", self.now_ms(),
+                service=breaker.name, trips=breaker.trips,
+            )
 
     # -- crash checkpoints ----------------------------------------------
 
@@ -337,6 +427,11 @@ class InstanceServices:
         """
         backend = self.backend
         breaker = backend.breakers[service]
+        op_span = None
+        if self._span is not None:
+            op_span = self._span.child(
+                kind, CAT_SERVICE, self.now_ms(), service=service
+            )
         if (not backend.faults.enabled
                 and breaker.state == BreakerState.CLOSED):
             # Failure-free fast path: identical to the pre-fault code.
@@ -347,19 +442,33 @@ class InstanceServices:
                 # still paid.
                 if charge_error is not None:
                     charge_error(1.0)
+                if op_span is not None:
+                    now = self.now_ms()
+                    op_span.annotate("substrate-error", now)
+                    op_span.finish(now)
                 raise
             charge(result, 1.0)
+            if op_span is not None:
+                op_span.finish(self.now_ms())
             return result
 
         resilience = backend.config.resilience
         if breaker.consult():
             if droppable and resilience.drop_background_appends:
                 backend.counters.add("background_appends_dropped")
+                if op_span is not None:
+                    now = self.now_ms()
+                    op_span.annotate("dropped-by-breaker", now)
+                    op_span.finish(now)
                 return None
             if degraded is not None and resilience.degraded_log_reads:
                 served, result = degraded()
                 if served:
                     backend.counters.add("degraded_log_reads")
+                    if op_span is not None:
+                        now = self.now_ms()
+                        op_span.annotate("degraded-read", now)
+                        op_span.finish(now)
                     return result
 
         policy = backend.retry_policy
@@ -368,29 +477,43 @@ class InstanceServices:
         while True:
             attempt += 1
             decision = backend.faults.draw(service, kind)
+            if op_span is not None and decision.kind is not None:
+                op_span.annotate(
+                    f"fault:{decision.kind}", self.now_ms(),
+                    attempt=attempt,
+                )
             if not decision.omitted:
                 try:
                     result = do()
                 except ReproError:
                     # The substrate responded (e.g. a lost conditional
                     # append): a service success, not a fault.
-                    breaker.record_success()
+                    self._breaker_outcome(breaker, False, op_span)
                     if charge_error is not None:
                         charge_error(decision.latency_factor)
+                    if op_span is not None:
+                        now = self.now_ms()
+                        op_span.annotate("substrate-error", now)
+                        op_span.finish(now)
                     raise
-                if decision.kind == FAULT_GRAY:
-                    # Gray success: slow node.  Feed the brown-out
-                    # detector but return the (inflated) result.
-                    breaker.record_failure()
-                else:
-                    breaker.record_success()
+                # Gray success: slow node.  Feed the brown-out
+                # detector but return the (inflated) result.
+                self._breaker_outcome(
+                    breaker, decision.kind == FAULT_GRAY, op_span
+                )
                 charge(result, decision.latency_factor)
+                if op_span is not None:
+                    op_span.finish(self.now_ms())
                 return result
 
             # Omission fault: the request never took effect.
-            breaker.record_failure()
+            self._breaker_outcome(breaker, True, op_span)
             if droppable:
                 backend.counters.add("background_appends_dropped")
+                if op_span is not None:
+                    now = self.now_ms()
+                    op_span.annotate("dropped-under-fault", now)
+                    op_span.finish(now)
                 return None
             fault_ms = policy.fault_cost_ms(decision.kind)
             fault_label = (
@@ -400,12 +523,24 @@ class InstanceServices:
             backend.charge_raw(fault_label, fault_ms, self.trace)
             spent_ms += fault_ms
             if spent_ms > policy.op_deadline_ms:
+                if op_span is not None:
+                    now = self.now_ms()
+                    op_span.annotate(
+                        "deadline-exceeded", now, attempts=attempt
+                    )
+                    op_span.finish(now)
                 raise ServiceTimeoutError(
                     f"{service} {kind} blew its {policy.op_deadline_ms}ms "
                     f"deadline after {attempt} attempts",
                     service=service, op=kind,
                 )
             if attempt >= policy.max_attempts:
+                if op_span is not None:
+                    now = self.now_ms()
+                    op_span.annotate(
+                        "retries-exhausted", now, attempts=attempt
+                    )
+                    op_span.finish(now)
                 raise ServiceUnavailableError(
                     f"{service} {kind} failed all {attempt} attempts",
                     service=service, op=kind,
@@ -414,6 +549,11 @@ class InstanceServices:
             backend.charge_raw(Cost.RETRY_BACKOFF, backoff_ms, self.trace)
             backend.counters.add("service_retries")
             spent_ms += backoff_ms
+            if op_span is not None:
+                op_span.annotate(
+                    "retry", self.now_ms(), attempt=attempt,
+                    backoff_ms=backoff_ms,
+                )
 
     # -- log operations ---------------------------------------------------
 

@@ -102,6 +102,15 @@ class Counter:
     def as_dict(self) -> Dict[str, int]:
         return dict(self._counts)
 
+    def merged(self, other: "Counter") -> "Counter":
+        """Sum two counter sets (parity with ``LatencyRecorder.merged``)
+        so per-node counts combine into fleet-level summaries."""
+        out = Counter()
+        out._counts = dict(self._counts)
+        for name, amount in other._counts.items():
+            out._counts[name] = out._counts.get(name, 0) + amount
+        return out
+
 
 class TimeWeightedGauge:
     """Tracks a piecewise-constant value and reports its time average.
@@ -153,10 +162,24 @@ class TimeWeightedGauge:
 
 
 class ThroughputMeter:
-    """Counts completions and reports a rate per second."""
+    """Counts completions and reports a rate per second.
 
-    def __init__(self, name: str = "throughput"):
+    ``min_window_ms`` floors the measurement window: a meter that has
+    seen a single completion (or several at the same instant) has an
+    observed span of zero, which used to yield a silent ``0.0`` rate.
+    The floor (default 1 ms) makes the degenerate case report
+    ``count / min_window`` instead; callers measuring over a known
+    interval should pass it explicitly via ``window_ms``.
+    """
+
+    def __init__(self, name: str = "throughput",
+                 min_window_ms: float = 1.0):
+        if min_window_ms <= 0:
+            raise SimulationError(
+                f"min_window_ms must be positive, got {min_window_ms}"
+            )
         self.name = name
+        self.min_window_ms = float(min_window_ms)
         self._count = 0
         self._first_ms: Optional[float] = None
         self._last_ms: Optional[float] = None
@@ -179,8 +202,7 @@ class ThroughputMeter:
             if window_ms is not None
             else (self._last_ms - self._first_ms)  # type: ignore[operator]
         )
-        if elapsed <= 0:
-            return 0.0
+        elapsed = max(elapsed, self.min_window_ms)
         return self._count * 1000.0 / elapsed
 
 
@@ -199,3 +221,13 @@ class TimeSeries:
 
     def values(self) -> List[float]:
         return [v for _, v in self.points]
+
+    def merged(self, other: "TimeSeries") -> "TimeSeries":
+        """Interleave two series by timestamp (stable on ties: self's
+        points first), so per-node series combine into one fleet
+        timeline."""
+        out = TimeSeries(self.name)
+        out.points = sorted(
+            self.points + other.points, key=lambda point: point[0]
+        )
+        return out

@@ -1,0 +1,150 @@
+"""Tracing must never perturb a run: same seed, identical numbers.
+
+The off state is ``tracer = None`` — the instrumented code only reads
+caller-supplied virtual clocks behind ``is None`` guards, so enabling
+tracing may not shift a single latency sample, RNG draw, or byte
+count.  These tests run the same seeded workload with tracing on and
+off and require bit-identical results, then check that the traced run
+actually recorded the promised span structure and annotations.
+"""
+
+import pytest
+
+from repro import LocalRuntime, SystemConfig
+from repro.harness import run_trace
+from repro.observe import (
+    CAT_ATTEMPT,
+    CAT_INVOCATION,
+    CAT_QUEUE,
+    CAT_SERVICE,
+    STAGES,
+    Tracer,
+)
+
+BUMPS = 25
+
+
+def _counter(ctx, inp):
+    value = ctx.read("counter")
+    ctx.write("counter", value + inp)
+    return value + inp
+
+
+def _direct_results(seed: int, tracing: bool, fault_rate: float = 0.0):
+    config = SystemConfig(seed=seed)
+    if fault_rate:
+        config = config.with_fault_rate(fault_rate)
+    runtime = LocalRuntime(config, protocol="halfmoon-read")
+    tracer = Tracer() if tracing else None
+    runtime.backend.tracer = tracer
+    runtime.populate("counter", 0)
+    runtime.register("bump", _counter)
+    results = [runtime.invoke("bump", 1) for _ in range(BUMPS)]
+    return results, tracer
+
+
+class TestDirectModeDeterminism:
+    def test_tracing_does_not_perturb_invocations(self):
+        plain, _ = _direct_results(seed=99, tracing=False)
+        traced, tracer = _direct_results(seed=99, tracing=True)
+        assert [r.latency_ms for r in plain] == \
+            [r.latency_ms for r in traced]
+        assert [r.cost_by_kind for r in plain] == \
+            [r.cost_by_kind for r in traced]
+        assert [r.output for r in plain] == [r.output for r in traced]
+        assert len(tracer.spans_in(CAT_INVOCATION)) == BUMPS
+
+    def test_cost_by_kind_sums_to_latency(self):
+        results, _ = _direct_results(seed=7, tracing=True,
+                                     fault_rate=0.1)
+        for result in results:
+            assert sum(result.cost_by_kind.values()) == pytest.approx(
+                result.latency_ms, rel=1e-12
+            )
+
+    def test_span_tree_shape(self):
+        _, tracer = _direct_results(seed=5, tracing=True)
+        root = tracer.spans_in(CAT_INVOCATION)[0]
+        assert root.name == "invoke:bump"
+        assert root.finished
+        attempts = tracer.children_of(root)
+        assert [s.category for s in attempts] == [CAT_ATTEMPT]
+        calls = tracer.children_of(attempts[0])
+        assert calls, "attempt recorded no service calls"
+        assert {s.category for s in calls} == {CAT_SERVICE}
+        for call in calls:
+            assert call.start_ms >= attempts[0].start_ms
+            assert call.finished
+
+    def test_faults_annotate_service_spans(self):
+        results, tracer = _direct_results(seed=11, tracing=True,
+                                          fault_rate=0.3)
+        names = [
+            event.name
+            for span in tracer.spans_in(CAT_SERVICE)
+            for event in span.events
+        ]
+        assert any(n.startswith("fault:") for n in names)
+        assert "retry" in names
+        # Fault handling cost is visible in the per-kind accounting.
+        kinds = set()
+        for result in results:
+            kinds.update(result.cost_by_kind)
+        assert kinds & {"retry_backoff", "service_error",
+                        "service_timeout"}
+
+
+class TestPlatformDeterminism:
+    KWARGS = dict(
+        protocol="halfmoon-read",
+        rate_per_s=300.0,
+        duration_ms=2_000.0,
+        seed=42,
+        crash_at_ms=900.0,
+    )
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        traced, tracer = run_trace(tracing=True, **self.KWARGS)
+        plain, none_tracer = run_trace(tracing=False, **self.KWARGS)
+        assert none_tracer is None
+        return traced, plain, tracer
+
+    def test_results_bit_identical(self, runs):
+        traced, plain, _ = runs
+        for field in ("completed", "median_ms", "p99_ms", "mean_ms",
+                      "throughput_per_s", "crashed_attempts",
+                      "faulted_attempts", "node_crashes",
+                      "orphaned_invocations", "recovered_orphans",
+                      "avg_log_bytes", "avg_db_bytes", "counters",
+                      "time_by_kind"):
+            assert getattr(traced, field) == getattr(plain, field), \
+                field
+
+    def test_breakdown_sums_to_e2e_median(self, runs):
+        traced, plain, _ = runs
+        for result in (traced, plain):
+            attributed = sum(
+                result.breakdown.median_attributed(stage)
+                for stage in STAGES
+            )
+            assert attributed == pytest.approx(result.median_ms,
+                                               rel=0.01)
+            assert result.breakdown.count == result.completed
+
+    def test_metrics_snapshot_identical(self, runs):
+        traced, plain, _ = runs
+        assert traced.metrics == plain.metrics
+        assert "request_latency" in traced.metrics
+        assert traced.metrics["request_latency"]["count"] == \
+            traced.completed
+
+    def test_trace_records_recovery_pipeline(self, runs):
+        _, _, tracer = runs
+        assert tracer.spans_in(CAT_QUEUE), "no queue spans"
+        assert tracer.spans_in(CAT_ATTEMPT), "no attempt spans"
+        instant_names = {
+            event.name for _tid, event in tracer.instants
+        }
+        assert {"node-crash", "node-declared-dead",
+                "orphan-takeover"} <= instant_names

@@ -1,0 +1,84 @@
+"""Chrome trace-event schema tests for the exporter."""
+
+import json
+
+from repro.observe import (
+    CAT_INVOCATION,
+    CAT_SERVICE,
+    Tracer,
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+
+def _make_tracer() -> Tracer:
+    tracer = Tracer()
+    root = tracer.start_span(
+        "invoke:f", CAT_INVOCATION, 1.0, trace_id="t1", func="f"
+    )
+    call = root.child("log_append", CAT_SERVICE, 1.5)
+    call.annotate("retry", 2.0, attempt=2)
+    call.finish(3.0)
+    root.finish(4.0)
+    tracer.instant("node-crash", 5.0, node=0)
+    return tracer
+
+
+class TestChromeTraceEvents:
+    def test_complete_event_scaling(self):
+        events = chrome_trace_events(_make_tracer())
+        complete = [e for e in events if e["ph"] == "X"]
+        root = next(e for e in complete if e["name"] == "invoke:f")
+        # Simulated ms become trace-event microseconds.
+        assert root["ts"] == 1000.0 and root["dur"] == 3000.0
+        assert root["cat"] == CAT_INVOCATION
+        assert root["args"] == {"func": "f"}
+
+    def test_annotations_and_instants_are_instant_events(self):
+        events = chrome_trace_events(_make_tracer())
+        instants = {e["name"]: e for e in events if e["ph"] == "i"}
+        assert instants["retry"]["ts"] == 2000.0
+        assert instants["retry"]["s"] == "t"
+        assert instants["retry"]["args"] == {"attempt": 2}
+        assert instants["node-crash"]["args"] == {"node": 0}
+
+    def test_one_thread_lane_per_trace_id(self):
+        events = chrome_trace_events(_make_tracer())
+        names = {
+            e["args"]["name"]: e["tid"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(names) == {"t1", "platform"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in spans} == {names["t1"]}
+        crash = next(e for e in events if e["name"] == "node-crash")
+        assert crash["tid"] == names["platform"]
+
+    def test_only_valid_phases_emitted(self):
+        events = chrome_trace_events(_make_tracer())
+        assert {e["ph"] for e in events} <= {"X", "i", "M"}
+
+    def test_unfinished_span_flagged_not_dropped(self):
+        tracer = Tracer()
+        tracer.start_span("stuck", CAT_INVOCATION, 2.0, trace_id="t")
+        (event,) = [
+            e for e in chrome_trace_events(tracer) if e["ph"] == "X"
+        ]
+        assert event["dur"] == 0.0
+        assert event["args"]["unfinished"] is True
+
+
+class TestTraceObject:
+    def test_top_level_shape(self):
+        trace = chrome_trace(_make_tracer())
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"]["spans"] == 2
+        assert trace["traceEvents"]
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(_make_tracer(), str(path))
+        with open(path, encoding="utf-8") as f:
+            loaded = json.load(f)
+        assert loaded == written

@@ -1,0 +1,104 @@
+"""Unit tests for the span/tracer primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.observe import (
+    CAT_ATTEMPT,
+    CAT_INVOCATION,
+    CAT_SERVICE,
+    PLATFORM_TRACE_ID,
+    Tracer,
+)
+
+
+class TestSpanTree:
+    def test_parent_child_nesting(self):
+        tracer = Tracer()
+        root = tracer.start_span(
+            "invoke:f", CAT_INVOCATION, 0.0, trace_id="t1"
+        )
+        attempt = root.child("attempt-1", CAT_ATTEMPT, 1.0)
+        call = attempt.child("log_append", CAT_SERVICE, 2.0)
+        assert root.parent_id is None
+        assert attempt.parent_id == root.span_id
+        assert call.parent_id == attempt.span_id
+        assert attempt.trace_id == "t1" and call.trace_id == "t1"
+        assert tracer.children_of(root) == [attempt]
+        assert tracer.children_of(attempt) == [call]
+
+    def test_span_ids_unique_and_ordered(self):
+        tracer = Tracer()
+        spans = [
+            tracer.start_span(f"s{i}", CAT_SERVICE, float(i),
+                              trace_id="t")
+            for i in range(5)
+        ]
+        ids = [s.span_id for s in spans]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_duration_and_finish(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", CAT_SERVICE, 10.0, trace_id="t")
+        assert not span.finished
+        with pytest.raises(SimulationError):
+            span.duration_ms
+        span.finish(12.5)
+        assert span.finished
+        assert span.duration_ms == pytest.approx(2.5)
+
+    def test_double_finish_rejected(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", CAT_SERVICE, 0.0, trace_id="t")
+        span.finish(1.0)
+        with pytest.raises(SimulationError):
+            span.finish(2.0)
+
+    def test_finish_before_start_rejected(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", CAT_SERVICE, 5.0, trace_id="t")
+        with pytest.raises(SimulationError):
+            span.finish(4.0)
+
+    def test_annotations(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", CAT_SERVICE, 0.0, trace_id="t")
+        span.annotate("retry", 1.0, attempt=2, backoff_ms=4.0)
+        span.annotate("breaker:open", 2.0, service="log")
+        names = [e.name for e in span.events]
+        assert names == ["retry", "breaker:open"]
+        assert span.events[0].args == {"attempt": 2, "backoff_ms": 4.0}
+
+    def test_span_args_preserved(self):
+        tracer = Tracer()
+        span = tracer.start_span(
+            "invoke:f", CAT_INVOCATION, 0.0, trace_id="t", func="f"
+        )
+        assert span.args == {"func": "f"}
+
+
+class TestTracerIntrospection:
+    def test_spans_for_and_in(self):
+        tracer = Tracer()
+        a = tracer.start_span("a", CAT_INVOCATION, 0.0, trace_id="t1")
+        b = tracer.start_span("b", CAT_SERVICE, 0.0, trace_id="t2")
+        c = a.child("c", CAT_SERVICE, 1.0)
+        assert tracer.spans_for("t1") == [a, c]
+        assert tracer.spans_in(CAT_SERVICE) == [b, c]
+        assert len(tracer) == 3
+
+    def test_instants_default_to_platform_lane(self):
+        tracer = Tracer()
+        tracer.instant("node-crash", 100.0, node=0)
+        tracer.instant("orphan-takeover", 200.0, trace_id="inst-1")
+        assert tracer.instants[0][0] == PLATFORM_TRACE_ID
+        assert tracer.instants[1][0] == "inst-1"
+        assert tracer.instants[0][1].args == {"node": 0}
+
+    def test_trace_ids_first_seen_order(self):
+        tracer = Tracer()
+        tracer.start_span("a", CAT_INVOCATION, 0.0, trace_id="t2")
+        tracer.start_span("b", CAT_INVOCATION, 0.0, trace_id="t1")
+        tracer.start_span("c", CAT_SERVICE, 0.0, trace_id="t2")
+        tracer.instant("x", 1.0)
+        assert tracer.trace_ids() == ["t2", "t1", PLATFORM_TRACE_ID]

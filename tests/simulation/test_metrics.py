@@ -114,6 +114,32 @@ class TestThroughputMeter:
     def test_empty_meter(self):
         assert ThroughputMeter().rate_per_sec() == 0.0
 
+    def test_single_sample_uses_min_window(self):
+        # One completion has an observed span of zero, which used to
+        # report a silent 0.0 rate; the floor (1 ms) now applies.
+        m = ThroughputMeter()
+        m.record(500.0)
+        assert m.rate_per_sec() == pytest.approx(1 * 1000.0 / 1.0)
+
+    def test_simultaneous_samples_use_min_window(self):
+        m = ThroughputMeter(min_window_ms=10.0)
+        m.record(42.0)
+        m.record(42.0)
+        assert m.rate_per_sec() == pytest.approx(2 * 1000.0 / 10.0)
+
+    def test_min_window_floors_explicit_window(self):
+        m = ThroughputMeter(min_window_ms=5.0)
+        m.record(0.0)
+        assert m.rate_per_sec(window_ms=1.0) == pytest.approx(
+            1 * 1000.0 / 5.0
+        )
+
+    def test_non_positive_min_window_rejected(self):
+        with pytest.raises(SimulationError):
+            ThroughputMeter(min_window_ms=0.0)
+        with pytest.raises(SimulationError):
+            ThroughputMeter(min_window_ms=-1.0)
+
 
 class TestTimeSeries:
     def test_window_selection(self):
@@ -123,3 +149,28 @@ class TestTimeSeries:
         window = ts.window(3.0, 6.0)
         assert [v for _, v in window] == [6.0, 8.0, 10.0]
         assert len(ts.values()) == 10
+
+    def test_merged_interleaves_by_timestamp(self):
+        a = TimeSeries("lat")
+        a.record(1.0, 10.0)
+        a.record(5.0, 50.0)
+        b = TimeSeries("lat")
+        b.record(3.0, 30.0)
+        merged = a.merged(b)
+        assert merged.points == [(1.0, 10.0), (3.0, 30.0), (5.0, 50.0)]
+        # Inputs are untouched.
+        assert len(a.points) == 2 and len(b.points) == 1
+
+
+class TestCounterMerged:
+    def test_merged_sums_counts(self):
+        a = Counter()
+        a.add("x", 2)
+        a.add("y")
+        b = Counter()
+        b.add("x", 3)
+        b.add("z", 5)
+        merged = a.merged(b)
+        assert merged.as_dict() == {"x": 5, "y": 1, "z": 5}
+        # Inputs are untouched.
+        assert a.get("x") == 2 and b.get("x") == 3
