@@ -1,0 +1,112 @@
+"""Storage-plane scaling benchmark: p50/p99 at fixed load for N log
+shards, N ∈ {1, 2, 4, 8}.
+
+Asserts the scaling shape the sharded plane exists for:
+
+* at the saturating rate, p99 strictly improves from 1 to 4 shards
+  (per-shard utilisation falls as placement spreads the append load);
+* at the low rate, medians agree across shard counts to within noise —
+  sharding adds placement, not per-operation cost;
+* results are seed-deterministic.
+
+Alongside the rendered table, the run saves ``results/shard_sweep.json``
+with the raw p50/p99 per shard count so downstream tooling can diff
+scaling numbers across commits.
+"""
+
+import json
+
+import pytest
+
+from repro import SystemConfig
+from repro.harness import run_shard_point, run_shard_sweep
+
+from bench_utils import run_once, scaled
+
+SHARD_COUNTS = (1, 2, 4, 8)
+HIGH_RATE = 600.0
+LOW_RATE = 100.0
+DURATION = scaled(4_000.0, 10_000.0)
+WARMUP = scaled(800.0, 2_000.0)
+KEYS = scaled(1_000, 4_000)
+CONFIG = SystemConfig(seed=91)
+
+
+@pytest.fixture(scope="module")
+def points():
+    """One RunResult per (shards, rate) cell."""
+    return {
+        (shards, rate): run_shard_point(
+            shards, rate, config=CONFIG, duration_ms=DURATION,
+            warmup_ms=WARMUP, num_keys=KEYS,
+        )
+        for shards in SHARD_COUNTS
+        for rate in (LOW_RATE, HIGH_RATE)
+    }
+
+
+def test_shard_sweep_table_and_json(benchmark, save_table, results_dir,
+                                    points):
+    run_once(
+        benchmark,
+        lambda: run_shard_point(
+            1, LOW_RATE, config=CONFIG, duration_ms=1_500.0,
+            warmup_ms=300.0, num_keys=KEYS,
+        ),
+    )
+    table = run_shard_sweep(
+        shard_counts=SHARD_COUNTS, rates=(LOW_RATE, HIGH_RATE),
+        config=CONFIG, duration_ms=DURATION, warmup_ms=WARMUP,
+        num_keys=KEYS,
+    )
+    save_table("shard_sweep", table)
+    payload = {
+        "seed": CONFIG.seed,
+        "rates": {"low": LOW_RATE, "high": HIGH_RATE},
+        "duration_ms": DURATION,
+        "points": [
+            {
+                "log_shards": shards,
+                "rate_per_s": rate,
+                "p50_ms": result.median_ms,
+                "p99_ms": result.p99_ms,
+                "completed": result.completed,
+                "log_wait_ms_total": result.extras["log_wait_ms_total"],
+                "store_wait_ms_total": result.extras[
+                    "store_wait_ms_total"
+                ],
+            }
+            for (shards, rate), result in sorted(points.items())
+        ],
+    }
+    out = results_dir / "shard_sweep.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_p99_strictly_improves_one_to_four_shards(points):
+    p99 = {s: points[(s, HIGH_RATE)].p99_ms for s in SHARD_COUNTS}
+    assert p99[2] < p99[1]
+    assert p99[4] < p99[2]
+
+
+def test_queueing_wait_falls_with_shards(points):
+    waits = {
+        s: points[(s, HIGH_RATE)].extras["log_wait_ms_total"]
+        for s in SHARD_COUNTS
+    }
+    assert waits[4] < waits[1]
+    assert waits[8] <= waits[4] * 1.5  # diminishing, never regressing far
+
+
+def test_low_load_medians_within_noise(points):
+    medians = [points[(s, LOW_RATE)].median_ms for s in SHARD_COUNTS]
+    assert max(medians) <= min(medians) * 1.10
+
+
+def test_sweep_is_seed_deterministic(points):
+    again = run_shard_point(
+        4, HIGH_RATE, config=CONFIG, duration_ms=DURATION,
+        warmup_ms=WARMUP, num_keys=KEYS,
+    )
+    assert again.p99_ms == points[(4, HIGH_RATE)].p99_ms
+    assert again.completed == points[(4, HIGH_RATE)].completed

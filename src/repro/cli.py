@@ -12,12 +12,17 @@ Commands map one-to-one onto the experiment harness::
     python -m repro chaos  [--fault-rates 0.0 0.05 0.1] [--brownout]
     python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
     python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
+    python -m repro shards [--shards 1 2 4 8] [--rates 150 300 600]
     python -m repro advise --read-ratio 0.8 --rate 300
 
 Every experiment command additionally accepts ``--seed N`` (reseed the
 whole run deterministically) and ``--fault-rate R`` (inject transient
 infrastructure faults — errors, timeouts, gray failure — into every
-log/store operation at rate ``R``; see :mod:`repro.faults`).
+log/store operation at rate ``R``; see :mod:`repro.faults`), plus the
+storage-plane topology flags ``--storage-backend`` / ``--log-shards`` /
+``--kv-partitions`` / ``--placement`` (see :mod:`repro.storageplane`;
+the default 1×1 ``auto`` topology is bit-identical to the pre-plane
+code, which the CI golden-run diff enforces).
 
 ``--trace-out PATH`` attaches a span tracer to the run and writes a
 Chrome trace-event JSON file (loadable in https://ui.perfetto.dev or
@@ -48,6 +53,7 @@ from .harness import (
     run_fig14,
     run_latency_breakdown,
     run_recovery_sweep,
+    run_shard_sweep,
     run_table1,
     run_trace,
     trace_breakdown_table,
@@ -57,7 +63,7 @@ from .observe import Tracer, breakdown_table, write_chrome_trace
 
 #: Commands that execute invocations and accept an attached tracer.
 _TRACEABLE = ("fig10", "fig11", "fig12", "fig13", "chaos", "failover",
-              "trace")
+              "trace", "shards")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -80,6 +86,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out", type=str, default=None, metavar="PATH",
         help="write a Chrome trace-event JSON of the run to PATH "
              "(Perfetto-loadable; invocation-executing commands only)",
+    )
+    common.add_argument(
+        "--storage-backend", type=str, default=None,
+        metavar="NAME",
+        help="storage-plane backend (auto, single, sharded, or a "
+             "registered name; default: auto)",
+    )
+    common.add_argument(
+        "--log-shards", type=int, default=None, metavar="N",
+        help="number of log shards behind the metalog (default: 1)",
+    )
+    common.add_argument(
+        "--kv-partitions", type=int, default=None, metavar="M",
+        help="number of KV-store hash partitions (default: 1)",
+    )
+    common.add_argument(
+        "--placement", type=str, default=None,
+        choices=["hash", "first_seen"],
+        help="tag/key placement policy for sharded planes",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -183,6 +208,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "are identical; used by the determinism "
                             "check)")
 
+    shards = sub.add_parser(
+        "shards",
+        help="storage-plane scaling: p99 vs load by log-shard count",
+        parents=[common],
+    )
+    shards.add_argument("--shards", nargs="+", type=int,
+                        default=[1, 2, 4, 8],
+                        help="log-shard counts to sweep")
+    shards.add_argument("--rates", nargs="+", type=float,
+                        default=[150.0, 300.0, 600.0],
+                        help="offered loads (requests per second)")
+    shards.add_argument("--protocol", default="boki",
+                        choices=["unsafe", "boki", "halfmoon-read",
+                                 "halfmoon-write"])
+    shards.add_argument("--read-ratio", type=float, default=0.5)
+    shards.add_argument("--duration", type=float, default=8_000.0,
+                        help="arrival window (ms)")
+
     advise = sub.add_parser("advise", help="recommend a protocol")
     advise.add_argument("--read-ratio", type=float, required=True)
     advise.add_argument("--rate", type=float, default=100.0)
@@ -200,19 +243,45 @@ def _experiment_config(
     """
     seed = getattr(args, "seed", None)
     fault_rate = getattr(args, "fault_rate", None)
+    backend = getattr(args, "storage_backend", None)
+    log_shards = getattr(args, "log_shards", None)
+    kv_partitions = getattr(args, "kv_partitions", None)
+    placement = getattr(args, "placement", None)
     if seed is not None and seed < 0:
         parser.error(f"--seed must be non-negative, got {seed}")
     if fault_rate is not None and not (0.0 <= fault_rate < 1.0):
         parser.error(
             f"--fault-rate must be in [0, 1), got {fault_rate}"
         )
-    if seed is None and fault_rate is None:
+    if log_shards is not None and log_shards <= 0:
+        parser.error(f"--log-shards must be positive, got {log_shards}")
+    if kv_partitions is not None and kv_partitions <= 0:
+        parser.error(
+            f"--kv-partitions must be positive, got {kv_partitions}"
+        )
+    if backend is not None and backend != "auto":
+        from .storageplane import available_backends
+
+        if backend not in available_backends():
+            parser.error(
+                f"unknown --storage-backend {backend!r}; available: "
+                f"{['auto'] + available_backends()}"
+            )
+    storage_flags = (backend, log_shards, kv_partitions, placement)
+    if seed is None and fault_rate is None and all(
+        flag is None for flag in storage_flags
+    ):
         return None
     config = SystemConfig()
     if seed is not None:
         config = config.with_seed(seed)
     if fault_rate is not None:
         config = config.with_fault_rate(fault_rate)
+    if any(flag is not None for flag in storage_flags):
+        config = config.with_storage_plane(
+            log_shards=log_shards, kv_partitions=kv_partitions,
+            backend=backend, placement=placement,
+        )
     return config.validate()
 
 
@@ -343,6 +412,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({trace_json['otherData']['spans']} spans, "
                 f"{len(trace_json['traceEvents'])} events)"
             )
+    elif args.command == "shards":
+        print(
+            run_shard_sweep(
+                shard_counts=args.shards, rates=args.rates,
+                protocol=args.protocol, read_ratio=args.read_ratio,
+                config=config, duration_ms=args.duration,
+                tracer=tracer,
+            ).render()
+        )
     elif args.command == "advise":
         profile = WorkloadProfile(
             p_read=args.read_ratio,

@@ -156,6 +156,11 @@ class ClusterConfig:
     model_log_contention: bool = False
     sequencer_service_ms: float = 0.02
     log_shard_service_ms: float = 0.05
+    #: Per-partition FIFO queueing of the external store (same station
+    #: model as the log shards).  Off by default; the shard-sweep
+    #: experiment enables it so offered load saturates per-partition.
+    model_store_contention: bool = False
+    store_partition_service_ms: float = 0.05
 
     def validate(self) -> None:
         if self.function_nodes <= 0:
@@ -168,6 +173,8 @@ class ClusterConfig:
             raise ConfigError("log_cache_hit_ratio must be in [0, 1]")
         if self.sequencer_service_ms < 0 or self.log_shard_service_ms < 0:
             raise ConfigError("log-layer service times must be >= 0")
+        if self.store_partition_service_ms < 0:
+            raise ConfigError("store service time must be >= 0")
 
     @property
     def total_workers(self) -> int:
@@ -188,19 +195,49 @@ class GCConfig:
 
 @dataclass(frozen=True)
 class StorageSizeConfig:
-    """Byte-size accounting used by the storage-overhead experiments.
+    """Storage-plane topology and byte-size accounting.
 
     ``meta_bytes`` is the size of a log record's metadata (seqnum, tags,
     step/op fields); Section 4.1 notes this fits in a few dozen bytes.
+
+    The plane fields select the backend :func:`repro.storageplane.
+    build_storage_plane` constructs:
+
+    * ``backend`` — ``"auto"`` (default; ``single`` at a 1×1 topology,
+      ``sharded`` otherwise), ``"single"``, ``"sharded"``, or any name
+      plugged in via :func:`repro.storageplane.register_backend`;
+    * ``log_shards`` — number of log storage shards behind the metalog
+      sequencer (tag sub-streams are routed deterministically);
+    * ``kv_partitions`` — number of hash partitions of the external
+      store (versions co-locate with their base key);
+    * ``placement`` — routing policy, ``"hash"`` (stable CRC-32) or
+      ``"first_seen"`` (deterministic round-robin).
+
+    The default 1×1 topology is the paper-faithful configuration and is
+    bit-identical to the pre-plane substrates.
     """
 
     key_bytes: int = 8
     value_bytes: int = 256
     meta_bytes: int = 48
+    backend: str = "auto"
+    log_shards: int = 1
+    kv_partitions: int = 1
+    placement: str = "hash"
 
     def validate(self) -> None:
         if min(self.key_bytes, self.value_bytes, self.meta_bytes) <= 0:
             raise ConfigError("storage sizes must be positive")
+        if self.log_shards <= 0:
+            raise ConfigError("log_shards must be positive")
+        if self.kv_partitions <= 0:
+            raise ConfigError("kv_partitions must be positive")
+        if self.placement not in ("hash", "first_seen"):
+            raise ConfigError(
+                "placement must be 'hash' or 'first_seen'"
+            )
+        if not self.backend:
+            raise ConfigError("backend must be a non-empty name")
 
 
 @dataclass(frozen=True)
@@ -451,6 +488,26 @@ class SystemConfig:
         return replace(
             self, storage=replace(self.storage, value_bytes=value_bytes)
         )
+
+    def with_storage_plane(
+        self,
+        log_shards: Optional[int] = None,
+        kv_partitions: Optional[int] = None,
+        backend: Optional[str] = None,
+        placement: Optional[str] = None,
+    ) -> "SystemConfig":
+        """Select the storage-plane topology/backend (see
+        :mod:`repro.storageplane`)."""
+        overrides = {}
+        if log_shards is not None:
+            overrides["log_shards"] = log_shards
+        if kv_partitions is not None:
+            overrides["kv_partitions"] = kv_partitions
+        if backend is not None:
+            overrides["backend"] = backend
+        if placement is not None:
+            overrides["placement"] = placement
+        return replace(self, storage=replace(self.storage, **overrides))
 
     def with_crash_probability(self, p: float) -> "SystemConfig":
         return replace(

@@ -12,6 +12,8 @@
   detection, orphan takeover, exactly-once audit
 * :mod:`repro.harness.trace_exp` — one fully traced DES run for
   Chrome trace-event export and latency-breakdown reports
+* :mod:`repro.harness.shards_exp` — storage-plane scaling: p99 vs load
+  as the log splits across 1/2/4/8 shards
 """
 
 from .apps import APP_FACTORIES, run_app_point, run_fig11
@@ -37,6 +39,11 @@ from .overhead import (
 )
 from .platform import RunResult, SimPlatform
 from .recovery_exp import run_recovery_point, run_recovery_sweep
+from .shards_exp import (
+    run_shard_point,
+    run_shard_sweep,
+    shard_sweep_config,
+)
 from .report import ExperimentTable
 from .trace_exp import (
     run_trace,
@@ -76,7 +83,10 @@ __all__ = [
     "run_overhead_point",
     "run_recovery_point",
     "run_recovery_sweep",
+    "run_shard_point",
+    "run_shard_sweep",
     "run_table1",
+    "shard_sweep_config",
     "run_trace",
     "trace_breakdown_table",
     "trace_summary_table",

@@ -202,11 +202,23 @@ class SimPlatform:
         # Logging-layer contention model (optional): analytic FIFO
         # bookkeeping for the sequencer and the storage shards.  Works
         # because invocations drain their traces in nondecreasing
-        # simulation-time order.
+        # simulation-time order.  With a labelled (sharded) plane each
+        # append queues at *its record's* shard station, so hot shards
+        # saturate individually; the unlabelled plane keeps the seed's
+        # round-robin spread over ``cluster.storage_nodes``.
+        plane = backend.plane
+        self._plane_labelled = plane.labelled
         self._seq_next_free = 0.0
-        self._shard_next_free = [0.0] * self.config.cluster.storage_nodes
+        num_stations = (plane.num_log_shards if plane.labelled
+                        else self.config.cluster.storage_nodes)
+        self._shard_next_free = [0.0] * num_stations
         self._shard_cursor = 0
         self.log_wait_ms_total = 0.0
+        # Store-partition stations (optional, labelled planes only).
+        num_store_stations = (plane.num_kv_partitions if plane.labelled
+                              else 1)
+        self._store_next_free = [0.0] * num_store_stations
+        self.store_wait_ms_total = 0.0
 
         self.log_gauge = metrics.register(
             "storage_bytes",
@@ -225,6 +237,36 @@ class SimPlatform:
         )
         backend.kv.add_storage_listener(
             lambda b: self.db_gauge.set(b, self.sim.now)
+        )
+        if plane.labelled:
+            self._register_placement_gauges(metrics, backend, plane)
+
+    def _register_placement_gauges(self, metrics, backend, plane) -> None:
+        """Per-shard / per-partition ``storage_bytes`` gauges (sharded
+        planes only, so the default topology's metric set is unchanged)."""
+        shard_gauges = [
+            metrics.register(
+                "storage_bytes",
+                TimeWeightedGauge(f"log-shard-{i}-bytes", 0.0,
+                                  backend.log.shard_bytes(i)),
+                store="log", shard=i,
+            )
+            for i in range(plane.num_log_shards)
+        ]
+        backend.log.add_shard_storage_listener(
+            lambda shard, b: shard_gauges[shard].set(b, self.sim.now)
+        )
+        partition_gauges = [
+            metrics.register(
+                "storage_bytes",
+                TimeWeightedGauge(f"db-partition-{i}-bytes", 0.0,
+                                  backend.kv.partition_bytes(i)),
+                store="db", partition=i,
+            )
+            for i in range(plane.num_kv_partitions)
+        ]
+        backend.kv.add_partition_storage_listener(
+            lambda part, b: partition_gauges[part].set(b, self.sim.now)
         )
 
     # ------------------------------------------------------------------
@@ -552,7 +594,8 @@ class SimPlatform:
         # order, which keeps the FIFO bookkeeping exact at op granularity.
         now = self.sim.now
         extra_wait = 0.0
-        for kind, ms in svc.trace.entries:
+        store_wait_total = 0.0
+        for kind, ms, placement in svc.trace.entries:
             self.time_by_kind[kind] = (
                 self.time_by_kind.get(kind, 0.0) + ms
             )
@@ -564,8 +607,15 @@ class SimPlatform:
                 self._seq_next_free = (
                     now + wait + cluster.sequencer_service_ms
                 )
-                shard = self._shard_cursor % len(self._shard_next_free)
-                self._shard_cursor += 1
+                if placement is not None and placement[0] == "shard":
+                    # Sharded plane: queue where the record lives, so a
+                    # hot shard saturates while its peers stay idle.
+                    shard = placement[1]
+                else:
+                    # Unlabelled plane: the seed's round-robin spread
+                    # over the storage nodes.
+                    shard = self._shard_cursor % len(self._shard_next_free)
+                    self._shard_cursor += 1
                 shard_start = now + wait
                 shard_wait = max(
                     0.0, self._shard_next_free[shard] - shard_start
@@ -576,10 +626,32 @@ class SimPlatform:
                 )
                 extra_wait += wait + shard_wait
                 self.log_wait_ms_total += wait + shard_wait
+            elif (cluster.model_store_contention
+                    and kind in Cost.STORE_KINDS):
+                partition = (
+                    placement[1]
+                    if placement is not None and placement[0] == "partition"
+                    else 0
+                )
+                store_wait = max(
+                    0.0, self._store_next_free[partition] - now
+                )
+                self._store_next_free[partition] = (
+                    now + store_wait + cluster.store_partition_service_ms
+                )
+                extra_wait += store_wait
+                store_wait_total += store_wait
+                self.store_wait_ms_total += store_wait
         if stages is not None and extra_wait > 0:
-            stages["log_queue_wait"] = (
-                stages.get("log_queue_wait", 0.0) + extra_wait
-            )
+            log_wait = extra_wait - store_wait_total
+            if log_wait > 0:
+                stages["log_queue_wait"] = (
+                    stages.get("log_queue_wait", 0.0) + log_wait
+                )
+            if store_wait_total > 0:
+                stages["store_queue_wait"] = (
+                    stages.get("store_queue_wait", 0.0) + store_wait_total
+                )
         return svc.trace.drain() + extra_wait
 
     def _gc_process(self):

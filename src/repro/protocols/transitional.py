@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Tuple
 
 from ..errors import KeyMissingError
-from ..store.kv import GENESIS_VERSION
+from ..storageplane import GENESIS_VERSION
 from ..tags import object_tag
 from .base import LoggedProtocol
 

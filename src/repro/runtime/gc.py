@@ -43,6 +43,12 @@ class GCStats:
     write_log_records_trimmed: int = 0
     versions_deleted: int = 0
     last_safe_seqnum: int = 0
+    #: Per-shard trim frontier after the latest scan, straight from the
+    #: metalog (sharded planes only; empty on the single-node plane).
+    #: Trims advance each shard's frontier independently — the
+    #: regression tests pin that a trim on shard A never moves (or
+    #: drops records behind) shard B's frontier.
+    shard_frontiers: Dict[int, int] = field(default_factory=dict)
 
     def total_trimmed(self) -> int:
         return (
@@ -90,6 +96,12 @@ class GarbageCollector:
                     self.stats.versions_deleted += 1
             horizon = records[marked - 1].seqnum
             self.stats.write_log_records_trimmed += log.trim(tag, horizon)
+
+        # Sharded planes: publish where each shard's reclamation horizon
+        # now sits (the metalog owns the authoritative frontiers).
+        frontiers = getattr(log, "shard_trim_frontiers", None)
+        if frontiers is not None:
+            self.stats.shard_frontiers = frontiers()
         return self.stats
 
     @staticmethod

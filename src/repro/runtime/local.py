@@ -259,11 +259,15 @@ class LocalRuntime:
         backend.mv.write_version(
             key, version_number, value, backend.value_bytes
         )
+        tag = object_tag(key)
         seqnum = backend.log.append(
-            [object_tag(key)],
+            [tag],
             {"op": "write", "key": key, "version": version_number},
         )
-        backend.cache.insert(seqnum)
+        placement = backend.log_placement(tag)
+        backend.cache.insert(
+            seqnum, placement[1] if placement is not None else 0
+        )
 
     # ------------------------------------------------------------------
     # Invocation
@@ -296,7 +300,7 @@ class LocalRuntime:
             )
 
         def absorb(svc: InstanceServices) -> None:
-            for kind, ms in svc.trace.entries:
+            for kind, ms, _placement in svc.trace.entries:
                 cost_by_kind[kind] = cost_by_kind.get(kind, 0.0) + ms
 
         for attempt in range(1, max_attempts + 1):

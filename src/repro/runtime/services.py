@@ -42,7 +42,7 @@ from ..faults import (
     RetryPolicy,
 )
 from ..observe import CAT_SERVICE, MetricsRegistry, Span, Tracer
-from ..sharedlog import LogRecord, RecordCache, SharedLog
+from ..sharedlog import LogRecord, RecordCache
 from ..simulation.latency import (
     ConstantLatency,
     LatencyModel,
@@ -50,7 +50,7 @@ from ..simulation.latency import (
 )
 from ..simulation.metrics import LatencyRecorder
 from ..simulation.rng import RngRegistry
-from ..store import KVStore, MultiVersionStore
+from ..storageplane import StoragePlane, build_storage_plane
 
 
 class Cost:
@@ -109,6 +109,12 @@ class Cost:
         {RETRY_BACKOFF, SERVICE_ERROR, SERVICE_TIMEOUT}
     )
 
+    #: Kinds that hit the external store (for per-partition queueing).
+    STORE_KINDS = frozenset(
+        {DB_READ, DB_READ_VERSION, DB_WRITE, DB_WRITE_VERSION,
+         DB_COND_WRITE}
+    )
+
 
 class LatencyProvider:
     """Maps cost kinds to calibrated latency distributions."""
@@ -155,10 +161,11 @@ class LatencyProvider:
         return self._models[kind].sample(rng)
 
     def sample_log_read(
-        self, seqnum: Optional[int], rng: np.random.Generator
+        self, seqnum: Optional[int], rng: np.random.Generator,
+        shard: int = 0,
     ) -> float:
         """Log reads hit the function-node cache or pay a storage trip."""
-        if seqnum is None or self._cache.lookup(seqnum):
+        if seqnum is None or self._cache.lookup(seqnum, shard):
             return self._log_read_hit.sample(rng)
         return self._log_read_miss.sample(rng)
 
@@ -166,17 +173,29 @@ class LatencyProvider:
         return self._models[kind].mean()
 
 
+#: A placement label carried by a cost-trace entry: ``("shard", i)``
+#: for log operations and ``("partition", i)`` for store operations, or
+#: ``None`` when the plane is unlabelled (single-node topology).
+Placement = Optional[tuple]
+
+
 @dataclass
 class CostTrace:
-    """Latency charges accumulated by one protocol-level operation."""
+    """Latency charges accumulated by one protocol-level operation.
+
+    Entries are ``(kind, latency_ms, placement)`` triples; the DES
+    drains them to advance simulated time and, when contention is
+    modelled, queues each charge at the station its placement names.
+    """
 
     entries: List[Any] = field(default_factory=list)
     #: Running sum, so ``total_ms`` is O(1) — the tracer's virtual
     #: clock reads it on every span boundary.
     _total_ms: float = 0.0
 
-    def charge(self, kind: str, latency_ms: float) -> None:
-        self.entries.append((kind, latency_ms))
+    def charge(self, kind: str, latency_ms: float,
+               placement: Placement = None) -> None:
+        self.entries.append((kind, latency_ms, placement))
         self._total_ms += latency_ms
 
     def total_ms(self) -> float:
@@ -202,9 +221,13 @@ class ServiceBackend:
                  rng: Optional[RngRegistry] = None):
         self.config = config.validate()
         self.rng = rng if rng is not None else RngRegistry(config.seed)
-        self.log = SharedLog(meta_bytes=config.storage.meta_bytes)
-        self.kv = KVStore()
-        self.mv = MultiVersionStore(self.kv)
+        #: The pluggable storage plane (single-node, sharded, or a
+        #: registered custom backend); ``log``/``kv``/``mv`` are its
+        #: substrates, kept as attributes for the many existing callers.
+        self.plane: StoragePlane = build_storage_plane(config)
+        self.log = self.plane.log
+        self.kv = self.plane.kv
+        self.mv = self.plane.mv
         self.cache = RecordCache()
         self.latency = LatencyProvider(config, self.cache)
         #: Central labelled metrics registry; every component below
@@ -267,6 +290,7 @@ class ServiceBackend:
         self.metrics.probe(
             "kv_store", lambda: {"bytes": self.kv.storage_bytes()}
         )
+        self.metrics.probe("storage_plane", self.plane.describe)
         self.metrics.probe(
             "fault_injector",
             lambda: {
@@ -277,36 +301,63 @@ class ServiceBackend:
 
     # -- helpers used by InstanceServices -------------------------------
 
-    def charge(self, kind: str, trace: CostTrace,
-               factor: float = 1.0) -> float:
+    def charge(self, kind: str, trace: CostTrace, factor: float = 1.0,
+               placement: Placement = None) -> float:
         ms = self.latency.sample(kind, self._latency_rng) * factor
-        trace.charge(kind, ms)
+        trace.charge(kind, ms, placement)
         self.counters.add(kind)
-        self._note(kind, ms)
+        self._note(kind, ms, placement)
         return ms
 
     def charge_log_read(self, seqnum: Optional[int], trace: CostTrace,
-                        factor: float = 1.0) -> float:
-        ms = self.latency.sample_log_read(seqnum, self._latency_rng) * factor
-        trace.charge(Cost.LOG_READ, ms)
+                        factor: float = 1.0,
+                        placement: Placement = None) -> float:
+        shard = placement[1] if placement is not None else 0
+        ms = self.latency.sample_log_read(
+            seqnum, self._latency_rng, shard
+        ) * factor
+        trace.charge(Cost.LOG_READ, ms, placement)
         self.counters.add(Cost.LOG_READ)
-        self._note(Cost.LOG_READ, ms)
+        self._note(Cost.LOG_READ, ms, placement)
         return ms
 
     def charge_raw(self, kind: str, ms: float, trace: CostTrace) -> float:
         """Charge a policy-determined amount (backoff, timeout burn)."""
         trace.charge(kind, ms)
         self.counters.add(kind)
-        self._note(kind, ms)
+        self._note(kind, ms, None)
         return ms
 
-    def _note(self, kind: str, ms: float) -> None:
+    def _note(self, kind: str, ms: float, placement: Placement) -> None:
+        """Record into ``op_latency{kind=}`` — plus the per-shard /
+        per-partition labelled recorder when the plane routes the op."""
         recorder = self.op_latency.get(kind)
         if recorder is None:
             recorder = self.op_latency[kind] = self.metrics.latency(
                 "op_latency", kind=kind
             )
         recorder.record(ms)
+        if placement is not None:
+            key = (kind, placement)
+            labelled = self.op_latency.get(key)
+            if labelled is None:
+                labelled = self.op_latency[key] = self.metrics.latency(
+                    "op_latency", kind=kind,
+                    **{placement[0]: placement[1]},
+                )
+            labelled.record(ms)
+
+    def log_placement(self, tag: str) -> Placement:
+        """Placement label of a log operation on ``tag`` (None at 1×1)."""
+        if not self.plane.labelled:
+            return None
+        return ("shard", self.plane.log_shard_of(tag))
+
+    def kv_placement(self, key: str) -> Placement:
+        """Placement label of a store operation on ``key`` (None at 1×1)."""
+        if not self.plane.labelled:
+            return None
+        return ("partition", self.plane.kv_partition_of(key))
 
     def breaker_trips(self) -> int:
         return sum(b.trips for b in self.breakers.values())
@@ -410,6 +461,7 @@ class InstanceServices:
         charge_error: Optional[Callable[[float], None]] = None,
         droppable: bool = False,
         degraded: Optional[Callable[[], Any]] = None,
+        placement: Placement = None,
     ) -> Any:
         """Run one substrate call under the resilience policy.
 
@@ -429,8 +481,11 @@ class InstanceServices:
         breaker = backend.breakers[service]
         op_span = None
         if self._span is not None:
+            attrs = {"service": service}
+            if placement is not None:
+                attrs[placement[0]] = placement[1]
             op_span = self._span.child(
-                kind, CAT_SERVICE, self.now_ms(), service=service
+                kind, CAT_SERVICE, self.now_ms(), **attrs
             )
         if (not backend.faults.enabled
                 and breaker.state == BreakerState.CLOSED):
@@ -568,16 +623,21 @@ class InstanceServices:
     ) -> int:
         self.checkpoint("log_append:pre")
         kind = self._append_kind(synchronous, control, background)
+        placement = self.backend.log_placement(tags[0]) if tags else None
+        shard = placement[1] if placement is not None else 0
 
         def do() -> int:
             seqnum = self.backend.log.append(tags, data, payload_bytes)
-            self.backend.cache.insert(seqnum)
+            self.backend.cache.insert(seqnum, shard)
             return seqnum
 
         seqnum = self._service_call(
             "log", kind, do,
-            charge=lambda _r, f: self.backend.charge(kind, self.trace, f),
+            charge=lambda _r, f: self.backend.charge(
+                kind, self.trace, f, placement=placement
+            ),
             droppable=background,
+            placement=placement,
         )
         self.checkpoint("log_append:post")
         if seqnum is None:
@@ -610,78 +670,97 @@ class InstanceServices:
         the winning record's seqnum when a peer instance got there first."""
         self.checkpoint("log_cond_append:pre")
         kind = self._append_kind(synchronous, control)
+        placement = self.backend.log_placement(tags[0]) if tags else None
+        shard = placement[1] if placement is not None else 0
 
         def do() -> int:
             seqnum = self.backend.log.cond_append(
                 tags, data, cond_tag, cond_pos, payload_bytes
             )
-            self.backend.cache.insert(seqnum)
+            self.backend.cache.insert(seqnum, shard)
             return seqnum
 
         # A lost race still pays for the round trip (charge_error).
         seqnum = self._service_call(
             "log", kind, do,
-            charge=lambda _r, f: self.backend.charge(kind, self.trace, f),
-            charge_error=lambda f: self.backend.charge(
-                kind, self.trace, f
+            charge=lambda _r, f: self.backend.charge(
+                kind, self.trace, f, placement=placement
             ),
+            charge_error=lambda f: self.backend.charge(
+                kind, self.trace, f, placement=placement
+            ),
+            placement=placement,
         )
         self.checkpoint("log_cond_append:post")
         return seqnum
 
-    def _read_from_cache(self, record: Optional[LogRecord]):
+    def _read_from_cache(self, record: Optional[LogRecord],
+                         placement: Placement = None):
         """Degraded mode: serve a log read node-locally when the record
         is resident in the function-node cache (log brown-out path)."""
         if record is not None and self.backend.cache.contains(record.seqnum):
-            self.backend.charge_log_read(record.seqnum, self.trace)
+            self.backend.charge_log_read(
+                record.seqnum, self.trace, placement=placement
+            )
             return True, record
         return False, None
 
     def log_read_prev(self, tag: str, max_seqnum: int) -> Optional[LogRecord]:
         self.checkpoint("log_read_prev:pre")
+        placement = self.backend.log_placement(tag)
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log.read_prev(tag, max_seqnum),
             charge=lambda r, f: self.backend.charge_log_read(
-                r.seqnum if r is not None else None, self.trace, f
+                r.seqnum if r is not None else None, self.trace, f,
+                placement=placement,
             ),
             degraded=lambda: self._read_from_cache(
-                self.backend.log.read_prev(tag, max_seqnum)
+                self.backend.log.read_prev(tag, max_seqnum), placement
             ),
+            placement=placement,
         )
 
     def log_read_next(self, tag: str, min_seqnum: int) -> Optional[LogRecord]:
         self.checkpoint("log_read_next:pre")
+        placement = self.backend.log_placement(tag)
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log.read_next(tag, min_seqnum),
             charge=lambda r, f: self.backend.charge_log_read(
-                r.seqnum if r is not None else None, self.trace, f
+                r.seqnum if r is not None else None, self.trace, f,
+                placement=placement,
             ),
             degraded=lambda: self._read_from_cache(
-                self.backend.log.read_next(tag, min_seqnum)
+                self.backend.log.read_next(tag, min_seqnum), placement
             ),
+            placement=placement,
         )
 
     def log_read_stream(self, tag: str) -> List[LogRecord]:
         """Fetch a whole sub-stream (``getStepLogs`` in the pseudocode)."""
         self.checkpoint("log_read_stream:pre")
+        placement = self.backend.log_placement(tag)
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log.read_stream(tag),
             charge=lambda r, f: self.backend.charge_log_read(
-                r[-1].seqnum if r else None, self.trace, f
+                r[-1].seqnum if r else None, self.trace, f,
+                placement=placement,
             ),
+            placement=placement,
         )
 
     def log_record_at(self, tag: str, offset: int) -> LogRecord:
         """Fetch the record at a stream offset (post-conflict recovery)."""
+        placement = self.backend.log_placement(tag)
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log._record_at_offset(tag, offset),
             charge=lambda r, f: self.backend.charge_log_read(
-                r.seqnum, self.trace, f
+                r.seqnum, self.trace, f, placement=placement
             ),
+            placement=placement,
         )
 
     @property
@@ -690,10 +769,14 @@ class InstanceServices:
 
     # -- database operations ----------------------------------------------
 
-    def _db_call(self, kind: str, do: Callable[[], Any]) -> Any:
+    def _db_call(self, kind: str, do: Callable[[], Any], key: str) -> Any:
+        placement = self.backend.kv_placement(key)
         return self._service_call(
             "store", kind, do,
-            charge=lambda _r, f: self.backend.charge(kind, self.trace, f),
+            charge=lambda _r, f: self.backend.charge(
+                kind, self.trace, f, placement=placement
+            ),
+            placement=placement,
         )
 
     def db_read(self, key: str, default: Any = None) -> Any:
@@ -701,6 +784,7 @@ class InstanceServices:
         return self._db_call(
             Cost.DB_READ,
             lambda: self.backend.kv.get_optional(key, default),
+            key,
         )
 
     def db_read_with_version(self, key: str) -> Any:
@@ -708,6 +792,7 @@ class InstanceServices:
         return self._db_call(
             Cost.DB_READ,
             lambda: self.backend.kv.get_with_version(key),
+            key,
         )
 
     def db_read_version(self, key: str, version_number: str) -> Any:
@@ -715,6 +800,7 @@ class InstanceServices:
         return self._db_call(
             Cost.DB_READ_VERSION,
             lambda: self.backend.mv.read_version(key, version_number),
+            key,
         )
 
     def db_write(self, key: str, value: Any) -> None:
@@ -724,6 +810,7 @@ class InstanceServices:
             lambda: self.backend.kv.put(
                 key, value, self.backend.value_bytes
             ),
+            key,
         )
         self.checkpoint("db_write:post")
 
@@ -736,6 +823,7 @@ class InstanceServices:
             lambda: self.backend.mv.write_version(
                 key, version_number, value, self.backend.value_bytes
             ),
+            key,
         )
         self.checkpoint("db_write_version:post")
 
@@ -747,6 +835,7 @@ class InstanceServices:
             lambda: self.backend.kv.conditional_put(
                 key, value, version, self.backend.value_bytes
             ),
+            key,
         )
         self.checkpoint("db_cond_write:post")
         return applied

@@ -268,8 +268,9 @@ class SwitchManager:
                         key, version_number, latest_value,
                         self.backend.value_bytes,
                     )
+                    seal_tag = object_tag(key)
                     sealed_seqnum = log.append(
-                        [object_tag(key)],
+                        [seal_tag],
                         {
                             "op": "write",
                             "key": key,
@@ -277,7 +278,11 @@ class SwitchManager:
                             "sealed": True,
                         },
                     )
-                    self.backend.cache.insert(sealed_seqnum)
+                    placement = self.backend.log_placement(seal_tag)
+                    self.backend.cache.insert(
+                        sealed_seqnum,
+                        placement[1] if placement is not None else 0,
+                    )
             elif target == "halfmoon-write":
                 if newest is not None and (
                     versioned_freshness > latest_freshness

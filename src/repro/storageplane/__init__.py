@@ -1,0 +1,42 @@
+"""Pluggable storage plane: metalog + log shards + partitioned KV.
+
+The runtime binds to :class:`StoragePlane`, never to concrete
+substrates; :func:`build_storage_plane` selects the backend from
+:class:`~repro.config.StorageSizeConfig` (``backend`` / ``log_shards``
+/ ``kv_partitions`` / ``placement``).  ``single`` (the default at a
+1×1 topology) is the paper-faithful configuration and bit-identical to
+the pre-plane code; ``sharded`` scales the log into a
+:class:`Metalog` + N :class:`LogShard` s and the store into M hash
+partitions.
+"""
+
+from .base import GENESIS_VERSION, StoragePlane
+from .metalog import Metalog
+from .partitioned_kv import PartitionedKV
+from .plane import (
+    ShardedPlane,
+    SingleNodePlane,
+    available_backends,
+    build_storage_plane,
+    register_backend,
+)
+from .routing import PLACEMENT_POLICIES, Router, base_key, stable_hash
+from .sharded_log import LogShard, ShardedLog
+
+__all__ = [
+    "GENESIS_VERSION",
+    "LogShard",
+    "Metalog",
+    "PLACEMENT_POLICIES",
+    "PartitionedKV",
+    "Router",
+    "ShardedLog",
+    "ShardedPlane",
+    "SingleNodePlane",
+    "StoragePlane",
+    "available_backends",
+    "base_key",
+    "build_storage_plane",
+    "register_backend",
+    "stable_hash",
+]

@@ -1,0 +1,105 @@
+"""The pluggable storage-plane interface.
+
+Halfmoon's prototype runs on Boki, whose "shared log" is really a
+*metalog* (a global sequencer ordering records) in front of a set of
+storage shards, with DynamoDB as an interchangeable external store —
+AFT makes the same point by interposing one shim interface over
+swappable backends.  This module defines that seam for the
+reproduction: :class:`StoragePlane` is the only storage type the
+runtime (:class:`~repro.runtime.services.ServiceBackend`) binds to, and
+concrete planes — single-node, sharded, or future external backends —
+are selected by :class:`~repro.config.StorageSizeConfig` and built by
+:func:`repro.storageplane.plane.build_storage_plane`.
+
+The contract deliberately re-uses the *duck types* of the seed
+substrates rather than wrapping every call:
+
+* :attr:`StoragePlane.log` exposes the five log APIs of the paper's
+  Figure 3 (``append`` / ``read_prev`` / ``read_next`` / ``trim`` /
+  ``cond_append``) plus the introspection the GC and switch manager
+  use;
+* :attr:`StoragePlane.kv` exposes the plain-KV-plus-conditional-update
+  surface of :class:`~repro.store.kv.KVStore`;
+* :attr:`StoragePlane.mv` is the multi-version layer over ``kv``.
+
+What the interface *adds* is placement: :meth:`log_shard_of` and
+:meth:`kv_partition_of` name the shard/partition an operation lands on,
+so the service layer can label latency metrics and trace spans and the
+DES can queue the operation at the right per-shard station.  A
+single-node plane routes everything to shard/partition 0 and reports
+``labelled = False`` so nothing downstream changes shape — that
+configuration is bit-identical to the pre-plane code and is the
+paper-faithful one (the prototype's logging layer is small enough that
+the paper treats it as a single service).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict
+
+# Re-exported so protocol code can reference the genesis version marker
+# without importing a concrete store class (see repro.protocols.transitional).
+from ..store.kv import GENESIS_VERSION  # noqa: F401
+
+
+class StoragePlane(ABC):
+    """One storage deployment: a log plane plus an external-state plane."""
+
+    #: Registry name of the backend that built this plane.
+    name: str = "abstract"
+
+    # -- substrates ------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def log(self) -> Any:
+        """Shared-log substrate (``SharedLog``-compatible duck type)."""
+
+    @property
+    @abstractmethod
+    def kv(self) -> Any:
+        """External store substrate (``KVStore``-compatible duck type)."""
+
+    @property
+    @abstractmethod
+    def mv(self) -> Any:
+        """Multi-version layer over :attr:`kv`."""
+
+    # -- placement -------------------------------------------------------
+
+    @property
+    def num_log_shards(self) -> int:
+        return 1
+
+    @property
+    def num_kv_partitions(self) -> int:
+        return 1
+
+    def log_shard_of(self, tag: str) -> int:
+        """The log shard whose sub-stream index serves ``tag``."""
+        return 0
+
+    def kv_partition_of(self, key: str) -> int:
+        """The KV partition holding ``key`` (versions follow base keys)."""
+        return 0
+
+    @property
+    def labelled(self) -> bool:
+        """Whether ops should carry ``shard=`` / ``partition=`` labels.
+
+        Single-node planes return ``False`` so metric keys, span
+        attributes, and report shapes stay bit-identical to the
+        pre-plane code.
+        """
+        return False
+
+    # -- introspection ---------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Flat snapshot of the plane topology (registry probe)."""
+        return {
+            "backend": self.name,
+            "log_shards": self.num_log_shards,
+            "kv_partitions": self.num_kv_partitions,
+        }

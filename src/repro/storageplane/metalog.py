@@ -1,0 +1,89 @@
+"""The metalog: global sequencer and record directory of the log plane.
+
+In Boki the total order of the shared log is not produced by the storage
+shards — a *metalog* (one sequencer appending to its own internal log)
+assigns every record a position, and the shards merely materialise the
+per-tag indexes and hold record bodies.  This class is that authority
+for the sharded plane:
+
+* it hands out the monotone seqnums (``assign``), so the global total
+  order exists *before* any shard is touched — which is exactly why two
+  concurrent ``logCondAppend`` calls to the same tag serialize here even
+  when their other tags live on different shards;
+* it tracks, per record, how many live sub-stream references remain
+  (``add_refs`` / ``release_ref``), so a body is freed exactly once no
+  matter which shards trim which tags — storage is accounted once per
+  record, as in Boki;
+* it records the per-shard trim frontier (``note_trim`` /
+  ``shard_frontier``): the highest seqnum each shard has trimmed.  The
+  GC computes its reclamation horizon per shard from these, and the
+  regression tests pin the invariant that a trim on shard A can never
+  advance shard B's frontier (or drop its records).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import LogError
+
+
+class Metalog:
+    """Sequencer + record reference directory for a sharded log."""
+
+    def __init__(self, first_seqnum: int = 1):
+        self._next_seqnum = int(first_seqnum)
+        self._tag_refs: Dict[int, int] = {}
+        self._trim_frontier: Dict[int, int] = {}
+
+    # -- sequencing ------------------------------------------------------
+
+    @property
+    def next_seqnum(self) -> int:
+        return self._next_seqnum
+
+    @property
+    def tail_seqnum(self) -> int:
+        return self._next_seqnum - 1
+
+    def assign(self) -> int:
+        """Allocate the next position in the global total order."""
+        seqnum = self._next_seqnum
+        self._next_seqnum += 1
+        return seqnum
+
+    # -- reference directory ---------------------------------------------
+
+    def add_refs(self, seqnum: int, count: int) -> None:
+        self._tag_refs[seqnum] = count
+
+    def release_ref(self, seqnum: int) -> bool:
+        """Drop one sub-stream reference; ``True`` when it was the last."""
+        refs = self._tag_refs.get(seqnum)
+        if refs is None:
+            raise LogError(f"seqnum {seqnum} has no live references")
+        refs -= 1
+        if refs == 0:
+            del self._tag_refs[seqnum]
+            return True
+        self._tag_refs[seqnum] = refs
+        return False
+
+    @property
+    def live_reference_count(self) -> int:
+        return len(self._tag_refs)
+
+    # -- per-shard trim frontier -----------------------------------------
+
+    def note_trim(self, shard: int, seqnum: int) -> None:
+        """Record that ``shard`` trimmed its streams up through ``seqnum``."""
+        current = self._trim_frontier.get(shard, 0)
+        if seqnum > current:
+            self._trim_frontier[shard] = seqnum
+
+    def shard_frontier(self, shard: int) -> int:
+        """Highest seqnum ``shard`` has trimmed (0 if it never trimmed)."""
+        return self._trim_frontier.get(shard, 0)
+
+    def frontiers(self) -> Dict[int, int]:
+        return dict(self._trim_frontier)

@@ -1,0 +1,145 @@
+"""Hash-partitioned key-value store.
+
+M independent :class:`~repro.store.kv.KVStore` partitions behind the
+same API, with keys placed by a stable hash of the *base* object key
+(version suffixes are stripped, so every version of an object — and its
+single-version LATEST slot — lives with the object; see
+:mod:`repro.storageplane.routing`).  This mirrors how DynamoDB actually
+serves the paper's prototype: items are hash-partitioned, per-key
+conditional updates are single-partition operations, and aggregate
+throughput scales with partitions while per-key ordering is untouched.
+
+At ``partitions=1`` every call lands on partition 0's plain ``KVStore``
+and the behaviour (including key iteration order, which the
+multi-version layer's ``list_versions`` scan observes) is bit-identical
+to the unpartitioned store.  The :class:`~repro.store.versioned.
+MultiVersionStore` and :class:`~repro.store.table.TableSnapshotReader`
+layers work unchanged on top — they only use the duck-typed KV surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Tuple
+
+from ..store.kv import KVStore
+from .routing import Router
+
+
+class PartitionedKV:
+    """``KVStore``-compatible facade over M hash-routed partitions."""
+
+    def __init__(self, partitions: int = 1, placement: str = "hash"):
+        self.router = Router(partitions, placement)
+        self._partitions = [KVStore() for _ in range(partitions)]
+        self._storage_listeners: List[Callable[[int], None]] = []
+        self._partition_listeners: List[Callable[[int, int], None]] = []
+        for index, store in enumerate(self._partitions):
+            store.add_storage_listener(
+                lambda _bytes, i=index: self._on_partition_change(i)
+            )
+
+    # ------------------------------------------------------------------
+    # Placement / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def partition_of(self, key: str) -> int:
+        """Deterministic key → partition placement (by base object key)."""
+        return self.router.route_store_key(key)
+
+    def partition(self, index: int) -> KVStore:
+        return self._partitions[index]
+
+    def _store(self, key: str) -> KVStore:
+        return self._partitions[self.partition_of(key)]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store(key)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def keys(self) -> Iterator[str]:
+        for store in self._partitions:
+            yield from store.keys()
+
+    def storage_bytes(self) -> int:
+        return sum(p.storage_bytes() for p in self._partitions)
+
+    def partition_bytes(self, index: int) -> int:
+        return self._partitions[index].storage_bytes()
+
+    @property
+    def read_count(self) -> int:
+        return sum(p.read_count for p in self._partitions)
+
+    @property
+    def write_count(self) -> int:
+        return sum(p.write_count for p in self._partitions)
+
+    @property
+    def conditional_rejections(self) -> int:
+        return sum(p.conditional_rejections for p in self._partitions)
+
+    def partition_stats(self) -> List[dict]:
+        return [
+            {
+                "partition": i,
+                "keys": len(p),
+                "bytes": p.storage_bytes(),
+                "reads": p.read_count,
+                "writes": p.write_count,
+            }
+            for i, p in enumerate(self._partitions)
+        ]
+
+    def add_storage_listener(self, listener: Callable[[int], None]) -> None:
+        self._storage_listeners.append(listener)
+
+    def add_partition_storage_listener(
+        self, listener: Callable[[int, int], None]
+    ) -> None:
+        """Register ``listener(partition, partition_bytes)`` updates."""
+        self._partition_listeners.append(listener)
+
+    def _on_partition_change(self, index: int) -> None:
+        if self._storage_listeners:
+            total = self.storage_bytes()
+            for listener in self._storage_listeners:
+                listener(total)
+        if self._partition_listeners:
+            partition_bytes = self._partitions[index].storage_bytes()
+            for listener in self._partition_listeners:
+                listener(index, partition_bytes)
+
+    # ------------------------------------------------------------------
+    # Data plane (delegated per key)
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        return self._store(key).get(key)
+
+    def get_optional(self, key: str, default: Any = None) -> Any:
+        return self._store(key).get_optional(key, default)
+
+    def get_with_version(self, key: str) -> Tuple[Any, Any]:
+        return self._store(key).get_with_version(key)
+
+    def put(self, key: str, value: Any, value_bytes: int = 0) -> None:
+        self._store(key).put(key, value, value_bytes)
+
+    def conditional_put(
+        self, key: str, value: Any, version: Any, value_bytes: int = 0
+    ) -> bool:
+        return self._store(key).conditional_put(
+            key, value, version, value_bytes
+        )
+
+    def set_version(self, key: str, version: Any) -> None:
+        self._store(key).set_version(key, version)
+
+    def delete(self, key: str) -> bool:
+        return self._store(key).delete(key)

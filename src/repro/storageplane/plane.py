@@ -1,0 +1,163 @@
+"""Concrete storage planes and the config-driven backend registry.
+
+Two built-in backends:
+
+* ``single`` — the seed substrates verbatim (:class:`SharedLog` +
+  :class:`KVStore`).  Zero indirection, bit-identical to the
+  pre-refactor code, and the paper-faithful configuration.
+* ``sharded`` — :class:`~repro.storageplane.sharded_log.ShardedLog`
+  (metalog + N log shards) and :class:`~repro.storageplane.
+  partitioned_kv.PartitionedKV` (M KV partitions), both routed
+  deterministically.  At N=M=1 it is bit-identical to ``single`` (the
+  golden-run CI diff enforces this); at N>1 it feeds the per-shard
+  queueing model and per-shard metrics.
+
+``backend="auto"`` (the default) picks ``single`` when the topology is
+1×1 and ``sharded`` otherwise, so existing configs never change
+behaviour and setting ``log_shards=4`` alone is enough to shard.
+
+Future backends (e.g. a process-external store) plug in through
+:func:`register_backend` without touching the runtime: the service
+layer binds only to :class:`~repro.storageplane.base.StoragePlane`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+from ..errors import ConfigError
+from ..sharedlog import SharedLog
+from ..store import KVStore, MultiVersionStore
+from .base import StoragePlane
+from .partitioned_kv import PartitionedKV
+from .sharded_log import ShardedLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SystemConfig
+
+
+class SingleNodePlane(StoragePlane):
+    """The seed topology: one log, one store, no placement labels."""
+
+    name = "single"
+
+    def __init__(self, config: "SystemConfig"):
+        self._log = SharedLog(meta_bytes=config.storage.meta_bytes)
+        self._kv = KVStore()
+        self._mv = MultiVersionStore(self._kv)
+
+    @property
+    def log(self) -> SharedLog:
+        return self._log
+
+    @property
+    def kv(self) -> KVStore:
+        return self._kv
+
+    @property
+    def mv(self) -> MultiVersionStore:
+        return self._mv
+
+
+class ShardedPlane(StoragePlane):
+    """Metalog + N log shards + M KV partitions, hash-routed."""
+
+    name = "sharded"
+
+    def __init__(self, config: "SystemConfig"):
+        storage = config.storage
+        self._log = ShardedLog(
+            meta_bytes=storage.meta_bytes,
+            shards=storage.log_shards,
+            placement=storage.placement,
+        )
+        self._kv = PartitionedKV(
+            partitions=storage.kv_partitions,
+            placement=storage.placement,
+        )
+        self._mv = MultiVersionStore(self._kv)
+
+    @property
+    def log(self) -> ShardedLog:
+        return self._log
+
+    @property
+    def kv(self) -> PartitionedKV:
+        return self._kv
+
+    @property
+    def mv(self) -> MultiVersionStore:
+        return self._mv
+
+    @property
+    def num_log_shards(self) -> int:
+        return self._log.num_shards
+
+    @property
+    def num_kv_partitions(self) -> int:
+        return self._kv.num_partitions
+
+    def log_shard_of(self, tag: str) -> int:
+        return self._log.shard_of(tag)
+
+    def kv_partition_of(self, key: str) -> int:
+        return self._kv.partition_of(key)
+
+    @property
+    def labelled(self) -> bool:
+        return True
+
+    def describe(self) -> Dict:
+        info = super().describe()
+        info["placement"] = self._log.router.placement
+        info["shard_bytes"] = [
+            self._log.shard_bytes(i) for i in range(self._log.num_shards)
+        ]
+        info["partition_bytes"] = [
+            self._kv.partition_bytes(i)
+            for i in range(self._kv.num_partitions)
+        ]
+        info["trim_frontiers"] = self._log.shard_trim_frontiers()
+        return info
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+PlaneFactory = Callable[["SystemConfig"], StoragePlane]
+
+_BACKENDS: Dict[str, PlaneFactory] = {
+    "single": SingleNodePlane,
+    "sharded": ShardedPlane,
+}
+
+
+def register_backend(name: str, factory: PlaneFactory) -> None:
+    """Plug in a storage-plane backend selectable via config."""
+    if name in ("auto",):
+        raise ConfigError("'auto' is reserved for backend selection")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+def build_storage_plane(config: "SystemConfig") -> StoragePlane:
+    """Build the plane the config selects (``storage.backend``)."""
+    storage = config.storage
+    name = storage.backend
+    if name == "auto":
+        name = (
+            "single"
+            if storage.log_shards == 1 and storage.kv_partitions == 1
+            else "sharded"
+        )
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown storage backend {name!r}; "
+            f"available: {available_backends()}"
+        )
+    return factory(config)

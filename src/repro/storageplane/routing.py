@@ -1,0 +1,77 @@
+"""Deterministic placement: tag → log shard, key → KV partition.
+
+Sharding only helps if placement is *stable*: the same tag must land on
+the same shard in every run (Python's builtin ``hash`` is salted per
+process, so it is useless here) and across both the substrate and the
+DES contention model (which must queue an append at the same station the
+substrate charged it to).  We use CRC-32 of the UTF-8 bytes — cheap,
+seedless, and identical on every platform.
+
+Versioned store keys (``"key@version"``) are routed by the *base* key so
+every version of an object — and its single-version LATEST slot — lives
+in one partition, which is what lets a future real backend serve a
+``DBWrite`` + version install as a single-partition transaction.
+
+Two placement policies are provided:
+
+* ``hash`` (default): CRC-32 modulo the shard count.  Stateless, so any
+  component can compute a route without talking to the router.
+* ``first_seen``: round-robin in first-routing order.  Stateful but
+  deterministic (direct mode and the DES route in the same order for the
+  same seed); spreads a small number of hot streams perfectly evenly,
+  which the hash policy only achieves in expectation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+from ..errors import ConfigError
+
+#: Separator of the multi-version composite store keys
+#: (mirrors :data:`repro.store.versioned._SEPARATOR`).
+_VERSION_SEPARATOR = "@"
+
+PLACEMENT_POLICIES = ("hash", "first_seen")
+
+
+def stable_hash(text: str) -> int:
+    """Process-independent 32-bit hash of a routing key."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def base_key(key: str) -> str:
+    """Strip a version suffix so all versions of an object co-locate."""
+    return key.partition(_VERSION_SEPARATOR)[0]
+
+
+class Router:
+    """Maps routing keys onto ``[0, shards)`` under a placement policy."""
+
+    def __init__(self, shards: int, placement: str = "hash"):
+        if shards <= 0:
+            raise ConfigError("shard count must be positive")
+        if placement not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {placement!r}; "
+                f"choose from {PLACEMENT_POLICIES}"
+            )
+        self.shards = shards
+        self.placement = placement
+        self._first_seen: Dict[str, int] = {}
+
+    def route(self, key: str) -> int:
+        if self.shards == 1:
+            return 0
+        if self.placement == "hash":
+            return stable_hash(key) % self.shards
+        assigned = self._first_seen.get(key)
+        if assigned is None:
+            assigned = len(self._first_seen) % self.shards
+            self._first_seen[key] = assigned
+        return assigned
+
+    def route_store_key(self, key: str) -> int:
+        """Route a store key by its base object key."""
+        return self.route(base_key(key))

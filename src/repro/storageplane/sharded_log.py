@@ -1,0 +1,341 @@
+"""Sharded shared log: metalog sequencing over N per-tag index shards.
+
+Splits the monolithic :class:`~repro.sharedlog.log.SharedLog` into the
+two roles Boki's logging layer actually has:
+
+* the :class:`~repro.storageplane.metalog.Metalog` assigns the global,
+  monotone seqnums and owns record reference counts and per-shard trim
+  frontiers;
+* N :class:`LogShard` s hold the per-tag sub-stream indexes, routed
+  deterministically by tag (:class:`~repro.storageplane.routing.Router`),
+  and account the bytes of the record bodies homed on them.
+
+Record bodies are stored once (keyed by seqnum) and homed on the shard
+of the record's *first* tag; other tags of the same record may index it
+from other shards, mirroring how Boki stores a record body once while
+several tag indexes reference it.  A body is freed when the last shard
+trims its last referencing stream — the metalog's refcount, not any
+single shard, decides.
+
+At ``shards=1`` every operation takes the same code path shape as
+``SharedLog`` (same seqnums, same errors, same storage-byte
+notifications in the same order), which the golden-run tests verify
+bit-exactly; the split only becomes observable through per-shard
+metrics, placement labels, and the DES per-shard queueing model.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import (
+    ConditionalAppendError,
+    LogError,
+    ProtocolError,
+    TrimmedError,
+)
+from ..sharedlog.log import _Stream
+from ..sharedlog.record import LogRecord
+from .metalog import Metalog
+from .routing import Router
+
+
+class LogShard:
+    """One storage shard: tag sub-stream indexes plus homed-body bytes."""
+
+    __slots__ = ("shard_id", "streams", "storage_bytes", "append_count",
+                 "trim_count", "homed_records")
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.streams: Dict[str, _Stream] = {}
+        self.storage_bytes = 0
+        self.append_count = 0
+        self.trim_count = 0
+        self.homed_records = 0
+
+    def stream(self, tag: str) -> Optional[_Stream]:
+        return self.streams.get(tag)
+
+    def stream_or_create(self, tag: str) -> _Stream:
+        stream = self.streams.get(tag)
+        if stream is None:
+            stream = self.streams[tag] = _Stream()
+        return stream
+
+
+class ShardedLog:
+    """Drop-in ``SharedLog`` replacement routing tags across N shards."""
+
+    def __init__(
+        self,
+        meta_bytes: int = 48,
+        first_seqnum: int = 1,
+        shards: int = 1,
+        placement: str = "hash",
+    ):
+        self._meta_bytes = int(meta_bytes)
+        self.metalog = Metalog(first_seqnum)
+        self.router = Router(shards, placement)
+        self._shards = [LogShard(i) for i in range(shards)]
+        self._records: Dict[int, LogRecord] = {}
+        self._home: Dict[int, int] = {}
+        self._storage_bytes = 0
+        self._append_count = 0
+        self._trim_count = 0
+        self._storage_listeners: List[Callable[[int], None]] = []
+        self._shard_listeners: List[Callable[[int, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Placement / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, tag: str) -> int:
+        """Deterministic tag → shard placement."""
+        return self.router.route(tag)
+
+    def shard(self, shard_id: int) -> LogShard:
+        return self._shards[shard_id]
+
+    @property
+    def next_seqnum(self) -> int:
+        return self.metalog.next_seqnum
+
+    @property
+    def tail_seqnum(self) -> int:
+        return self.metalog.tail_seqnum
+
+    @property
+    def append_count(self) -> int:
+        return self._append_count
+
+    @property
+    def trim_count(self) -> int:
+        return self._trim_count
+
+    @property
+    def live_record_count(self) -> int:
+        return len(self._records)
+
+    def storage_bytes(self) -> int:
+        return self._storage_bytes
+
+    def shard_bytes(self, shard_id: int) -> int:
+        return self._shards[shard_id].storage_bytes
+
+    def shard_trim_frontiers(self) -> Dict[int, int]:
+        """Per-shard trim frontier, computed by the metalog."""
+        return self.metalog.frontiers()
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        return [
+            {
+                "shard": s.shard_id,
+                "streams": len(s.streams),
+                "homed_records": s.homed_records,
+                "bytes": s.storage_bytes,
+                "appends": s.append_count,
+                "trimmed": s.trim_count,
+                "trim_frontier": self.metalog.shard_frontier(s.shard_id),
+            }
+            for s in self._shards
+        ]
+
+    def add_storage_listener(self, listener: Callable[[int], None]) -> None:
+        self._storage_listeners.append(listener)
+
+    def add_shard_storage_listener(
+        self, listener: Callable[[int, int], None]
+    ) -> None:
+        """Register ``listener(shard_id, shard_bytes)`` per-shard updates."""
+        self._shard_listeners.append(listener)
+
+    def _notify_storage(self, shard_id: int) -> None:
+        for listener in self._storage_listeners:
+            listener(self._storage_bytes)
+        if self._shard_listeners:
+            shard_bytes = self._shards[shard_id].storage_bytes
+            for shard_listener in self._shard_listeners:
+                shard_listener(shard_id, shard_bytes)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        tags: Sequence[str],
+        data: Mapping[str, Any],
+        payload_bytes: int = 0,
+    ) -> int:
+        if not tags:
+            raise LogError("append requires at least one tag")
+        record = LogRecord(
+            seqnum=self.metalog.assign(),
+            tags=tuple(tags),
+            data=data,
+            payload_bytes=int(payload_bytes),
+        )
+        self._install(record)
+        return record.seqnum
+
+    def cond_append(
+        self,
+        tags: Sequence[str],
+        data: Mapping[str, Any],
+        cond_tag: str,
+        cond_pos: int,
+        payload_bytes: int = 0,
+    ) -> int:
+        """Conditional append, serialized through the metalog.
+
+        The offset check consults the shard owning ``cond_tag``, but the
+        outcome is decided at the sequencer: whichever peer's append is
+        sequenced first occupies the offset, and the loser observes the
+        winner's seqnum — regardless of where the records' other tags
+        are placed.
+        """
+        if cond_tag not in tags:
+            raise LogError("cond_tag must be one of the record's tags")
+        stream = self._shards[self.shard_of(cond_tag)].stream(cond_tag)
+        next_offset = stream.next_offset if stream is not None else 0
+        if next_offset == cond_pos:
+            return self.append(tags, data, payload_bytes=payload_bytes)
+        if next_offset > cond_pos:
+            existing = self._record_at_offset(cond_tag, cond_pos)
+            raise ConditionalAppendError(
+                f"offset {cond_pos} of stream {cond_tag!r} already taken "
+                f"by seqnum {existing.seqnum}",
+                existing_seqnum=existing.seqnum,
+            )
+        raise ProtocolError(
+            f"cond_append at offset {cond_pos} of stream {cond_tag!r}, "
+            f"but the stream only has {next_offset} records: the caller "
+            "skipped a step"
+        )
+
+    def _record_at_offset(self, tag: str, offset: int) -> LogRecord:
+        stream = self._shards[self.shard_of(tag)].stream(tag)
+        if stream is None:
+            raise LogError(f"unknown stream {tag!r}")
+        index = stream.index_of_offset(offset)
+        if index < 0:
+            raise TrimmedError(
+                f"offset {offset} of stream {tag!r} was garbage collected"
+            )
+        if index >= len(stream.seqnums):
+            raise LogError(f"offset {offset} of stream {tag!r} out of range")
+        return self._records[stream.seqnums[index]]
+
+    def _install(self, record: LogRecord) -> None:
+        home = self._shards[self.shard_of(record.tags[0])]
+        self._records[record.seqnum] = record
+        self._home[record.seqnum] = home.shard_id
+        self.metalog.add_refs(record.seqnum, len(record.tags))
+        for tag in record.tags:
+            shard = self._shards[self.shard_of(tag)]
+            shard.stream_or_create(tag).append(record.seqnum)
+        size = self._meta_bytes + record.payload_bytes
+        self._storage_bytes += size
+        home.storage_bytes += size
+        home.homed_records += 1
+        home.append_count += 1
+        self._append_count += 1
+        self._notify_storage(home.shard_id)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_prev(self, tag: str, max_seqnum: int) -> Optional[LogRecord]:
+        stream = self._shards[self.shard_of(tag)].stream(tag)
+        if stream is None:
+            return None
+        index = bisect.bisect_right(stream.seqnums, max_seqnum) - 1
+        if index >= 0:
+            return self._records[stream.seqnums[index]]
+        if stream.trimmed_count > 0:
+            raise TrimmedError(
+                f"read_prev(tag={tag!r}, max_seqnum={max_seqnum}) targets "
+                "only garbage-collected records"
+            )
+        return None
+
+    def read_next(self, tag: str, min_seqnum: int) -> Optional[LogRecord]:
+        stream = self._shards[self.shard_of(tag)].stream(tag)
+        if stream is None:
+            return None
+        index = bisect.bisect_left(stream.seqnums, min_seqnum)
+        if index < len(stream.seqnums):
+            return self._records[stream.seqnums[index]]
+        return None
+
+    def read_stream(self, tag: str, min_seqnum: int = 0) -> List[LogRecord]:
+        stream = self._shards[self.shard_of(tag)].stream(tag)
+        if stream is None:
+            return []
+        index = bisect.bisect_left(stream.seqnums, min_seqnum)
+        return [self._records[s] for s in stream.seqnums[index:]]
+
+    def stream_length(self, tag: str) -> int:
+        stream = self._shards[self.shard_of(tag)].stream(tag)
+        return stream.next_offset if stream is not None else 0
+
+    def stream_tags(self) -> List[str]:
+        """All stream tags, shard-major in shard insertion order.
+
+        With one shard this is exactly the global insertion order the
+        monolithic log reports.
+        """
+        tags: List[str] = []
+        for shard in self._shards:
+            tags.extend(shard.streams)
+        return tags
+
+    # ------------------------------------------------------------------
+    # Trim (garbage collection support)
+    # ------------------------------------------------------------------
+
+    def trim(self, tag: str, seqnum: int) -> int:
+        """Trim ``tag``'s stream on its shard only.
+
+        The owning shard's trim frontier advances in the metalog; other
+        shards' streams, frontiers, and homed bodies are untouched
+        unless this release was the record's last reference.
+        """
+        shard = self._shards[self.shard_of(tag)]
+        stream = shard.stream(tag)
+        if stream is None:
+            return 0
+        cut = bisect.bisect_right(stream.seqnums, seqnum)
+        if cut == 0:
+            return 0
+        removed = stream.seqnums[:cut]
+        del stream.seqnums[:cut]
+        stream.trimmed_count += len(removed)
+        shard.trim_count += len(removed)
+        self.metalog.note_trim(shard.shard_id, removed[-1])
+        freed_home: Optional[int] = None
+        for sn in removed:
+            if self.metalog.release_ref(sn):
+                record = self._records.pop(sn)
+                home_id = self._home.pop(sn)
+                size = self._meta_bytes + record.payload_bytes
+                home = self._shards[home_id]
+                self._storage_bytes -= size
+                home.storage_bytes -= size
+                home.homed_records -= 1
+                self._trim_count += 1
+                freed_home = home_id
+        # One notification per trim call, as the monolithic log does;
+        # report the shard whose bytes changed (the trimming shard when
+        # only indexes moved).
+        self._notify_storage(
+            shard.shard_id if freed_home is None else freed_home
+        )
+        return len(removed)

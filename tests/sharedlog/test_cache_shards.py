@@ -1,0 +1,92 @@
+"""Shard-aware record cache: per-shard invalidation alongside the
+crash-induced node-partition eviction from the recovery layer."""
+
+from repro.config import SystemConfig
+from repro.runtime import LocalRuntime
+from repro.sharedlog import RecordCache
+
+
+def test_entries_remember_their_home_shard():
+    cache = RecordCache(capacity=8)
+    cache.insert(1, shard=0)
+    cache.insert(2, shard=3)
+    assert cache.shard_of(1) == 0
+    assert cache.shard_of(2) == 3
+    assert cache.shard_census() == {0: 1, 3: 1}
+    # Re-insert can re-home (a record re-read after re-placement).
+    cache.insert(1, shard=2)
+    assert cache.shard_of(1) == 2
+
+
+def test_evict_shard_drops_exactly_that_shards_entries():
+    cache = RecordCache(capacity=64)
+    for seqnum in range(10):
+        cache.insert(seqnum, shard=seqnum % 2)
+    assert cache.evict_shard(0) == 5
+    assert len(cache) == 5
+    assert all(cache.shard_of(s) == 1 for s in range(1, 10, 2))
+    assert cache.evict_shard(0) == 0  # idempotent
+    assert cache.evict_shard(1) == 5
+    assert len(cache) == 0
+
+
+def test_shard_and_partition_eviction_are_independent_axes():
+    """evict_partition slices by seqnum hash (function-node crash);
+    evict_shard slices by home shard (storage-shard loss).  The two must
+    not interfere: partition eviction can drop records of any shard."""
+    cache = RecordCache(capacity=64)
+    for seqnum in range(12):
+        cache.insert(seqnum, shard=seqnum % 3)
+    # Node 0 of 4 crashes: seqnums 0, 4, 8 go (shards 0, 1, 2).
+    assert cache.evict_partition(0, 4) == 3
+    assert not cache.contains(4)
+    # Shard 0 goes: remaining seqnums with home shard 0 (3, 6, 9).
+    assert cache.evict_shard(0) == 3
+    assert not cache.contains(3)
+    assert cache.contains(5)  # shard 2, node 1 — untouched by both
+
+
+def test_default_insert_is_single_shard():
+    cache = RecordCache(capacity=4)
+    cache.insert(7)
+    assert cache.shard_of(7) == 0
+    assert cache.lookup(7) is True
+    # Misses insert at the caller's shard.
+    assert cache.lookup(8, shard=2) is False
+    assert cache.shard_of(8) == 2
+
+
+def test_lru_eviction_unchanged_by_shard_tracking():
+    cache = RecordCache(capacity=3)
+    for seqnum in (1, 2, 3):
+        cache.insert(seqnum, shard=seqnum)
+    cache.insert(4, shard=0)  # evicts 1 (LRU)
+    assert not cache.contains(1)
+    assert cache.contains(2)
+
+
+def test_crash_partition_loss_path_stays_shard_aware():
+    """The recovery-layer path from the node-crash PR: a crashed node's
+    cache slice is evicted by seqnum partition, and the census over home
+    shards shrinks accordingly on a sharded plane."""
+    config = SystemConfig(seed=9).with_storage_plane(
+        log_shards=4, kv_partitions=2
+    )
+    runtime = LocalRuntime(config, protocol="halfmoon-write")
+    runtime.register("rw", lambda ctx, inp: ctx.write(
+        inp["key"], inp["value"]
+    ))
+    for i in range(8):
+        runtime.populate(f"key-{i}", 0)
+        runtime.invoke("rw", {"key": f"key-{i}", "value": i})
+    backend = runtime.backend
+    census_before = backend.cache.shard_census()
+    assert sum(census_before.values()) == len(backend.cache)
+    assert len(census_before) > 1  # records homed on several shards
+    evicted = backend.drop_node_cache(0, 4)
+    assert evicted > 0
+    census_after = backend.cache.shard_census()
+    assert sum(census_after.values()) == len(backend.cache)
+    assert sum(census_after.values()) == (
+        sum(census_before.values()) - evicted
+    )
