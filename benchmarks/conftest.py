@@ -17,7 +17,7 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+from bench_utils import RESULTS_DIR, write_results
 
 
 @pytest.fixture(scope="session")
@@ -29,9 +29,8 @@ def results_dir() -> pathlib.Path:
 @pytest.fixture(scope="session")
 def save_table(results_dir):
     def _save(name: str, *tables) -> None:
-        path = results_dir / f"{name}.txt"
         text = "\n\n".join(t.render() for t in tables)
-        path.write_text(text + "\n")
+        write_results(name, txt=text)
         print(f"\n{text}")
 
     return _save

@@ -1,0 +1,232 @@
+"""Wall-clock + CPU-time perf regression suite.
+
+Times the canonical cells the kernel fast-path work optimised — the
+Figure 10 direct-mode cell, a 4-shard DES cell, and a chaos cell —
+and normalises each against a fixed busy-loop calibration so the
+numbers compare across machines.  Artifacts land in
+``results/BENCH_sweep.json``: wall seconds, CPU seconds, DES events/s,
+sweep cells/s, parallel speedup vs serial, and the speedup over the
+pre-PR kernel (the committed ``perf_baseline.json`` carries both
+reference points).
+
+Gating uses **CPU time** (``time.process_time``), not wall clock: on a
+shared box wall-clock ratios swing 2x with co-tenant load, while CPU
+ratios only drift with frequency scaling — which the calibration
+divide cancels.  Wall seconds are still recorded (they are what a
+user experiences), and the parallel-sweep speedup is necessarily
+wall-based (fan-out buys latency, not CPU).
+
+Two gates:
+
+* regression: a cell's calibration-normalised CPU ratio must stay
+  within ``max_regression`` (30%) of the committed baseline —
+  enforced only under ``REPRO_PERF_STRICT=1`` (the CI perf-smoke
+  job), because dev machines are noisy;
+* parallel speedup: the 4-cell shard sweep at ``jobs=4`` must beat
+  serial by 2.5x wall-clock — gated on ``os.cpu_count() >= 4`` (the
+  assertion is meaningless on fewer cores; the measurement is still
+  recorded).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro import SystemConfig
+from repro.harness import (
+    SweepCell,
+    run_cells,
+    run_chaos_point,
+    run_shard_point,
+)
+from repro.harness.micro import measure_op_latencies
+
+from bench_utils import write_results
+
+BASELINE = json.loads(
+    (pathlib.Path(__file__).parent / "perf_baseline.json").read_text()
+)
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+CPUS = os.cpu_count() or 1
+
+SHARD_CONFIG = SystemConfig(seed=91)
+CHAOS_CONFIG = SystemConfig(seed=42)
+
+
+def _calibrate() -> float:
+    """Fixed busy-loop; best-of-N CPU seconds normalises machine speed."""
+    spec = BASELINE["calibration"]
+    best = float("inf")
+    for _ in range(spec["rounds"]):
+        t0 = time.process_time()
+        acc = 0
+        for i in range(spec["busy_loop_iterations"]):
+            acc += i * i
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+def _best_of(fn, rounds=3):
+    """Best-of-N (cpu_s, wall_s, last_result).
+
+    The minimum is robust to preemption by other tenants; CPU and wall
+    minima are tracked independently (the best-wall round may not be
+    the best-CPU round under load).
+    """
+    best_cpu, best_wall, result = float("inf"), float("inf"), None
+    for _ in range(rounds):
+        c0 = time.process_time()
+        w0 = time.perf_counter()
+        result = fn()
+        best_cpu = min(best_cpu, time.process_time() - c0)
+        best_wall = min(best_wall, time.perf_counter() - w0)
+    return best_cpu, best_wall, result
+
+
+def _shard_cell():
+    return run_shard_point(
+        4, 600.0, config=SHARD_CONFIG, duration_ms=3_000.0,
+        warmup_ms=500.0, num_keys=1_000,
+    )
+
+
+def _sweep_cells():
+    return [
+        SweepCell(
+            key=("bench", shards, rate),
+            fn=run_shard_point,
+            kwargs=dict(
+                shards=shards, rate_per_s=rate, config=SHARD_CONFIG,
+                duration_ms=1_500.0, warmup_ms=300.0, num_keys=500,
+            ),
+        )
+        for shards in (1, 4)
+        for rate in (150.0, 600.0)
+    ]
+
+
+def _cell_payload(cpu_s, wall_s, calib, pre_ratio):
+    ratio = cpu_s / calib
+    return {
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "ratio": ratio,
+        "speedup_vs_pre_pr": pre_ratio / ratio,
+    }
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """Measure everything once; every test asserts against this dict."""
+    calib = _calibrate()
+    pre = BASELINE["pre_pr"]
+
+    # Short cells get more rounds — they are the noisiest.
+    fig10_cpu, fig10_wall, _ = _best_of(
+        lambda: measure_op_latencies("boki", requests=1_500,
+                                     num_keys=2_000),
+        rounds=5,
+    )
+    shard_cpu, shard_wall, shard_result = _best_of(_shard_cell, rounds=3)
+    chaos_cpu, chaos_wall, _ = _best_of(
+        lambda: run_chaos_point("boki", 0.05, config=CHAOS_CONFIG,
+                                requests=800, num_keys=500),
+        rounds=7,
+    )
+
+    events = shard_result.extras["events_processed"]
+    cells = _sweep_cells()
+    serial_t0 = time.perf_counter()
+    run_cells(cells, jobs=1)
+    serial_s = time.perf_counter() - serial_t0
+    parallel_jobs = min(4, CPUS)
+    if parallel_jobs > 1:
+        parallel_t0 = time.perf_counter()
+        run_cells(cells, jobs=parallel_jobs)
+        parallel_s = time.perf_counter() - parallel_t0
+        speedup_vs_serial = serial_s / parallel_s
+    else:
+        parallel_s = None
+        speedup_vs_serial = None
+
+    shard = _cell_payload(shard_cpu, shard_wall, calib,
+                          pre["shard_ratio"])
+    shard["events_processed"] = events
+    shard["events_per_s"] = events / shard_wall
+    shard["events_per_cpu_s"] = events / shard_cpu
+
+    payload = {
+        "calib_cpu_s": calib,
+        "cells": {
+            "fig10": _cell_payload(fig10_cpu, fig10_wall, calib,
+                                   pre["fig10_ratio"]),
+            "shard": shard,
+            "chaos": _cell_payload(chaos_cpu, chaos_wall, calib,
+                                   pre["chaos_ratio"]),
+        },
+        "sweep": {
+            "cells": len(cells),
+            "serial_wall_s": serial_s,
+            "cells_per_s": len(cells) / serial_s,
+            "parallel_jobs": parallel_jobs,
+            "parallel_wall_s": parallel_s,
+            "speedup_vs_serial": speedup_vs_serial,
+        },
+    }
+    write_results("BENCH_sweep", json_payload=payload)
+    return payload
+
+
+def test_bench_sweep_json_written(bench):
+    path = pathlib.Path(__file__).parent / "results" / "BENCH_sweep.json"
+    saved = json.loads(path.read_text())
+    assert set(saved["cells"]) == {"fig10", "shard", "chaos"}
+    assert saved["cells"]["shard"]["events_per_s"] > 0
+    assert saved["sweep"]["cells_per_s"] > 0
+
+
+def test_des_events_per_s_improved_vs_pre_pr(bench):
+    """The DES kernel criterion: >=1.3x events/s vs the pre-PR kernel.
+
+    Ratios are calibration-normalised CPU time, so the pre-PR
+    reference (same cell, same seed, captured before the kernel
+    fast-path work via interleaved A/B runs) holds across machines.
+    Outside strict mode the gate only guards against having *lost*
+    the win entirely, because single runs are noisy.
+    """
+    speedup = bench["cells"]["shard"]["speedup_vs_pre_pr"]
+    floor = BASELINE["min_speedup"]["shard"] if STRICT else 1.0
+    assert speedup >= floor, (
+        f"shard DES cell speedup vs pre-PR kernel {speedup:.2f}x "
+        f"< {floor}x"
+    )
+
+
+def test_no_regression_vs_committed_baseline(bench):
+    if not STRICT:
+        pytest.skip("regression gate runs under REPRO_PERF_STRICT=1")
+    limit = 1.0 + BASELINE["max_regression"]
+    for name, ref in (
+        ("fig10", BASELINE["baseline"]["fig10_ratio"]),
+        ("shard", BASELINE["baseline"]["shard_ratio"]),
+        ("chaos", BASELINE["baseline"]["chaos_ratio"]),
+    ):
+        ratio = bench["cells"][name]["ratio"]
+        assert ratio <= ref * limit, (
+            f"{name} cell regressed: normalised CPU ratio {ratio:.3f} "
+            f"> {ref} * {limit} (committed baseline + "
+            f"{BASELINE['max_regression']:.0%})"
+        )
+
+
+@pytest.mark.skipif(
+    CPUS < 4, reason="parallel speedup gate needs >= 4 cores"
+)
+def test_parallel_sweep_speedup(bench):
+    speedup = bench["sweep"]["speedup_vs_serial"]
+    assert speedup is not None and speedup >= 2.5, (
+        f"4-cell sweep at jobs=4 only {speedup}x vs serial"
+    )

@@ -14,14 +14,12 @@ with the raw p50/p99 per shard count so downstream tooling can diff
 scaling numbers across commits.
 """
 
-import json
-
 import pytest
 
 from repro import SystemConfig
 from repro.harness import run_shard_point, run_shard_sweep
 
-from bench_utils import run_once, scaled
+from bench_utils import run_once, scaled, write_results
 
 SHARD_COUNTS = (1, 2, 4, 8)
 HIGH_RATE = 600.0
@@ -45,8 +43,7 @@ def points():
     }
 
 
-def test_shard_sweep_table_and_json(benchmark, save_table, results_dir,
-                                    points):
+def test_shard_sweep_table_and_json(benchmark, save_table, points):
     run_once(
         benchmark,
         lambda: run_shard_point(
@@ -79,8 +76,7 @@ def test_shard_sweep_table_and_json(benchmark, save_table, results_dir,
             for (shards, rate), result in sorted(points.items())
         ],
     }
-    out = results_dir / "shard_sweep.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    write_results("shard_sweep", json_payload=payload)
 
 
 def test_p99_strictly_improves_one_to_four_shards(points):

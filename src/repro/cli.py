@@ -13,6 +13,7 @@ Commands map one-to-one onto the experiment harness::
     python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
     python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
     python -m repro shards [--shards 1 2 4 8] [--rates 150 300 600]
+    python -m repro profile [--target shards] [--top 25]
     python -m repro advise --read-ratio 0.8 --rate 300
 
 Every experiment command additionally accepts ``--seed N`` (reseed the
@@ -23,6 +24,11 @@ storage-plane topology flags ``--storage-backend`` / ``--log-shards`` /
 ``--kv-partitions`` / ``--placement`` (see :mod:`repro.storageplane`;
 the default 1×1 ``auto`` topology is bit-identical to the pre-plane
 code, which the CI golden-run diff enforces).
+
+``--jobs N`` fans each sweep's independent cells out over N worker
+processes (default: all cores but one).  Output is bit-identical at
+every job count — cells are deterministically seeded and reassembled
+in grid order — which the CI golden diff enforces.
 
 ``--trace-out PATH`` attaches a span tracer to the run and writes a
 Chrome trace-event JSON file (loadable in https://ui.perfetto.dev or
@@ -43,6 +49,8 @@ from .analysis import ProtocolAdvisor, WorkloadProfile
 from .config import SystemConfig
 from .harness import (
     APP_FACTORIES,
+    default_jobs,
+    profile_report,
     run_brownout_comparison,
     run_chaos_sweep,
     run_failover_sweep,
@@ -81,6 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--fault-rate", type=float, default=None,
         help="per-operation infrastructure fault rate in [0, 1)",
+    )
+    common.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep cells (default: cores - 1; "
+             "output is bit-identical at every job count)",
     )
     common.add_argument(
         "--trace-out", type=str, default=None, metavar="PATH",
@@ -226,6 +239,18 @@ def _build_parser() -> argparse.ArgumentParser:
     shards.add_argument("--duration", type=float, default=8_000.0,
                         help="arrival window (ms)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile hotspot report for one canonical cell",
+        parents=[common],
+    )
+    profile.add_argument("--target", default="shards",
+                         choices=["shards", "fig10", "chaos"])
+    profile.add_argument("--top", type=int, default=25,
+                         help="number of hotspots to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=["cumulative", "tottime", "ncalls"])
+
     advise = sub.add_parser("advise", help="recommend a protocol")
     advise.add_argument("--read-ratio", type=float, required=True)
     advise.add_argument("--rate", type=float, default=100.0)
@@ -298,17 +323,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     tracer = Tracer() if trace_out is not None else None
 
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+    if jobs is None:
+        jobs = default_jobs()
+
     if args.command == "table1":
         print(run_table1(config=config, samples=args.samples).render())
     elif args.command == "fig10":
         tables = run_fig10(config=config, requests=args.requests,
-                           num_keys=args.keys, tracer=tracer)
+                           num_keys=args.keys, tracer=tracer, jobs=jobs)
         print(tables["read"].render())
         print()
         print(tables["write"].render())
     elif args.command == "fig11":
         tables = run_fig11(apps=args.apps, config=config,
-                           duration_ms=args.duration, tracer=tracer)
+                           duration_ms=args.duration, tracer=tracer,
+                           jobs=jobs)
         for table in tables.values():
             print(table.render())
             print()
@@ -317,13 +349,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_fig12(
                 value_bytes=args.size, gc_interval_ms=args.gc,
                 config=config, duration_ms=args.duration,
-                tracer=tracer,
+                tracer=tracer, jobs=jobs,
             ).render()
         )
     elif args.command == "fig13":
         for table in run_fig13(
             rates=args.rates, config=config, duration_ms=args.duration,
-            tracer=tracer,
+            tracer=tracer, jobs=jobs,
         ).values():
             print(table.render())
             print()
@@ -332,7 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             run_latency_breakdown(
                 config=config, rate_per_s=args.rates[0],
-                duration_ms=args.duration, tracer=tracer,
+                duration_ms=args.duration, tracer=tracer, jobs=jobs,
             ).render()
         )
     elif args.command == "fig14":
@@ -351,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 requests=args.requests, crash_f=args.crash_f,
                 seed=getattr(args, "seed", None),
                 tracer=tracer, breakdowns=chaos_breakdowns,
+                jobs=jobs,
             ).render()
         )
         print()
@@ -381,6 +414,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # explicit --fault-rate (including 0) overrides.
                 fault_rate=(0.05 if fault_rate is None else fault_rate),
                 tracer=tracer, breakdowns=failover_breakdowns,
+                jobs=jobs,
             ).render()
         )
         print()
@@ -418,8 +452,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 shard_counts=args.shards, rates=args.rates,
                 protocol=args.protocol, read_ratio=args.read_ratio,
                 config=config, duration_ms=args.duration,
-                tracer=tracer,
+                tracer=tracer, jobs=jobs,
             ).render()
+        )
+    elif args.command == "profile":
+        print(
+            profile_report(
+                target=args.target, top=args.top, sort=args.sort,
+                config=config,
+            )
         )
     elif args.command == "advise":
         profile = WorkloadProfile(

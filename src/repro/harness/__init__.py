@@ -14,6 +14,11 @@
   Chrome trace-event export and latency-breakdown reports
 * :mod:`repro.harness.shards_exp` — storage-plane scaling: p99 vs load
   as the log splits across 1/2/4/8 shards
+* :mod:`repro.harness.parallel` — the sweep executor: independent,
+  deterministically-seeded cells over a process pool (``--jobs``),
+  bit-identical to serial execution
+* :mod:`repro.harness.profile_exp` — cProfile hotspot reports for the
+  canonical cells (``python -m repro profile``)
 """
 
 from .apps import APP_FACTORIES, run_app_point, run_fig11
@@ -30,6 +35,12 @@ from .failover import (
     run_failover_sweep,
 )
 from .micro import measure_op_latencies, run_fig10, run_table1
+from .parallel import (
+    SweepCell,
+    default_jobs,
+    run_cells,
+    seed_for,
+)
 from .overhead import (
     crossover_ratio,
     run_fig12,
@@ -38,6 +49,7 @@ from .overhead import (
     run_overhead_point,
 )
 from .platform import RunResult, SimPlatform
+from .profile_exp import PROFILE_TARGETS, profile_report
 from .recovery_exp import run_recovery_point, run_recovery_sweep
 from .shards_exp import (
     run_shard_point,
@@ -59,16 +71,21 @@ from .switching_exp import (
 __all__ = [
     "APP_FACTORIES",
     "ChaosPoint",
+    "PROFILE_TARGETS",
     "CounterWorkload",
     "ExperimentTable",
     "FailoverPoint",
     "RunResult",
     "SimPlatform",
+    "SweepCell",
     "SwitchingResult",
     "crossover_ratio",
+    "default_jobs",
+    "profile_report",
     "measure_op_latencies",
     "run_app_point",
     "run_brownout_comparison",
+    "run_cells",
     "run_chaos_point",
     "run_chaos_sweep",
     "run_failover_point",
@@ -86,6 +103,7 @@ __all__ = [
     "run_shard_point",
     "run_shard_sweep",
     "run_table1",
+    "seed_for",
     "shard_sweep_config",
     "run_trace",
     "trace_breakdown_table",

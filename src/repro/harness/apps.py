@@ -17,6 +17,7 @@ from ..workloads import (
     TravelReservationWorkload,
     Workload,
 )
+from .parallel import SweepCell, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -63,9 +64,30 @@ def run_fig11(
     duration_ms: float = 6_000.0,
     warmup_ms: float = 1_000.0,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentTable]:
-    """Figure 11: latency vs throughput for the three applications."""
+    """Figure 11: latency vs throughput for the three applications.
+
+    ``jobs`` spreads the whole (app, system, rate) grid across a
+    process pool; every panel is assembled from results in grid order,
+    so output is identical at any job count.
+    """
     rates = rates if rates is not None else DEFAULT_RATES
+    cells = [
+        SweepCell(
+            key=("fig11", app, system, rate),
+            fn=run_app_point,
+            kwargs=dict(
+                app=app, protocol=system, rate_per_s=rate,
+                config=config, duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+            ),
+        )
+        for app in apps
+        for system in systems
+        for rate in rates[app]
+    ]
+    results = iter(run_cells(cells, jobs=jobs, tracer=tracer))
     tables: Dict[str, ExperimentTable] = {}
     for app in apps:
         table = ExperimentTable(
@@ -75,10 +97,7 @@ def run_fig11(
         )
         for system in systems:
             for rate in rates[app]:
-                result = run_app_point(
-                    app, system, rate, config, duration_ms, warmup_ms,
-                    tracer=tracer,
-                )
+                result = next(results)
                 table.add_row(
                     system, rate, round(result.throughput_per_s, 1),
                     result.median_ms, result.p99_ms,

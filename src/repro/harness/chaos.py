@@ -32,6 +32,7 @@ from ..observe import LatencyBreakdown, Tracer
 from ..runtime.failures import BernoulliCrashes
 from ..runtime.local import LocalRuntime
 from ..simulation.metrics import LatencyRecorder
+from .parallel import SweepCell, run_cells
 from .report import ExperimentTable
 
 #: Systems included in the default sweep; ``unsafe`` is the control that
@@ -188,12 +189,17 @@ def run_chaos_sweep(
     seed: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     breakdowns: Optional[Dict[str, LatencyBreakdown]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Fault rate × system sweep under composed crashes + infra faults.
 
     ``breakdowns``, if supplied, is filled with each system's
     per-request latency decomposition at the *highest* fault rate —
     the point where retry/detection stages matter most.
+
+    ``jobs`` runs the (system, rate) cells over a process pool; rows,
+    amplification baselines, and breakdowns come out identical because
+    the cells are reassembled in grid order before any of that logic.
     """
     table = ExperimentTable(
         "Chaos: goodput and latency under crashes + infrastructure "
@@ -202,15 +208,25 @@ def run_chaos_sweep(
          "p99 (ms)", "p99 amp", "retries", "degraded", "faulted",
          "violations"],
     )
+    cells = [
+        SweepCell(
+            key=("chaos", system, rate),
+            fn=run_chaos_point,
+            kwargs=dict(
+                protocol=system, fault_rate=rate, config=config,
+                requests=requests, num_keys=num_keys,
+                read_ratio=read_ratio, crash_f=crash_f,
+                crash_horizon=crash_horizon, seed=seed,
+            ),
+        )
+        for system in systems
+        for rate in fault_rates
+    ]
+    points = iter(run_cells(cells, jobs=jobs, tracer=tracer))
     for system in systems:
         baseline_p99 = None
         for rate in fault_rates:
-            point = run_chaos_point(
-                system, rate, config=config, requests=requests,
-                num_keys=num_keys, read_ratio=read_ratio,
-                crash_f=crash_f, crash_horizon=crash_horizon, seed=seed,
-                tracer=tracer,
-            )
+            point = next(points)
             if breakdowns is not None:
                 # Fault rates sweep in ascending order; keep the last.
                 breakdowns[system] = point.breakdown

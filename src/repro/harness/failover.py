@@ -29,6 +29,7 @@ from ..observe import LatencyBreakdown, Tracer
 from ..protocols.registry import PROTOCOL_CLASSES
 from ..runtime.ops import ComputeOp, ReadOp, WriteOp
 from ..workloads.base import Request, Workload
+from .parallel import SweepCell, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -206,6 +207,7 @@ def run_failover_sweep(
     compute_ms: float = 8.0,
     tracer: Optional[Tracer] = None,
     breakdowns: Optional[Dict[str, LatencyBreakdown]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Lease duration × system sweep with one node crash under load.
 
@@ -216,6 +218,10 @@ def run_failover_sweep(
     ``breakdowns``, if supplied, is filled with each system's
     per-request latency decomposition at the *first* (shortest) lease —
     where takeover-gap and detection stages are easiest to compare.
+
+    ``jobs`` fans the (system, lease) cells out over a process pool;
+    results are reassembled in grid order, so the table and the
+    ``breakdowns`` selection are identical at every job count.
     """
     table = ExperimentTable(
         "Failover: node crash at "
@@ -225,15 +231,25 @@ def run_failover_sweep(
          "recovered", "detect (ms)", "takeover p50 (ms)",
          "takeover p99 (ms)", "faulted", "violations"],
     )
+    cells = [
+        SweepCell(
+            key=("failover", system, lease_ms),
+            fn=run_failover_point,
+            kwargs=dict(
+                protocol=system, lease_ms=lease_ms,
+                crash_at_ms=crash_at_ms, crash_nodes=crash_nodes,
+                rate_per_s=rate_per_s, duration_ms=duration_ms,
+                config=config, seed=seed, fault_rate=fault_rate,
+                num_keys=num_keys, compute_ms=compute_ms,
+            ),
+        )
+        for system in systems
+        for lease_ms in lease_values
+    ]
+    points = iter(run_cells(cells, jobs=jobs, tracer=tracer))
     for system in systems:
         for lease_ms in lease_values:
-            point = run_failover_point(
-                system, lease_ms, crash_at_ms=crash_at_ms,
-                crash_nodes=crash_nodes, rate_per_s=rate_per_s,
-                duration_ms=duration_ms, config=config, seed=seed,
-                fault_rate=fault_rate, num_keys=num_keys,
-                compute_ms=compute_ms, tracer=tracer,
-            )
+            point = next(points)
             result = point.result
             if breakdowns is not None:
                 breakdowns.setdefault(system, result.breakdown)

@@ -21,6 +21,7 @@ from ..runtime.local import LocalRuntime
 from ..runtime.services import Cost
 from ..simulation.metrics import LatencyRecorder
 from ..workloads.synthetic import ReadWriteMicrobench
+from .parallel import SweepCell, run_cells
 from .report import ExperimentTable
 
 SYSTEMS = ("unsafe", "boki", "halfmoon-read", "halfmoon-write")
@@ -117,13 +118,25 @@ def run_fig10(
     num_keys: int = 2_000,
     systems: Sequence[str] = SYSTEMS,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentTable]:
-    """Figure 10: read/write latency of the four systems."""
-    results = {
-        system: measure_op_latencies(system, config, requests, num_keys,
-                                     tracer=tracer)
+    """Figure 10: read/write latency of the four systems.
+
+    Each system is one independent cell, so ``jobs`` parallelises the
+    per-system measurement without changing any recorded sample.
+    """
+    cells = [
+        SweepCell(
+            key=("fig10", system),
+            fn=measure_op_latencies,
+            kwargs=dict(protocol=system, config=config,
+                        requests=requests, num_keys=num_keys),
+        )
         for system in systems
-    }
+    ]
+    results = dict(
+        zip(systems, run_cells(cells, jobs=jobs, tracer=tracer))
+    )
 
     tables: Dict[str, ExperimentTable] = {}
     for op, label in [("read", "(a) Read"), ("write", "(b) Write")]:

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..config import SystemConfig
 from ..observe import LatencyBreakdown, Tracer, breakdown_table
 from ..workloads.synthetic import MixedRatioWorkload
+from .parallel import SweepCell, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -60,6 +61,7 @@ def run_fig12(
     duration_ms: float = 30_000.0,
     num_keys: int = 600,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """One panel of Figure 12: storage vs read ratio."""
     base = config if config is not None else SystemConfig()
@@ -72,18 +74,27 @@ def run_fig12(
         ["system", "read ratio", "avg log (KB)", "avg db (KB)",
          "avg total (KB)"],
     )
-    for system in systems:
-        for ratio in read_ratios:
-            result = run_overhead_point(
-                system, ratio, base, rate_per_s, duration_ms,
-                num_keys=num_keys, tracer=tracer,
-            )
-            table.add_row(
-                system, ratio,
-                result.avg_log_bytes / 1024.0,
-                result.avg_db_bytes / 1024.0,
-                result.avg_total_bytes / 1024.0,
-            )
+    grid = [(s, r) for s in systems for r in read_ratios]
+    cells = [
+        SweepCell(
+            key=("fig12", value_bytes, gc_interval_ms, system, ratio),
+            fn=run_overhead_point,
+            kwargs=dict(
+                protocol=system, read_ratio=ratio, config=base,
+                rate_per_s=rate_per_s, duration_ms=duration_ms,
+                num_keys=num_keys,
+            ),
+        )
+        for system, ratio in grid
+    ]
+    results = run_cells(cells, jobs=jobs, tracer=tracer)
+    for (system, ratio), result in zip(grid, results):
+        table.add_row(
+            system, ratio,
+            result.avg_log_bytes / 1024.0,
+            result.avg_db_bytes / 1024.0,
+            result.avg_total_bytes / 1024.0,
+        )
     table.add_note(
         "expected shape: HM-write storage grows with read ratio (read "
         "log), HM-read shrinks (fewer versions); crossover slightly above "
@@ -101,8 +112,28 @@ def run_fig13(
     duration_ms: float = 8_000.0,
     num_keys: int = 2_000,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[float, ExperimentTable]:
-    """Figure 13: median latency vs read ratio at several request rates."""
+    """Figure 13: median latency vs read ratio at several request rates.
+
+    The full (rate, system, ratio) grid is one cell set, so ``jobs``
+    parallelises across every panel at once.
+    """
+    cells = [
+        SweepCell(
+            key=("fig13", rate, system, ratio),
+            fn=run_overhead_point,
+            kwargs=dict(
+                protocol=system, read_ratio=ratio, config=config,
+                rate_per_s=rate, duration_ms=duration_ms,
+                warmup_ms=1_000.0, num_keys=num_keys,
+            ),
+        )
+        for rate in rates
+        for system in systems
+        for ratio in read_ratios
+    ]
+    results = iter(run_cells(cells, jobs=jobs, tracer=tracer))
     tables: Dict[float, ExperimentTable] = {}
     for rate in rates:
         table = ExperimentTable(
@@ -111,10 +142,7 @@ def run_fig13(
         )
         for system in systems:
             for ratio in read_ratios:
-                result = run_overhead_point(
-                    system, ratio, config, rate, duration_ms,
-                    warmup_ms=1_000.0, num_keys=num_keys, tracer=tracer,
-                )
+                result = next(results)
                 table.add_row(
                     system, ratio, result.median_ms, result.p99_ms
                 )
@@ -136,6 +164,7 @@ def run_latency_breakdown(
     warmup_ms: float = 1_000.0,
     num_keys: int = 2_000,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Per-protocol latency breakdown at one overhead operating point.
 
@@ -146,13 +175,23 @@ def run_latency_breakdown(
     Stage components sum exactly to the end-to-end latency (see
     :mod:`repro.observe.breakdown`).
     """
-    breakdowns: Dict[str, LatencyBreakdown] = {}
-    for system in systems:
-        result = run_overhead_point(
-            system, read_ratio, config, rate_per_s, duration_ms,
-            warmup_ms=warmup_ms, num_keys=num_keys, tracer=tracer,
+    cells = [
+        SweepCell(
+            key=("breakdown", system, read_ratio),
+            fn=run_overhead_point,
+            kwargs=dict(
+                protocol=system, read_ratio=read_ratio, config=config,
+                rate_per_s=rate_per_s, duration_ms=duration_ms,
+                warmup_ms=warmup_ms, num_keys=num_keys,
+            ),
         )
-        breakdowns[system] = result.breakdown
+        for system in systems
+    ]
+    results = run_cells(cells, jobs=jobs, tracer=tracer)
+    breakdowns: Dict[str, LatencyBreakdown] = {
+        system: result.breakdown
+        for system, result in zip(systems, results)
+    }
     return breakdown_table(
         breakdowns,
         f"Latency breakdown (read ratio {read_ratio}, "

@@ -50,7 +50,7 @@ from ..recovery import LeaseManager, Orphan, RecoveryCoordinator
 from ..runtime.env import Env
 from ..runtime.local import Context, LocalRuntime
 from ..runtime.registry import FunctionRegistry
-from ..runtime.services import InstanceServices
+from ..runtime.services import Cost, InstanceServices
 from ..simulation.kernel import Interrupt, Simulator
 from ..simulation.metrics import (
     LatencyRecorder,
@@ -389,15 +389,20 @@ class SimPlatform:
                     svc.charge_compute()
                     if FunctionRegistry.is_generator_style(fn):
                         gen = fn(request.input)
+                        # The op loop runs once per protocol-level op;
+                        # bind the per-step callees once per attempt.
+                        sim = self.sim
+                        timeout = sim.timeout
+                        drain = self._drain
+                        apply_op = ctx.apply
                         try:
                             op = next(gen)
+                            send = gen.send
                             while True:
-                                result = ctx.apply(op)
-                                yield self.sim.timeout(
-                                    self._drain(svc, stages)
-                                )
-                                svc.span_base_ms = self.sim.now
-                                op = gen.send(result)
+                                result = apply_op(op)
+                                yield timeout(drain(svc, stages))
+                                svc.span_base_ms = sim.now
+                                op = send(result)
                         except StopIteration:
                             pass
                     else:
@@ -586,8 +591,6 @@ class SimPlatform:
         invocation's simulated time and are tallied separately.
         ``stages`` (the per-request breakdown vector) receives the same
         per-kind milliseconds plus the contention wait."""
-        from ..runtime.services import Cost
-
         cluster = self.config.cluster
         # Appends of one drained operation are treated as arriving at the
         # current instant; drains happen in global nondecreasing time
@@ -595,18 +598,34 @@ class SimPlatform:
         now = self.sim.now
         extra_wait = 0.0
         store_wait_total = 0.0
+        time_by_kind = self.time_by_kind
+        model_log = cluster.model_log_contention
+        model_store = cluster.model_store_contention
+        logging_kinds = Cost.LOGGING_KINDS
+        store_kinds = Cost.STORE_KINDS
+        # The FIFO bookkeeping below is the hottest loop in the harness;
+        # every station cursor lives in a local for the duration of the
+        # drain and is written back once at the end.
+        seq_next_free = self._seq_next_free
+        seq_service = cluster.sequencer_service_ms
+        shard_next_free = self._shard_next_free
+        num_shards = len(shard_next_free)
+        shard_cursor = self._shard_cursor
+        shard_service = cluster.log_shard_service_ms
+        store_next_free = self._store_next_free
+        store_service = cluster.store_partition_service_ms
+        log_wait_ms_total = self.log_wait_ms_total
+        store_wait_ms_total = self.store_wait_ms_total
         for kind, ms, placement in svc.trace.entries:
-            self.time_by_kind[kind] = (
-                self.time_by_kind.get(kind, 0.0) + ms
-            )
+            got = time_by_kind.get(kind)
+            time_by_kind[kind] = ms if got is None else got + ms
             if stages is not None:
                 stages[kind] = stages.get(kind, 0.0) + ms
-            if (cluster.model_log_contention
-                    and kind in Cost.LOGGING_KINDS):
-                wait = max(0.0, self._seq_next_free - now)
-                self._seq_next_free = (
-                    now + wait + cluster.sequencer_service_ms
-                )
+            if model_log and kind in logging_kinds:
+                wait = seq_next_free - now
+                if wait < 0.0:
+                    wait = 0.0
+                seq_next_free = now + wait + seq_service
                 if placement is not None and placement[0] == "shard":
                     # Sharded plane: queue where the record lives, so a
                     # hot shard saturates while its peers stay idle.
@@ -614,34 +633,36 @@ class SimPlatform:
                 else:
                     # Unlabelled plane: the seed's round-robin spread
                     # over the storage nodes.
-                    shard = self._shard_cursor % len(self._shard_next_free)
-                    self._shard_cursor += 1
+                    shard = shard_cursor % num_shards
+                    shard_cursor += 1
                 shard_start = now + wait
-                shard_wait = max(
-                    0.0, self._shard_next_free[shard] - shard_start
-                )
-                self._shard_next_free[shard] = (
-                    shard_start + shard_wait
-                    + cluster.log_shard_service_ms
+                shard_wait = shard_next_free[shard] - shard_start
+                if shard_wait < 0.0:
+                    shard_wait = 0.0
+                shard_next_free[shard] = (
+                    shard_start + shard_wait + shard_service
                 )
                 extra_wait += wait + shard_wait
-                self.log_wait_ms_total += wait + shard_wait
-            elif (cluster.model_store_contention
-                    and kind in Cost.STORE_KINDS):
+                log_wait_ms_total += wait + shard_wait
+            elif model_store and kind in store_kinds:
                 partition = (
                     placement[1]
                     if placement is not None and placement[0] == "partition"
                     else 0
                 )
-                store_wait = max(
-                    0.0, self._store_next_free[partition] - now
-                )
-                self._store_next_free[partition] = (
-                    now + store_wait + cluster.store_partition_service_ms
+                store_wait = store_next_free[partition] - now
+                if store_wait < 0.0:
+                    store_wait = 0.0
+                store_next_free[partition] = (
+                    now + store_wait + store_service
                 )
                 extra_wait += store_wait
                 store_wait_total += store_wait
-                self.store_wait_ms_total += store_wait
+                store_wait_ms_total += store_wait
+        self._seq_next_free = seq_next_free
+        self._shard_cursor = shard_cursor
+        self.log_wait_ms_total = log_wait_ms_total
+        self.store_wait_ms_total = store_wait_ms_total
         if stages is not None and extra_wait > 0:
             log_wait = extra_wait - store_wait_total
             if log_wait > 0:
@@ -725,6 +746,7 @@ class SimPlatform:
             latency_series=self.latency_series,
             counters=backend.counters.as_dict(),
             time_by_kind=dict(self.time_by_kind),
+            extras={"events_processed": self.sim.events_processed},
             node_crashes=self.node_crashes,
             orphaned_invocations=self.orphaned_invocations,
             recovered_orphans=(

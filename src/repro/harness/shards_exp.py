@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 from ..config import SystemConfig
 from ..observe import Tracer
 from ..workloads.synthetic import MixedRatioWorkload
+from .parallel import SweepCell, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -112,27 +113,42 @@ def run_shard_sweep(
     warmup_ms: float = 1_000.0,
     num_keys: int = 2_000,
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
-    """p50/p99 vs offered load for each log-shard count."""
+    """p50/p99 vs offered load for each log-shard count.
+
+    ``jobs`` fans the grid's cells out over a process pool; the table
+    is bit-identical at every job count (each cell is self-contained).
+    """
     table = ExperimentTable(
         f"Storage-plane scaling: {protocol} latency vs load by log shards "
         f"(read ratio {read_ratio})",
         ["log shards", "rate (req/s)", "median (ms)", "p99 (ms)",
          "log wait (ms/req)"],
     )
-    for shards in shard_counts:
-        for rate in rates:
-            result = run_shard_point(
-                shards, rate, protocol, read_ratio, config,
-                duration_ms, warmup_ms, num_keys, tracer=tracer,
-            )
-            per_request_wait = result.extras["log_wait_ms_total"] / max(
-                result.completed, 1
-            )
-            table.add_row(
-                shards, rate, result.median_ms, result.p99_ms,
-                per_request_wait,
-            )
+    grid = [(shards, rate) for shards in shard_counts for rate in rates]
+    cells = [
+        SweepCell(
+            key=("shards", shards, "rate", rate),
+            fn=run_shard_point,
+            kwargs=dict(
+                shards=shards, rate_per_s=rate, protocol=protocol,
+                read_ratio=read_ratio, config=config,
+                duration_ms=duration_ms, warmup_ms=warmup_ms,
+                num_keys=num_keys,
+            ),
+        )
+        for shards, rate in grid
+    ]
+    results = run_cells(cells, jobs=jobs, tracer=tracer)
+    for (shards, rate), result in zip(grid, results):
+        per_request_wait = result.extras["log_wait_ms_total"] / max(
+            result.completed, 1
+        )
+        table.add_row(
+            shards, rate, result.median_ms, result.p99_ms,
+            per_request_wait,
+        )
     table.add_note(
         "expected shape: low-load medians within noise across shard "
         "counts (placement is free); at the highest rate p99 and per-"

@@ -53,7 +53,7 @@ CAT_PLATFORM = "platform"
 PLATFORM_TRACE_ID = "platform"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanEvent:
     """A point-in-time annotation attached to a span (or to a trace)."""
 
@@ -205,6 +205,28 @@ class Tracer:
 
     def children_of(self, span: Span) -> List[Span]:
         return [s for s in self._spans if s.parent_id == span.span_id]
+
+    # -- merging --------------------------------------------------------
+
+    def absorb(self, other: "Tracer") -> None:
+        """Append another tracer's records, renumbering span ids as if
+        they had been recorded here directly.
+
+        This is how per-cell tracers from parallel sweep workers merge
+        back into the session tracer: absorbing cell tracers in cell
+        order reproduces the exact span-id sequence a single shared
+        tracer would have assigned, so traced sweeps are bit-identical
+        at any ``--jobs`` level.
+        """
+        offset = self._next_id - 1
+        for span in other._spans:
+            span.tracer = self
+            span.span_id += offset
+            if span.parent_id is not None:
+                span.parent_id += offset
+            self._spans.append(span)
+        self._instants.extend(other._instants)
+        self._next_id += other._next_id - 1
 
     def __len__(self) -> int:
         return len(self._spans)

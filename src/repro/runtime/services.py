@@ -22,7 +22,6 @@ through :class:`InstanceServices`, which
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -172,6 +171,14 @@ class LatencyProvider:
     def mean(self, kind: str) -> float:
         return self._models[kind].mean()
 
+    def samplers(self) -> Dict[str, Callable]:
+        """Compiled per-kind samplers (hot path; see ``compiled()``)."""
+        return {k: model.compiled() for k, model in self._models.items()}
+
+    def log_read_samplers(self):
+        """Compiled (cache-hit, cache-miss) log-read samplers."""
+        return self._log_read_hit.compiled(), self._log_read_miss.compiled()
+
 
 #: A placement label carried by a cost-trace entry: ``("shard", i)``
 #: for log operations and ``("partition", i)`` for store operations, or
@@ -179,7 +186,6 @@ class LatencyProvider:
 Placement = Optional[tuple]
 
 
-@dataclass
 class CostTrace:
     """Latency charges accumulated by one protocol-level operation.
 
@@ -188,10 +194,13 @@ class CostTrace:
     modelled, queues each charge at the station its placement names.
     """
 
-    entries: List[Any] = field(default_factory=list)
-    #: Running sum, so ``total_ms`` is O(1) — the tracer's virtual
-    #: clock reads it on every span boundary.
-    _total_ms: float = 0.0
+    __slots__ = ("entries", "_total_ms")
+
+    def __init__(self) -> None:
+        self.entries: List[Any] = []
+        #: Running sum, so ``total_ms`` is O(1) — the tracer's virtual
+        #: clock reads it on every span boundary.
+        self._total_ms = 0.0
 
     def charge(self, kind: str, latency_ms: float,
                placement: Placement = None) -> None:
@@ -240,6 +249,11 @@ class ServiceBackend:
         #: under brown-out without instrumenting every call site.
         #: Registry-backed: each recorder is ``op_latency{kind=...}``.
         self.op_latency: Dict[str, LatencyRecorder] = {}
+        #: Placement-labelled recorders, nested by kind so the hot
+        #: ``_note`` path needs no per-call tuple key.
+        self._op_latency_labelled: Dict[
+            str, Dict[Placement, LatencyRecorder]
+        ] = {}
         #: Attach a :class:`repro.observe.Tracer` to record span trees;
         #: ``None`` (the default) disables tracing with zero overhead.
         self.tracer: Optional[Tracer] = None
@@ -261,6 +275,17 @@ class ServiceBackend:
         self._latency_rng = self.rng.stream("service-latency")
         self._uuid_rng = self.rng.stream("uuid")
         self._jitter_rng = self.rng.stream("retry-jitter")
+        #: Compiled per-kind samplers: the charge path draws through
+        #: these closures instead of walking model objects per op.  They
+        #: consume the shared latency stream exactly as the models do.
+        self._samplers = self.latency.samplers()
+        self._lr_hit, self._lr_miss = self.latency.log_read_samplers()
+        #: Placement labels are pure functions of the routing key (the
+        #: router memoizes routes; placement tuples memoize the tuple
+        #: allocation too, one per key instead of one per op).
+        self._plane_labelled = self.plane.labelled
+        self._log_placements: Dict[str, tuple] = {}
+        self._kv_placements: Dict[str, tuple] = {}
         self._register_component_metrics()
 
     def _register_component_metrics(self) -> None:
@@ -303,9 +328,13 @@ class ServiceBackend:
 
     def charge(self, kind: str, trace: CostTrace, factor: float = 1.0,
                placement: Placement = None) -> float:
-        ms = self.latency.sample(kind, self._latency_rng) * factor
-        trace.charge(kind, ms, placement)
-        self.counters.add(kind)
+        ms = self._samplers[kind](self._latency_rng) * factor
+        # Inlined ``CostTrace.charge`` (same module): this is the single
+        # hottest accounting call in the DES, so skip the dispatch.
+        trace.entries.append((kind, ms, placement))
+        trace._total_ms += ms
+        counts = self.counters._counts
+        counts[kind] = counts.get(kind, 0) + 1
         self._note(kind, ms, placement)
         return ms
 
@@ -313,11 +342,16 @@ class ServiceBackend:
                         factor: float = 1.0,
                         placement: Placement = None) -> float:
         shard = placement[1] if placement is not None else 0
-        ms = self.latency.sample_log_read(
-            seqnum, self._latency_rng, shard
-        ) * factor
-        trace.charge(Cost.LOG_READ, ms, placement)
-        self.counters.add(Cost.LOG_READ)
+        # Inlined ``LatencyProvider.sample_log_read``: same cache lookup
+        # (hit/miss stats included), same stream consumption.
+        if seqnum is None or self.cache.lookup(seqnum, shard):
+            ms = self._lr_hit(self._latency_rng) * factor
+        else:
+            ms = self._lr_miss(self._latency_rng) * factor
+        trace.entries.append((Cost.LOG_READ, ms, placement))
+        trace._total_ms += ms
+        counts = self.counters._counts
+        counts[Cost.LOG_READ] = counts.get(Cost.LOG_READ, 0) + 1
         self._note(Cost.LOG_READ, ms, placement)
         return ms
 
@@ -331,33 +365,50 @@ class ServiceBackend:
     def _note(self, kind: str, ms: float, placement: Placement) -> None:
         """Record into ``op_latency{kind=}`` — plus the per-shard /
         per-partition labelled recorder when the plane routes the op."""
+        if ms.__class__ is not float:
+            ms = float(ms)
         recorder = self.op_latency.get(kind)
         if recorder is None:
             recorder = self.op_latency[kind] = self.metrics.latency(
                 "op_latency", kind=kind
             )
-        recorder.record(ms)
+        # Charges are non-negative floats by construction, so append to
+        # the recorder's sample list directly (``record()`` re-checks
+        # and re-coerces on every call).
+        recorder._samples.append(ms)
         if placement is not None:
-            key = (kind, placement)
-            labelled = self.op_latency.get(key)
+            by_placement = self._op_latency_labelled.get(kind)
+            if by_placement is None:
+                by_placement = self._op_latency_labelled[kind] = {}
+            labelled = by_placement.get(placement)
             if labelled is None:
-                labelled = self.op_latency[key] = self.metrics.latency(
+                labelled = by_placement[placement] = self.metrics.latency(
                     "op_latency", kind=kind,
                     **{placement[0]: placement[1]},
                 )
-            labelled.record(ms)
+            labelled._samples.append(ms)
 
     def log_placement(self, tag: str) -> Placement:
         """Placement label of a log operation on ``tag`` (None at 1×1)."""
-        if not self.plane.labelled:
+        if not self._plane_labelled:
             return None
-        return ("shard", self.plane.log_shard_of(tag))
+        placement = self._log_placements.get(tag)
+        if placement is None:
+            placement = self._log_placements[tag] = (
+                "shard", self.plane.log_shard_of(tag)
+            )
+        return placement
 
     def kv_placement(self, key: str) -> Placement:
         """Placement label of a store operation on ``key`` (None at 1×1)."""
-        if not self.plane.labelled:
+        if not self._plane_labelled:
             return None
-        return ("partition", self.plane.kv_partition_of(key))
+        placement = self._kv_placements.get(key)
+        if placement is None:
+            placement = self._kv_placements[key] = (
+                "partition", self.plane.kv_partition_of(key)
+            )
+        return placement
 
     def breaker_trips(self) -> int:
         return sum(b.trips for b in self.breakers.values())
@@ -412,6 +463,18 @@ class InstanceServices:
         #: ``is None`` check and allocates nothing.
         self._span: Optional[Span] = None
         self.span_base_ms = 0.0
+        #: Ultra-fast call sites: with faults disabled all breakers stay
+        #: CLOSED for the backend's whole lifetime (transitions only
+        #: happen inside ``_service_call``'s resilience branch, which is
+        #: unreachable then), so ops can skip the closure allocation and
+        #: dispatch of ``_service_call`` entirely.  Attaching a span
+        #: clears the flag — traced attempts take the instrumented path.
+        breakers = backend.breakers
+        self._fast = (
+            not backend.faults.enabled
+            and breakers["log"].state == BreakerState.CLOSED
+            and breakers["store"].state == BreakerState.CLOSED
+        )
 
     # -- tracing ----------------------------------------------------------
 
@@ -420,6 +483,7 @@ class InstanceServices:
         ``base_ms`` anchors the cost-trace virtual clock."""
         self._span = span
         self.span_base_ms = base_ms
+        self._fast = False
 
     @property
     def span(self) -> Optional[Span]:
@@ -622,18 +686,32 @@ class InstanceServices:
         background: bool = False,
     ) -> int:
         self.checkpoint("log_append:pre")
-        kind = self._append_kind(synchronous, control, background)
-        placement = self.backend.log_placement(tags[0]) if tags else None
+        if background:
+            kind = Cost.LOG_APPEND_BACKGROUND
+        elif control:
+            kind = Cost.LOG_APPEND_CONTROL
+        else:
+            kind = (Cost.LOG_APPEND if synchronous
+                    else Cost.LOG_APPEND_OVERLAPPED)
+        backend = self.backend
+        placement = backend.log_placement(tags[0]) if tags else None
         shard = placement[1] if placement is not None else 0
 
+        if self._fast:
+            seqnum = backend.log.append(tags, data, payload_bytes)
+            backend.cache.insert(seqnum, shard)
+            backend.charge(kind, self.trace, placement=placement)
+            self.checkpoint("log_append:post")
+            return seqnum
+
         def do() -> int:
-            seqnum = self.backend.log.append(tags, data, payload_bytes)
-            self.backend.cache.insert(seqnum, shard)
+            seqnum = backend.log.append(tags, data, payload_bytes)
+            backend.cache.insert(seqnum, shard)
             return seqnum
 
         seqnum = self._service_call(
             "log", kind, do,
-            charge=lambda _r, f: self.backend.charge(
+            charge=lambda _r, f: backend.charge(
                 kind, self.trace, f, placement=placement
             ),
             droppable=background,
@@ -645,16 +723,6 @@ class InstanceServices:
             # of background appends ignore the seqnum by contract.
             return -1
         return seqnum
-
-    @staticmethod
-    def _append_kind(synchronous: bool, control: bool,
-                     background: bool = False) -> str:
-        if background:
-            return Cost.LOG_APPEND_BACKGROUND
-        if control:
-            return Cost.LOG_APPEND_CONTROL
-        return (Cost.LOG_APPEND if synchronous
-                else Cost.LOG_APPEND_OVERLAPPED)
 
     def log_cond_append(
         self,
@@ -669,24 +737,43 @@ class InstanceServices:
         """Conditional append; raises :class:`ConditionalAppendError` with
         the winning record's seqnum when a peer instance got there first."""
         self.checkpoint("log_cond_append:pre")
-        kind = self._append_kind(synchronous, control)
-        placement = self.backend.log_placement(tags[0]) if tags else None
+        if control:
+            kind = Cost.LOG_APPEND_CONTROL
+        else:
+            kind = (Cost.LOG_APPEND if synchronous
+                    else Cost.LOG_APPEND_OVERLAPPED)
+        backend = self.backend
+        placement = backend.log_placement(tags[0]) if tags else None
         shard = placement[1] if placement is not None else 0
 
+        if self._fast:
+            # A lost race still pays for the round trip.
+            try:
+                seqnum = backend.log.cond_append(
+                    tags, data, cond_tag, cond_pos, payload_bytes
+                )
+            except ReproError:
+                backend.charge(kind, self.trace, placement=placement)
+                raise
+            backend.cache.insert(seqnum, shard)
+            backend.charge(kind, self.trace, placement=placement)
+            self.checkpoint("log_cond_append:post")
+            return seqnum
+
         def do() -> int:
-            seqnum = self.backend.log.cond_append(
+            seqnum = backend.log.cond_append(
                 tags, data, cond_tag, cond_pos, payload_bytes
             )
-            self.backend.cache.insert(seqnum, shard)
+            backend.cache.insert(seqnum, shard)
             return seqnum
 
         # A lost race still pays for the round trip (charge_error).
         seqnum = self._service_call(
             "log", kind, do,
-            charge=lambda _r, f: self.backend.charge(
+            charge=lambda _r, f: backend.charge(
                 kind, self.trace, f, placement=placement
             ),
-            charge_error=lambda f: self.backend.charge(
+            charge_error=lambda f: backend.charge(
                 kind, self.trace, f, placement=placement
             ),
             placement=placement,
@@ -707,7 +794,15 @@ class InstanceServices:
 
     def log_read_prev(self, tag: str, max_seqnum: int) -> Optional[LogRecord]:
         self.checkpoint("log_read_prev:pre")
-        placement = self.backend.log_placement(tag)
+        backend = self.backend
+        placement = backend.log_placement(tag)
+        if self._fast:
+            record = backend.log.read_prev(tag, max_seqnum)
+            backend.charge_log_read(
+                record.seqnum if record is not None else None,
+                self.trace, placement=placement,
+            )
+            return record
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log.read_prev(tag, max_seqnum),
@@ -723,7 +818,15 @@ class InstanceServices:
 
     def log_read_next(self, tag: str, min_seqnum: int) -> Optional[LogRecord]:
         self.checkpoint("log_read_next:pre")
-        placement = self.backend.log_placement(tag)
+        backend = self.backend
+        placement = backend.log_placement(tag)
+        if self._fast:
+            record = backend.log.read_next(tag, min_seqnum)
+            backend.charge_log_read(
+                record.seqnum if record is not None else None,
+                self.trace, placement=placement,
+            )
+            return record
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log.read_next(tag, min_seqnum),
@@ -740,7 +843,15 @@ class InstanceServices:
     def log_read_stream(self, tag: str) -> List[LogRecord]:
         """Fetch a whole sub-stream (``getStepLogs`` in the pseudocode)."""
         self.checkpoint("log_read_stream:pre")
-        placement = self.backend.log_placement(tag)
+        backend = self.backend
+        placement = backend.log_placement(tag)
+        if self._fast:
+            records = backend.log.read_stream(tag)
+            backend.charge_log_read(
+                records[-1].seqnum if records else None,
+                self.trace, placement=placement,
+            )
+            return records
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log.read_stream(tag),
@@ -753,7 +864,14 @@ class InstanceServices:
 
     def log_record_at(self, tag: str, offset: int) -> LogRecord:
         """Fetch the record at a stream offset (post-conflict recovery)."""
-        placement = self.backend.log_placement(tag)
+        backend = self.backend
+        placement = backend.log_placement(tag)
+        if self._fast:
+            record = backend.log._record_at_offset(tag, offset)
+            backend.charge_log_read(
+                record.seqnum, self.trace, placement=placement
+            )
+            return record
         return self._service_call(
             "log", Cost.LOG_READ,
             lambda: self.backend.log._record_at_offset(tag, offset),
@@ -781,62 +899,106 @@ class InstanceServices:
 
     def db_read(self, key: str, default: Any = None) -> Any:
         self.checkpoint("db_read:pre")
+        backend = self.backend
+        if self._fast:
+            placement = backend.kv_placement(key)
+            result = backend.kv.get_optional(key, default)
+            backend.charge(Cost.DB_READ, self.trace, placement=placement)
+            return result
         return self._db_call(
             Cost.DB_READ,
-            lambda: self.backend.kv.get_optional(key, default),
+            lambda: backend.kv.get_optional(key, default),
             key,
         )
 
     def db_read_with_version(self, key: str) -> Any:
         self.checkpoint("db_read:pre")
+        backend = self.backend
+        if self._fast:
+            placement = backend.kv_placement(key)
+            result = backend.kv.get_with_version(key)
+            backend.charge(Cost.DB_READ, self.trace, placement=placement)
+            return result
         return self._db_call(
             Cost.DB_READ,
-            lambda: self.backend.kv.get_with_version(key),
+            lambda: backend.kv.get_with_version(key),
             key,
         )
 
     def db_read_version(self, key: str, version_number: str) -> Any:
         self.checkpoint("db_read_version:pre")
+        backend = self.backend
+        if self._fast:
+            placement = backend.kv_placement(key)
+            result = backend.mv.read_version(key, version_number)
+            backend.charge(
+                Cost.DB_READ_VERSION, self.trace, placement=placement
+            )
+            return result
         return self._db_call(
             Cost.DB_READ_VERSION,
-            lambda: self.backend.mv.read_version(key, version_number),
+            lambda: backend.mv.read_version(key, version_number),
             key,
         )
 
     def db_write(self, key: str, value: Any) -> None:
         self.checkpoint("db_write:pre")
-        self._db_call(
-            Cost.DB_WRITE,
-            lambda: self.backend.kv.put(
-                key, value, self.backend.value_bytes
-            ),
-            key,
-        )
+        backend = self.backend
+        if self._fast:
+            placement = backend.kv_placement(key)
+            backend.kv.put(key, value, backend.value_bytes)
+            backend.charge(Cost.DB_WRITE, self.trace, placement=placement)
+        else:
+            self._db_call(
+                Cost.DB_WRITE,
+                lambda: backend.kv.put(key, value, backend.value_bytes),
+                key,
+            )
         self.checkpoint("db_write:post")
 
     def db_write_version(
         self, key: str, version_number: str, value: Any
     ) -> None:
         self.checkpoint("db_write_version:pre")
-        self._db_call(
-            Cost.DB_WRITE_VERSION,
-            lambda: self.backend.mv.write_version(
-                key, version_number, value, self.backend.value_bytes
-            ),
-            key,
-        )
+        backend = self.backend
+        if self._fast:
+            placement = backend.kv_placement(key)
+            backend.mv.write_version(
+                key, version_number, value, backend.value_bytes
+            )
+            backend.charge(
+                Cost.DB_WRITE_VERSION, self.trace, placement=placement
+            )
+        else:
+            self._db_call(
+                Cost.DB_WRITE_VERSION,
+                lambda: backend.mv.write_version(
+                    key, version_number, value, backend.value_bytes
+                ),
+                key,
+            )
         self.checkpoint("db_write_version:post")
 
     def db_cond_write(self, key: str, value: Any, version: Any) -> bool:
         """Conditional update: applies iff stored VERSION < ``version``."""
         self.checkpoint("db_cond_write:pre")
-        applied = self._db_call(
-            Cost.DB_COND_WRITE,
-            lambda: self.backend.kv.conditional_put(
-                key, value, version, self.backend.value_bytes
-            ),
-            key,
-        )
+        backend = self.backend
+        if self._fast:
+            placement = backend.kv_placement(key)
+            applied = backend.kv.conditional_put(
+                key, value, version, backend.value_bytes
+            )
+            backend.charge(
+                Cost.DB_COND_WRITE, self.trace, placement=placement
+            )
+        else:
+            applied = self._db_call(
+                Cost.DB_COND_WRITE,
+                lambda: backend.kv.conditional_put(
+                    key, value, version, backend.value_bytes
+                ),
+                key,
+            )
         self.checkpoint("db_cond_write:post")
         return applied
 

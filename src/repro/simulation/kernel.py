@@ -6,6 +6,14 @@ deliberately small — timeouts, processes, and FIFO resources are all this
 reproduction needs — and fully deterministic: events scheduled for the same
 instant fire in scheduling order.
 
+The event heap holds ``(time, eid, item)`` tuples where ``eid`` is a
+monotonically increasing schedule counter: same-instant entries compare on
+``eid`` alone, so the item itself is never compared and insertion order is
+the total order within an instant.  Besides :class:`Event` objects the heap
+also carries plain ``(fn, arg)`` deferred-callback tuples — a lightweight
+stand-in for the wrapper events that same-instant process resumption and
+interrupts would otherwise allocate.
+
 Example::
 
     sim = Simulator()
@@ -73,11 +81,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        # Inlined Event.__init__ — one Timeout per simulated service op
+        # makes this the hottest constructor in the kernel.
+        self.sim = sim
+        self.callbacks = []
         self._triggered = True  # pre-armed; fires via the event heap
         self._value = value
-        sim._schedule_at(sim.now + delay, self)
+        self.delay = delay
+        sim._eid += 1
+        heapq.heappush(sim._heap, (sim._now + delay, sim._eid, self))
 
 
 class Interrupt(Exception):
@@ -94,9 +106,15 @@ class Interrupt(Exception):
 
 
 class Process(Event):
-    """Wraps a generator; the event fires when the generator returns."""
+    """Wraps a generator; the event fires when the generator returns.
 
-    __slots__ = ("generator", "name", "_waiting_on", "_waiting_cb")
+    ``_wait_token`` invalidates deferred same-instant resumptions: each
+    detach (interrupt) bumps it, so a ``(fn, arg)`` tuple already sitting
+    on the heap becomes a no-op instead of resuming a detached process.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_waiting_cb",
+                 "_wait_token")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "process"):
@@ -105,27 +123,40 @@ class Process(Event):
         self.name = name
         self._waiting_on: Optional[Event] = None
         self._waiting_cb: Optional[Callable[[Event], None]] = None
+        self._wait_token = 0
         # Kick off the process at the current simulation time.
-        start = Event(sim)
-        start.callbacks.append(self._resume)
-        self._waiting_on, self._waiting_cb = start, self._resume
-        start.succeed(None)
+        sim._defer(self._deferred_start, 0)
+
+    def _deferred_start(self, token: int) -> None:
+        if token != self._wait_token or self._triggered:
+            return
+        self._advance(self.generator.send, None)
 
     def _resume(self, event: Event) -> None:
-        self._step(lambda: self.generator.send(event.value))
-
-    def _throw(self, exc: BaseException) -> None:
-        self._step(lambda: self.generator.throw(exc))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
         if self._triggered:
             # The process already finished (e.g. it was interrupted twice
             # at the same instant); nothing left to resume.
             return
         self._waiting_on = None
         self._waiting_cb = None
+        self._advance(self.generator.send, event._value)
+
+    def _deferred_resume(self, arg: Tuple[Event, int]) -> None:
+        target, token = arg
+        if token != self._wait_token or self._triggered:
+            return
+        self._advance(self.generator.send, target._value)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._waiting_cb = None
+        self._advance(self.generator.throw, exc)
+
+    def _advance(self, step: Callable[[Any], Any], value: Any) -> None:
         try:
-            target = advance()
+            target = step(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -134,23 +165,27 @@ class Process(Event):
             # killed at this instant.
             self.succeed(None)
             return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {target!r}, expected Event"
-            )
-        if target.triggered and not isinstance(target, Timeout):
-            # Already-fired events resume the process on the next tick.
-            immediate = Event(self.sim)
-            callback = lambda _e, t=target: self._resume_with(t)  # noqa: E731
-            immediate.callbacks.append(callback)
-            self._waiting_on, self._waiting_cb = immediate, callback
-            immediate.succeed(None)
+        cls = target.__class__
+        if cls is Timeout or not isinstance(target, Event):
+            if cls is not Timeout:
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}, "
+                    "expected Event"
+                )
+            target.callbacks.append(self._resume)
+            self._waiting_on, self._waiting_cb = target, self._resume
+        elif target._triggered:
+            # Already-fired events resume the process on the next tick;
+            # a deferred tuple replaces the wrapper event + closure.
+            self._wait_token += 1
+            self.sim._defer(self._deferred_resume,
+                            (target, self._wait_token))
         else:
             target.callbacks.append(self._resume)
             self._waiting_on, self._waiting_cb = target, self._resume
 
-    def _resume_with(self, target: Event) -> None:
-        self._resume(target)
+    def _deferred_interrupt(self, cause: Any) -> None:
+        self._throw(Interrupt(cause))
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current instant.
@@ -168,11 +203,8 @@ class Process(Event):
                 pass
         self._waiting_on = None
         self._waiting_cb = None
-        kick = Event(self.sim)
-        kick.callbacks.append(
-            lambda _e, c=cause: self._throw(Interrupt(c))
-        )
-        kick.succeed(None)
+        self._wait_token += 1
+        self.sim._defer(self._deferred_interrupt, cause)
 
 
 class Simulator:
@@ -180,9 +212,9 @@ class Simulator:
 
     def __init__(self):
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, Any]] = []
         self._eid = 0
-        self._pending_callbacks: List[Event] = []
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -201,6 +233,15 @@ class Simulator:
         self._eid += 1
         heapq.heappush(self._heap, (self._now, self._eid, event))
 
+    def _defer(self, fn: Callable[[Any], None], arg: Any) -> None:
+        """Queue a bare callback at the current instant.
+
+        Cheaper than wrapping the callback in an :class:`Event`; ordering
+        relative to real events is still by schedule counter.
+        """
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now, self._eid, (fn, arg)))
+
     # -- public API ---------------------------------------------------------
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -215,31 +256,45 @@ class Simulator:
 
     def run(self, until: Optional[float] = None) -> None:
         """Drain the event queue, optionally stopping at time ``until``."""
-        while self._heap:
-            time, _eid, event = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        while heap:
+            time = heap[0][0]
             if until is not None and time > until:
                 break
-            heapq.heappop(self._heap)
+            _, _eid, item = pop(heap)
             self._now = time
-            event._run_callbacks()
+            processed += 1
+            if item.__class__ is tuple:
+                item[0](item[1])
+            else:
+                item._run_callbacks()
+        self.events_processed += processed
         if until is not None and self._now < until:
             self._now = until
 
     def run_until_complete(self, process: Process,
                            limit: Optional[float] = None) -> Any:
         """Run until ``process`` finishes; raise on deadlock or time limit."""
-        while not process.triggered:
-            if not self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        while not process._triggered:
+            if not heap:
                 raise DeadlockError(
                     f"event queue drained before {process.name!r} finished"
                 )
-            time, _eid, event = heapq.heappop(self._heap)
+            time, _eid, item = pop(heap)
             if limit is not None and time > limit:
                 raise SimulationError(
                     f"{process.name!r} exceeded time limit {limit}"
                 )
             self._now = time
-            event._run_callbacks()
+            self.events_processed += 1
+            if item.__class__ is tuple:
+                item[0](item[1])
+            else:
+                item._run_callbacks()
         return process.value
 
     def peek(self) -> Optional[float]:

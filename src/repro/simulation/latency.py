@@ -13,11 +13,14 @@ where ``z99 = Phi^-1(0.99) ~= 2.3263``.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigError
+
+#: A compiled sampler: draws one service time from a generator.
+Sampler = Callable[[np.random.Generator], float]
 
 #: 99th-percentile z-score of the standard normal distribution.
 Z99 = 2.3263478740408408
@@ -36,6 +39,18 @@ class LatencyModel:
         """Return this distribution with all mass scaled by ``factor``."""
         return ScaledLatency(self, factor)
 
+    def compiled(self) -> Sampler:
+        """Return a ``fn(rng) -> float`` closure equivalent to ``sample``.
+
+        Compiled samplers hoist distribution parameters out of the per-op
+        path (no attribute walks, no wrapper-object dispatch).  Every
+        implementation must consume the generator stream exactly as its
+        ``sample`` does, so swapping a compiled sampler in never perturbs
+        seeded results.  Closures are intentionally not cached on the
+        instance: models stay picklable for process fan-out.
+        """
+        return self.sample
+
 
 class ConstantLatency(LatencyModel):
     """Degenerate distribution; useful for tests and analytic checks."""
@@ -50,6 +65,10 @@ class ConstantLatency(LatencyModel):
 
     def mean(self) -> float:
         return self.value_ms
+
+    def compiled(self) -> Sampler:
+        value = self.value_ms
+        return lambda rng: value
 
     def __repr__(self) -> str:
         return f"ConstantLatency({self.value_ms!r})"
@@ -87,6 +106,13 @@ class LogNormalLatency(LatencyModel):
     def mean(self) -> float:
         return math.exp(self._mu + self._sigma ** 2 / 2.0)
 
+    def compiled(self) -> Sampler:
+        if self._sigma == 0.0:
+            median = self.median_ms
+            return lambda rng: median
+        mu, sigma = self._mu, self._sigma
+        return lambda rng: float(rng.lognormal(mu, sigma))
+
     def percentile(self, q: float) -> float:
         """Analytic quantile, ``q`` in (0, 1)."""
         if not 0.0 < q < 1.0:
@@ -119,6 +145,10 @@ class UniformLatency(LatencyModel):
     def mean(self) -> float:
         return (self.low_ms + self.high_ms) / 2.0
 
+    def compiled(self) -> Sampler:
+        low, high = self.low_ms, self.high_ms
+        return lambda rng: float(rng.uniform(low, high))
+
 
 class EmpiricalLatency(LatencyModel):
     """Resamples from a fixed set of observed latencies."""
@@ -137,6 +167,10 @@ class EmpiricalLatency(LatencyModel):
     def mean(self) -> float:
         return float(self._samples.mean())
 
+    def compiled(self) -> Sampler:
+        samples, n = self._samples, len(self._samples)
+        return lambda rng: float(samples[rng.integers(0, n)])
+
 
 class ScaledLatency(LatencyModel):
     """A base distribution with all mass multiplied by a factor."""
@@ -152,6 +186,10 @@ class ScaledLatency(LatencyModel):
 
     def mean(self) -> float:
         return self.base.mean() * self.factor
+
+    def compiled(self) -> Sampler:
+        base, factor = self.base.compiled(), self.factor
+        return lambda rng: base(rng) * factor
 
 
 class MixtureLatency(LatencyModel):
@@ -177,3 +215,15 @@ class MixtureLatency(LatencyModel):
     def mean(self) -> float:
         p = self.primary_probability
         return p * self.primary.mean() + (1.0 - p) * self.secondary.mean()
+
+    def compiled(self) -> Sampler:
+        primary = self.primary.compiled()
+        secondary = self.secondary.compiled()
+        p = self.primary_probability
+
+        def draw(rng: np.random.Generator) -> float:
+            if rng.random() < p:
+                return primary(rng)
+            return secondary(rng)
+
+        return draw

@@ -17,6 +17,8 @@ from ..errors import SimulationError
 class LatencyRecorder:
     """Accumulates latency samples and reports summary statistics."""
 
+    __slots__ = ("name", "_samples")
+
     def __init__(self, name: str = "latency"):
         self.name = name
         self._samples: List[float] = []
@@ -88,6 +90,8 @@ class LatencySummary:
 class Counter:
     """Named monotonically increasing counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self):
         self._counts: Dict[str, int] = {}
 
@@ -119,6 +123,9 @@ class TimeWeightedGauge:
     is *time-averaged* bytes in the log and the database.
     """
 
+    __slots__ = ("name", "_last_time", "_value", "_area", "_start_time",
+                 "_max_value")
+
     def __init__(self, name: str, start_time_ms: float = 0.0,
                  initial_value: float = 0.0):
         self.name = name
@@ -137,15 +144,21 @@ class TimeWeightedGauge:
         return self._max_value
 
     def set(self, value: float, now_ms: float) -> None:
-        if now_ms < self._last_time:
+        last = self._last_time
+        if now_ms < last:
             raise SimulationError(
                 f"gauge {self.name!r} driven backwards in time "
-                f"({now_ms} < {self._last_time})"
+                f"({now_ms} < {last})"
             )
-        self._area += self._value * (now_ms - self._last_time)
-        self._last_time = now_ms
-        self._value = float(value)
-        self._max_value = max(self._max_value, self._value)
+        value = float(value)
+        if now_ms > last:
+            # Same-instant updates contribute zero area; skipping the
+            # arithmetic keeps repeated sets within one DES instant cheap.
+            self._area += self._value * (now_ms - last)
+            self._last_time = now_ms
+        self._value = value
+        if value > self._max_value:
+            self._max_value = value
 
     def add(self, delta: float, now_ms: float) -> None:
         self.set(self._value + delta, now_ms)
@@ -171,6 +184,9 @@ class ThroughputMeter:
     ``count / min_window`` instead; callers measuring over a known
     interval should pass it explicitly via ``window_ms``.
     """
+
+    __slots__ = ("name", "min_window_ms", "_count", "_first_ms",
+                 "_last_ms")
 
     def __init__(self, name: str = "throughput",
                  min_window_ms: float = 1.0):

@@ -60,18 +60,33 @@ class Router:
         self.shards = shards
         self.placement = placement
         self._first_seen: Dict[str, int] = {}
+        #: Route memo.  Placement is pure (``hash``) or append-only
+        #: (``first_seen``), so a computed route never changes and the
+        #: CRC can be skipped on every repeat routing of a key.  The key
+        #: universe is bounded by the workload (tags + store keys), so
+        #: the memo is too.
+        self._routes: Dict[str, int] = {}
+        self._store_routes: Dict[str, int] = {}
 
     def route(self, key: str) -> int:
+        shard = self._routes.get(key)
+        if shard is not None:
+            return shard
         if self.shards == 1:
-            return 0
-        if self.placement == "hash":
-            return stable_hash(key) % self.shards
-        assigned = self._first_seen.get(key)
-        if assigned is None:
-            assigned = len(self._first_seen) % self.shards
-            self._first_seen[key] = assigned
-        return assigned
+            shard = 0
+        elif self.placement == "hash":
+            shard = stable_hash(key) % self.shards
+        else:
+            shard = self._first_seen.get(key)
+            if shard is None:
+                shard = len(self._first_seen) % self.shards
+                self._first_seen[key] = shard
+        self._routes[key] = shard
+        return shard
 
     def route_store_key(self, key: str) -> int:
         """Route a store key by its base object key."""
-        return self.route(base_key(key))
+        shard = self._store_routes.get(key)
+        if shard is None:
+            shard = self._store_routes[key] = self.route(base_key(key))
+        return shard

@@ -78,6 +78,9 @@ class ShardedLog:
         self._meta_bytes = int(meta_bytes)
         self.metalog = Metalog(first_seqnum)
         self.router = Router(shards, placement)
+        #: Bound route method: placement is consulted on every append,
+        #: read, and trim, so skip the extra dispatch layer.
+        self._route = self.router.route
         self._shards = [LogShard(i) for i in range(shards)]
         self._records: Dict[int, LogRecord] = {}
         self._home: Dict[int, int] = {}
@@ -97,7 +100,16 @@ class ShardedLog:
 
     def shard_of(self, tag: str) -> int:
         """Deterministic tag → shard placement."""
-        return self.router.route(tag)
+        return self._route(tag)
+
+    def _stream_of(self, tag: str) -> Optional[_Stream]:
+        """Hot-path ``shard_of`` + ``stream`` in one memo lookup: the
+        router memo and the shard's stream table are consulted directly,
+        with the full routing only paid on a tag's first sighting."""
+        shard_id = self.router._routes.get(tag)
+        if shard_id is None:
+            shard_id = self._route(tag)
+        return self._shards[shard_id].streams.get(tag)
 
     def shard(self, shard_id: int) -> LogShard:
         return self._shards[shard_id]
@@ -202,7 +214,7 @@ class ShardedLog:
         """
         if cond_tag not in tags:
             raise LogError("cond_tag must be one of the record's tags")
-        stream = self._shards[self.shard_of(cond_tag)].stream(cond_tag)
+        stream = self._stream_of(cond_tag)
         next_offset = stream.next_offset if stream is not None else 0
         if next_offset == cond_pos:
             return self.append(tags, data, payload_bytes=payload_bytes)
@@ -220,7 +232,7 @@ class ShardedLog:
         )
 
     def _record_at_offset(self, tag: str, offset: int) -> LogRecord:
-        stream = self._shards[self.shard_of(tag)].stream(tag)
+        stream = self._stream_of(tag)
         if stream is None:
             raise LogError(f"unknown stream {tag!r}")
         index = stream.index_of_offset(offset)
@@ -233,13 +245,30 @@ class ShardedLog:
         return self._records[stream.seqnums[index]]
 
     def _install(self, record: LogRecord) -> None:
-        home = self._shards[self.shard_of(record.tags[0])]
-        self._records[record.seqnum] = record
-        self._home[record.seqnum] = home.shard_id
-        self.metalog.add_refs(record.seqnum, len(record.tags))
-        for tag in record.tags:
-            shard = self._shards[self.shard_of(tag)]
-            shard.stream_or_create(tag).append(record.seqnum)
+        shards = self._shards
+        route = self._route
+        # Hot path: consult the router's memo directly and only pay the
+        # method dispatch (and CRC) on the first sighting of a tag.
+        routes = self.router._routes
+        tags = record.tags
+        seqnum = record.seqnum
+        first = tags[0]
+        home_id = routes.get(first)
+        if home_id is None:
+            home_id = route(first)
+        home = shards[home_id]
+        self._records[seqnum] = record
+        self._home[seqnum] = home_id
+        self.metalog.add_refs(seqnum, len(tags))
+        for tag in tags:
+            shard_id = routes.get(tag)
+            if shard_id is None:
+                shard_id = route(tag)
+            streams = shards[shard_id].streams
+            stream = streams.get(tag)
+            if stream is None:
+                stream = streams[tag] = _Stream()
+            stream.append(seqnum)
         size = self._meta_bytes + record.payload_bytes
         self._storage_bytes += size
         home.storage_bytes += size
@@ -253,7 +282,7 @@ class ShardedLog:
     # ------------------------------------------------------------------
 
     def read_prev(self, tag: str, max_seqnum: int) -> Optional[LogRecord]:
-        stream = self._shards[self.shard_of(tag)].stream(tag)
+        stream = self._stream_of(tag)
         if stream is None:
             return None
         index = bisect.bisect_right(stream.seqnums, max_seqnum) - 1
@@ -267,7 +296,7 @@ class ShardedLog:
         return None
 
     def read_next(self, tag: str, min_seqnum: int) -> Optional[LogRecord]:
-        stream = self._shards[self.shard_of(tag)].stream(tag)
+        stream = self._stream_of(tag)
         if stream is None:
             return None
         index = bisect.bisect_left(stream.seqnums, min_seqnum)
@@ -276,14 +305,14 @@ class ShardedLog:
         return None
 
     def read_stream(self, tag: str, min_seqnum: int = 0) -> List[LogRecord]:
-        stream = self._shards[self.shard_of(tag)].stream(tag)
+        stream = self._stream_of(tag)
         if stream is None:
             return []
         index = bisect.bisect_left(stream.seqnums, min_seqnum)
         return [self._records[s] for s in stream.seqnums[index:]]
 
     def stream_length(self, tag: str) -> int:
-        stream = self._shards[self.shard_of(tag)].stream(tag)
+        stream = self._stream_of(tag)
         return stream.next_offset if stream is not None else 0
 
     def stream_tags(self) -> List[str]:

@@ -52,24 +52,28 @@ class ReadWriteMicrobench(Workload):
     def __init__(self, num_keys: int = 10_000):
         self.num_keys = num_keys
         self._counter = 0
+        # The key universe is fixed, so format every name once up front;
+        # request generation is on the arrival hot path.
+        self._keys = [f"obj{i:05d}" for i in range(num_keys)]
 
     def register(self, runtime) -> None:
         runtime.register("rw", rw_microbench_ssf)
 
     def populate(self, runtime) -> None:
         for i in range(self.num_keys):
-            runtime.populate(self.key(i), _pad_value(i))
+            runtime.populate(self._keys[i], _pad_value(i))
 
     def key(self, i: int) -> str:
-        return f"obj{i:05d}"
+        return self._keys[i]
 
     def next_request(self, rng: np.random.Generator) -> Request:
         self._counter += 1
+        keys = self._keys
         return Request(
             "rw",
             {
-                "read_key": self.key(int(rng.integers(self.num_keys))),
-                "write_key": self.key(int(rng.integers(self.num_keys))),
+                "read_key": keys[int(rng.integers(self.num_keys))],
+                "write_key": keys[int(rng.integers(self.num_keys))],
                 "value": _pad_value(self._counter),
             },
         )
@@ -95,26 +99,34 @@ class MixedRatioWorkload(Workload):
         self.num_keys = num_keys
         self.ops_per_request = ops_per_request
         self._counter = 0
+        # Same fixed-universe memo as ReadWriteMicrobench.
+        self._keys = [f"obj{i:05d}" for i in range(num_keys)]
 
     def register(self, runtime) -> None:
         runtime.register("mixed", mixed_ssf)
 
     def populate(self, runtime) -> None:
         for i in range(self.num_keys):
-            runtime.populate(self.key(i), _pad_value(i))
+            runtime.populate(self._keys[i], _pad_value(i))
 
     def key(self, i: int) -> str:
-        return f"obj{i:05d}"
+        return self._keys[i]
 
     def next_request(self, rng: np.random.Generator) -> Request:
         ops: List[Tuple[str, str, Any]] = []
+        append = ops.append
+        keys = self._keys
+        num_keys = self.num_keys
+        read_ratio = self.read_ratio_value
+        counter = self._counter
         for _ in range(self.ops_per_request):
-            self._counter += 1
-            key = self.key(int(rng.integers(self.num_keys)))
-            if rng.random() < self.read_ratio_value:
-                ops.append(("r", key, None))
+            counter += 1
+            key = keys[int(rng.integers(num_keys))]
+            if rng.random() < read_ratio:
+                append(("r", key, None))
             else:
-                ops.append(("w", key, _pad_value(self._counter)))
+                append(("w", key, _pad_value(counter)))
+        self._counter = counter
         return Request("mixed", {"ops": ops})
 
     def read_write_profile(self) -> Tuple[float, float]:

@@ -1,0 +1,107 @@
+"""Golden serial-vs-parallel identity for the sweep executor.
+
+The executor's contract is not "statistically equivalent" but
+*bit-identical*: the same table rows, at full float precision, whether
+a sweep's cells run inline or fan out over a process pool.  These
+tests diff full JSON payloads byte-for-byte between ``jobs=1`` and
+``jobs=4`` for the two canonical sweeps (the Figure 10 micro sweep and
+the 4-shard scaling sweep) across boki, Halfmoon-read, and
+Halfmoon-write, plus the traced variant (absorbed child tracers must
+reproduce the single-tracer span-id sequence exactly).
+"""
+
+import json
+
+from repro import SystemConfig
+from repro.harness import (
+    run_cells,
+    run_fig10,
+    run_shard_sweep,
+    seed_for,
+    SweepCell,
+)
+from repro.observe import Tracer
+
+PROTOCOLS = ("boki", "halfmoon-read", "halfmoon-write")
+
+
+def _table_json(table) -> str:
+    """Full-precision JSON payload of a table (no render() rounding)."""
+    return json.dumps(
+        {
+            "name": table.name,
+            "headers": table.headers,
+            "rows": table.rows,
+            "notes": table.notes,
+        },
+        sort_keys=True,
+    )
+
+
+def _cell_fn(value, scale=1.0):
+    return value * scale
+
+
+def test_seed_for_is_deterministic_and_key_sensitive():
+    assert seed_for(7, ("shards", 4)) == seed_for(7, ("shards", 4))
+    assert seed_for(7, ("shards", 4)) != seed_for(8, ("shards", 4))
+    assert seed_for(7, ("shards", 4)) != seed_for(7, ("shards", 2))
+    assert 0 <= seed_for(0, "x") < 2**31 - 1
+
+
+def test_run_cells_preserves_cell_order():
+    cells = [
+        SweepCell(key=i, fn=_cell_fn, kwargs=dict(value=i, scale=10.0))
+        for i in range(9)
+    ]
+    serial = run_cells(cells, jobs=1)
+    parallel = run_cells(cells, jobs=4)
+    assert serial == [i * 10.0 for i in range(9)]
+    assert parallel == serial
+
+
+def test_fig10_serial_parallel_byte_identical():
+    def payloads(jobs):
+        tables = run_fig10(
+            config=SystemConfig(seed=17), requests=80, num_keys=300,
+            systems=PROTOCOLS, jobs=jobs,
+        )
+        return {op: _table_json(t) for op, t in tables.items()}
+
+    assert payloads(1) == payloads(4)
+
+
+def test_shard_sweep_serial_parallel_byte_identical():
+    def payload(jobs, protocol):
+        table = run_shard_sweep(
+            shard_counts=(1, 4), rates=(100.0, 600.0),
+            protocol=protocol, config=SystemConfig(seed=91),
+            duration_ms=1_500.0, warmup_ms=300.0, num_keys=500,
+            jobs=jobs,
+        )
+        return _table_json(table)
+
+    for protocol in PROTOCOLS:
+        assert payload(1, protocol) == payload(4, protocol)
+
+
+def test_traced_sweep_absorbs_to_identical_spans():
+    def spans(jobs):
+        tracer = Tracer()
+        run_fig10(
+            config=SystemConfig(seed=23), requests=40, num_keys=120,
+            systems=("boki", "halfmoon-read"), tracer=tracer,
+            jobs=jobs,
+        )
+        return [
+            (
+                s.trace_id, s.span_id, s.parent_id, s.name,
+                s.category, s.start_ms, s.end_ms, repr(s.args),
+                repr([(e.name, e.ts_ms, e.args) for e in s.events]),
+            )
+            for s in tracer.spans
+        ]
+
+    serial = spans(1)
+    assert serial  # the sweep actually traced something
+    assert spans(4) == serial

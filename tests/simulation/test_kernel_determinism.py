@@ -1,0 +1,168 @@
+"""Same-instant ordering regressions for the DES kernel.
+
+The kernel's determinism contract: events scheduled for the same
+simulated instant fire in *schedule order* (the monotone ``eid``
+counter breaks ties, never object identity or hash order).  Every
+optimisation of the hot path — tuple heap entries, deferred-callback
+tuples replacing wrapper events, the inlined ``Timeout`` constructor —
+must conserve one eid per scheduled occurrence, or same-instant
+ordering (and with it every seeded experiment) silently shifts.
+These tests pin that contract directly.
+"""
+
+from repro.simulation import Simulator
+from repro.simulation.kernel import Event, Interrupt
+
+
+def test_same_instant_timeouts_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+
+    def waiter(tag):
+        yield sim.timeout(5.0)
+        fired.append(tag)
+
+    for tag in range(8):
+        sim.process(waiter(tag))
+    sim.run()
+    assert fired == list(range(8))
+
+
+def test_same_instant_mixed_delays_fire_in_schedule_order():
+    # Two paths reach t=6: a direct 6ms timeout scheduled first, and a
+    # 3+3ms chain scheduled second.  The chain's second timeout is
+    # scheduled *later* (at t=3), so it must fire second at t=6.
+    sim = Simulator()
+    fired = []
+
+    def direct():
+        yield sim.timeout(6.0)
+        fired.append("direct")
+
+    def chained():
+        yield sim.timeout(3.0)
+        yield sim.timeout(3.0)
+        fired.append("chained")
+
+    sim.process(direct())
+    sim.process(chained())
+    sim.run()
+    assert fired == ["direct", "chained"]
+
+
+def test_succeed_order_decides_same_instant_resume_order():
+    sim = Simulator()
+    a, b = sim.event(), sim.event()
+    fired = []
+
+    def waiter(event, tag):
+        yield event
+        fired.append(tag)
+
+    def trigger():
+        yield sim.timeout(1.0)
+        # b succeeds before a: resume order must follow succeed order,
+        # not process-creation order.
+        b.succeed("b")
+        a.succeed("a")
+
+    sim.process(waiter(a, "a"))
+    sim.process(waiter(b, "b"))
+    sim.process(trigger())
+    sim.run()
+    assert fired == ["b", "a"]
+
+
+def test_already_fired_event_resumes_after_earlier_schedules():
+    # Yielding an already-triggered event goes through the deferred
+    # tuple path; it must still respect eid order against a timeout(0)
+    # scheduled first at the same instant.
+    sim = Simulator()
+    fired = []
+    done = Event(sim)
+    done.succeed("ready")
+
+    def zero_timeout():
+        yield sim.timeout(0.0)
+        fired.append("timeout0")
+
+    def eager():
+        value = yield done
+        fired.append(value)
+
+    sim.process(zero_timeout())
+    sim.process(eager())
+    sim.run()
+    assert fired == ["timeout0", "ready"]
+
+
+def test_interleaved_schedule_order_is_stable_across_runs():
+    def run_once():
+        sim = Simulator()
+        fired = []
+
+        def worker(tag, delay):
+            yield sim.timeout(delay)
+            fired.append((sim.now, tag))
+            yield sim.timeout(delay)
+            fired.append((sim.now, tag))
+
+        # Deliberate eid collisions: several workers share each delay.
+        for tag in range(6):
+            sim.process(worker(tag, 2.0 + (tag % 2)))
+        sim.run()
+        return fired
+
+    first = run_once()
+    assert run_once() == first
+    # Within one instant, workers fire in creation order.
+    by_time = {}
+    for now, tag in first:
+        by_time.setdefault(now, []).append(tag)
+    for tags in by_time.values():
+        assert tags == sorted(tags)
+
+
+def test_interrupt_invalidates_pending_same_instant_resume():
+    # A process that yields an already-fired event has a deferred
+    # resume tuple sitting on the heap.  An interrupt issued at the
+    # same instant must invalidate that pending resume (the wait-token
+    # regression): the process sees only the Interrupt, never the
+    # stale resume.
+    sim = Simulator()
+    outcome = []
+    done = Event(sim)
+    done.succeed("early")
+
+    def victim():
+        try:
+            value = yield done  # already fired: deferred resume queued
+            outcome.append(("resumed", value))
+        except Interrupt as exc:
+            outcome.append(("interrupted", exc.cause))
+
+    proc = sim.process(victim())
+
+    def attacker():
+        # Starts after victim queued its deferred resume, still at t=0;
+        # the interrupt's deferred throw lands *behind* the stale
+        # resume in eid order, so only token invalidation saves us.
+        proc.interrupt("bang")
+        yield sim.timeout(0.0)
+
+    sim.process(attacker())
+    sim.run()
+    assert outcome == [("interrupted", "bang")]
+
+
+def test_events_processed_counts_every_pop():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    # Deferred start, two timeouts, and the process-completion event.
+    assert sim.events_processed == 4
