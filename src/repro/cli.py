@@ -11,6 +11,8 @@ Commands map one-to-one onto the experiment harness::
     python -m repro recovery [--f 0.0 0.2 0.4]
     python -m repro chaos  [--fault-rates 0.0 0.05 0.1] [--brownout]
     python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
+    python -m repro storagechaos [--components metalog partition]
+                                 [--replications 1 3] [--crash-at MS]
     python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
     python -m repro shards [--shards 1 2 4 8] [--rates 150 300 600]
     python -m repro profile [--target shards] [--top 25]
@@ -62,6 +64,7 @@ from .harness import (
     run_latency_breakdown,
     run_recovery_sweep,
     run_shard_sweep,
+    run_storagechaos_sweep,
     run_table1,
     run_trace,
     trace_breakdown_table,
@@ -71,7 +74,7 @@ from .observe import Tracer, breakdown_table, write_chrome_trace
 
 #: Commands that execute invocations and accept an attached tracer.
 _TRACEABLE = ("fig10", "fig11", "fig12", "fig13", "chaos", "failover",
-              "trace", "shards")
+              "storagechaos", "trace", "shards")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -190,6 +193,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--systems", nargs="+",
         default=["boki", "halfmoon-read", "halfmoon-write"],
         help="protocols to sweep",
+    )
+
+    storagechaos = sub.add_parser(
+        "storagechaos",
+        help="storage components killed under load: metalog failover, "
+             "shard loss, partition rebuild; exactly-once + "
+             "consistency audits",
+        parents=[common],
+    )
+    storagechaos.add_argument(
+        "--components", nargs="+",
+        default=["metalog", "shard-replica", "partition", "netsplit"],
+        choices=["metalog", "shard-replica", "partition", "netsplit"],
+        help="storage components to kill (one cell each)",
+    )
+    storagechaos.add_argument(
+        "--systems", nargs="+",
+        default=["unsafe", "boki", "halfmoon-read", "halfmoon-write"],
+        help="protocols to sweep",
+    )
+    storagechaos.add_argument(
+        "--replications", nargs="+", type=int, default=[1, 3],
+        help="log-shard replication factors to sweep "
+             "(1 is the paper-faithful default)",
+    )
+    storagechaos.add_argument("--crash-at", type=float, default=1_000.0,
+                              help="simulated time (ms) of the kill")
+    storagechaos.add_argument(
+        "--recover-after", type=float, default=400.0,
+        help="delay (ms) from kill to failover/repair/rebuild",
+    )
+    storagechaos.add_argument("--rate", type=float, default=400.0,
+                              help="offered load (requests per second)")
+    storagechaos.add_argument("--duration", type=float, default=3_000.0,
+                              help="arrival window (ms)")
+    storagechaos.add_argument(
+        "--crash-f", type=float, default=0.1,
+        help="instance crash probability per operation boundary "
+             "(the unsafe control needs it to violate)",
     )
 
     trace = sub.add_parser(
@@ -422,6 +464,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             breakdown_table(
                 failover_breakdowns,
                 f"Latency breakdown at lease {args.leases[0]:.0f}ms",
+            ).render()
+        )
+    elif args.command == "storagechaos":
+        print(
+            run_storagechaos_sweep(
+                components=args.components, systems=args.systems,
+                replications=args.replications,
+                crash_at_ms=args.crash_at,
+                recover_after_ms=args.recover_after,
+                rate_per_s=args.rate, duration_ms=args.duration,
+                config=config, seed=getattr(args, "seed", None),
+                crash_f=args.crash_f, tracer=tracer, jobs=jobs,
             ).render()
         )
     elif args.command == "trace":

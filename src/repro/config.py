@@ -211,7 +211,13 @@ class StorageSizeConfig:
     * ``kv_partitions`` — number of hash partitions of the external
       store (versions co-locate with their base key);
     * ``placement`` — routing policy, ``"hash"`` (stable CRC-32) or
-      ``"first_seen"`` (deterministic round-robin).
+      ``"first_seen"`` (deterministic round-robin);
+    * ``replication`` — log-shard replica count.  At 1 (the default and
+      the paper-faithful configuration; see EXPERIMENTS.md) each shard
+      holds a single copy of its sub-stream indexes and a lost shard is
+      rebuilt from the record directory; at R>1 appends require a
+      majority write quorum and a lost replica is re-replicated from a
+      survivor.
 
     The default 1×1 topology is the paper-faithful configuration and is
     bit-identical to the pre-plane substrates.
@@ -224,6 +230,7 @@ class StorageSizeConfig:
     log_shards: int = 1
     kv_partitions: int = 1
     placement: str = "hash"
+    replication: int = 1
 
     def validate(self) -> None:
         if min(self.key_bytes, self.value_bytes, self.meta_bytes) <= 0:
@@ -232,6 +239,8 @@ class StorageSizeConfig:
             raise ConfigError("log_shards must be positive")
         if self.kv_partitions <= 0:
             raise ConfigError("kv_partitions must be positive")
+        if self.replication <= 0:
+            raise ConfigError("replication must be positive")
         if self.placement not in ("hash", "first_seen"):
             raise ConfigError(
                 "placement must be 'hash' or 'first_seen'"
@@ -375,6 +384,62 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class StorageChaosConfig:
+    """Storage-plane fault injection — the *fourth* fault dimension.
+
+    Orthogonal to instance crashes, worker-side infrastructure faults,
+    and node failures: these faults strike the storage plane itself.
+    Enabling it arms
+
+    * storage-side injection points: per-shard / per-partition transient
+      error and timeout rates, drawn from dedicated per-component RNG
+      streams derived through :func:`repro.harness.parallel.seed_for`
+      (so ``--jobs N`` sweeps stay bit-identical to serial and the
+      worker-side ``infra-faults`` stream is untouched);
+    * a seeded network-partition schedule severing worker↔shard and
+      metalog↔shard links asymmetrically for windows of
+      ``partition_window_ms``, at most ``partition_windows`` of them;
+    * epoch stamping of appends, so a metalog failover fences stale
+      requests (:class:`~repro.errors.FencedEpochError`).
+
+    With ``enabled=False`` (the default) none of this machinery is
+    constructed and every code path is bit-identical to the pre-chaos
+    code — the golden-run CI diffs enforce exactly that.
+    """
+
+    enabled: bool = False
+    #: Per-operation storage-side fault rates, per component.
+    shard_error_rate: float = 0.0
+    shard_timeout_rate: float = 0.0
+    partition_error_rate: float = 0.0
+    partition_timeout_rate: float = 0.0
+    #: Seeded link-partition schedule (0 windows disables it).
+    partition_windows: int = 0
+    partition_window_ms: float = 250.0
+    partition_horizon_ms: float = 4_000.0
+
+    def validate(self) -> None:
+        for name, rate in [
+            ("shard_error_rate", self.shard_error_rate),
+            ("shard_timeout_rate", self.shard_timeout_rate),
+            ("partition_error_rate", self.partition_error_rate),
+            ("partition_timeout_rate", self.partition_timeout_rate),
+        ]:
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1)")
+        if self.shard_error_rate + self.shard_timeout_rate >= 1.0:
+            raise ConfigError("combined shard fault rate must be < 1")
+        if self.partition_error_rate + self.partition_timeout_rate >= 1.0:
+            raise ConfigError("combined partition fault rate must be < 1")
+        if self.partition_windows < 0:
+            raise ConfigError("partition_windows must be >= 0")
+        if self.partition_window_ms <= 0:
+            raise ConfigError("partition_window_ms must be positive")
+        if self.partition_horizon_ms <= 0:
+            raise ConfigError("partition_horizon_ms must be positive")
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Retry/backoff/deadline policy governing every substrate operation.
 
@@ -410,6 +475,14 @@ class ResilienceConfig:
     breaker_cooldown_ops: int = 50
     degraded_log_reads: bool = True
     drop_background_appends: bool = True
+    #: Fenced-epoch handling (``FencedEpochError``): the caller refreshes
+    #: its cached metalog leader epoch at a fixed ``rediscovery_ms`` cost
+    #: and retries immediately — *not* the blind exponential-backoff
+    #: schedule, because the fence already proves the request never
+    #: applied and names the fix.  ``max_rediscoveries`` bounds the loop
+    #: against a flapping leader.
+    rediscovery_ms: float = 2.0
+    max_rediscoveries: int = 4
 
     def validate(self) -> None:
         if self.max_attempts < 1:
@@ -428,6 +501,10 @@ class ResilienceConfig:
             raise ConfigError("breaker_failure_threshold must be >= 1")
         if self.breaker_cooldown_ops < 1:
             raise ConfigError("breaker_cooldown_ops must be >= 1")
+        if self.rediscovery_ms < 0:
+            raise ConfigError("rediscovery_ms must be >= 0")
+        if self.max_rediscoveries < 1:
+            raise ConfigError("max_rediscoveries must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -466,6 +543,9 @@ class SystemConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    storage_chaos: StorageChaosConfig = field(
+        default_factory=StorageChaosConfig
+    )
 
     def validate(self) -> "SystemConfig":
         self.latency.validate()
@@ -476,6 +556,7 @@ class SystemConfig:
         self.faults.validate()
         self.resilience.validate()
         self.recovery.validate()
+        self.storage_chaos.validate()
         return self
 
     def with_seed(self, seed: int) -> "SystemConfig":
@@ -495,6 +576,7 @@ class SystemConfig:
         kv_partitions: Optional[int] = None,
         backend: Optional[str] = None,
         placement: Optional[str] = None,
+        replication: Optional[int] = None,
     ) -> "SystemConfig":
         """Select the storage-plane topology/backend (see
         :mod:`repro.storageplane`)."""
@@ -507,7 +589,16 @@ class SystemConfig:
             overrides["backend"] = backend
         if placement is not None:
             overrides["placement"] = placement
+        if replication is not None:
+            overrides["replication"] = replication
         return replace(self, storage=replace(self.storage, **overrides))
+
+    def with_storage_chaos(self, **overrides) -> "SystemConfig":
+        """Arm storage-plane fault injection; override chaos knobs."""
+        overrides.setdefault("enabled", True)
+        return replace(
+            self, storage_chaos=replace(self.storage_chaos, **overrides)
+        )
 
     def with_crash_probability(self, p: float) -> "SystemConfig":
         return replace(

@@ -102,6 +102,67 @@ class ServiceUnavailableError(TransientServiceError):
     """
 
 
+class StorageUnavailableError(TransientServiceError):
+    """A storage-plane component (sequencer, shard, partition) is down.
+
+    The third fault dimension after instance crashes and injected
+    substrate faults: the storage plane itself lost a component and is
+    between crash and recovery.  Retryable — the operation is rejected
+    *before* taking effect, so riding out the window with backoff (and
+    eventually instance-level re-execution) is duplicate-free.
+    """
+
+
+class FencedEpochError(TransientServiceError):
+    """An append carried a stale metalog epoch and was fenced.
+
+    Raised by the sequencer *before* the append takes any effect: a
+    leader failover bumped the metalog epoch, and requests stamped with
+    the previous epoch are rejected outright.  Unlike the other
+    transient faults this is **retryable after rediscovery**, not after
+    blind backoff — the caller must refresh its cached leader epoch and
+    resend, which the services layer does at a fixed rediscovery cost
+    instead of walking the exponential backoff schedule.  Because the
+    fenced request never applied, the re-stamped retry cannot duplicate
+    the record.
+    """
+
+    def __init__(self, message: str, stale_epoch: int = 0,
+                 current_epoch: int = 0, service: str = "log",
+                 op: str = ""):
+        super().__init__(message, service=service, op=op)
+        self.stale_epoch = stale_epoch
+        self.current_epoch = current_epoch
+
+
+class QuorumLostError(StorageUnavailableError):
+    """A replicated log shard has fewer live replicas than a write quorum.
+
+    Appends require a majority ack (Section "Storage failure model" in
+    docs/PROTOCOLS.md); reads keep failing over to any live replica, so
+    only the write path degrades until re-replication restores quorum.
+    """
+
+    def __init__(self, message: str, shard: int = -1,
+                 service: str = "log", op: str = ""):
+        super().__init__(message, service=service, op=op)
+        self.shard = shard
+
+
+class PartitionUnavailableError(StorageUnavailableError):
+    """A KV partition was lost and is being rebuilt from its redo journal.
+
+    Operations routed to the partition are rejected before any effect
+    during the rebuild window; the window is visible as a degraded mode
+    in the breaker/metrics layer.
+    """
+
+    def __init__(self, message: str, partition: int = -1,
+                 service: str = "store", op: str = ""):
+        super().__init__(message, service=service, op=op)
+        self.partition = partition
+
+
 class PermanentServiceError(ServiceFaultError):
     """A fault that retries cannot fix (misconfiguration, data loss)."""
 

@@ -30,6 +30,11 @@ from .injector import (
     FaultInjector,
 )
 from .retry import RetryPolicy
+from .storage import (
+    LinkPartitionSchedule,
+    LinkWindow,
+    StorageFaultInjector,
+)
 
 __all__ = [
     "BreakerState",
@@ -39,5 +44,8 @@ __all__ = [
     "FAULT_TIMEOUT",
     "FaultDecision",
     "FaultInjector",
+    "LinkPartitionSchedule",
+    "LinkWindow",
     "RetryPolicy",
+    "StorageFaultInjector",
 ]

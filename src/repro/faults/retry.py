@@ -32,6 +32,12 @@ class RetryPolicy:
     attempt_timeout_ms: float = 10.0
     error_latency_ms: float = 1.0
     op_deadline_ms: float = 100.0
+    #: Fenced-epoch handling: a fence names its own fix (refresh the
+    #: cached leader epoch), so the retry pays one flat rediscovery
+    #: round-trip instead of walking the backoff schedule; bounded by
+    #: ``max_rediscoveries`` against a flapping leader.
+    rediscovery_ms: float = 2.0
+    max_rediscoveries: int = 4
 
     @classmethod
     def from_config(cls, config: ResilienceConfig) -> "RetryPolicy":
@@ -45,6 +51,8 @@ class RetryPolicy:
             attempt_timeout_ms=config.attempt_timeout_ms,
             error_latency_ms=config.error_latency_ms,
             op_deadline_ms=config.op_deadline_ms,
+            rediscovery_ms=config.rediscovery_ms,
+            max_rediscoveries=config.max_rediscoveries,
         )
 
     def backoff_ms(self, attempt: int, rng: np.random.Generator) -> float:

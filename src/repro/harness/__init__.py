@@ -10,6 +10,10 @@
   degraded-read ablation
 * :mod:`repro.harness.failover` — node crash under load: lease-based
   detection, orphan takeover, exactly-once audit
+* :mod:`repro.harness.storagechaos` — storage-plane components killed
+  under load: metalog failover behind epoch fencing, shard-replica
+  loss, partition rebuild, link partitions; exactly-once plus
+  plane-consistency audits per cell
 * :mod:`repro.harness.trace_exp` — one fully traced DES run for
   Chrome trace-event export and latency-breakdown reports
 * :mod:`repro.harness.shards_exp` — storage-plane scaling: p99 vs load
@@ -57,6 +61,11 @@ from .shards_exp import (
     shard_sweep_config,
 )
 from .report import ExperimentTable
+from .storagechaos import (
+    StorageChaosPoint,
+    run_storagechaos_point,
+    run_storagechaos_sweep,
+)
 from .trace_exp import (
     run_trace,
     trace_breakdown_table,
@@ -77,6 +86,7 @@ __all__ = [
     "FailoverPoint",
     "RunResult",
     "SimPlatform",
+    "StorageChaosPoint",
     "SweepCell",
     "SwitchingResult",
     "crossover_ratio",
@@ -102,6 +112,8 @@ __all__ = [
     "run_recovery_sweep",
     "run_shard_point",
     "run_shard_sweep",
+    "run_storagechaos_point",
+    "run_storagechaos_sweep",
     "run_table1",
     "seed_for",
     "shard_sweep_config",

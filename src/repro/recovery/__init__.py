@@ -17,13 +17,22 @@ The platform side — node crash/restart events, in-flight process
 interruption, cache loss — lives in :mod:`repro.harness.platform`; the
 ``failover`` experiment in :mod:`repro.harness.failover` sweeps lease
 duration × crash time × protocol.
+
+:class:`~repro.recovery.storage.StorageChaosController` extends the
+same discipline to the storage plane itself: sequencer failover behind
+epoch fencing, shard-replica loss and repair/rebuild, and KV-partition
+loss and journal replay, driven as timed DES events and audited by the
+``storagechaos`` experiment in :mod:`repro.harness.storagechaos`.
 """
 
 from .coordinator import Orphan, RecoveryCoordinator
 from .lease import LeaseManager
+from .storage import STORAGE_COMPONENTS, StorageChaosController
 
 __all__ = [
     "LeaseManager",
     "Orphan",
     "RecoveryCoordinator",
+    "STORAGE_COMPONENTS",
+    "StorageChaosController",
 ]

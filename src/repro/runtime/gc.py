@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..errors import PartitionUnavailableError, StorageUnavailableError
 from ..sharedlog import LogRecord
 from .registry import InvocationTracker
 from .services import ServiceBackend
@@ -49,6 +50,11 @@ class GCStats:
     #: regression tests pin that a trim on shard A never moves (or
     #: drops records behind) shard B's frontier.
     shard_frontiers: Dict[int, int] = field(default_factory=dict)
+    #: Durable-KV bookkeeping (storage-chaos runs only): checkpoints
+    #: taken and redo-journal entries truncated by them.  Journals stay
+    #: bounded by the mutation rate between GC cycles.
+    kv_checkpoints: int = 0
+    kv_journal_truncated: int = 0
 
     def total_trimmed(self) -> int:
         return (
@@ -83,17 +89,28 @@ class GarbageCollector:
         for tag in log.stream_tags():
             if not is_object_tag(tag):
                 continue
-            records = log.read_stream(tag)
+            try:
+                records = log.read_stream(tag)
+            except StorageUnavailableError:
+                # The tag's shard is down mid-chaos; skip it this cycle
+                # (conservative under-collection, retried next scan).
+                continue
             marked = self._mark(records, safe_ts)
             if marked <= 0:
                 continue
             key = tag_key(tag)
-            for record in records[:marked]:
-                version = record.get("version")
-                if version is not None and self.backend.mv.delete_version(
-                    key, version
-                ):
-                    self.stats.versions_deleted += 1
+            try:
+                for record in records[:marked]:
+                    version = record.get("version")
+                    if (version is not None
+                            and self.backend.mv.delete_version(
+                                key, version)):
+                        self.stats.versions_deleted += 1
+            except PartitionUnavailableError:
+                # The object's KV partition is down mid-chaos; keep the
+                # write log intact too so the retry next cycle still
+                # finds every version it must delete.
+                continue
             horizon = records[marked - 1].seqnum
             self.stats.write_log_records_trimmed += log.trim(tag, horizon)
 
@@ -102,6 +119,17 @@ class GarbageCollector:
         frontiers = getattr(log, "shard_trim_frontiers", None)
         if frontiers is not None:
             self.stats.shard_frontiers = frontiers()
+
+        # -- durable KV: checkpoint partitions, truncate redo journals --
+        kv = self.backend.kv
+        if getattr(kv, "durability", False):
+            for index in range(kv.num_partitions):
+                if index in kv.down_partitions():
+                    continue  # its journal is what the rebuild needs
+                self.stats.kv_journal_truncated += (
+                    kv.checkpoint_partition(index)
+                )
+                self.stats.kv_checkpoints += 1
         return self.stats
 
     @staticmethod

@@ -28,9 +28,11 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..errors import (
+    FencedEpochError,
     ReproError,
     ServiceTimeoutError,
     ServiceUnavailableError,
+    StorageUnavailableError,
 )
 from ..faults import (
     BreakerState,
@@ -39,6 +41,7 @@ from ..faults import (
     FAULT_TIMEOUT,
     FaultInjector,
     RetryPolicy,
+    StorageFaultInjector,
 )
 from ..observe import CAT_SERVICE, MetricsRegistry, Span, Tracer
 from ..sharedlog import LogRecord, RecordCache
@@ -80,6 +83,9 @@ class Cost:
     RETRY_BACKOFF = "retry_backoff"
     SERVICE_ERROR = "service_error"
     SERVICE_TIMEOUT = "service_timeout"
+    #: A fenced append's fix: one flat leader-rediscovery round trip
+    #: (refresh the cached metalog epoch), instead of backoff.
+    LEADER_REDISCOVERY = "leader_rediscovery"
 
     ALL = (
         LOG_APPEND,
@@ -105,12 +111,21 @@ class Cost:
     #: Charges produced by the fault/retry machinery rather than by a
     #: successful substrate round trip.
     RESILIENCE_KINDS = frozenset(
-        {RETRY_BACKOFF, SERVICE_ERROR, SERVICE_TIMEOUT}
+        {RETRY_BACKOFF, SERVICE_ERROR, SERVICE_TIMEOUT,
+         LEADER_REDISCOVERY}
     )
 
     #: Kinds that hit the external store (for per-partition queueing).
     STORE_KINDS = frozenset(
         {DB_READ, DB_READ_VERSION, DB_WRITE, DB_WRITE_VERSION,
+         DB_COND_WRITE}
+    )
+
+    #: Kinds that mutate their component — what a severed metalog↔shard
+    #: link blocks (reads pass: any live replica can serve them).
+    WRITE_KINDS = frozenset(
+        {LOG_APPEND, LOG_APPEND_OVERLAPPED, LOG_APPEND_CONTROL,
+         LOG_APPEND_BACKGROUND, DB_WRITE, DB_WRITE_VERSION,
          DB_COND_WRITE}
     )
 
@@ -286,6 +301,21 @@ class ServiceBackend:
         self._plane_labelled = self.plane.labelled
         self._log_placements: Dict[str, tuple] = {}
         self._kv_placements: Dict[str, tuple] = {}
+        #: Storage-side chaos: per-component injection + link-partition
+        #: schedule (None unless armed — chaos-free builds carry zero
+        #: machinery), and the worker's cached metalog-epoch view that
+        #: fenced appends invalidate.
+        self.storage_faults: Optional[StorageFaultInjector] = None
+        self.epoch_view = None
+        chaos = config.storage_chaos
+        if chaos.enabled:
+            self.storage_faults = StorageFaultInjector(
+                chaos, config.seed,
+                self.plane.num_log_shards, self.plane.num_kv_partitions,
+            )
+            if hasattr(self.log, "metalog"):
+                from ..storageplane.fencing import EpochView
+                self.epoch_view = EpochView(self.log.metalog)
         self._register_component_metrics()
 
     def _register_component_metrics(self) -> None:
@@ -323,6 +353,17 @@ class ServiceBackend:
                 "injected": dict(self.faults.injected),
             },
         )
+        if self.storage_faults is not None:
+            self.metrics.probe(
+                "storage_fault_injector",
+                lambda: {
+                    "enabled": self.storage_faults.enabled,
+                    "injected": dict(self.storage_faults.injected),
+                    "link_windows": len(self.storage_faults.schedule),
+                    "epoch": (self.epoch_view.epoch
+                              if self.epoch_view is not None else None),
+                },
+            )
 
     # -- helpers used by InstanceServices -------------------------------
 
@@ -425,6 +466,28 @@ class ServiceBackend:
             self.counters.add("node_cache_records_lost", evicted)
         return evicted
 
+    def drop_shard_cache(self, shard: int) -> int:
+        """A crashed/promoted log shard invalidates its cached records.
+
+        Called by the storage-chaos controller on shard-replica failover
+        and R=1 shard loss: whatever the node caches hold for the shard
+        may predate the new serving replica's epoch, so it must never be
+        served again (the stale-cache regression test pins this).
+        """
+        evicted = self.cache.evict_shard(shard)
+        if evicted:
+            self.counters.add("shard_cache_records_lost", evicted)
+        return evicted
+
+    def refresh_log_epoch(self) -> int:
+        """Leader rediscovery: re-read the metalog epoch after a fence."""
+        if self.epoch_view is None:
+            raise StorageUnavailableError(
+                "no epoch view to refresh (storage chaos disabled)",
+                service="log", op="rediscover",
+            )
+        return self.epoch_view.refresh()
+
     def random_hex(self, bits: int = 64) -> str:
         if bits > 63:
             high = int(self._uuid_rng.integers(0, 1 << (bits - 32)))
@@ -472,6 +535,7 @@ class InstanceServices:
         breakers = backend.breakers
         self._fast = (
             not backend.faults.enabled
+            and backend.storage_faults is None
             and breakers["log"].state == BreakerState.CLOSED
             and breakers["store"].state == BreakerState.CLOSED
         )
@@ -552,6 +616,7 @@ class InstanceServices:
                 kind, CAT_SERVICE, self.now_ms(), **attrs
             )
         if (not backend.faults.enabled
+                and backend.storage_faults is None
                 and breaker.state == BreakerState.CLOSED):
             # Failure-free fast path: identical to the pre-fault code.
             try:
@@ -591,19 +656,76 @@ class InstanceServices:
                     return result
 
         policy = backend.retry_policy
+        storage_faults = backend.storage_faults
+        is_write = kind in Cost.WRITE_KINDS
         spent_ms = 0.0
         attempt = 0
+        rediscoveries = 0
         while True:
             attempt += 1
             decision = backend.faults.draw(service, kind)
+            if (decision.kind is None and storage_faults is not None):
+                # Storage-side injection: the component this op routes
+                # to (shard/partition rates + the link schedule) gets
+                # its own draw, from its own stream.
+                decision = storage_faults.draw_placement(
+                    placement, self.now_ms(), is_write
+                )
             if op_span is not None and decision.kind is not None:
                 op_span.annotate(
                     f"fault:{decision.kind}", self.now_ms(),
                     attempt=attempt,
                 )
-            if not decision.omitted:
+            fault_kind = decision.kind if decision.omitted else None
+            if fault_kind is None:
                 try:
                     result = do()
+                except FencedEpochError:
+                    # A failover fenced our stale epoch — the append
+                    # never applied.  The fence names its own fix:
+                    # refresh the cached leader epoch at a flat
+                    # rediscovery cost and retry immediately (no
+                    # backoff, no attempt consumed), bounded against a
+                    # flapping leader.
+                    self._breaker_outcome(breaker, False, op_span)
+                    rediscoveries += 1
+                    backend.charge_raw(
+                        Cost.LEADER_REDISCOVERY, policy.rediscovery_ms,
+                        self.trace,
+                    )
+                    backend.counters.add("epoch_rediscoveries")
+                    spent_ms += policy.rediscovery_ms
+                    if op_span is not None:
+                        op_span.annotate(
+                            "fenced-epoch", self.now_ms(),
+                            rediscoveries=rediscoveries,
+                        )
+                    if rediscoveries > policy.max_rediscoveries:
+                        if op_span is not None:
+                            now = self.now_ms()
+                            op_span.annotate("leader-flapping", now)
+                            op_span.finish(now)
+                        raise ServiceUnavailableError(
+                            f"{service} {kind} fenced "
+                            f"{rediscoveries} times: leader flapping",
+                            service=service, op=kind,
+                        )
+                    try:
+                        backend.refresh_log_epoch()
+                    except StorageUnavailableError:
+                        # No leader yet: ride the ordinary retry loop.
+                        fault_kind = FAULT_TIMEOUT
+                    else:
+                        attempt -= 1
+                        continue
+                except StorageUnavailableError:
+                    # A storage component is down (crashed sequencer,
+                    # quorum-less shard, lost partition).  Rejected
+                    # before any effect, so backoff-and-retry is
+                    # duplicate-free; count it against this op's retry
+                    # budget like an injected timeout.
+                    backend.counters.add("storage_unavailable_ops")
+                    fault_kind = FAULT_TIMEOUT
                 except ReproError:
                     # The substrate responded (e.g. a lost conditional
                     # append): a service success, not a fault.
@@ -615,17 +737,19 @@ class InstanceServices:
                         op_span.annotate("substrate-error", now)
                         op_span.finish(now)
                     raise
-                # Gray success: slow node.  Feed the brown-out
-                # detector but return the (inflated) result.
-                self._breaker_outcome(
-                    breaker, decision.kind == FAULT_GRAY, op_span
-                )
-                charge(result, decision.latency_factor)
-                if op_span is not None:
-                    op_span.finish(self.now_ms())
-                return result
+                if fault_kind is None:
+                    # Gray success: slow node.  Feed the brown-out
+                    # detector but return the (inflated) result.
+                    self._breaker_outcome(
+                        breaker, decision.kind == FAULT_GRAY, op_span
+                    )
+                    charge(result, decision.latency_factor)
+                    if op_span is not None:
+                        op_span.finish(self.now_ms())
+                    return result
 
-            # Omission fault: the request never took effect.
+            # Omission fault (injected, or the storage plane rejected
+            # the request before effect): nothing applied.
             self._breaker_outcome(breaker, True, op_span)
             if droppable:
                 backend.counters.add("background_appends_dropped")
@@ -634,9 +758,9 @@ class InstanceServices:
                     op_span.annotate("dropped-under-fault", now)
                     op_span.finish(now)
                 return None
-            fault_ms = policy.fault_cost_ms(decision.kind)
+            fault_ms = policy.fault_cost_ms(fault_kind)
             fault_label = (
-                Cost.SERVICE_TIMEOUT if decision.kind == FAULT_TIMEOUT
+                Cost.SERVICE_TIMEOUT if fault_kind == FAULT_TIMEOUT
                 else Cost.SERVICE_ERROR
             )
             backend.charge_raw(fault_label, fault_ms, self.trace)
@@ -704,8 +828,17 @@ class InstanceServices:
             self.checkpoint("log_append:post")
             return seqnum
 
+        view = backend.epoch_view
+
         def do() -> int:
-            seqnum = backend.log.append(tags, data, payload_bytes)
+            # The epoch stamp is read per attempt, so a retry after
+            # leader rediscovery carries the refreshed epoch.
+            if view is not None:
+                seqnum = backend.log.append(
+                    tags, data, payload_bytes, epoch=view.epoch
+                )
+            else:
+                seqnum = backend.log.append(tags, data, payload_bytes)
             backend.cache.insert(seqnum, shard)
             return seqnum
 
@@ -760,10 +893,18 @@ class InstanceServices:
             self.checkpoint("log_cond_append:post")
             return seqnum
 
+        view = backend.epoch_view
+
         def do() -> int:
-            seqnum = backend.log.cond_append(
-                tags, data, cond_tag, cond_pos, payload_bytes
-            )
+            if view is not None:
+                seqnum = backend.log.cond_append(
+                    tags, data, cond_tag, cond_pos, payload_bytes,
+                    epoch=view.epoch,
+                )
+            else:
+                seqnum = backend.log.cond_append(
+                    tags, data, cond_tag, cond_pos, payload_bytes
+                )
             backend.cache.insert(seqnum, shard)
             return seqnum
 

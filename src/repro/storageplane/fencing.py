@@ -1,0 +1,89 @@
+"""Leases and epoch fencing for the metalog sequencer.
+
+The failure story of the sequencer follows Boki's metalog
+reconfiguration: leadership is a **lease**, failover bumps an **epoch**,
+and every mutating request carries the epoch its client last observed.
+A request stamped with a stale epoch is rejected outright
+(:class:`~repro.errors.FencedEpochError`) *before* it takes any effect,
+so the client's retry — after refreshing its view — cannot duplicate
+state.  This module holds the two client/controller-side pieces:
+
+* :class:`Lease` — the timed lease the chaos controller uses to decide
+  *when* a standby may take over (a real system would heartbeat; the
+  simulation schedules the expiry explicitly);
+* :class:`EpochView` — a worker's cached view of the current epoch, the
+  thing a fence invalidates and "leader rediscovery" refreshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageUnavailableError
+from .metalog import Metalog
+
+
+@dataclass
+class Lease:
+    """A leader lease: held from ``granted_at_ms`` for ``duration_ms``.
+
+    The holder must renew before expiry; the chaos controller crashes
+    the holder by simply not renewing, and promotes a standby once the
+    lease has visibly expired (never before — fencing is only safe when
+    the old leader can no longer act within its lease).
+    """
+
+    holder: str
+    epoch: int
+    granted_at_ms: float
+    duration_ms: float
+
+    @property
+    def expires_at_ms(self) -> float:
+        return self.granted_at_ms + self.duration_ms
+
+    def expired(self, now_ms: float) -> bool:
+        return now_ms >= self.expires_at_ms
+
+    def renew(self, now_ms: float) -> "Lease":
+        return Lease(self.holder, self.epoch, now_ms, self.duration_ms)
+
+
+class EpochView:
+    """Client-side cached epoch, refreshed on fence ("rediscovery").
+
+    Workers stamp appends with ``view.epoch``; when a failover fences
+    the stamp, the services layer charges a fixed rediscovery cost and
+    calls :meth:`refresh` instead of walking the backoff schedule.
+    """
+
+    __slots__ = ("_metalog", "_epoch", "refresh_count")
+
+    def __init__(self, metalog: Metalog):
+        self._metalog = metalog
+        self._epoch = metalog.epoch
+        self.refresh_count = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def stale(self) -> bool:
+        return self._epoch != self._metalog.epoch
+
+    def refresh(self) -> int:
+        """Re-read the current epoch from the (new) leader.
+
+        Raises :class:`~repro.errors.StorageUnavailableError` while no
+        leader holds the lease — rediscovery cannot succeed mid-window,
+        and the caller falls back to the ordinary retry path.
+        """
+        if not self._metalog.leader_alive:
+            raise StorageUnavailableError(
+                "leader rediscovery failed: no metalog leader",
+                service="log", op="rediscover",
+            )
+        self.refresh_count += 1
+        self._epoch = self._metalog.epoch
+        return self._epoch

@@ -66,14 +66,20 @@ class ShardedPlane(StoragePlane):
 
     def __init__(self, config: "SystemConfig"):
         storage = config.storage
+        chaos = getattr(config, "storage_chaos", None)
+        chaos_on = bool(chaos is not None and chaos.enabled)
         self._log = ShardedLog(
             meta_bytes=storage.meta_bytes,
             shards=storage.log_shards,
             placement=storage.placement,
+            replication=storage.replication,
         )
         self._kv = PartitionedKV(
             partitions=storage.kv_partitions,
             placement=storage.placement,
+            # Partition-loss recovery needs the redo journal; only pay
+            # for it when storage chaos can actually lose a partition.
+            durability=chaos_on,
         )
         self._mv = MultiVersionStore(self._kv)
 
@@ -118,6 +124,12 @@ class ShardedPlane(StoragePlane):
             for i in range(self._kv.num_partitions)
         ]
         info["trim_frontiers"] = self._log.shard_trim_frontiers()
+        if self._log.replication > 1 or self._kv.durability:
+            info["replication"] = self._log.replication
+            info["epoch"] = self._log.epoch
+            info["failovers"] = self._log.metalog.failovers
+            info["down_shards"] = sorted(self._log.down_shards())
+            info["down_partitions"] = sorted(self._kv.down_partitions())
         return info
 
 
@@ -149,11 +161,17 @@ def build_storage_plane(config: "SystemConfig") -> StoragePlane:
     storage = config.storage
     name = storage.backend
     if name == "auto":
-        name = (
-            "single"
-            if storage.log_shards == 1 and storage.kv_partitions == 1
-            else "sharded"
+        chaos = getattr(config, "storage_chaos", None)
+        # Storage chaos needs the sharded plane's crash/rebuild surface
+        # even at a 1×1 topology; without it, 1×1 stays on the seed
+        # substrates bit-exactly.
+        plain = (
+            storage.log_shards == 1
+            and storage.kv_partitions == 1
+            and storage.replication == 1
+            and not (chaos is not None and chaos.enabled)
         )
+        name = "single" if plain else "sharded"
     factory = _BACKENDS.get(name)
     if factory is None:
         raise ConfigError(

@@ -22,17 +22,39 @@ At ``shards=1`` every operation takes the same code path shape as
 notifications in the same order), which the golden-run tests verify
 bit-exactly; the split only becomes observable through per-shard
 metrics, placement labels, and the DES per-shard queueing model.
+
+Fault tolerance (the storage-chaos PR): every component is crashable.
+
+* The sequencer leader can crash (``crash_sequencer``) and fail over at
+  a new epoch (``failover_sequencer``); appends optionally carry the
+  caller's cached epoch and are fenced when stale (see
+  :mod:`~repro.storageplane.metalog` for the recovery semantics).
+* At ``replication > 1`` each shard's indexes live on a
+  :class:`~repro.storageplane.replication.ShardReplicaSet`; appends
+  require a live write quorum (:class:`~repro.errors.QuorumLostError`
+  otherwise), reads fail over via survivor promotion, and crashed
+  replicas are re-replicated from survivors.
+* At ``replication = 1`` a killed shard goes fully down
+  (:class:`~repro.errors.StorageUnavailableError` window) until
+  ``rebuild_shard`` reconstructs its sub-stream indexes from the global
+  record directory plus the metalog's per-tag trim directory — the
+  paper's rebuild-from-log recovery story, applied to storage.
+
+All degraded-mode checks hang off one ``_degraded`` flag, so the
+chaos-free hot paths pay a single attribute test.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from ..errors import (
     ConditionalAppendError,
     LogError,
     ProtocolError,
+    QuorumLostError,
+    StorageUnavailableError,
     TrimmedError,
 )
 from ..sharedlog.log import _Stream
@@ -74,9 +96,10 @@ class ShardedLog:
         first_seqnum: int = 1,
         shards: int = 1,
         placement: str = "hash",
+        replication: int = 1,
     ):
         self._meta_bytes = int(meta_bytes)
-        self.metalog = Metalog(first_seqnum)
+        self.metalog = Metalog(first_seqnum, replication=replication)
         self.router = Router(shards, placement)
         #: Bound route method: placement is consulted on every append,
         #: read, and trim, so skip the extra dispatch layer.
@@ -89,6 +112,21 @@ class ShardedLog:
         self._trim_count = 0
         self._storage_listeners: List[Callable[[int], None]] = []
         self._shard_listeners: List[Callable[[int, int], None]] = []
+        self.replication = int(replication)
+        self._replica_sets = None
+        if replication > 1:
+            from .replication import ShardReplicaSet
+            self._replica_sets = [
+                ShardReplicaSet(shard, replication) for shard in self._shards
+            ]
+        #: Degraded-mode bookkeeping; ``_degraded`` is the single flag
+        #: the hot paths test.  ``_down_shards`` — no live replica at all
+        #: (reads and writes rejected); ``_no_quorum`` — a minority of
+        #: replicas left (writes rejected, reads served by survivors).
+        self._down_shards: Set[int] = set()
+        self._no_quorum: Set[int] = set()
+        self._degraded = False
+        self._rebuilds = 0
 
     # ------------------------------------------------------------------
     # Placement / introspection
@@ -109,7 +147,38 @@ class ShardedLog:
         shard_id = self.router._routes.get(tag)
         if shard_id is None:
             shard_id = self._route(tag)
+        if self._degraded and shard_id in self._down_shards:
+            raise StorageUnavailableError(
+                f"log shard {shard_id} has no live replica",
+                service="log", op="read",
+            )
         return self._shards[shard_id].streams.get(tag)
+
+    def _check_writable(self, tags: Sequence[str], op: str) -> None:
+        """Reject an append touching any shard that cannot take writes.
+
+        Raised before the sequencer assigns, so a rejected append has no
+        effect anywhere.  Reads only require one live replica; writes
+        additionally require a quorum at R>1.
+        """
+        if not self.metalog.leader_alive:
+            raise StorageUnavailableError(
+                "metalog sequencer is down", service="log", op=op,
+            )
+        for tag in tags:
+            shard_id = self.router._routes.get(tag)
+            if shard_id is None:
+                shard_id = self._route(tag)
+            if shard_id in self._down_shards:
+                raise StorageUnavailableError(
+                    f"log shard {shard_id} has no live replica",
+                    service="log", op=op,
+                )
+            if shard_id in self._no_quorum:
+                raise QuorumLostError(
+                    f"log shard {shard_id} lost its write quorum",
+                    shard=shard_id, service="log", op=op,
+                )
 
     def shard(self, shard_id: int) -> LogShard:
         return self._shards[shard_id]
@@ -184,9 +253,17 @@ class ShardedLog:
         tags: Sequence[str],
         data: Mapping[str, Any],
         payload_bytes: int = 0,
+        epoch: Optional[int] = None,
     ) -> int:
         if not tags:
             raise LogError("append requires at least one tag")
+        # Every rejection happens *before* the sequencer assigns — a
+        # fenced or degraded append leaves no allocation in flight, so
+        # the caller's retry cannot duplicate a seqnum.
+        if epoch is not None:
+            self.metalog.check_epoch(epoch, op="append")
+        if self._degraded:
+            self._check_writable(tags, op="append")
         record = LogRecord(
             seqnum=self.metalog.assign(),
             tags=tuple(tags),
@@ -203,6 +280,7 @@ class ShardedLog:
         cond_tag: str,
         cond_pos: int,
         payload_bytes: int = 0,
+        epoch: Optional[int] = None,
     ) -> int:
         """Conditional append, serialized through the metalog.
 
@@ -214,6 +292,10 @@ class ShardedLog:
         """
         if cond_tag not in tags:
             raise LogError("cond_tag must be one of the record's tags")
+        if epoch is not None:
+            self.metalog.check_epoch(epoch, op="cond_append")
+        if self._degraded:
+            self._check_writable(tags, op="cond_append")
         stream = self._stream_of(cond_tag)
         next_offset = stream.next_offset if stream is not None else 0
         if next_offset == cond_pos:
@@ -250,6 +332,7 @@ class ShardedLog:
         # Hot path: consult the router's memo directly and only pay the
         # method dispatch (and CRC) on the first sighting of a tag.
         routes = self.router._routes
+        replica_sets = self._replica_sets
         tags = record.tags
         seqnum = record.seqnum
         first = tags[0]
@@ -269,6 +352,9 @@ class ShardedLog:
             if stream is None:
                 stream = streams[tag] = _Stream()
             stream.append(seqnum)
+            if replica_sets is not None:
+                replica_sets[shard_id].mirror_append(tag, seqnum)
+        self.metalog.commit(seqnum)
         size = self._meta_bytes + record.payload_bytes
         self._storage_bytes += size
         home.storage_bytes += size
@@ -337,7 +423,12 @@ class ShardedLog:
         shards' streams, frontiers, and homed bodies are untouched
         unless this release was the record's last reference.
         """
-        shard = self._shards[self.shard_of(tag)]
+        shard_id = self.shard_of(tag)
+        if self._degraded and shard_id in self._down_shards:
+            # Conservative under-trim: the GC retries on its next cycle
+            # once the shard is rebuilt; never crash the collector.
+            return 0
+        shard = self._shards[shard_id]
         stream = shard.stream(tag)
         if stream is None:
             return 0
@@ -348,7 +439,10 @@ class ShardedLog:
         del stream.seqnums[:cut]
         stream.trimmed_count += len(removed)
         shard.trim_count += len(removed)
+        if self._replica_sets is not None:
+            self._replica_sets[shard_id].mirror_trim(tag, cut)
         self.metalog.note_trim(shard.shard_id, removed[-1])
+        self.metalog.note_stream_trim(tag, len(removed), removed[-1])
         freed_home: Optional[int] = None
         for sn in removed:
             if self.metalog.release_ref(sn):
@@ -368,3 +462,131 @@ class ShardedLog:
             shard.shard_id if freed_home is None else freed_home
         )
         return len(removed)
+
+    # ------------------------------------------------------------------
+    # Storage-plane failures and recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.metalog.epoch
+
+    @property
+    def rebuilds(self) -> int:
+        return self._rebuilds
+
+    def down_shards(self) -> Set[int]:
+        return set(self._down_shards)
+
+    def quorum_lost_shards(self) -> Set[int]:
+        return set(self._no_quorum)
+
+    def replica_set(self, shard_id: int):
+        if self._replica_sets is None:
+            return None
+        return self._replica_sets[shard_id]
+
+    def _refresh_degraded(self) -> None:
+        self._degraded = bool(
+            self._down_shards or self._no_quorum
+            or not self.metalog.leader_alive
+        )
+
+    def crash_sequencer(self) -> None:
+        """Kill the metalog leader; appends fail until failover."""
+        self.metalog.crash_leader()
+        self._refresh_degraded()
+
+    def failover_sequencer(self) -> int:
+        """Promote a standby sequencer; returns the new (fencing) epoch."""
+        epoch = self.metalog.failover()
+        self._refresh_degraded()
+        return epoch
+
+    def crash_shard_replica(
+        self, shard_id: int, replica: Optional[int] = None
+    ) -> Optional[int]:
+        """Kill one replica of a shard (the serving one by default).
+
+        At ``replication > 1`` a surviving copy is promoted to serve
+        reads; losing a majority blocks writes
+        (:class:`~repro.errors.QuorumLostError`), losing every replica
+        takes the shard fully down.  At ``replication = 1`` the shard's
+        index state is wiped and the shard goes down until
+        ``rebuild_shard`` — record *bodies* (the durable log underneath)
+        survive in the record directory.  Returns the replica index
+        killed, or ``None`` for an R=1 whole-shard kill.
+        """
+        if self._replica_sets is not None:
+            rs = self._replica_sets[shard_id]
+            killed = rs.crash(replica)
+            if rs.all_dead:
+                self._down_shards.add(shard_id)
+                self._no_quorum.discard(shard_id)
+            elif not rs.has_quorum:
+                self._no_quorum.add(shard_id)
+            self._refresh_degraded()
+            return killed
+        self._shards[shard_id].streams = {}
+        self._down_shards.add(shard_id)
+        self._refresh_degraded()
+        return None
+
+    def repair_shard_replica(self, shard_id: int, replica: int) -> bool:
+        """Re-replicate a crashed copy from a survivor (R>1 only)."""
+        if self._replica_sets is None:
+            raise LogError("repair_shard_replica requires replication > 1")
+        rs = self._replica_sets[shard_id]
+        ok = rs.repair(replica)
+        if ok:
+            if rs.has_quorum:
+                self._no_quorum.discard(shard_id)
+            self._down_shards.discard(shard_id)
+            self._refresh_degraded()
+        return ok
+
+    def rebuild_shard(self, shard_id: int) -> int:
+        """Reconstruct a down shard's sub-stream indexes from the log.
+
+        This is the paper's rebuild-from-log recovery applied to the
+        storage tier: the record directory (durable bodies) is replayed
+        forward and filtered through the metalog's per-tag trim
+        directory, so garbage-collected prefixes stay collected and
+        every surviving stream keeps its exact offset origin
+        (``trimmed_count``) — which the ``logCondAppend`` races depend
+        on.  Returns the number of streams reconstructed.
+        """
+        shard = self._shards[shard_id]
+        streams: Dict[str, _Stream] = {}
+        stream_trims = self.metalog.stream_trims()
+        # Fully-trimmed streams must survive as empty streams with their
+        # offset origin intact, or the next cond_append would see a
+        # freshly-zeroed stream and mis-serialize.
+        for tag, (trimmed, _highest) in stream_trims.items():
+            if self.shard_of(tag) != shard_id:
+                continue
+            stream = streams[tag] = _Stream()
+            stream.trimmed_count = trimmed
+        for seqnum in sorted(self._records):
+            record = self._records[seqnum]
+            for tag in record.tags:
+                if self.shard_of(tag) != shard_id:
+                    continue
+                stream = streams.get(tag)
+                if stream is None:
+                    stream = streams[tag] = _Stream()
+                if seqnum > stream_trims.get(tag, (0, 0))[1]:
+                    stream.append(seqnum)
+        shard.streams = streams
+        if self._replica_sets is not None:
+            rs = self._replica_sets[shard_id]
+            rs.copies[0] = streams
+            rs.primary = 0
+            rs.live = [True] + [False] * (rs.replication - 1)
+            for i in range(1, rs.replication):
+                rs.repair(i)
+        self._down_shards.discard(shard_id)
+        self._no_quorum.discard(shard_id)
+        self._refresh_degraded()
+        self._rebuilds += 1
+        return len(streams)

@@ -1,0 +1,124 @@
+"""Smoke tests for the storage-chaos experiment harness."""
+
+import pytest
+
+from repro.harness.storagechaos import (
+    DEFAULT_COMPONENTS,
+    run_storagechaos_point,
+    run_storagechaos_sweep,
+)
+
+#: One small, fully deterministic cell shared by several assertions.
+POINT_KW = dict(
+    crash_at_ms=400.0,
+    recover_after_ms=300.0,
+    rate_per_s=250.0,
+    duration_ms=1_200.0,
+    drain_ms=8_000.0,
+    seed=7,
+    crash_f=0.1,
+)
+
+
+@pytest.fixture(scope="module")
+def boki_metalog_point():
+    return run_storagechaos_point("boki", "metalog", **POINT_KW)
+
+
+def test_metalog_kill_fences_and_stays_exactly_once(boki_metalog_point):
+    point = boki_metalog_point
+    assert point.violations == 0
+    assert point.anomalies == []
+    assert point.rebuild_diffs == []
+    assert point.expected_bumps > 0
+    assert point.result.completed > 0
+    # The kill actually happened and workers actually tripped over it:
+    # either an append was fenced post-failover or an op was rejected
+    # while the sequencer was down.
+    chaos = point.chaos
+    assert chaos["failovers"] == 1
+    events = [e["event"] for e in chaos["events"]]
+    assert events.count("metalog-crash") == 1
+    assert "metalog-failover" in events
+    assert point.fenced_appends + point.unavailable_ops > 0
+
+
+def test_shard_kill_at_r1_rebuilds_and_stays_exactly_once():
+    point = run_storagechaos_point("halfmoon-read", "shard-replica",
+                                   **POINT_KW)
+    assert point.violations == 0
+    assert point.anomalies == []
+    assert point.rebuilds >= 1
+    assert point.unavailable_ops > 0  # ops bounced off the down shard
+
+
+def test_shard_kill_at_r3_promotes_without_rebuild():
+    point = run_storagechaos_point(
+        "halfmoon-write", "shard-replica", replication=3, **POINT_KW
+    )
+    assert point.violations == 0
+    assert point.anomalies == []
+    # Promotion keeps the shard serving: no rebuild, no unavailability.
+    assert point.rebuilds == 0
+    assert point.unavailable_ops == 0
+    events = [e["event"] for e in point.chaos["events"]]
+    assert "shard-replica-crash" in events
+    assert "shard-repair" in events
+
+
+def test_partition_kill_rebuild_diffs_clean():
+    point = run_storagechaos_point("boki", "partition", **POINT_KW)
+    assert point.violations == 0
+    assert point.anomalies == []
+    assert point.rebuild_diffs == []
+    assert point.chaos["partition_rebuilds"] >= 1
+
+
+def test_netsplit_injects_without_violations():
+    point = run_storagechaos_point("boki", "netsplit", **POINT_KW)
+    assert point.violations == 0
+    assert point.anomalies == []
+    netsplits = sum(
+        count for label, count in point.injected.items()
+        if ":netsplit:" in label
+    )
+    assert netsplits > 0
+
+
+def test_unsafe_control_violates():
+    # Storage faults are omission-only; the composed instance crashes
+    # are what the unchecksummed baseline cannot survive.
+    point = run_storagechaos_point("unsafe", "metalog", **POINT_KW)
+    assert point.violations > 0
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(ValueError):
+        run_storagechaos_point("boki", "quantum-foam", **POINT_KW)
+
+
+def _small_sweep(jobs):
+    return run_storagechaos_sweep(
+        components=("metalog", "partition"),
+        systems=("boki",),
+        replications=(1,),
+        crash_at_ms=POINT_KW["crash_at_ms"],
+        recover_after_ms=POINT_KW["recover_after_ms"],
+        rate_per_s=POINT_KW["rate_per_s"],
+        duration_ms=POINT_KW["duration_ms"],
+        seed=11,
+        jobs=jobs,
+    )
+
+
+def test_sweep_bit_identical_across_jobs():
+    serial = _small_sweep(jobs=1)
+    parallel = _small_sweep(jobs=2)
+    assert serial.rows == parallel.rows
+    assert serial.render() == parallel.render()
+
+
+def test_sweep_grid_covers_all_components():
+    assert set(DEFAULT_COMPONENTS) == {
+        "metalog", "shard-replica", "partition", "netsplit"
+    }

@@ -1,0 +1,1 @@
+"""Storage-plane test package."""

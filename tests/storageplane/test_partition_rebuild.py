@@ -1,0 +1,119 @@
+"""KV partition loss and rebuild: redo journaling, checkpoints, and
+key-by-key rebuild fidelity."""
+
+import pytest
+
+from repro.errors import PartitionUnavailableError, StoreError
+from repro.storageplane import PartitionedKV, diff_partition_snapshots
+from repro.storageplane.audit import audit_partitioned_kv
+
+
+def _routed_keys(kv, index, want=4):
+    keys = []
+    i = 0
+    while len(keys) < want:
+        key = f"k{i}"
+        if kv.partition_of(key) == index:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def _mutate(kv, keys):
+    """A mix of every journaled operation kind."""
+    kv.put(keys[0], "a", value_bytes=8)
+    kv.put(keys[1], {"v": 1}, value_bytes=16)
+    kv.conditional_put(keys[2], "c1", (1,), value_bytes=4)
+    kv.conditional_put(keys[2], "c2", (2,), value_bytes=4)  # wins
+    kv.conditional_put(keys[2], "stale", (1,), value_bytes=4)  # loses
+    kv.set_version(keys[0], (7,))
+    kv.put(keys[3], "gone", value_bytes=4)
+    kv.delete(keys[3])
+    kv.put(keys[0], "a2", value_bytes=8)
+
+
+def test_crash_rejects_ops_before_effect():
+    kv = PartitionedKV(partitions=2, durability=True)
+    keys = _routed_keys(kv, 0)
+    kv.put(keys[0], "x", value_bytes=4)
+    kv.crash_partition(0)
+    assert kv.down_partitions() == {0}
+    for op in (
+        lambda: kv.get(keys[0]),
+        lambda: kv.put(keys[0], "y", value_bytes=4),
+        lambda: kv.conditional_put(keys[0], "y", (9,), value_bytes=4),
+        lambda: kv.delete(keys[0]),
+    ):
+        with pytest.raises(PartitionUnavailableError):
+            op()
+    # The other partition serves throughout.
+    other = _routed_keys(kv, 1, want=1)
+    kv.put(other[0], "ok", value_bytes=4)
+    assert kv.get(other[0]) == "ok"
+
+
+def test_rebuild_restores_exact_state():
+    kv = PartitionedKV(partitions=2, durability=True)
+    keys = _routed_keys(kv, 0)
+    _mutate(kv, keys)
+    before = kv.snapshot_partition(0)
+    kv.crash_partition(0)
+    replayed = kv.rebuild_partition(0)
+    assert replayed == kv.journal_length(0) or replayed >= 0
+    after = kv.snapshot_partition(0)
+    assert diff_partition_snapshots(before, after) == []
+    assert kv.down_partitions() == set()
+    assert kv.rebuilds == 1
+    assert audit_partitioned_kv(kv) == []
+    # The losing conditional_put replayed as a losing attempt: the
+    # journal records attempts and the replay re-decides identically.
+    assert kv.get(keys[2]) == "c2"
+
+
+def test_checkpoint_truncates_journal_and_rebuild_still_exact():
+    kv = PartitionedKV(partitions=2, durability=True)
+    keys = _routed_keys(kv, 0)
+    _mutate(kv, keys)
+    journal_before = kv.journal_length(0)
+    assert journal_before > 0
+    truncated = kv.checkpoint_partition(0)
+    assert truncated == journal_before
+    assert kv.journal_length(0) == 0
+    # Post-checkpoint mutations land in the fresh journal; the rebuild
+    # is checkpoint + replay.
+    kv.put(keys[1], "post-ckpt", value_bytes=8)
+    before = kv.snapshot_partition(0)
+    kv.crash_partition(0)
+    assert kv.rebuild_partition(0) == 1
+    assert diff_partition_snapshots(before, kv.snapshot_partition(0)) == []
+    assert audit_partitioned_kv(kv) == []
+
+
+def test_checkpoint_skips_down_partitions():
+    kv = PartitionedKV(partitions=2, durability=True)
+    keys = _routed_keys(kv, 0)
+    kv.put(keys[0], "x", value_bytes=4)
+    kv.crash_partition(0)
+    # Its journal is exactly what the rebuild needs — never truncate it.
+    assert kv.checkpoint_partition(0) == 0
+    assert kv.journal_length(0) == 1
+    kv.rebuild_partition(0)
+    assert kv.get(keys[0]) == "x"
+
+
+def test_rebuild_requires_durability():
+    kv = PartitionedKV(partitions=2)
+    assert not kv.durability
+    kv.crash_partition(0)
+    with pytest.raises(StoreError):
+        kv.rebuild_partition(0)
+
+
+def test_diff_detects_loss_resurrection_and_divergence():
+    before = {"a": (1, (1,)), "b": (2, (1,)), "c": (3, (1,))}
+    after = {"a": (1, (1,)), "c": (9, (2,)), "d": (4, (1,))}
+    diffs = diff_partition_snapshots(before, after)
+    assert len(diffs) == 3
+    assert any("'b' lost" in d for d in diffs)
+    assert any("'d' resurrected" in d for d in diffs)
+    assert any("'c' diverged" in d for d in diffs)
