@@ -13,6 +13,7 @@ Commands map one-to-one onto the experiment harness::
     python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
     python -m repro storagechaos [--components metalog partition]
                                  [--replications 1 3] [--crash-at MS]
+    python -m repro live   [--workers N] [--kills K] [--requests N]
     python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
     python -m repro shards [--shards 1 2 4 8] [--rates 150 300 600]
     python -m repro profile [--target shards] [--top 25]
@@ -44,6 +45,7 @@ Each command prints the same table the corresponding benchmark saves.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -51,6 +53,8 @@ from .analysis import ProtocolAdvisor, WorkloadProfile
 from .config import SystemConfig
 from .harness import (
     APP_FACTORIES,
+    SweepInterrupted,
+    audit_live_points,
     default_jobs,
     profile_report,
     run_brownout_comparison,
@@ -62,6 +66,7 @@ from .harness import (
     run_fig13,
     run_fig14,
     run_latency_breakdown,
+    run_live,
     run_recovery_sweep,
     run_shard_sweep,
     run_storagechaos_sweep,
@@ -74,7 +79,7 @@ from .observe import Tracer, breakdown_table, write_chrome_trace
 
 #: Commands that execute invocations and accept an attached tracer.
 _TRACEABLE = ("fig10", "fig11", "fig12", "fig13", "chaos", "failover",
-              "storagechaos", "trace", "shards")
+              "storagechaos", "trace", "shards", "live")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -281,6 +286,34 @@ def _build_parser() -> argparse.ArgumentParser:
     shards.add_argument("--duration", type=float, default=8_000.0,
                         help="arrival window (ms)")
 
+    live = sub.add_parser(
+        "live",
+        help="live compute plane: real worker processes over a unix "
+             "socket, seeded mid-invocation SIGKILLs, wall-clock lease "
+             "recovery, exactly-once audit (exits nonzero on failure)",
+        parents=[common],
+    )
+    live.add_argument("--workers", type=int, default=4,
+                      help="worker processes in the pool")
+    live.add_argument("--kills", type=int, default=3,
+                      help="mid-invocation SIGKILLs to deliver")
+    live.add_argument("--rate", type=float, default=400.0,
+                      help="offered load (requests per second)")
+    live.add_argument("--requests", type=int, default=250,
+                      help="total invocations to issue")
+    live.add_argument("--lease", type=float, default=400.0,
+                      help="wall-clock lease duration (ms)")
+    live.add_argument("--crash-f", type=float, default=0.0,
+                      help="worker-internal instance crash probability "
+                           "(soft failures, composable with SIGKILLs)")
+    live.add_argument("--deadline", type=float, default=120.0,
+                      help="abort the run after this many wall seconds")
+    live.add_argument(
+        "--systems", nargs="+",
+        default=["unsafe", "boki", "halfmoon-read", "halfmoon-write"],
+        help="protocols to audit (unsafe is the must-violate control)",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="cProfile hotspot report for one canonical cell",
@@ -353,9 +386,42 @@ def _experiment_config(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: dispatch plus graceful SIGINT/SIGTERM.
+
+    An interrupt mid-sweep drains in-flight cells, prints a
+    partial-result summary instead of a stacked traceback, and exits
+    nonzero (130, the conventional fatal-signal code).
+    """
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(
+            signal.SIGTERM, _sigterm_to_interrupt
+        )
+    except ValueError:  # not the main thread: leave handlers alone
+        pass
+    try:
+        return _dispatch(argv)
+    except SweepInterrupted as exc:
+        print(f"\n{exc}; partial results above", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("\ninterrupted before results were ready", file=sys.stderr)
+        return 130
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+
+
+def _sigterm_to_interrupt(signum, frame):
+    """Route SIGTERM through the same drain path as ctrl-C."""
+    raise KeyboardInterrupt
+
+
+def _dispatch(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     config = _experiment_config(parser, args)
+    exit_code = 0
 
     trace_out = getattr(args, "trace_out", None)
     if trace_out is not None and args.command not in _TRACEABLE:
@@ -509,6 +575,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                 tracer=tracer, jobs=jobs,
             ).render()
         )
+    elif args.command == "live":
+        fault_rate = getattr(args, "fault_rate", None)
+        points: dict = {}
+        print(
+            run_live(
+                systems=args.systems, workers=args.workers,
+                kills=args.kills, rate_per_s=args.rate,
+                requests=args.requests, lease_ms=args.lease,
+                config=config, seed=getattr(args, "seed", None),
+                fault_rate=(0.0 if fault_rate is None else fault_rate),
+                crash_f=args.crash_f, deadline_s=args.deadline,
+                tracer=tracer, points_out=points,
+            ).render()
+        )
+        failures = audit_live_points(points)
+        if failures:
+            for failure in failures:
+                print(f"AUDIT FAILURE: {failure}")
+            exit_code = 1
+        else:
+            delivered = sum(p.kills_delivered for p in points.values())
+            print(
+                "exactly-once audit: PASS "
+                f"({delivered} SIGKILLs delivered across "
+                f"{len(points)} systems)"
+            )
     elif args.command == "profile":
         print(
             profile_report(
@@ -534,7 +626,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({trace_json['otherData']['spans']} spans, "
             f"{len(trace_json['traceEvents'])} events)"
         )
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,38 @@
+"""Pluggable compute planes: simulated and real-process execution.
+
+ROADMAP item 1: the protocols are decoupled from storage
+(:mod:`repro.storageplane`) and from the clock (``now_fn``); this
+package exploits both to make *execution* pluggable too.  A
+:class:`ComputePlane` is one deployment shape — the ``sim`` backend is
+the DES (:class:`~repro.harness.platform.SimPlatform`, wrapped
+bit-identically), the ``localhost`` backend is an asyncio gateway plus
+a pool of real worker processes with SIGKILL chaos and wall-clock
+lease-based recovery (:mod:`repro.compute.gateway`).  Backends are
+selected by name through the same registry pattern the storage plane
+uses; the ``live`` experiment (:mod:`repro.harness.live_exp`) runs the
+exactly-once audit against the localhost plane.
+"""
+
+from .base import (
+    ComputePlane,
+    available_backends,
+    build_compute_plane,
+    register_backend,
+)
+from .chaos import ELIGIBLE_WRITE_OPS, KillEvent, LiveChaosController
+from .gateway import LocalhostComputePlane
+from .sim import SimComputePlane
+from .worker import WorkloadSpec
+
+__all__ = [
+    "ComputePlane",
+    "ELIGIBLE_WRITE_OPS",
+    "KillEvent",
+    "LiveChaosController",
+    "LocalhostComputePlane",
+    "SimComputePlane",
+    "WorkloadSpec",
+    "available_backends",
+    "build_compute_plane",
+    "register_backend",
+]

@@ -1,0 +1,931 @@
+"""The ``localhost`` compute backend: asyncio gateway + process pool.
+
+This is the live counterpart of :class:`~repro.harness.platform
+.SimPlatform`: the same protocols, the same storage plane, the same
+recovery machinery — but the concurrency, the clocks, and the deaths
+are real.  One asyncio gateway process
+
+* serves the actual :class:`~repro.storageplane.StoragePlane` over a
+  unix socket (operations from all workers serialize in the event
+  loop, exactly where a real storage service would serialize them),
+* dispatches invocations to a pool of ``spawn``-ed worker processes,
+  each running the full :class:`~repro.runtime.local.LocalRuntime`
+  stack against an RPC proxy plane,
+* drives the shared clock-agnostic lease machinery
+  (:class:`~repro.recovery.lease.LeaseTable`) with wall-clock
+  heartbeats, so failure detection latency is measured wall time,
+* reuses :class:`~repro.recovery.coordinator.RecoveryCoordinator`
+  (``now_fn`` = wall clock) for orphan takeover: a declared-dead
+  worker's in-flight invocations are re-dispatched to survivors with
+  the same instance id, and the protocol replay does the rest,
+* consults a per-worker :class:`~repro.faults.CircuitBreaker` at
+  dispatch and paces retries with the shared
+  :class:`~repro.faults.RetryPolicy`'s deterministic jitter, and
+* feeds wall-clock latencies into the same MetricsRegistry /
+  LatencyBreakdown / Chrome-trace pipeline the DES uses.
+
+:class:`~repro.compute.chaos.LiveChaosController` injects real
+``SIGKILL``s: the gateway applies an armed invocation's KV write, kills
+the worker, and never replies — durable effect, unrecorded completion,
+the adversarial case the exactly-once audit exists for.
+
+Graceful shutdown: SIGTERM/SIGINT stops admission, drains in-flight
+invocations, and still produces a (partial) result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+import multiprocessing as mp
+
+from ..config import SystemConfig
+from ..faults import CircuitBreaker, RetryPolicy
+from ..observe import (
+    CAT_ATTEMPT,
+    CAT_INVOCATION,
+    CAT_QUEUE,
+    CAT_RECOVERY,
+    LatencyBreakdown,
+    Span,
+    Tracer,
+)
+from ..recovery import LeaseTable, Orphan, RecoveryCoordinator
+from ..runtime.local import LocalRuntime
+from ..runtime.services import ServiceBackend
+from ..simulation.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    TimeWeightedGauge,
+)
+from ..simulation.rng import derive_seed
+from ..workloads.base import Request, Workload
+from . import rpc
+from .base import ComputePlane, register_backend
+from .chaos import KillEvent, LiveChaosController
+from .worker import WorkloadSpec, worker_main
+
+#: (target, method) → cost-kind label for wall-clock op accounting.
+_OP_KIND = {
+    ("log", "append"): "log_append",
+    ("log", "cond_append"): "log_append",
+    ("log", "read_prev"): "log_read",
+    ("log", "read_next"): "log_read",
+    ("log", "read_stream"): "log_read",
+    ("log", "_record_at_offset"): "log_read",
+    ("kv", "get_optional"): "db_read",
+    ("kv", "get_with_version"): "db_read",
+    ("kv", "put"): "db_write",
+    ("kv", "conditional_put"): "db_cond_write",
+    ("mv", "read_version"): "db_read_version",
+    ("mv", "write_version"): "db_write_version",
+}
+
+
+@dataclass
+class _WorkerSlot:
+    """Gateway-side state for one worker process."""
+
+    worker_id: int
+    process: Any
+    breaker: CircuitBreaker
+    writer: Optional[asyncio.StreamWriter] = None
+    busy_with: Optional[str] = None
+    alive: bool = True
+    #: Latched once the failure detector declares this worker dead —
+    #: a late frame from a not-actually-dead worker must not revive
+    #: its lease or trigger a second takeover/respawn.
+    declared: bool = False
+    invocations: int = 0
+    spawned_at_ms: float = 0.0
+    #: Set by the READY frame: the worker finished building its runtime
+    #: stack and is safe to dispatch to (an INVOKE before that would
+    #: interleave with its setup RPCs).
+    ready: bool = False
+
+    @property
+    def connected(self) -> bool:
+        return self.writer is not None and self.alive
+
+    @property
+    def idle(self) -> bool:
+        return self.connected and self.ready and self.busy_with is None
+
+
+@dataclass
+class _Inflight:
+    """One admitted invocation, from arrival to (deduped) completion."""
+
+    instance_id: str
+    request: Request
+    arrival_ms: float
+    attempt: int = 1
+    pending_since_ms: float = 0.0
+    dispatched_at_ms: float = 0.0
+    worker_id: int = -1
+    #: Exact-sum stage vector (wall ms); remainder lands in "compute".
+    stages: Dict[str, float] = field(default_factory=dict)
+    ops_wall_ms: float = 0.0
+    root_span: Optional[Span] = None
+    queue_span: Optional[Span] = None
+    attempt_span: Optional[Span] = None
+
+
+class LocalhostComputePlane(ComputePlane):
+    """Real-process execution on one machine (Lithops-localhost shape)."""
+
+    name = "localhost"
+
+    def __init__(
+        self,
+        workload: Workload,
+        protocol: str,
+        config: Optional[SystemConfig] = None,
+        enable_switching: bool = False,
+        tracer: Optional[Tracer] = None,
+        *,
+        workload_spec: Optional[WorkloadSpec] = None,
+        num_workers: int = 4,
+        kills: int = 0,
+        requests: Optional[int] = None,
+        compute_sleep_scale: float = 1.0,
+        crash_f: float = 0.0,
+        deadline_s: float = 180.0,
+    ):
+        if enable_switching:
+            raise NotImplementedError(
+                "protocol switching is not wired into the live plane yet"
+            )
+        if workload_spec is None:
+            raise ValueError(
+                "localhost backend needs a picklable workload_spec "
+                "(workers instantiate their own workload copy)"
+            )
+        self.config = (config if config is not None
+                       else SystemConfig()).validate()
+        self.protocol = protocol
+        self.workload = workload
+        self.workload_spec = workload_spec
+        self.num_workers = int(num_workers)
+        self.requests_override = requests
+        self.compute_sleep_scale = compute_sleep_scale
+        self.crash_f = crash_f
+        self.deadline_s = deadline_s
+        self.tracer = tracer
+
+        # Gateway-side stack: the REAL plane + a runtime used only for
+        # populate and post-run audit probes (never for the workload).
+        self.backend = ServiceBackend(self.config)
+        self._runtime = LocalRuntime(
+            self.config, protocol=protocol, backend=self.backend
+        )
+        self.backend.tracer = tracer
+        self._t0 = time.monotonic()
+        self._runtime.now_fn = self._now
+        workload.register(self._runtime)
+        workload.populate(self._runtime)
+
+        metrics = self.backend.metrics
+        self.latencies = metrics.register(
+            "request_latency", LatencyRecorder("request-latency")
+        )
+        self.latency_series = metrics.register(
+            "latency_over_time", TimeSeries("latency-over-time")
+        )
+        self.throughput = metrics.register("completions", ThroughputMeter())
+        self.detection_latency = metrics.register(
+            "failure_detection_latency",
+            LatencyRecorder("failure-detection"),
+        )
+        self.breakdown = LatencyBreakdown(protocol)
+        self._op_wall: Dict[str, LatencyRecorder] = {}
+        self.log_gauge = metrics.register(
+            "storage_bytes",
+            TimeWeightedGauge("log-bytes", 0.0,
+                              self.backend.log.storage_bytes()),
+            store="log",
+        )
+        self.db_gauge = metrics.register(
+            "storage_bytes",
+            TimeWeightedGauge("db-bytes", 0.0,
+                              self.backend.kv.storage_bytes()),
+            store="db",
+        )
+        self.backend.log.add_storage_listener(
+            lambda b: self.log_gauge.set(b, self._now())
+        )
+        self.backend.kv.add_storage_listener(
+            lambda b: self.db_gauge.set(b, self._now())
+        )
+
+        recovery = self.config.recovery
+        self.lease = LeaseTable((), recovery.lease_ms)
+        self.coordinator = RecoveryCoordinator(
+            self._now, self._runtime.tracker, self._enqueue_orphan,
+            tracer=tracer,
+        )
+        metrics.register("takeover_latency",
+                         self.coordinator.takeover_latency)
+        self.retry_policy = RetryPolicy.from_config(self.config.resilience)
+        self._dispatch_jitter = self.backend.rng.stream("live-dispatch")
+        self.chaos: Optional[LiveChaosController] = None
+        self._kills_requested = int(kills)
+
+        # Run state --------------------------------------------------------
+        self._slots: Dict[int, _WorkerSlot] = {}
+        self._next_worker_id = 0
+        self._inflight: Dict[str, _Inflight] = {}
+        self._completed: Set[str] = set()
+        self._failed: Dict[str, str] = {}
+        self.duplicate_completions = 0
+        self.crashed_attempts = 0
+        self._time_by_kind: Dict[str, float] = {}
+        self.faulted_attempts = 0
+        self.node_crashes = 0
+        self.orphaned_invocations = 0
+        self._workers_ever = 0
+        self._queue: "asyncio.Queue[str]" = None  # created inside the loop
+        self._idle_event: Optional[asyncio.Event] = None
+        self._done_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self.aborted_reason: Optional[str] = None
+        self._issued = 0
+        self._arrivals_done = False
+        self._warmup_ms = 0.0
+        self._sockdir: Optional[tempfile.TemporaryDirectory] = None
+        self._socket_path = ""
+        self.on_request_complete = None
+
+    # -- ComputePlane ----------------------------------------------------
+
+    @property
+    def runtime(self) -> LocalRuntime:
+        return self._runtime
+
+    @property
+    def on_request_complete(self):
+        return self._on_request_complete
+
+    @on_request_complete.setter
+    def on_request_complete(self, callback) -> None:
+        self._on_request_complete = callback
+
+    def _now(self) -> float:
+        return (time.monotonic() - self._t0) * 1000.0
+
+    # -- entry point -----------------------------------------------------
+
+    def run(
+        self,
+        rate_per_s: float,
+        duration_ms: float,
+        warmup_ms: float = 0.0,
+        drain_ms: float = 5_000.0,
+    ):
+        """Issue a seeded open-loop schedule and drive it to completion.
+
+        ``rate_per_s`` and ``duration_ms`` fix the request count
+        (``rate × duration``, overridable via the constructor) and the
+        seeded exponential inter-arrival gaps; unlike the DES the run
+        ends when every admitted request has completed (or the deadline
+        or a drain signal cuts it short), not at a simulated horizon.
+        """
+        self._warmup_ms = warmup_ms
+        total = (self.requests_override
+                 if self.requests_override is not None
+                 else max(1, round(rate_per_s * duration_ms / 1000.0)))
+        self.chaos = LiveChaosController(
+            self._kills_requested, total,
+            self.backend.rng.stream("live-chaos"),
+        )
+        self._t0 = time.monotonic()
+        asyncio.run(self._run_async(rate_per_s, total))
+        return self._build_result(rate_per_s, duration_ms)
+
+    # -- async orchestration ---------------------------------------------
+
+    async def _run_async(self, rate_per_s: float, total: int) -> None:
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._idle_event = asyncio.Event()
+        self._done_event = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._begin_drain,
+                                        signal.Signals(sig).name)
+            except (NotImplementedError, RuntimeError):
+                pass
+
+        self._sockdir = tempfile.TemporaryDirectory(prefix="repro-live-")
+        self._socket_path = os.path.join(self._sockdir.name, "gateway.sock")
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=self._socket_path
+        )
+        _ensure_child_pythonpath()
+        for _ in range(self.num_workers):
+            self._spawn_worker()
+
+        tasks = [
+            asyncio.ensure_future(self._arrival_task(rate_per_s, total)),
+            asyncio.ensure_future(self._dispatch_task()),
+            asyncio.ensure_future(self._detector_task()),
+        ]
+        for task in tasks:
+            task.add_done_callback(self._task_crashed)
+        try:
+            await asyncio.wait_for(
+                self._done_event.wait(), timeout=self.deadline_s
+            )
+        except asyncio.TimeoutError:
+            self.aborted_reason = (
+                f"deadline ({self.deadline_s:.0f}s) exceeded with "
+                f"{len(self._inflight)} invocations outstanding"
+            )
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await self._shutdown_workers()
+            server.close()
+            await server.wait_closed()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(sig)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+            if self._sockdir is not None:
+                self._sockdir.cleanup()
+                self._sockdir = None
+
+    def _task_crashed(self, task: "asyncio.Task") -> None:
+        """A gateway task must never die silently: abort the run with
+        the error instead of hanging until the deadline."""
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        import traceback
+
+        traceback.print_exception(type(exc), exc, exc.__traceback__)
+        self.aborted_reason = (
+            f"gateway task crashed: {type(exc).__name__}: {exc}"
+        )
+        if self._done_event is not None:
+            self._done_event.set()
+
+    def _begin_drain(self, signame: str) -> None:
+        """SIGTERM/SIGINT: stop admission, let in-flight work finish."""
+        if not self._draining:
+            self._draining = True
+            self.aborted_reason = f"drained on {signame}"
+            self._check_done()
+
+    def _check_done(self) -> None:
+        outstanding = len(self._inflight)
+        if outstanding == 0 and (self._arrivals_done or self._draining):
+            self._done_event.set()
+
+    # -- workers ----------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerSlot:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        worker_config = self.config.with_seed(
+            derive_seed(self.config.seed, f"live-worker-{worker_id}")
+        )
+        ctx = mp.get_context("spawn")
+        process = ctx.Process(
+            target=worker_main,
+            args=(
+                self._socket_path, worker_id, worker_config,
+                self.protocol, self.workload_spec,
+                self.config.recovery.heartbeat_interval_ms,
+                self.compute_sleep_scale, self.crash_f,
+            ),
+            daemon=True,
+            name=f"repro-live-worker-{worker_id}",
+        )
+        process.start()
+        slot = _WorkerSlot(
+            worker_id, process,
+            CircuitBreaker(
+                f"worker-{worker_id}",
+                failure_threshold=(
+                    self.config.resilience.breaker_failure_threshold
+                ),
+                cooldown_ops=self.config.resilience.breaker_cooldown_ops,
+            ),
+        )
+        slot.spawned_at_ms = self._now()
+        self._slots[worker_id] = slot
+        self._workers_ever += 1
+        # The lease clock starts at HELLO, not here: spawn + interpreter
+        # start-up can exceed the lease, and a worker must not be
+        # declared dead before it had a chance to heartbeat.
+        return slot
+
+    async def _shutdown_workers(self) -> None:
+        for slot in self._slots.values():
+            if slot.connected:
+                try:
+                    rpc.write_frame_async(slot.writer, (rpc.SHUTDOWN,))
+                    await slot.writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+        deadline = time.monotonic() + 5.0
+        for slot in self._slots.values():
+            slot.process.join(max(0.1, deadline - time.monotonic()))
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(1.0)
+
+    # -- tasks -------------------------------------------------------------
+
+    async def _arrival_task(self, rate_per_s: float, total: int) -> None:
+        request_rng = self.backend.rng.stream("requests")
+        arrival_rng = self.backend.rng.stream("arrivals")
+        mean_gap_s = 1.0 / rate_per_s if rate_per_s > 0 else 0.0
+        for _ in range(total):
+            if self._draining:
+                break
+            request = self.workload.next_request(request_rng)
+            self._admit(request)
+            if mean_gap_s:
+                await asyncio.sleep(
+                    float(arrival_rng.exponential(mean_gap_s))
+                )
+        self._arrivals_done = True
+        self._check_done()
+
+    def _admit(self, request: Request) -> None:
+        now = self._now()
+        instance_id = self._runtime.new_instance_id()
+        self._runtime.tracker.start(
+            instance_id, self.backend.log.next_seqnum
+        )
+        inv = _Inflight(instance_id, request, arrival_ms=now,
+                        pending_since_ms=now)
+        if self.tracer is not None:
+            inv.root_span = self.tracer.start_span(
+                f"invoke:{request.func_name}", CAT_INVOCATION, now,
+                trace_id=instance_id, func=request.func_name, live=True,
+            )
+            inv.queue_span = inv.root_span.child(
+                "worker-queue", CAT_QUEUE, now
+            )
+        self._inflight[instance_id] = inv
+        self._issued += 1
+        self._queue.put_nowait(instance_id)
+
+    async def _dispatch_task(self) -> None:
+        while True:
+            instance_id = await self._queue.get()
+            inv = self._inflight.get(instance_id)
+            if inv is None:
+                continue
+            attempt = 0
+            while True:
+                slot = self._pick_worker()
+                if slot is not None:
+                    self._dispatch(inv, slot)
+                    break
+                attempt += 1
+                backoff_ms = self.retry_policy.backoff_ms(
+                    min(attempt, self.retry_policy.max_attempts),
+                    self._dispatch_jitter,
+                )
+                self._idle_event.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._idle_event.wait(), backoff_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    pass
+
+    def _pick_worker(self) -> Optional[_WorkerSlot]:
+        best = None
+        for slot in self._slots.values():
+            if not slot.idle:
+                continue
+            # consult() is True while the breaker is open (degraded):
+            # prefer other workers until this one's cooldown elapses.
+            if slot.breaker.consult():
+                continue
+            if best is None or slot.invocations < best.invocations:
+                best = slot
+        return best
+
+    def _dispatch(self, inv: _Inflight, slot: _WorkerSlot) -> None:
+        now = self._now()
+        inv.stages["queue_wait"] = (
+            inv.stages.get("queue_wait", 0.0) + now - inv.pending_since_ms
+        )
+        inv.dispatched_at_ms = now
+        inv.worker_id = slot.worker_id
+        inv.ops_wall_ms = 0.0
+        slot.busy_with = inv.instance_id
+        slot.invocations += 1
+        if inv.queue_span is not None:
+            inv.queue_span.finish(now)
+            inv.queue_span = None
+        if inv.root_span is not None:
+            inv.attempt_span = inv.root_span.child(
+                f"attempt-{inv.attempt}", CAT_ATTEMPT, now,
+                attempt=inv.attempt, node=slot.worker_id,
+            )
+        try:
+            rpc.write_frame_async(slot.writer, (
+                rpc.INVOKE, inv.instance_id, inv.request.func_name,
+                inv.request.input,
+            ))
+        except (ConnectionError, OSError, RuntimeError):
+            # The worker died between pick and write: give the slot's
+            # lease-expiry path its orphan handling, requeue now.
+            slot.alive = False
+            slot.breaker.record_failure()
+            slot.busy_with = None
+            inv.pending_since_ms = now
+            if inv.attempt_span is not None:
+                inv.attempt_span.finish(now)
+                inv.attempt_span = None
+            self._queue.put_nowait(inv.instance_id)
+
+    async def _detector_task(self) -> None:
+        poll_s = self.config.recovery.detector_poll_ms / 1000.0
+        # A spawned child that never connects (import failure, OOM) is
+        # outside the lease table; give it a generous grace then declare.
+        connect_grace_ms = max(10_000.0, 10 * self.config.recovery.lease_ms)
+        while True:
+            await asyncio.sleep(poll_s)
+            now = self._now()
+            for worker_id in self.lease.check(now):
+                self._worker_declared_dead(worker_id, now)
+            for slot in list(self._slots.values()):
+                if (slot.writer is None and not slot.declared
+                        and now - slot.spawned_at_ms > connect_grace_ms):
+                    self._worker_declared_dead(slot.worker_id, now)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_worker(reader, writer)
+        except asyncio.CancelledError:
+            # Loop shutdown cancels open connection handlers; that is
+            # the normal end of a drain, not an error to propagate.
+            pass
+
+    async def _serve_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        slot: Optional[_WorkerSlot] = None
+        while True:
+            frame = await rpc.read_frame_async(reader)
+            if frame is None:
+                break
+            kind = frame[0]
+            if kind == rpc.HELLO:
+                slot = self._slots.get(frame[1])
+                if slot is None or slot.declared:
+                    break
+                slot.writer = writer
+                self.lease.add_node(slot.worker_id, self._now())
+            elif slot is None:
+                break
+            elif kind == rpc.READY:
+                slot.ready = True
+                self._idle_event.set()
+            elif kind == rpc.HEARTBEAT:
+                self._renew(slot)
+            elif kind == rpc.OP:
+                if not self._handle_op(slot, frame):
+                    break  # worker was SIGKILLed at this op
+            elif kind == rpc.DONE:
+                self._handle_done(slot, frame)
+        if slot is not None:
+            slot.writer = None
+        try:
+            writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+    def _renew(self, slot: _WorkerSlot) -> None:
+        """Renew a worker's lease — unless it was already declared dead
+        (a straggler frame must not resurrect a taken-over worker)."""
+        if slot.alive and not slot.declared:
+            self.lease.renew(slot.worker_id, self._now())
+
+    def _handle_op(self, slot: _WorkerSlot, frame: Any) -> bool:
+        """Apply one storage op; returns False if the worker was killed."""
+        _, seq, target, method, args, kwargs = frame
+        self._renew(slot)
+        obj = {
+            "log": self.backend.log, "kv": self.backend.kv,
+            "mv": self.backend.mv, "plane": self.backend.plane,
+        }[target]
+        kill = (
+            self.chaos is not None
+            and slot.busy_with is not None
+            and slot.alive
+            and self.chaos.should_kill(target, method)
+        )
+        started = time.monotonic()
+        try:
+            if target == "plane" and method == "describe":
+                result: Any = dict(self.backend.plane.describe(),
+                                   labelled=self.backend.plane.labelled)
+            else:
+                attr = getattr(obj, method)
+                result = (attr(*rpc.decode_value(args),
+                               **rpc.decode_value(kwargs))
+                          if callable(attr) else attr)
+            ok, payload = True, rpc.encode_value(result)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to worker
+            ok, payload = False, rpc.encode_error(exc)
+        wall_ms = (time.monotonic() - started) * 1000.0
+        op_kind = _OP_KIND.get((target, method))
+        if op_kind is not None:
+            self._note_op(op_kind, wall_ms)
+            inv = self._inflight.get(slot.busy_with or "")
+            if inv is not None:
+                inv.stages[op_kind] = inv.stages.get(op_kind, 0.0) + wall_ms
+                inv.ops_wall_ms += wall_ms
+        if kill and ok:
+            # Apply-then-SIGKILL, and never reply: the write is durable,
+            # the completion is lost, replay must cope.
+            self._sigkill_worker(slot, target, method)
+            return False
+        rpc.write_frame_async(slot.writer, (rpc.RESULT, seq, ok, payload))
+        return True
+
+    def _note_op(self, kind: str, wall_ms: float) -> None:
+        recorder = self._op_wall.get(kind)
+        if recorder is None:
+            recorder = self.backend.metrics.register(
+                "op_wall_ms", LatencyRecorder(f"op-wall-{kind}"), kind=kind
+            )
+            self._op_wall[kind] = recorder
+        recorder.record(wall_ms)
+
+    def _sigkill_worker(self, slot: _WorkerSlot, target: str,
+                        method: str) -> None:
+        now = self._now()
+        pid = slot.process.pid
+        event = KillEvent(
+            worker_id=slot.worker_id, pid=pid or -1,
+            instance_id=slot.busy_with or "?",
+            op=f"{target}.{method}", at_ms=now,
+            completed_before=len(self._completed),
+        )
+        try:
+            if pid:
+                os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        slot.alive = False
+        slot.breaker.record_failure()
+        self.chaos.record_kill(event)
+        self.node_crashes += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "sigkill", now, trace_id=event.instance_id,
+                node=slot.worker_id, op=event.op,
+            )
+
+    def _handle_done(self, slot: _WorkerSlot, frame: Any) -> None:
+        _, worker_id, instance_id, ok, payload = frame
+        now = self._now()
+        self._renew(slot)
+        if slot.busy_with == instance_id:
+            slot.busy_with = None
+            self._idle_event.set()
+        inv = self._inflight.get(instance_id)
+        if inv is None or instance_id in self._completed:
+            self.duplicate_completions += 1
+            return
+        slot.breaker.record_success()
+        if not ok:
+            # Terminal invocation failure (retries exhausted or a
+            # permanent fault): surface it, don't hang the run.
+            error = rpc.decode_error(payload)
+            self._failed[instance_id] = type(error).__name__
+            self._finish_invocation(inv, now, failed=True)
+            return
+        output, attempts, cost_by_kind, _worker_wall_ms = payload
+        # Worker-internal lost attempts (BernoulliCrashes / service
+        # faults absorbed by LocalRuntime's retry loop).
+        self.crashed_attempts += max(0, int(attempts) - 1)
+        for kind, ms in cost_by_kind.items():
+            self._time_by_kind[kind] = (
+                self._time_by_kind.get(kind, 0.0) + ms
+            )
+        self._completed.add(instance_id)
+        latency = now - inv.arrival_ms
+        exec_wall = now - inv.dispatched_at_ms
+        inv.stages["compute"] = (
+            inv.stages.get("compute", 0.0)
+            + max(0.0, exec_wall - inv.ops_wall_ms)
+        )
+        self._finish_invocation(inv, now)
+        if inv.arrival_ms >= self._warmup_ms:
+            self.latencies.record(latency)
+            self.throughput.record(now)
+            self.breakdown.record(self._exact_stages(inv, latency))
+        self.latency_series.record(now, latency)
+        if self.chaos is not None:
+            self.chaos.note_completion(len(self._completed))
+        if self._on_request_complete is not None:
+            self._on_request_complete(inv.request, latency)
+
+    @staticmethod
+    def _exact_stages(inv: _Inflight, latency: float) -> Dict[str, float]:
+        """Stage vector summing exactly to the e2e wall latency."""
+        stages = dict(inv.stages)
+        residual = latency - sum(stages.values())
+        stages["compute"] = max(0.0, stages.get("compute", 0.0) + residual)
+        drift = latency - sum(stages.values())
+        if drift:  # clamped above: shave the difference off queueing
+            stages["queue_wait"] = max(
+                0.0, stages.get("queue_wait", 0.0) + drift
+            )
+        return stages
+
+    def _finish_invocation(self, inv: _Inflight, now: float,
+                           failed: bool = False) -> None:
+        self._runtime.tracker.finish(inv.instance_id)
+        self._inflight.pop(inv.instance_id, None)
+        if inv.attempt_span is not None:
+            inv.attempt_span.finish(now)
+        if inv.root_span is not None:
+            if failed:
+                inv.root_span.annotate("failed", now)
+            inv.root_span.finish(now)
+        self._check_done()
+
+    # -- failure handling --------------------------------------------------
+
+    def _worker_declared_dead(self, worker_id: int, now: float) -> None:
+        slot = self._slots.get(worker_id)
+        if slot is None or slot.declared:
+            return
+        slot.declared = True
+        slot.alive = False
+        slot.breaker.record_failure()
+        # Fence: a declared-dead worker must not keep running (it may be
+        # wedged rather than dead; its invocation is about to be taken
+        # over, so any late effect from it would race the replay).
+        try:
+            if slot.process.is_alive():
+                slot.process.kill()
+        except (OSError, ValueError):
+            pass
+        if slot.writer is not None:
+            try:
+                slot.writer.close()
+            except (ConnectionError, OSError):
+                pass
+            slot.writer = None
+        kill = next(
+            (e for e in (self.chaos.events if self.chaos else ())
+             if e.worker_id == worker_id and e.detected_at_ms is None),
+            None,
+        )
+        if kill is not None:
+            kill.detected_at_ms = now
+            self.detection_latency.record(now - kill.at_ms)
+        if self.tracer is not None:
+            self.tracer.instant("declared-dead", now, node=worker_id)
+        stranded = slot.busy_with
+        slot.busy_with = None
+        if stranded is not None and stranded in self._inflight:
+            inv = self._inflight[stranded]
+            self.orphaned_invocations += 1
+            if inv.attempt_span is not None:
+                inv.attempt_span.annotate("orphaned", now)
+                inv.attempt_span.finish(now)
+                inv.attempt_span = None
+            self.coordinator.add_orphan(Orphan(
+                instance_id=stranded,
+                request=inv.request,
+                arrival_ms=inv.arrival_ms,
+                next_attempt=inv.attempt + 1,
+                node_id=worker_id,
+                orphaned_at_ms=now,
+            ))
+        self.coordinator.node_failed(worker_id, now)
+        # Keep the pool at strength: a dead worker's replacement gets a
+        # fresh id, process, breaker, and lease.
+        if not self._draining and not self._done_event.is_set():
+            self._spawn_worker()
+
+    def _enqueue_orphan(self, orphan: Orphan) -> None:
+        """RecoveryCoordinator redispatch hook → back into the queue."""
+        inv = self._inflight.get(orphan.instance_id)
+        if inv is None:
+            return
+        now = self._now()
+        inv.attempt = orphan.next_attempt
+        inv.stages["takeover_gap"] = (
+            inv.stages.get("takeover_gap", 0.0)
+            + now - inv.dispatched_at_ms
+        )
+        inv.pending_since_ms = now
+        inv.worker_id = -1
+        if inv.root_span is not None:
+            inv.queue_span = inv.root_span.child(
+                "worker-queue", CAT_QUEUE, now, redispatched=True,
+            )
+            inv.root_span.annotate(
+                "redispatched", now, category=CAT_RECOVERY,
+            )
+        self._queue.put_nowait(orphan.instance_id)
+
+    # -- results -----------------------------------------------------------
+
+    def _build_result(self, rate_per_s: float, duration_ms: float):
+        from ..harness.platform import RunResult
+
+        now = self._now()
+        have = self.latencies.count > 0
+        wall_s = now / 1000.0
+        return RunResult(
+            protocol=self.protocol,
+            workload=self.workload.name,
+            offered_rate_per_s=rate_per_s,
+            duration_ms=duration_ms,
+            completed=len(self._completed),
+            crashed_attempts=self.crashed_attempts,
+            faulted_attempts=self.faulted_attempts,
+            median_ms=self.latencies.median() if have else 0.0,
+            p99_ms=self.latencies.p99() if have else 0.0,
+            mean_ms=self.latencies.mean() if have else 0.0,
+            throughput_per_s=(
+                len(self._completed) / wall_s if wall_s > 0 else 0.0
+            ),
+            avg_log_bytes=self.log_gauge.time_average(now),
+            avg_db_bytes=self.db_gauge.time_average(now),
+            avg_total_bytes=(self.log_gauge.time_average(now)
+                             + self.db_gauge.time_average(now)),
+            latency_series=self.latency_series,
+            counters=self.backend.counters.as_dict(),
+            time_by_kind=dict(self._time_by_kind),
+            extras={
+                "backend": self.name,
+                "wall_ms": now,
+                "requests_issued": self._issued,
+                "workers": self.num_workers,
+                "workers_spawned": self._workers_ever,
+                "kills_delivered": (
+                    self.chaos.delivered if self.chaos else 0
+                ),
+                "kill_events": (
+                    self.chaos.summary() if self.chaos else []
+                ),
+                "duplicate_completions": self.duplicate_completions,
+                "failed_invocations": dict(self._failed),
+                "aborted": self.aborted_reason,
+            },
+            node_crashes=self.node_crashes,
+            orphaned_invocations=self.orphaned_invocations,
+            recovered_orphans=self.coordinator.recovered,
+            detection_ms=self.detection_latency,
+            takeover_ms=self.coordinator.takeover_latency,
+            breakdown=self.breakdown,
+            metrics=self.backend.metrics.snapshot(now_ms=now),
+        )
+
+    def close(self) -> None:
+        for slot in self._slots.values():
+            if slot.process.is_alive():
+                slot.process.kill()
+        self._slots.clear()
+
+
+def _ensure_child_pythonpath() -> None:
+    """Spawn-ed children must be able to ``import repro``."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    parts = os.environ.get("PYTHONPATH", "").split(os.pathsep)
+    if src not in parts:
+        os.environ["PYTHONPATH"] = (
+            src + ((os.pathsep + os.environ["PYTHONPATH"])
+                   if os.environ.get("PYTHONPATH") else "")
+        )
+    # Defensive: some environments run with sys.path entries only.
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+register_backend("localhost", LocalhostComputePlane)

@@ -1,0 +1,169 @@
+"""Worker-side RPC proxies over the gateway's real storage plane.
+
+A live worker runs the full runtime stack — protocols,
+:class:`~repro.runtime.services.InstanceServices`, retries, breakers —
+unchanged; only the substrate duck types are swapped for proxies that
+forward each call over the worker's socket to the gateway, which
+applies it to the one true :class:`~repro.storageplane.StoragePlane`
+and replies.  The gateway's event loop applies operations one at a
+time, so cross-worker races serialize exactly where they would in a
+real deployment: at the storage service, not inside the workers.
+
+Forwarding is generic (``__getattr__`` → named RPC), so the proxies
+track the substrate surface automatically; only non-picklable edges
+are special-cased (listener registration is a local no-op, log-record
+results travel through the :mod:`repro.compute.rpc` codec).  The
+worker's :class:`~repro.sharedlog.RecordCache` stays real and local —
+node-local caching is part of the system under test.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict
+
+from ..errors import ServiceUnavailableError
+from . import rpc
+
+
+class GatewayConnection:
+    """One worker's socket to the gateway, shared with its heartbeat
+    thread (sends are locked; the worker main thread is the only
+    reader, so replies never interleave)."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self._op_seq = 0
+
+    def send(self, frame: Any) -> None:
+        with self.send_lock:
+            rpc.send_frame(self.sock, frame)
+
+    def call(self, target: str, method: str, args: tuple,
+             kwargs: Dict[str, Any]) -> Any:
+        """One storage RPC: send the op, block for its result.
+
+        A torn connection surfaces as the retryable
+        :class:`ServiceUnavailableError` — the same class an in-process
+        substrate outage raises — so the worker's existing resilience
+        loop owns the failure policy.
+        """
+        self._op_seq += 1
+        seq = self._op_seq
+        try:
+            self.send((rpc.OP, seq, target, method,
+                       rpc.encode_value(args), rpc.encode_value(kwargs)))
+            frame = rpc.recv_frame(self.sock)
+        except OSError as exc:
+            raise ServiceUnavailableError(
+                f"gateway connection lost during {target}.{method}",
+                service=target, op=method,
+            ) from exc
+        if frame is None:
+            raise ServiceUnavailableError(
+                f"gateway closed during {target}.{method}",
+                service=target, op=method,
+            )
+        kind = frame[0]
+        if kind == rpc.SHUTDOWN:
+            raise SystemExit(0)
+        if kind != rpc.RESULT or frame[1] != seq:
+            raise ServiceUnavailableError(
+                f"protocol desync on {target}.{method}: {frame[:2]!r}",
+                service=target, op=method,
+            )
+        ok, payload = frame[2], frame[3]
+        if not ok:
+            raise rpc.decode_error(payload)
+        return rpc.decode_value(payload)
+
+
+class _ProxySubstrate:
+    """Generic method-forwarding proxy for one substrate name."""
+
+    _LOCAL_NOOPS = ("add_storage_listener", "add_shard_storage_listener")
+
+    def __init__(self, conn: GatewayConnection, target: str):
+        self._conn = conn
+        self._target = target
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("__"):
+            raise AttributeError(method)
+        if method in self._LOCAL_NOOPS:
+            return lambda *a, **k: None
+        conn, target = self._conn, self._target
+
+        def remote(*args: Any, **kwargs: Any) -> Any:
+            return conn.call(target, method, args, kwargs)
+
+        # Cache the bound forwarder so hot paths skip __getattr__.
+        setattr(self, method, remote)
+        return remote
+
+
+class ProxyLog(_ProxySubstrate):
+    def __init__(self, conn: GatewayConnection):
+        super().__init__(conn, "log")
+
+    # Property on the real log; a method proxy would return a callable.
+    @property
+    def tail_seqnum(self) -> int:
+        return self._conn.call("log", "tail_seqnum", (), {})
+
+    @property
+    def next_seqnum(self) -> int:
+        return self._conn.call("log", "next_seqnum", (), {})
+
+
+class ProxyKV(_ProxySubstrate):
+    def __init__(self, conn: GatewayConnection):
+        super().__init__(conn, "kv")
+
+
+class ProxyMV(_ProxySubstrate):
+    def __init__(self, conn: GatewayConnection):
+        super().__init__(conn, "mv")
+
+
+class ProxyPlane:
+    """`StoragePlane` duck type backed by the gateway's real plane.
+
+    Topology (shard/partition counts, labelling) is fetched once at
+    connect time; per-key placement queries are memoized so a tag costs
+    one routing RPC ever — placement is stable for a plane's lifetime.
+    """
+
+    name = "proxy"
+
+    def __init__(self, conn: GatewayConnection):
+        self._conn = conn
+        self.log = ProxyLog(conn)
+        self.kv = ProxyKV(conn)
+        self.mv = ProxyMV(conn)
+        topo = conn.call("plane", "describe", (), {})
+        self._describe = dict(topo)
+        self.num_log_shards = int(topo.get("log_shards", 1))
+        self.num_kv_partitions = int(topo.get("kv_partitions", 1))
+        self.labelled = bool(topo.get("labelled", False))
+        self._log_routes: Dict[str, int] = {}
+        self._kv_routes: Dict[str, int] = {}
+
+    def log_shard_of(self, tag: str) -> int:
+        shard = self._log_routes.get(tag)
+        if shard is None:
+            shard = self._conn.call("plane", "log_shard_of", (tag,), {})
+            self._log_routes[tag] = shard
+        return shard
+
+    def kv_partition_of(self, key: str) -> int:
+        part = self._kv_routes.get(key)
+        if part is None:
+            part = self._conn.call("plane", "kv_partition_of", (key,), {})
+            self._kv_routes[key] = part
+        return part
+
+    def describe(self) -> Dict[str, Any]:
+        return dict(self._describe)

@@ -1,0 +1,157 @@
+"""Wire protocol between the live gateway and its worker processes.
+
+Frames are length-prefixed pickles of small tuples — ``(kind, ...)``
+with string kinds — over a unix-domain socket.  Two payload types need
+explicit codecs because naive pickling fails or lies:
+
+* :class:`~repro.sharedlog.record.LogRecord` freezes its ``data`` in a
+  ``MappingProxyType`` inside a slots dataclass, which pickle rejects;
+  records travel as a tagged tuple and are rebuilt on the other side
+  (``__post_init__`` re-freezes them).
+* The error taxonomy in :mod:`repro.errors` has subclasses with custom
+  constructor signatures (``ConditionalAppendError(message,
+  existing_seqnum)``, ...), so ``pickle``'s default
+  ``cls(*args)`` reconstruction breaks.  Errors travel as ``(module,
+  qualname, args, state)`` and are rebuilt via ``cls.__new__`` so the
+  worker re-raises the *same* class — the retry/breaker machinery in
+  :class:`~repro.runtime.services.InstanceServices` dispatches on those
+  types and must keep working across the process boundary.
+
+Only data crosses the wire; no frame carries code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+from ..sharedlog.record import LogRecord
+
+_LEN = struct.Struct("<I")
+
+#: Frame kinds, worker -> gateway.
+HELLO = "hello"
+READY = "ready"
+HEARTBEAT = "hb"
+OP = "op"
+DONE = "done"
+
+#: Frame kinds, gateway -> worker.
+INVOKE = "invoke"
+RESULT = "res"
+SHUTDOWN = "bye"
+
+_RECORD_TAG = "__logrecord__"
+_ERROR_TAG = "__error__"
+
+
+# -- value codec ---------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Make ``value`` picklable (LogRecords → tagged tuples, recursively)."""
+    if isinstance(value, LogRecord):
+        return (_RECORD_TAG, value.seqnum, tuple(value.tags),
+                dict(value.data), value.payload_bytes)
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(encode_value(v) for v in value)
+    if isinstance(value, dict):
+        return {k: encode_value(v) for k, v in value.items()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, tuple):
+        if len(value) == 5 and value[0] == _RECORD_TAG:
+            _, seqnum, tags, data, payload_bytes = value
+            return LogRecord(seqnum, tuple(tags), data, payload_bytes)
+        return tuple(decode_value(v) for v in value)
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+def encode_error(exc: BaseException) -> Tuple[str, str, tuple, dict]:
+    """Flatten an exception for transport (class identity preserved)."""
+    state = {
+        k: v for k, v in vars(exc).items()
+        if isinstance(v, (int, float, str, bool, bytes, type(None)))
+    }
+    return (
+        type(exc).__module__, type(exc).__qualname__,
+        tuple(encode_value(a) for a in exc.args), state,
+    )
+
+
+def decode_error(payload: Tuple[str, str, tuple, dict]) -> BaseException:
+    """Rebuild the original exception class without calling its ctor."""
+    module, qualname, args, state = payload
+    try:
+        cls: Any = importlib.import_module(module)
+        for part in qualname.split("."):
+            cls = getattr(cls, part)
+    except (ImportError, AttributeError):
+        cls = RuntimeError
+    try:
+        exc = cls.__new__(cls)
+        BaseException.__init__(exc, *(decode_value(a) for a in args))
+        exc.__dict__.update(state)
+    except Exception:
+        exc = RuntimeError(f"{qualname}{args!r}")
+    return exc
+
+
+# -- synchronous framing (worker side) -----------------------------------
+
+def send_frame(sock: socket.socket, frame: Any) -> None:
+    blob = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on a clean or torn EOF."""
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Any]:
+    header = recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    body = recv_exact(sock, _LEN.unpack(header)[0])
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
+# -- asyncio framing (gateway side) --------------------------------------
+
+def write_frame_async(writer: Any, frame: Any) -> None:
+    """Queue a frame on an ``asyncio.StreamWriter`` (no await: small
+    frames ride the transport buffer; the gateway drains on close)."""
+    blob = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    writer.write(_LEN.pack(len(blob)) + blob)
+
+
+async def read_frame_async(reader: Any) -> Optional[Any]:
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+        body = await reader.readexactly(_LEN.unpack(header)[0])
+    except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+        return None
+    return pickle.loads(body)

@@ -1,0 +1,156 @@
+"""Live worker process: a real `LocalRuntime` behind a unix socket.
+
+Each worker is one OS process in the localhost compute plane's pool.
+It connects to the gateway, builds the full runtime stack over an RPC
+:class:`~repro.compute.proxy.ProxyPlane` (so every externally visible
+effect lands in the gateway's real storage plane), registers the
+workload's SSF bodies from a declarative spec, and then serves
+``invoke`` frames until told to shut down.  A daemon thread heartbeats
+on the shared socket; when the gateway SIGKILLs the process, the
+heartbeats stop and the wall-clock lease expires — detection is
+measured, not assumed, exactly as in the DES.
+
+The worker deliberately reuses ``LocalRuntime.invoke`` unmodified: the
+instance-crash retry loop, protocol init/replay, and the
+retry/breaker resilience machinery are the system under test.  Compute
+ops sleep real wall time (scaled by the spec) so invocations overlap
+across the pool — true concurrency, serialized only at the gateway's
+storage service like a real deployment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from . import rpc
+from .proxy import GatewayConnection, ProxyPlane
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative, picklable workload recipe (no code on the wire).
+
+    Workers and the gateway each instantiate their own copy:
+    the gateway's for ``populate`` and ground truth, the workers' only
+    for ``register`` (the SSF bodies).
+    """
+
+    module: str
+    qualname: str
+    kwargs: Dict[str, Any]
+
+    def build(self) -> Any:
+        cls: Any = importlib.import_module(self.module)
+        for part in self.qualname.split("."):
+            cls = getattr(cls, part)
+        return cls(**self.kwargs)
+
+
+def _heartbeat_loop(conn: GatewayConnection, worker_id: int,
+                    interval_s: float, stop: threading.Event) -> None:
+    while not stop.wait(interval_s):
+        try:
+            conn.send((rpc.HEARTBEAT, worker_id))
+        except OSError:
+            return
+
+
+def worker_main(
+    socket_path: str,
+    worker_id: int,
+    config: Any,
+    protocol: str,
+    workload_spec: WorkloadSpec,
+    heartbeat_interval_ms: float,
+    compute_sleep_scale: float = 1.0,
+    crash_f: float = 0.0,
+) -> None:
+    """Process entry point (multiprocessing ``spawn`` target)."""
+    from ..runtime.failures import BernoulliCrashes
+    from ..runtime.local import LocalRuntime
+    from ..runtime.services import ServiceBackend
+
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(socket_path)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 20)
+    conn = GatewayConnection(sock)
+    conn.send((rpc.HELLO, worker_id))
+
+    plane = ProxyPlane(conn)
+    backend = ServiceBackend(config, plane=plane)
+    runtime = LocalRuntime(config, protocol=protocol, backend=backend)
+    if compute_sleep_scale > 0:
+        runtime.compute_sleep_fn = (
+            lambda ms: time.sleep(ms * compute_sleep_scale / 1000.0)
+        )
+    if crash_f > 0:
+        # Worker-side instance crashes (soft failures absorbed by the
+        # in-process retry loop), composable with the gateway's hard
+        # SIGKILLs — same knob the DES chaos harness turns.
+        runtime.crash_policy = BernoulliCrashes(
+            crash_f, backend.rng.stream("live-crashes")
+        )
+    workload = workload_spec.build()
+    workload.register(runtime)
+
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(conn, worker_id, heartbeat_interval_ms / 1000.0, stop),
+        daemon=True,
+    )
+    beat.start()
+    # Only now may the gateway dispatch: until READY, an INVOKE frame
+    # would interleave with the setup RPCs above and desync the stream.
+    conn.send((rpc.READY, worker_id))
+
+    try:
+        while True:
+            frame = rpc.recv_frame(sock)
+            if frame is None or frame[0] == rpc.SHUTDOWN:
+                return
+            if frame[0] != rpc.INVOKE:
+                continue
+            _, instance_id, func_name, input_value = frame
+            started = time.monotonic()
+            try:
+                result = runtime.invoke(
+                    func_name, input_value, instance_id=instance_id
+                )
+                payload: Tuple[Any, ...] = (
+                    rpc.encode_value(result.output),
+                    result.attempts,
+                    result.cost_by_kind,
+                    (time.monotonic() - started) * 1000.0,
+                )
+                conn.send((rpc.DONE, worker_id, instance_id, True, payload))
+            except SystemExit:
+                return
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                conn.send((
+                    rpc.DONE, worker_id, instance_id, False,
+                    rpc.encode_error(exc),
+                ))
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def heartbeat_only_main(
+    socket_path: str, worker_id: int, heartbeat_interval_ms: float
+) -> None:
+    """Minimal worker used by tests: heartbeats but serves nothing."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(socket_path)
+    conn = GatewayConnection(sock)
+    conn.send((rpc.HELLO, worker_id))
+    stop = threading.Event()
+    _heartbeat_loop(conn, worker_id, heartbeat_interval_ms / 1000.0, stop)

@@ -18,6 +18,9 @@
   Chrome trace-event export and latency-breakdown reports
 * :mod:`repro.harness.shards_exp` — storage-plane scaling: p99 vs load
   as the log splits across 1/2/4/8 shards
+* :mod:`repro.harness.live_exp` — the live compute-plane audit:
+  real worker processes, seeded SIGKILLs, wall-clock leases
+  (``python -m repro live``)
 * :mod:`repro.harness.parallel` — the sweep executor: independent,
   deterministically-seeded cells over a process pool (``--jobs``),
   bit-identical to serial execution
@@ -39,9 +42,17 @@ from .failover import (
     run_failover_sweep,
 )
 from .micro import measure_op_latencies, run_fig10, run_table1
+from .live_exp import (
+    LivePoint,
+    audit_live_points,
+    run_live,
+    run_live_point,
+)
 from .parallel import (
     SweepCell,
+    SweepInterrupted,
     default_jobs,
+    pop_crash_notes,
     run_cells,
     seed_for,
 )
@@ -86,8 +97,10 @@ __all__ = [
     "FailoverPoint",
     "RunResult",
     "SimPlatform",
+    "LivePoint",
     "StorageChaosPoint",
     "SweepCell",
+    "SweepInterrupted",
     "SwitchingResult",
     "crossover_ratio",
     "default_jobs",
@@ -106,7 +119,11 @@ __all__ = [
     "run_fig13",
     "run_fig14",
     "run_fig14_point",
+    "audit_live_points",
+    "pop_crash_notes",
     "run_latency_breakdown",
+    "run_live",
+    "run_live_point",
     "run_overhead_point",
     "run_recovery_point",
     "run_recovery_sweep",

@@ -17,7 +17,7 @@ from ..workloads import (
     TravelReservationWorkload,
     Workload,
 )
-from .parallel import SweepCell, run_cells
+from .parallel import SweepCell, pop_crash_notes, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -108,4 +108,7 @@ def run_fig11(
             "both Halfmoon variants beat Boki even when mis-chosen"
         )
         tables[app] = table
+    for note in pop_crash_notes():
+        for table in tables.values():
+            table.add_note(note)
     return tables

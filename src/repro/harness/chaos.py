@@ -32,7 +32,7 @@ from ..observe import LatencyBreakdown, Tracer
 from ..runtime.failures import BernoulliCrashes
 from ..runtime.local import LocalRuntime
 from ..simulation.metrics import LatencyRecorder
-from .parallel import SweepCell, run_cells
+from .parallel import SweepCell, pop_crash_notes, run_cells
 from .report import ExperimentTable
 
 #: Systems included in the default sweep; ``unsafe`` is the control that
@@ -248,6 +248,8 @@ def run_chaos_sweep(
         "p99 amp is each system's p99 over its own fault-free p99 — "
         "retry/backoff time charged by the resilience layer"
     )
+    for note in pop_crash_notes():
+        table.add_note(note)
     return table
 
 

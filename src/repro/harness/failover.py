@@ -29,7 +29,7 @@ from ..observe import LatencyBreakdown, Tracer
 from ..protocols.registry import PROTOCOL_CLASSES
 from ..runtime.ops import ComputeOp, ReadOp, WriteOp
 from ..workloads.base import Request, Workload
-from .parallel import SweepCell, run_cells
+from .parallel import SweepCell, pop_crash_notes, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -272,4 +272,6 @@ def run_failover_sweep(
         "violations = keys whose audited value diverges from the "
         "ground-truth increment count (must be 0 for logged protocols)."
     )
+    for note in pop_crash_notes():
+        table.add_note(note)
     return table

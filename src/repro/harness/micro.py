@@ -21,7 +21,7 @@ from ..runtime.local import LocalRuntime
 from ..runtime.services import Cost
 from ..simulation.metrics import LatencyRecorder
 from ..workloads.synthetic import ReadWriteMicrobench
-from .parallel import SweepCell, run_cells
+from .parallel import SweepCell, pop_crash_notes, run_cells
 from .report import ExperimentTable
 
 SYSTEMS = ("unsafe", "boki", "halfmoon-read", "halfmoon-write")
@@ -156,4 +156,7 @@ def run_fig10(
     tables["write"].add_note(
         "expected shape: HM-write ~30-40% below Boki; HM-read ~= Boki"
     )
+    for note in pop_crash_notes():
+        for table in tables.values():
+            table.add_note(note)
     return tables

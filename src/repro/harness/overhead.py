@@ -20,7 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..config import SystemConfig
 from ..observe import LatencyBreakdown, Tracer, breakdown_table
 from ..workloads.synthetic import MixedRatioWorkload
-from .parallel import SweepCell, run_cells
+from .parallel import SweepCell, pop_crash_notes, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -101,6 +101,8 @@ def run_fig12(
         "0.5; Boki above the best protocol everywhere; crossover "
         "insensitive to GC interval"
     )
+    for note in pop_crash_notes():
+        table.add_note(note)
     return table
 
 
@@ -152,6 +154,9 @@ def run_fig13(
             "below Boki (1.2-1.5x)"
         )
         tables[rate] = table
+    for note in pop_crash_notes():
+        for table in tables.values():
+            table.add_note(note)
     return tables
 
 
@@ -192,11 +197,14 @@ def run_latency_breakdown(
         system: result.breakdown
         for system, result in zip(systems, results)
     }
-    return breakdown_table(
+    table = breakdown_table(
         breakdowns,
         f"Latency breakdown (read ratio {read_ratio}, "
         f"{rate_per_s:.0f} req/s)",
     )
+    for note in pop_crash_notes():
+        table.add_note(note)
+    return table
 
 
 def crossover_ratio(

@@ -34,12 +34,41 @@ from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..observe import Tracer
+
+#: Crash notes from the most recent :func:`run_cells` call (a worker
+#: process died and its cells were re-run serially).  Sweeps surface
+#: these in their report tables via :func:`pop_crash_notes`.
+_LAST_CRASH_NOTES: List[str] = []
+
+
+def pop_crash_notes() -> List[str]:
+    """Return and clear the crash notes from the last sweep."""
+    notes = list(_LAST_CRASH_NOTES)
+    _LAST_CRASH_NOTES.clear()
+    return notes
+
+
+class SweepInterrupted(SimulationError):
+    """A sweep was cut short by SIGINT/SIGTERM mid-run.
+
+    Carries how far the sweep got so the CLI can print a partial-result
+    summary instead of a stacked traceback.
+    """
+
+    def __init__(self, completed: int, total: int):
+        super().__init__(
+            f"sweep interrupted: {completed}/{total} cells completed"
+        )
+        self.completed = completed
+        self.total = total
 
 
 def default_jobs() -> int:
@@ -105,18 +134,67 @@ def run_cells(
     jobs = 1 if jobs is None else int(jobs)
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    _LAST_CRASH_NOTES.clear()
     traced = tracer is not None
     tasks = [(cell, traced) for cell in cells]
     if jobs == 1 or len(cells) <= 1:
         outputs = [_execute_cell(task) for task in tasks]
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells))
-        ) as pool:
-            outputs = list(pool.map(_execute_cell, tasks))
+        outputs = _run_pool(tasks, min(jobs, len(cells)))
     results: List[Any] = []
     for result, child in outputs:
         if traced and child is not None:
             tracer.absorb(child)
         results.append(result)
     return results
+
+
+def _run_pool(
+    tasks: List[Tuple[SweepCell, bool]], workers: int
+) -> List[Tuple[Any, Any]]:
+    """Fan tasks over a process pool, surviving worker death.
+
+    Cells are submitted individually (not ``pool.map``) so a child
+    process dying — OOM kill, segfault, stray ``SIGKILL`` — breaks only
+    the pool, not the sweep: every cell without a result is re-run
+    serially once and the incident is recorded for the sweep report.
+    Results are reassembled in submission order, so output stays
+    bit-identical to the serial path.  ``KeyboardInterrupt`` drains
+    in-flight cells and raises :class:`SweepInterrupted` with progress.
+    """
+    outputs: List[Optional[Tuple[Any, Any]]] = [None] * len(tasks)
+    done = [False] * len(tasks)
+    broken: Optional[str] = None
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = {
+            pool.submit(_execute_cell, task): index
+            for index, task in enumerate(tasks)
+        }
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    outputs[index] = future.result()
+                    done[index] = True
+                except BrokenProcessPool as exc:
+                    broken = str(exc) or "a sweep worker process died"
+                    break
+        except BrokenProcessPool as exc:  # raised by as_completed itself
+            broken = str(exc) or "a sweep worker process died"
+    except KeyboardInterrupt:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise SweepInterrupted(sum(done), len(tasks)) from None
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    if broken is not None:
+        lost = [index for index, ok in enumerate(done) if not ok]
+        note = (
+            f"sweep worker pool broke ({broken}); re-ran "
+            f"{len(lost)} lost cell(s) serially"
+        )
+        print(f"warning: {note}", file=sys.stderr)
+        _LAST_CRASH_NOTES.append(note)
+        for index in lost:
+            outputs[index] = _execute_cell(tasks[index])
+    return outputs

@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 from ..config import SystemConfig
 from ..observe import Tracer
 from ..workloads.synthetic import MixedRatioWorkload
-from .parallel import SweepCell, run_cells
+from .parallel import SweepCell, pop_crash_notes, run_cells
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -156,4 +156,6 @@ def run_shard_sweep(
         "utilisation falls; the single sequencer (the metalog) is shared "
         "by every point"
     )
+    for note in pop_crash_notes():
+        table.add_note(note)
     return table

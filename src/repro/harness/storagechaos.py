@@ -39,7 +39,7 @@ from ..recovery import StorageChaosController
 from ..runtime.failures import BernoulliCrashes, NoCrashes
 from ..storageplane import storage_consistency_report
 from .failover import CounterWorkload
-from .parallel import SweepCell, run_cells, seed_for
+from .parallel import SweepCell, pop_crash_notes, run_cells, seed_for
 from .platform import RunResult, SimPlatform
 from .report import ExperimentTable
 
@@ -312,4 +312,6 @@ def run_storagechaos_sweep(
         "unavail ops = operations rejected before effect while a "
         "component was down"
     )
+    for note in pop_crash_notes():
+        table.add_note(note)
     return table

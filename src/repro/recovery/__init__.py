@@ -26,11 +26,12 @@ loss and journal replay, driven as timed DES events and audited by the
 """
 
 from .coordinator import Orphan, RecoveryCoordinator
-from .lease import LeaseManager
+from .lease import LeaseManager, LeaseTable
 from .storage import STORAGE_COMPONENTS, StorageChaosController
 
 __all__ = [
     "LeaseManager",
+    "LeaseTable",
     "Orphan",
     "RecoveryCoordinator",
     "STORAGE_COMPONENTS",

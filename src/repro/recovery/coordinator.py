@@ -19,12 +19,17 @@ advances past state a pending takeover still needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..observe import Tracer
 from ..runtime.registry import InvocationTracker
 from ..simulation.kernel import Simulator
 from ..simulation.metrics import LatencyRecorder
+
+#: A clock source: either a Simulator (``.now`` property) or a plain
+#: ``now_fn`` callable returning milliseconds — the live compute plane
+#: passes a wall-clock ``now_fn``; the DES platform passes its kernel.
+Clock = Union[Simulator, Callable[[], float]]
 
 
 @dataclass(frozen=True)
@@ -46,12 +51,17 @@ class RecoveryCoordinator:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         tracker: InvocationTracker,
         redispatch: Callable[[Orphan], None],
         tracer: Optional[Tracer] = None,
     ):
-        self.sim = sim
+        #: Milliseconds on the driving clock — simulated or wall.  The
+        #: coordinator itself is clock-agnostic; only takeover-latency
+        #: accounting and trace instants read it.
+        self.now_fn: Callable[[], float] = (
+            clock if callable(clock) else (lambda: clock.now)
+        )
         self.tracker = tracker
         self._redispatch = redispatch
         self.tracer = tracer
@@ -94,15 +104,14 @@ class RecoveryCoordinator:
                 continue
             self.tracker.reclaim(orphan.instance_id)
             self.recovered += 1
-            self.takeover_latency.record(
-                self.sim.now - orphan.orphaned_at_ms
-            )
+            now = self.now_fn()
+            self.takeover_latency.record(now - orphan.orphaned_at_ms)
             if self.tracer is not None:
                 self.tracer.instant(
-                    "orphan-takeover", self.sim.now,
+                    "orphan-takeover", now,
                     trace_id=orphan.instance_id,
                     node=node_id,
                     next_attempt=orphan.next_attempt,
-                    orphaned_ms=self.sim.now - orphan.orphaned_at_ms,
+                    orphaned_ms=now - orphan.orphaned_at_ms,
                 )
             self._redispatch(orphan)

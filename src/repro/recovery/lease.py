@@ -2,14 +2,19 @@
 
 Every function node holds a lease with the gateway and renews it with a
 heartbeat while alive; the gateway's detector declares a node dead once
-its lease has been silent for the configured duration.  Both sides are
-DES processes, so detection latency — the dominant share of takeover
-time — is simulated rather than assumed: a node that crashes at time
-``t`` is declared dead in ``(t + lease_ms, t + lease_ms +
-heartbeat_interval_ms + detector_poll_ms]``.
+its lease has been silent for the configured duration.  The lease
+book-keeping itself is clock-agnostic (:class:`LeaseTable`): timestamps
+are passed in by the driver, so the same declare/revive semantics run
+under the DES (:class:`LeaseManager`, where both sides are simulated
+processes and detection latency is simulated rather than assumed) and
+under wall-clock time (the live compute plane's gateway, which renews on
+heartbeat frames and polls the table from an asyncio task).
 
-A restarted node simply resumes heartbeating; its next renewal revives
-the lease, after which a fresh crash is detected again.
+Under the DES, a node that crashes at time ``t`` is declared dead in
+``(t + lease_ms, t + lease_ms + heartbeat_interval_ms +
+detector_poll_ms]``.  A restarted node simply resumes heartbeating; its
+next renewal revives the lease, after which a fresh crash is detected
+again.
 """
 
 from __future__ import annotations
@@ -23,8 +28,85 @@ from ..simulation.kernel import Simulator
 FailureListener = Callable[[int, float], None]
 
 
+class LeaseTable:
+    """Clock-agnostic lease book-keeping shared by sim and live planes.
+
+    The table never reads a clock: ``renew`` and ``check`` take ``now``
+    (milliseconds on whatever clock the driver uses — simulated or
+    wall).  Drivers decide *when* to call; the table decides *what* a
+    silence of more than ``lease_ms`` means.
+    """
+
+    def __init__(self, node_ids, lease_ms: float, *, start_ms: float = 0.0):
+        self.lease_ms = float(lease_ms)
+        #: Last successful lease renewal per node; every node starts
+        #: with a fresh lease at ``start_ms``.
+        self._last_renewal: Dict[int, float] = {
+            node_id: float(start_ms) for node_id in node_ids
+        }
+        self._declared_dead: Set[int] = set()
+        self._failure_listeners: List[FailureListener] = []
+        self.detections = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def on_failure(self, listener: FailureListener) -> None:
+        self._failure_listeners.append(listener)
+
+    def add_node(self, node_id: int, now: float) -> None:
+        """Register a node spawned after construction (live respawns)."""
+        self._last_renewal[node_id] = now
+        self._declared_dead.discard(node_id)
+
+    # -- driver hooks ------------------------------------------------------
+
+    def renew(self, node_id: int, now: float) -> None:
+        """A heartbeat arrived: refresh the lease and revive the node.
+
+        A restarted node's first heartbeat revives its lease; the
+        detector treats it as healthy from here on.
+        """
+        self._last_renewal[node_id] = now
+        self._declared_dead.discard(node_id)
+
+    def check(self, now: float) -> List[int]:
+        """Declare every node whose lease has expired; fire listeners.
+
+        Returns the node ids newly declared dead by this poll (each node
+        is declared at most once per life).
+        """
+        lease = self.lease_ms
+        newly_dead: List[int] = []
+        for node_id, renewed_at in self._last_renewal.items():
+            if node_id in self._declared_dead:
+                continue
+            if now - renewed_at > lease:
+                self._declared_dead.add(node_id)
+                self.detections += 1
+                newly_dead.append(node_id)
+                for listener in list(self._failure_listeners):
+                    listener(node_id, now)
+        return newly_dead
+
+    # -- queries ----------------------------------------------------------
+
+    def is_declared_dead(self, node_id: int) -> bool:
+        return node_id in self._declared_dead
+
+    def last_renewal(self, node_id: int) -> float:
+        return self._last_renewal[node_id]
+
+    @property
+    def node_ids(self):
+        return self._last_renewal.keys()
+
+
 class LeaseManager:
-    """Heartbeat processes per node + the gateway failure detector."""
+    """DES driver: heartbeat processes per node + the gateway detector.
+
+    Composes a :class:`LeaseTable` with simulated heartbeat and poll
+    processes, preserving the original detection-latency window.
+    """
 
     def __init__(
         self,
@@ -36,27 +118,20 @@ class LeaseManager:
         self.sim = sim
         self.config = config
         self._alive = alive_fn
-        #: Last successful lease renewal per node; every node starts
-        #: with a fresh lease at time zero.
-        self._last_renewal: Dict[int, float] = {
-            node_id: 0.0 for node_id in range(num_nodes)
-        }
-        self._declared_dead: Set[int] = set()
-        self._failure_listeners: List[FailureListener] = []
+        self.table = LeaseTable(range(num_nodes), config.lease_ms)
         self._started = False
-        self.detections = 0
 
     # -- wiring -----------------------------------------------------------
 
     def on_failure(self, listener: FailureListener) -> None:
-        self._failure_listeners.append(listener)
+        self.table.on_failure(listener)
 
     def start(self) -> None:
         """Spawn the heartbeat and detector processes (idempotent)."""
         if self._started:
             return
         self._started = True
-        for node_id in self._last_renewal:
+        for node_id in self.table.node_ids:
             self.sim.process(
                 self._heartbeat_process(node_id),
                 name=f"heartbeat-node{node_id}",
@@ -65,11 +140,15 @@ class LeaseManager:
 
     # -- queries ----------------------------------------------------------
 
+    @property
+    def detections(self) -> int:
+        return self.table.detections
+
     def is_declared_dead(self, node_id: int) -> bool:
-        return node_id in self._declared_dead
+        return self.table.is_declared_dead(node_id)
 
     def last_renewal(self, node_id: int) -> float:
-        return self._last_renewal[node_id]
+        return self.table.last_renewal(node_id)
 
     # -- processes --------------------------------------------------------
 
@@ -77,23 +156,11 @@ class LeaseManager:
         interval = self.config.heartbeat_interval_ms
         while True:
             if self._alive(node_id):
-                self._last_renewal[node_id] = self.sim.now
-                # A restarted node's first heartbeat revives its lease;
-                # the detector treats it as healthy from here on.
-                self._declared_dead.discard(node_id)
+                self.table.renew(node_id, self.sim.now)
             yield self.sim.timeout(interval)
 
     def _detector_process(self):
-        lease = self.config.lease_ms
         poll = self.config.detector_poll_ms
         while True:
             yield self.sim.timeout(poll)
-            now = self.sim.now
-            for node_id, renewed_at in self._last_renewal.items():
-                if node_id in self._declared_dead:
-                    continue
-                if now - renewed_at > lease:
-                    self._declared_dead.add(node_id)
-                    self.detections += 1
-                    for listener in list(self._failure_listeners):
-                        listener(node_id, now)
+            self.table.check(self.sim.now)

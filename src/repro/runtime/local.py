@@ -183,6 +183,11 @@ class Context:
                       1e-9)
             ))):
                 self.svc.charge_compute()
+            sleep = self._runtime.compute_sleep_fn
+            if sleep is not None:
+                # Live compute plane: burn real wall time so invocations
+                # genuinely overlap across worker processes.
+                sleep(op.duration_ms)
             return None
         if isinstance(op, SyncOp):
             return self.sync()
@@ -232,6 +237,11 @@ class LocalRuntime:
         #: through this runtime) produce spans anchored at the parent's
         #: simulated instant.
         self.now_fn: Callable[[], float] = lambda: 0.0
+        #: Optional ``sleep(duration_ms)`` for ComputeOp steps.  Unset
+        #: (the default) keeps compute purely virtual; the live compute
+        #: plane's workers point it at a wall-clock sleep so concurrent
+        #: invocations really overlap.
+        self.compute_sleep_fn: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # Setup

@@ -242,13 +242,19 @@ class ServiceBackend:
     """Platform-wide substrate bundle shared by all invocations."""
 
     def __init__(self, config: SystemConfig,
-                 rng: Optional[RngRegistry] = None):
+                 rng: Optional[RngRegistry] = None,
+                 plane: Optional[StoragePlane] = None):
         self.config = config.validate()
         self.rng = rng if rng is not None else RngRegistry(config.seed)
         #: The pluggable storage plane (single-node, sharded, or a
         #: registered custom backend); ``log``/``kv``/``mv`` are its
         #: substrates, kept as attributes for the many existing callers.
-        self.plane: StoragePlane = build_storage_plane(config)
+        #: An injected ``plane`` bypasses the registry — the live
+        #: compute plane's workers hand in an RPC proxy to the real
+        #: plane served from the gateway process.
+        self.plane: StoragePlane = (
+            plane if plane is not None else build_storage_plane(config)
+        )
         self.log = self.plane.log
         self.kv = self.plane.kv
         self.mv = self.plane.mv

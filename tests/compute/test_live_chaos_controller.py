@@ -1,0 +1,76 @@
+"""LiveChaosController: seeded schedules, arm/fire/disarm mechanics."""
+
+import numpy as np
+
+from repro.compute.chaos import (
+    ELIGIBLE_WRITE_OPS,
+    KillEvent,
+    LiveChaosController,
+)
+
+
+def make(kills=3, total=200, seed=7):
+    return LiveChaosController(
+        kills, total, np.random.default_rng(seed)
+    )
+
+
+def test_thresholds_deterministic_and_in_window():
+    a, b = make(), make()
+    assert a.thresholds == b.thresholds
+    assert len(a.thresholds) == 3
+    lo, hi = int(200 * 0.15), int(200 * 0.70)
+    for threshold in a.thresholds:
+        assert lo <= threshold <= hi + 3  # +collision nudges
+    assert a.thresholds == sorted(a.thresholds)
+
+
+def test_thresholds_never_collide():
+    # Many kills over a tiny schedule force draw collisions; the
+    # nudge-forward dedup must keep every threshold distinct.
+    chaos = LiveChaosController(10, 20, np.random.default_rng(0))
+    assert len(set(chaos.thresholds)) == 10
+
+
+def test_zero_kills_never_arms():
+    chaos = make(kills=0)
+    chaos.note_completion(10_000)
+    assert not chaos.should_kill("kv", "put")
+
+
+def test_arm_fire_disarm_cycle():
+    chaos = make(kills=1, total=100)
+    threshold = chaos.thresholds[0]
+    chaos.note_completion(threshold - 1)
+    assert not chaos.should_kill("kv", "put")
+    chaos.note_completion(threshold)
+    # Armed: fires only on an eligible write op.
+    assert not chaos.should_kill("log", "append")
+    assert not chaos.should_kill("kv", "get_optional")
+    assert chaos.should_kill("kv", "put")
+    chaos.record_kill(KillEvent(
+        worker_id=0, pid=1, instance_id="i", op="kv.put",
+        at_ms=5.0, completed_before=threshold,
+    ))
+    assert chaos.delivered == 1
+    # Disarmed again, and no thresholds remain.
+    chaos.note_completion(10_000)
+    assert not chaos.should_kill("kv", "put")
+
+
+def test_eligible_ops_cover_every_protocol_write_path():
+    # kv.put / kv.conditional_put: boki, halfmoon-write, unsafe.
+    # mv.write_version: halfmoon-read (versioned store for log-free
+    # reads).  A protocol whose user-visible write is not eligible
+    # would silently receive zero kills (regression: halfmoon-read).
+    assert ("kv", "put") in ELIGIBLE_WRITE_OPS
+    assert ("kv", "conditional_put") in ELIGIBLE_WRITE_OPS
+    assert ("mv", "write_version") in ELIGIBLE_WRITE_OPS
+
+
+def test_detection_latency_property():
+    event = KillEvent(worker_id=1, pid=2, instance_id="x", op="kv.put",
+                      at_ms=100.0, completed_before=5)
+    assert event.detection_ms is None
+    event.detected_at_ms = 450.0
+    assert event.detection_ms == 350.0

@@ -1,0 +1,70 @@
+"""Registry ``sim`` backend must be bit-identical to direct SimPlatform.
+
+The compute-plane registry is pure plumbing for the DES path: the
+``sim`` backend wraps :class:`SimPlatform` without touching seeding,
+dispatch, or metrics.  This golden-cell regression pins that — every
+number a sweep reads off the result must match exactly.
+"""
+
+import pytest
+
+from repro.compute import available_backends, build_compute_plane
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.harness.failover import CounterWorkload
+from repro.harness.platform import SimPlatform
+
+
+def run_direct(protocol, seed):
+    config = SystemConfig().with_seed(seed).validate()
+    workload = CounterWorkload(num_keys=700, read_ratio=0.3)
+    platform = SimPlatform(workload, protocol, config=config)
+    return platform.run(400.0, 1_500.0)
+
+
+def run_via_registry(protocol, seed):
+    config = SystemConfig().with_seed(seed).validate()
+    workload = CounterWorkload(num_keys=700, read_ratio=0.3)
+    plane = build_compute_plane("sim", workload, protocol, config=config)
+    return plane.run(400.0, 1_500.0)
+
+
+@pytest.mark.parametrize("protocol", ["boki", "halfmoon-read"])
+def test_sim_backend_bit_identical(protocol):
+    direct = run_direct(protocol, seed=93)
+    wrapped = run_via_registry(protocol, seed=93)
+    assert wrapped.completed == direct.completed
+    assert wrapped.median_ms == direct.median_ms
+    assert wrapped.p99_ms == direct.p99_ms
+    assert wrapped.mean_ms == direct.mean_ms
+    assert wrapped.avg_log_bytes == direct.avg_log_bytes
+    assert wrapped.avg_db_bytes == direct.avg_db_bytes
+    assert wrapped.counters == direct.counters
+    assert wrapped.time_by_kind == direct.time_by_kind
+
+
+def test_registry_lists_both_backends():
+    names = available_backends()
+    assert "sim" in names
+    assert "localhost" in names
+
+
+def test_unknown_backend_is_a_config_error():
+    workload = CounterWorkload(num_keys=10)
+    with pytest.raises(ConfigError):
+        build_compute_plane("no-such-backend", workload, "boki")
+
+
+def test_sim_plane_delegates_runtime_and_callback():
+    config = SystemConfig().with_seed(5).validate()
+    workload = CounterWorkload(num_keys=150, read_ratio=0.3)
+    plane = build_compute_plane("sim", workload, "boki", config=config)
+    seen = []
+    plane.on_request_complete = (
+        lambda request, latency_ms: seen.append(request.func_name)
+    )
+    result = plane.run(200.0, 500.0)
+    assert result.completed > 0
+    assert len(seen) == result.completed
+    assert plane.runtime is not None
+    plane.close()

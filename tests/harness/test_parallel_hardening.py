@@ -1,0 +1,105 @@
+"""run_cells resilience: worker death must not kill the sweep.
+
+A sweep cell is pure compute, but the *process* running it can die for
+reasons outside the cell's control (OOM killer, a stray SIGKILL from
+the live chaos controller's own tests, a segfault in a native wheel).
+``run_cells`` promises: every cell still yields its result — lost cells
+are re-run serially once — and the incident surfaces as a crash note in
+the sweep report rather than vanishing into stderr.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.harness.parallel import (
+    SweepCell,
+    SweepInterrupted,
+    pop_crash_notes,
+    run_cells,
+    seed_for,
+)
+from repro.harness.report import ExperimentTable
+
+
+def well_behaved(value):
+    return value * 2
+
+
+def die_if_marked(value, victim, parent_pid):
+    """Module-level so it pickles into pool workers; the victim cell
+    SIGKILLs its own *worker* process, mimicking an OOM kill.  The
+    parent pid gate keeps the serial re-run (which executes in the
+    sweep's own process) alive."""
+    if value == victim and os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def make_cells(fn, count=6, **extra):
+    return [
+        SweepCell(key=("cell", i), fn=fn, kwargs=dict(value=i, **extra))
+        for i in range(count)
+    ]
+
+
+def test_worker_death_falls_back_to_serial_rerun():
+    results = run_cells(
+        make_cells(die_if_marked, victim=3, parent_pid=os.getpid()),
+        jobs=2,
+    )
+    # Every cell completed, in order — including the one whose worker
+    # died: it was re-run serially in the parent process.
+    assert results == [i * 2 for i in range(6)]
+    notes = pop_crash_notes()
+    assert len(notes) == 1
+    assert "re-ran" in notes[0]
+
+
+def test_crash_notes_surface_after_pool_break():
+    run_cells(make_cells(well_behaved), jobs=2)
+    assert pop_crash_notes() == []  # healthy sweep: no notes
+
+
+def test_pop_crash_notes_clears():
+    run_cells(make_cells(well_behaved), jobs=2)
+    pop_crash_notes()
+    assert pop_crash_notes() == []
+
+
+def test_sweep_interrupted_carries_progress():
+    exc = SweepInterrupted(3, 10)
+    assert exc.completed == 3
+    assert exc.total == 10
+    assert "3/10" in str(exc)
+
+
+def test_results_bit_identical_across_job_counts():
+    cells = make_cells(well_behaved, count=8)
+    assert run_cells(cells, jobs=1) == run_cells(cells, jobs=4)
+
+
+def test_seed_for_is_stable_and_key_sensitive():
+    assert seed_for(7, ("a", 1)) == seed_for(7, ("a", 1))
+    assert seed_for(7, ("a", 1)) != seed_for(7, ("a", 2))
+    assert seed_for(7, ("a", 1)) != seed_for(8, ("a", 1))
+
+
+def test_bad_jobs_value_rejected():
+    with pytest.raises(Exception):
+        run_cells(make_cells(well_behaved, count=2), jobs=0)
+
+
+def test_crash_note_lands_in_report_table():
+    # End-to-end shape of satellite 1: a broken pool's note is appended
+    # to the experiment table exactly like every sweep does it.
+    run_cells(
+        make_cells(die_if_marked, victim=1, count=4,
+                   parent_pid=os.getpid()),
+        jobs=2,
+    )
+    table = ExperimentTable("t", ["a"])
+    for note in pop_crash_notes():
+        table.add_note(note)
+    assert any("re-ran" in note for note in table.notes)

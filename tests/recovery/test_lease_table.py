@@ -1,0 +1,122 @@
+"""LeaseTable and RecoveryCoordinator driven by an injected wall clock.
+
+The DES lease tests (``test_lease.py``) drive these components from the
+simulator.  Here the driver is a plain float timeline — the live compute
+plane's situation, where ``now`` is ``time.monotonic()`` milliseconds and
+nothing about the timestamps is aligned or integral.  The declare/renew/
+revive semantics must be identical on both clocks.
+"""
+
+from repro.recovery.coordinator import Orphan, RecoveryCoordinator
+from repro.recovery.lease import LeaseTable
+from repro.runtime.registry import InvocationTracker
+
+# An arbitrary epoch-like origin: wall clocks do not start at zero.
+T0 = 1_723_000_000_123.456
+
+
+def make_table(nodes=2, lease_ms=400.0):
+    return LeaseTable(range(nodes), lease_ms, start_ms=T0)
+
+
+def test_silent_node_declared_after_lease_expiry():
+    table = make_table()
+    table.renew(0, T0 + 100.0)
+    # Node 1 never heartbeats; node 0 did at +100.
+    assert table.check(T0 + 400.0) == []          # 1's silence == lease
+    assert table.check(T0 + 400.5) == [1]         # strictly past it
+    assert table.is_declared_dead(1)
+    assert not table.is_declared_dead(0)
+
+
+def test_declared_at_most_once_per_life():
+    table = make_table(nodes=1)
+    assert table.check(T0 + 1_000.0) == [0]
+    assert table.check(T0 + 2_000.0) == []
+    assert table.detections == 1
+
+
+def test_renewal_revives_and_fresh_crash_is_redetected():
+    table = make_table(nodes=1)
+    assert table.check(T0 + 500.0) == [0]
+    # Restarted node heartbeats: revived.
+    table.renew(0, T0 + 600.0)
+    assert not table.is_declared_dead(0)
+    # ...then goes silent again: a second, separate detection.
+    assert table.check(T0 + 1_100.0) == [0]
+    assert table.detections == 2
+
+
+def test_add_node_registers_fresh_lease():
+    table = make_table(nodes=1)
+    table.check(T0 + 500.0)
+    # The live gateway respawns a replacement under a new id.
+    table.add_node(7, T0 + 500.0)
+    assert table.check(T0 + 800.0) == []
+    assert table.check(T0 + 901.0) == [7]
+    assert table.last_renewal(7) == T0 + 500.0
+
+
+def test_failure_listener_gets_wall_timestamps():
+    table = make_table(nodes=1)
+    seen = []
+    table.on_failure(lambda node, now: seen.append((node, now)))
+    table.check(T0 + 450.0)
+    assert seen == [(0, T0 + 450.0)]
+
+
+def test_fractional_wall_times_do_not_confuse_the_table():
+    # Wall-clock renewals land at irregular fractional instants; the
+    # lease math is pure subtraction, never bucketed.
+    table = LeaseTable([0], 400.0, start_ms=T0)
+    now = T0
+    for _ in range(5):
+        now += 399.999
+        table.renew(0, now)
+        assert table.check(now) == []
+    assert table.check(now + 400.001) == [0]
+
+
+def test_coordinator_with_callable_wall_clock():
+    clock = [T0]
+    tracker = InvocationTracker()
+    redispatched = []
+    coordinator = RecoveryCoordinator(
+        lambda: clock[0], tracker, redispatched.append
+    )
+    tracker.start("inv-1", 0)
+    coordinator.add_orphan(Orphan(
+        instance_id="inv-1", request=None, arrival_ms=T0,
+        next_attempt=2, node_id=3, orphaned_at_ms=T0 + 100.0,
+    ))
+    assert tracker.is_orphaned("inv-1")
+
+    clock[0] = T0 + 550.0
+    coordinator.node_failed(3, detected_at_ms=T0 + 550.0)
+    assert [o.instance_id for o in redispatched] == ["inv-1"]
+    assert coordinator.recovered == 1
+    # Takeover latency is measured on the injected clock.
+    assert coordinator.takeover_latency.samples == [450.0]
+    # Idempotent: a second verdict for the same node finds no orphans.
+    coordinator.node_failed(3, detected_at_ms=T0 + 900.0)
+    assert coordinator.recovered == 1
+
+
+def test_coordinator_skips_orphans_that_already_finished():
+    clock = [T0]
+    tracker = InvocationTracker()
+    redispatched = []
+    coordinator = RecoveryCoordinator(
+        lambda: clock[0], tracker, redispatched.append
+    )
+    tracker.start("inv-2", 0)
+    coordinator.add_orphan(Orphan(
+        instance_id="inv-2", request=None, arrival_ms=T0,
+        next_attempt=1, node_id=0, orphaned_at_ms=T0,
+    ))
+    # The invocation completes elsewhere before the detector verdict
+    # (late lease expiry after a graceful finish): nothing is owed.
+    tracker.finish("inv-2")
+    coordinator.node_failed(0, detected_at_ms=T0 + 500.0)
+    assert redispatched == []
+    assert coordinator.recovered == 0
