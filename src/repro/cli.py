@@ -14,6 +14,9 @@ Commands map one-to-one onto the experiment harness::
     python -m repro storagechaos [--components metalog partition]
                                  [--replications 1 3] [--crash-at MS]
     python -m repro live   [--workers N] [--kills K] [--requests N]
+                           [--flightrec-dir DIR] [--no-telemetry]
+                           [--prom-out PATH]
+    python -m repro top    [--gateway PATH] [--interval S] [--once]
     python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
     python -m repro shards [--shards 1 2 4 8] [--rates 150 300 600]
     python -m repro profile [--target shards] [--top 25]
@@ -313,6 +316,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=["unsafe", "boki", "halfmoon-read", "halfmoon-write"],
         help="protocols to audit (unsafe is the must-violate control)",
     )
+    live.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable worker telemetry shipping even when traced "
+             "(default: telemetry is on iff --trace-out is given)",
+    )
+    live.add_argument(
+        "--flightrec-dir", type=str, default=None, metavar="DIR",
+        help="directory for flight-recorder dumps and the repro-top "
+             "discovery file (default: none — no artifacts)",
+    )
+    live.add_argument(
+        "--prom-out", type=str, default=None, metavar="PATH",
+        help="write the final metrics snapshot in Prometheus text "
+             "format (one file per audited system: PATH.<system>)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="poll a running live gateway's STATUS endpoint and render "
+             "run state (workers, chaos, latency) until it exits",
+    )
+    top.add_argument(
+        "--gateway", type=str, default="results", metavar="PATH",
+        help="gateway socket, discovery file, or the --flightrec-dir "
+             "of the run (default: results/)",
+    )
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="poll interval in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="take one snapshot and exit (scriptable)")
 
     profile = sub.add_parser(
         "profile",
@@ -586,9 +619,19 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 config=config, seed=getattr(args, "seed", None),
                 fault_rate=(0.0 if fault_rate is None else fault_rate),
                 crash_f=args.crash_f, deadline_s=args.deadline,
-                tracer=tracer, points_out=points,
+                tracer=tracer,
+                telemetry=(False if args.no_telemetry else None),
+                flightrec_dir=args.flightrec_dir,
+                points_out=points,
             ).render()
         )
+        if args.prom_out is not None:
+            from .observe import write_prom_text
+
+            for system, point in points.items():
+                path = f"{args.prom_out}.{system}"
+                write_prom_text(point.result.metrics, path)
+                print(f"prometheus snapshot written to {path}")
         failures = audit_live_points(points)
         if failures:
             for failure in failures:
@@ -601,6 +644,12 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 f"({delivered} SIGKILLs delivered across "
                 f"{len(points)} systems)"
             )
+    elif args.command == "top":
+        from .compute.status import top_loop
+
+        return top_loop(
+            args.gateway, interval_s=args.interval, once=args.once
+        )
     elif args.command == "profile":
         print(
             profile_report(

@@ -36,13 +36,14 @@ invocations, and still produces a (partial) result.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 import multiprocessing as mp
 
@@ -53,10 +54,17 @@ from ..observe import (
     CAT_INVOCATION,
     CAT_QUEUE,
     CAT_RECOVERY,
+    CAT_SERVICE,
     LatencyBreakdown,
     Span,
     Tracer,
 )
+from ..observe.distributed import (
+    WORKER_SPAN_BLOCK,
+    ParentRef,
+    TelemetrySink,
+)
+from ..observe.flightrec import FlightRecorder
 from ..recovery import LeaseTable, Orphan, RecoveryCoordinator
 from ..runtime.local import LocalRuntime
 from ..runtime.services import ServiceBackend
@@ -110,6 +118,9 @@ class _WorkerSlot:
     #: stack and is safe to dispatch to (an INVOKE before that would
     #: interleave with its setup RPCs).
     ready: bool = False
+    #: Last storage op this worker was sent a RESULT for — the forensic
+    #: anchor a SIGKILL dump names ("the worker saw up to here").
+    last_acked_op: Optional[str] = None
 
     @property
     def connected(self) -> bool:
@@ -159,6 +170,8 @@ class LocalhostComputePlane(ComputePlane):
         compute_sleep_scale: float = 1.0,
         crash_f: float = 0.0,
         deadline_s: float = 180.0,
+        telemetry: Optional[bool] = None,
+        flightrec_dir: Optional[str] = None,
     ):
         if enable_switching:
             raise NotImplementedError(
@@ -180,6 +193,14 @@ class LocalhostComputePlane(ComputePlane):
         self.crash_f = crash_f
         self.deadline_s = deadline_s
         self.tracer = tracer
+        #: Telemetry shipping defaults to "on iff traced": a traced run
+        #: wants the worker spans; an untraced, un-opted-in run must
+        #: send zero extra RPCs (the PR 3 invariant, live edition).
+        self.telemetry = (tracer is not None if telemetry is None
+                          else bool(telemetry))
+        self.flightrec_dir = flightrec_dir
+        self.flightrec = FlightRecorder("gateway", self._now)
+        self._discovery_path: Optional[str] = None
 
         # Gateway-side stack: the REAL plane + a runtime used only for
         # populate and post-run audit probes (never for the workload).
@@ -225,6 +246,9 @@ class LocalhostComputePlane(ComputePlane):
         self.backend.kv.add_storage_listener(
             lambda b: self.db_gauge.set(b, self._now())
         )
+        self.telemetry_sink = TelemetrySink(tracer, metrics)
+        self.rpc_frame_errors = metrics.counters("rpc_frame_errors")
+        self.status_queries = 0
 
         recovery = self.config.recovery
         self.lease = LeaseTable((), recovery.lease_ms)
@@ -329,6 +353,7 @@ class LocalhostComputePlane(ComputePlane):
         server = await asyncio.start_unix_server(
             self._handle_connection, path=self._socket_path
         )
+        self._write_discovery_file()
         _ensure_child_pythonpath()
         for _ in range(self.num_workers):
             self._spawn_worker()
@@ -361,6 +386,7 @@ class LocalhostComputePlane(ComputePlane):
                     loop.remove_signal_handler(sig)
                 except (NotImplementedError, RuntimeError, ValueError):
                     pass
+            self._remove_discovery_file()
             if self._sockdir is not None:
                 self._sockdir.cleanup()
                 self._sockdir = None
@@ -394,6 +420,88 @@ class LocalhostComputePlane(ComputePlane):
         if outstanding == 0 and (self._arrivals_done or self._draining):
             self._done_event.set()
 
+    # -- observability plumbing --------------------------------------------
+
+    def _write_discovery_file(self) -> None:
+        """Publish the gateway socket for ``python -m repro top``.
+
+        Only written when a flight-recorder directory is configured —
+        that directory doubles as the rendezvous point, so unobserved
+        runs leave no files behind.
+        """
+        if self.flightrec_dir is None:
+            return
+        os.makedirs(self.flightrec_dir, exist_ok=True)
+        self._discovery_path = os.path.join(
+            self.flightrec_dir, "live-gateway.json"
+        )
+        with open(self._discovery_path, "w", encoding="utf-8") as f:
+            json.dump({
+                "socket": self._socket_path,
+                "pid": os.getpid(),
+                "protocol": self.protocol,
+            }, f)
+
+    def _remove_discovery_file(self) -> None:
+        if self._discovery_path is not None:
+            try:
+                os.remove(self._discovery_path)
+            except OSError:
+                pass
+            self._discovery_path = None
+
+    def dump_flightrecorder(
+        self, trigger: str, meta: Optional[Dict[str, Any]] = None
+    ) -> Optional[str]:
+        """Dump the gateway ring (+ each worker's last-shipped window)
+        to ``flightrec_dir``; no-op (returns None) when undirected."""
+        if self.flightrec_dir is None:
+            return None
+        lanes = {
+            f"worker-{wid}": events
+            for wid, events in self.telemetry_sink.worker_flightrec.items()
+        }
+        return self.flightrec.dump(
+            self.flightrec_dir, trigger, meta=meta, extra_lanes=lanes
+        )
+
+    def _status_payload(self) -> Dict[str, Any]:
+        """Point-in-time run state served on STATUS frames."""
+        now = self._now()
+        workers = []
+        for slot in self._slots.values():
+            workers.append({
+                "worker": slot.worker_id,
+                "alive": slot.alive,
+                "ready": slot.ready,
+                "declared": slot.declared,
+                "busy_with": slot.busy_with,
+                "invocations": slot.invocations,
+                "last_acked_op": slot.last_acked_op,
+            })
+        have = self.latencies.count > 0
+        return {
+            "now_ms": now,
+            "protocol": self.protocol,
+            "issued": self._issued,
+            "completed": len(self._completed),
+            "inflight": len(self._inflight),
+            "failed": len(self._failed),
+            "kills": self.chaos.delivered if self.chaos else 0,
+            "orphans": self.orphaned_invocations,
+            "recovered": self.coordinator.recovered,
+            "duplicates": self.duplicate_completions,
+            "rate_per_s": self.throughput.rate_per_sec(),
+            "median_ms": self.latencies.median() if have else 0.0,
+            "p99_ms": self.latencies.p99() if have else 0.0,
+            "telemetry_batches": self.telemetry_sink.batches,
+            "rpc_frame_errors": sum(
+                self.rpc_frame_errors.as_dict().values()
+            ),
+            "workers": workers,
+            "aborted": self.aborted_reason,
+        }
+
     # -- workers ----------------------------------------------------------
 
     def _spawn_worker(self) -> _WorkerSlot:
@@ -402,6 +510,12 @@ class LocalhostComputePlane(ComputePlane):
         worker_config = self.config.with_seed(
             derive_seed(self.config.seed, f"live-worker-{worker_id}")
         )
+        # Traced runs hand each worker a disjoint block of the gateway
+        # tracer's span-id space, so shipped spans keep their ids and
+        # cross-process parent links survive absorption verbatim.
+        span_base = None
+        if self.tracer is not None and self.telemetry:
+            span_base = self.tracer.reserve_block(WORKER_SPAN_BLOCK)
         ctx = mp.get_context("spawn")
         process = ctx.Process(
             target=worker_main,
@@ -410,6 +524,7 @@ class LocalhostComputePlane(ComputePlane):
                 self.protocol, self.workload_spec,
                 self.config.recovery.heartbeat_interval_ms,
                 self.compute_sleep_scale, self.crash_f,
+                self._t0, span_base, self.telemetry,
             ),
             daemon=True,
             name=f"repro-live-worker-{worker_id}",
@@ -428,6 +543,9 @@ class LocalhostComputePlane(ComputePlane):
         slot.spawned_at_ms = self._now()
         self._slots[worker_id] = slot
         self._workers_ever += 1
+        self.flightrec.record("spawn", worker=worker_id,
+                              pid=process.pid or -1,
+                              traced=span_base is not None)
         # The lease clock starts at HELLO, not here: spawn + interpreter
         # start-up can exceed the lease, and a worker must not be
         # declared dead before it had a chance to heartbeat.
@@ -542,11 +660,21 @@ class LocalhostComputePlane(ComputePlane):
                 f"attempt-{inv.attempt}", CAT_ATTEMPT, now,
                 attempt=inv.attempt, node=slot.worker_id,
             )
+        self.flightrec.record(
+            "dispatch", instance=inv.instance_id,
+            worker=slot.worker_id, attempt=inv.attempt,
+        )
+        # Trace context header: the worker parents its execution span
+        # (and, transitively, its per-op RPC spans) under this attempt.
+        ctx = None
+        if self.telemetry and inv.attempt_span is not None:
+            ctx = (inv.instance_id, inv.attempt_span.span_id)
+        invoke = (rpc.INVOKE, inv.instance_id, inv.request.func_name,
+                  inv.request.input)
         try:
-            rpc.write_frame_async(slot.writer, (
-                rpc.INVOKE, inv.instance_id, inv.request.func_name,
-                inv.request.input,
-            ))
+            rpc.write_frame_async(
+                slot.writer, invoke if ctx is None else invoke + (ctx,)
+            )
         except (ConnectionError, OSError, RuntimeError):
             # The worker died between pick and write: give the slot's
             # lease-expiry path its orphan handling, requeue now.
@@ -591,10 +719,26 @@ class LocalhostComputePlane(ComputePlane):
     ) -> None:
         slot: Optional[_WorkerSlot] = None
         while True:
-            frame = await rpc.read_frame_async(reader)
+            try:
+                frame = await rpc.read_frame_async(reader)
+            except rpc.RpcFrameError as exc:
+                self._note_frame_error(slot, exc)
+                break
             if frame is None:
                 break
             kind = frame[0]
+            if kind == rpc.STATUS:
+                # Observer connection (``repro top``): serve a snapshot
+                # and keep the stream open for polling.
+                self.status_queries += 1
+                try:
+                    rpc.write_frame_async(
+                        writer, (rpc.STATUS, self._status_payload())
+                    )
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+                continue
             if kind == rpc.HELLO:
                 slot = self._slots.get(frame[1])
                 if slot is None or slot.declared:
@@ -608,6 +752,11 @@ class LocalhostComputePlane(ComputePlane):
                 self._idle_event.set()
             elif kind == rpc.HEARTBEAT:
                 self._renew(slot)
+            elif kind == rpc.TELEMETRY:
+                self._renew(slot)
+                batch = frame[2]
+                if batch:
+                    self.telemetry_sink.apply(slot.worker_id, batch)
             elif kind == rpc.OP:
                 if not self._handle_op(slot, frame):
                     break  # worker was SIGKILLed at this op
@@ -620,6 +769,20 @@ class LocalhostComputePlane(ComputePlane):
         except (ConnectionError, OSError):
             pass
 
+    def _note_frame_error(self, slot: Optional[_WorkerSlot],
+                          exc: rpc.RpcFrameError) -> None:
+        """Protocol-level corruption: count it, remember it, dump."""
+        self.rpc_frame_errors.add("recv")
+        worker = slot.worker_id if slot is not None else None
+        self.flightrec.record(
+            "rpc-frame-error", worker=worker, error=str(exc),
+            frame_bytes=exc.frame_bytes,
+        )
+        self.dump_flightrecorder("rpc-frame-error", meta={
+            "worker": worker, "error": str(exc),
+            "frame_bytes": exc.frame_bytes,
+        })
+
     def _renew(self, slot: _WorkerSlot) -> None:
         """Renew a worker's lease — unless it was already declared dead
         (a straggler frame must not resurrect a taken-over worker)."""
@@ -628,8 +791,22 @@ class LocalhostComputePlane(ComputePlane):
 
     def _handle_op(self, slot: _WorkerSlot, frame: Any) -> bool:
         """Apply one storage op; returns False if the worker was killed."""
-        _, seq, target, method, args, kwargs = frame
+        _, seq, target, method, args, kwargs = frame[:6]
+        ctx = frame[6] if len(frame) > 6 else None
         self._renew(slot)
+        serve_span = None
+        if self.tracer is not None and ctx is not None:
+            # Parent the gateway-side service span under the worker's
+            # client-side RPC span: one trace shows the round trip from
+            # both ends, with the gap being wire + event-loop time.
+            trace_id, parent_span_id = ctx
+            serve_span = self.tracer.start_span(
+                f"serve:{target}.{method}", CAT_SERVICE, self._now(),
+                trace_id=trace_id,
+                parent=(ParentRef(parent_span_id)
+                        if parent_span_id is not None else None),
+                node=slot.worker_id,
+            )
         obj = {
             "log": self.backend.log, "kv": self.backend.kv,
             "mv": self.backend.mv, "plane": self.backend.plane,
@@ -654,6 +831,10 @@ class LocalhostComputePlane(ComputePlane):
         except BaseException as exc:  # noqa: BLE001 - forwarded to worker
             ok, payload = False, rpc.encode_error(exc)
         wall_ms = (time.monotonic() - started) * 1000.0
+        if serve_span is not None:
+            if not ok:
+                serve_span.annotate("error", self._now())
+            serve_span.finish(self._now())
         op_kind = _OP_KIND.get((target, method))
         if op_kind is not None:
             self._note_op(op_kind, wall_ms)
@@ -666,7 +847,24 @@ class LocalhostComputePlane(ComputePlane):
             # the completion is lost, replay must cope.
             self._sigkill_worker(slot, target, method)
             return False
-        rpc.write_frame_async(slot.writer, (rpc.RESULT, seq, ok, payload))
+        try:
+            rpc.write_frame_async(
+                slot.writer, (rpc.RESULT, seq, ok, payload, wall_ms)
+            )
+        except rpc.RpcFrameError as exc:
+            # The reply itself violates the cap: the worker can never
+            # be answered on this stream, so treat the connection as
+            # corrupt and let the lease machinery reclaim the slot.
+            self.rpc_frame_errors.add("send")
+            self.flightrec.record(
+                "rpc-frame-error", worker=slot.worker_id,
+                error=str(exc), frame_bytes=exc.frame_bytes,
+            )
+            self.dump_flightrecorder("rpc-frame-error", meta={
+                "worker": slot.worker_id, "error": str(exc),
+            })
+            return False
+        slot.last_acked_op = f"{target}.{method}#{seq}"
         return True
 
     def _note_op(self, kind: str, wall_ms: float) -> None:
@@ -702,6 +900,18 @@ class LocalhostComputePlane(ComputePlane):
                 "sigkill", now, trace_id=event.instance_id,
                 node=slot.worker_id, op=event.op,
             )
+        self.flightrec.record(
+            "sigkill", worker=slot.worker_id, pid=event.pid,
+            instance=event.instance_id, op=event.op,
+            last_acked_op=slot.last_acked_op,
+        )
+        self.dump_flightrecorder("sigkill", meta={
+            "worker": slot.worker_id,
+            "pid": event.pid,
+            "instance": event.instance_id,
+            "killed_at_op": event.op,
+            "last_acked_op": slot.last_acked_op,
+        })
 
     def _handle_done(self, slot: _WorkerSlot, frame: Any) -> None:
         _, worker_id, instance_id, ok, payload = frame
@@ -713,8 +923,12 @@ class LocalhostComputePlane(ComputePlane):
         inv = self._inflight.get(instance_id)
         if inv is None or instance_id in self._completed:
             self.duplicate_completions += 1
+            self.flightrec.record("duplicate-done", worker=worker_id,
+                                  instance=instance_id)
             return
         slot.breaker.record_success()
+        self.flightrec.record("done", worker=worker_id,
+                              instance=instance_id, ok=bool(ok))
         if not ok:
             # Terminal invocation failure (retries exhausted or a
             # permanent fault): surface it, don't hang the run.
@@ -806,6 +1020,19 @@ class LocalhostComputePlane(ComputePlane):
             self.detection_latency.record(now - kill.at_ms)
         if self.tracer is not None:
             self.tracer.instant("declared-dead", now, node=worker_id)
+        self.flightrec.record(
+            "declared-dead", worker=worker_id,
+            expected=kill is not None, busy_with=slot.busy_with,
+            last_acked_op=slot.last_acked_op,
+        )
+        if kill is None:
+            # An *unexpected* death (no chaos kill to blame) is exactly
+            # the forensic case; chaos kills already dumped at delivery.
+            self.dump_flightrecorder("lease-expiry", meta={
+                "worker": worker_id,
+                "busy_with": slot.busy_with,
+                "last_acked_op": slot.last_acked_op,
+            })
         stranded = slot.busy_with
         slot.busy_with = None
         if stranded is not None and stranded in self._inflight:
@@ -859,6 +1086,28 @@ class LocalhostComputePlane(ComputePlane):
         now = self._now()
         have = self.latencies.count > 0
         wall_s = now / 1000.0
+        sink = self.telemetry_sink
+        rpc_rt = sink.merged_latency("rpc_roundtrip_ms")
+        per_worker: List[Dict[str, Any]] = []
+        for slot in self._slots.values():
+            wrt = sink.worker_metric(slot.worker_id, "rpc_roundtrip_ms")
+            kill = next(
+                (e for e in (self.chaos.events if self.chaos else ())
+                 if e.worker_id == slot.worker_id), None,
+            )
+            per_worker.append({
+                "worker": slot.worker_id,
+                "invocations": slot.invocations,
+                "alive": slot.alive,
+                "killed": kill is not None,
+                "detection_ms": (kill.detection_ms
+                                 if kill is not None else None),
+                "rpc_p50_ms": (wrt.median() if wrt is not None
+                               and wrt.count else None),
+                "rpc_p99_ms": (wrt.p99() if wrt is not None
+                               and wrt.count else None),
+                "last_acked_op": slot.last_acked_op,
+            })
         return RunResult(
             protocol=self.protocol,
             workload=self.workload.name,
@@ -895,6 +1144,15 @@ class LocalhostComputePlane(ComputePlane):
                 "duplicate_completions": self.duplicate_completions,
                 "failed_invocations": dict(self._failed),
                 "aborted": self.aborted_reason,
+                "telemetry_batches": sink.batches,
+                "worker_spans_absorbed": sink.spans_absorbed,
+                "rpc_frame_errors": sum(
+                    self.rpc_frame_errors.as_dict().values()
+                ),
+                "rpc_p50_ms": (rpc_rt.median() if rpc_rt.count else None),
+                "rpc_p99_ms": (rpc_rt.p99() if rpc_rt.count else None),
+                "per_worker": per_worker,
+                "status_queries": self.status_queries,
             },
             node_crashes=self.node_crashes,
             orphaned_invocations=self.orphaned_invocations,

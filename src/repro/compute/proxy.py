@@ -21,21 +21,51 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import ServiceUnavailableError
+from ..observe.tracing import CAT_SERVICE
 from . import rpc
 
 
 class GatewayConnection:
     """One worker's socket to the gateway, shared with its heartbeat
     thread (sends are locked; the worker main thread is the only
-    reader, so replies never interleave)."""
+    reader, so replies never interleave).
+
+    When the live plane runs traced, the worker attaches a wall-clock
+    tracer plus a per-invocation *scope* (trace id + parent span); each
+    storage RPC then records its own client-side span, ships its span
+    id to the gateway in the OP header (so the gateway can parent its
+    service span under it), and splits the measured round trip into
+    gateway service time (returned on the RESULT frame) and wire/loop
+    overhead.  All of it is keyed off ``tracer is None`` — untraced
+    connections send the exact pre-existing frames and allocate
+    nothing extra.
+    """
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.send_lock = threading.Lock()
         self._op_seq = 0
+        # Tracing / telemetry hooks (assigned by worker_main when the
+        # plane runs with observability on; all default off).
+        self.tracer: Any = None
+        self.now_fn: Optional[Callable[[], float]] = None
+        self.proc: Optional[str] = None
+        self.scope_trace_id: Optional[str] = None
+        self.scope_parent: Any = None
+        self.rpc_roundtrip: Any = None   # LatencyRecorder or None
+        self.rpc_wire: Any = None        # LatencyRecorder or None
+
+    def set_scope(self, trace_id: Optional[str], parent: Any) -> None:
+        """Declare the invocation whose spans future RPCs belong to.
+
+        Only the worker main thread issues RPCs (the heartbeat thread
+        never calls :meth:`call`), so a plain attribute is race-free.
+        """
+        self.scope_trace_id = trace_id
+        self.scope_parent = parent
 
     def send(self, frame: Any) -> None:
         with self.send_lock:
@@ -52,16 +82,33 @@ class GatewayConnection:
         """
         self._op_seq += 1
         seq = self._op_seq
+        span = None
+        ctx = None
+        t_start = self.now_fn() if self.now_fn is not None else None
+        if self.tracer is not None and self.scope_trace_id is not None:
+            span = self.tracer.start_span(
+                f"rpc:{target}.{method}", CAT_SERVICE, t_start,
+                trace_id=self.scope_trace_id, parent=self.scope_parent,
+                proc=self.proc,
+            )
+            ctx = (self.scope_trace_id, span.span_id)
         try:
-            self.send((rpc.OP, seq, target, method,
-                       rpc.encode_value(args), rpc.encode_value(kwargs)))
+            op = (rpc.OP, seq, target, method,
+                  rpc.encode_value(args), rpc.encode_value(kwargs))
+            self.send(op if ctx is None else op + (ctx,))
             frame = rpc.recv_frame(self.sock)
-        except OSError as exc:
+        except (OSError, rpc.RpcFrameError) as exc:
+            if span is not None:
+                now = self.now_fn()
+                span.annotate("error", now, error=type(exc).__name__)
+                span.finish(now)
             raise ServiceUnavailableError(
                 f"gateway connection lost during {target}.{method}",
                 service=target, op=method,
             ) from exc
         if frame is None:
+            if span is not None:
+                span.finish(self.now_fn())
             raise ServiceUnavailableError(
                 f"gateway closed during {target}.{method}",
                 service=target, op=method,
@@ -75,6 +122,22 @@ class GatewayConnection:
                 service=target, op=method,
             )
         ok, payload = frame[2], frame[3]
+        service_ms = frame[4] if len(frame) > 4 else None
+        if t_start is not None:
+            now = self.now_fn()
+            wall_ms = now - t_start
+            if self.rpc_roundtrip is not None:
+                self.rpc_roundtrip.record(wall_ms)
+            wire_ms = None
+            if service_ms is not None:
+                wire_ms = max(0.0, wall_ms - service_ms)
+                if self.rpc_wire is not None:
+                    self.rpc_wire.record(wire_ms)
+            if span is not None:
+                if service_ms is not None:
+                    span.args["service_ms"] = round(service_ms, 4)
+                    span.args["wire_ms"] = round(wire_ms, 4)
+                span.finish(now)
         if not ok:
             raise rpc.decode_error(payload)
         return rpc.decode_value(payload)

@@ -18,6 +18,20 @@ explicit codecs because naive pickling fails or lies:
   types and must keep working across the process boundary.
 
 Only data crosses the wire; no frame carries code.
+
+Framing is defensive: the 4-byte length prefix is validated against a
+configurable cap (:data:`MAX_FRAME_BYTES`) *before* any allocation, so
+a corrupted or hostile prefix surfaces as the typed
+:class:`RpcFrameError` — which the gateway counts in its
+``rpc_frame_errors`` metric and treats as a connection-fatal protocol
+error — instead of a multi-gigabyte read or a raw ``struct`` overflow.
+
+Trace-context propagation (:mod:`repro.observe.distributed`) rides in
+an optional trailing header field on ``INVOKE`` (the gateway's dispatch
+context) and ``OP`` (the worker's RPC-span context); ``RESULT`` carries
+the gateway-side service time so workers can split wire overhead from
+storage-plane service time.  All three are backwards-shaped: absent
+means "untraced", and decoding tolerates the short form.
 """
 
 from __future__ import annotations
@@ -32,17 +46,41 @@ from ..sharedlog.record import LogRecord
 
 _LEN = struct.Struct("<I")
 
+#: Frame-size cap (bytes) applied on both send and receive.  Large
+#: enough for any legitimate payload this harness ships (values are
+#: small; telemetry batches are bounded), small enough that a fuzzed
+#: length prefix can never drive a giant allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class RpcFrameError(Exception):
+    """A frame violated the wire protocol (oversized or undecodable).
+
+    Typed so the gateway can count protocol-level corruption
+    (``rpc_frame_errors``) and trigger a flight-recorder dump, distinct
+    from the retryable service errors the resilience machinery owns.
+    """
+
+    def __init__(self, message: str, frame_bytes: Optional[int] = None):
+        super().__init__(message)
+        self.frame_bytes = frame_bytes
+
+
 #: Frame kinds, worker -> gateway.
 HELLO = "hello"
 READY = "ready"
 HEARTBEAT = "hb"
 OP = "op"
 DONE = "done"
+TELEMETRY = "tel"
 
 #: Frame kinds, gateway -> worker.
 INVOKE = "invoke"
 RESULT = "res"
 SHUTDOWN = "bye"
+
+#: Frame kind, observer <-> gateway (``python -m repro top``).
+STATUS = "status"
 
 _RECORD_TAG = "__logrecord__"
 _ERROR_TAG = "__error__"
@@ -108,11 +146,44 @@ def decode_error(payload: Tuple[str, str, tuple, dict]) -> BaseException:
     return exc
 
 
+# -- framing helpers ------------------------------------------------------
+
+def _encode_checked(frame: Any, max_bytes: Optional[int]) -> bytes:
+    blob = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    cap = MAX_FRAME_BYTES if max_bytes is None else max_bytes
+    if len(blob) > cap:
+        raise RpcFrameError(
+            f"outgoing frame of {len(blob)} bytes exceeds the "
+            f"{cap}-byte cap", frame_bytes=len(blob),
+        )
+    return _LEN.pack(len(blob)) + blob
+
+
+def _check_length(length: int, max_bytes: Optional[int]) -> int:
+    cap = MAX_FRAME_BYTES if max_bytes is None else max_bytes
+    if length > cap:
+        raise RpcFrameError(
+            f"incoming frame announces {length} bytes, over the "
+            f"{cap}-byte cap", frame_bytes=length,
+        )
+    return length
+
+
+def _decode_body(body: bytes) -> Any:
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # pickle raises many concrete types
+        raise RpcFrameError(
+            f"frame body failed to decode: {type(exc).__name__}: {exc}",
+            frame_bytes=len(body),
+        ) from exc
+
+
 # -- synchronous framing (worker side) -----------------------------------
 
-def send_frame(sock: socket.socket, frame: Any) -> None:
-    blob = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LEN.pack(len(blob)) + blob)
+def send_frame(sock: socket.socket, frame: Any,
+               max_bytes: Optional[int] = None) -> None:
+    sock.sendall(_encode_checked(frame, max_bytes))
 
 
 def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
@@ -127,31 +198,36 @@ def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Optional[Any]:
+def recv_frame(sock: socket.socket,
+               max_bytes: Optional[int] = None) -> Optional[Any]:
     header = recv_exact(sock, _LEN.size)
     if header is None:
         return None
-    body = recv_exact(sock, _LEN.unpack(header)[0])
+    length = _check_length(_LEN.unpack(header)[0], max_bytes)
+    body = recv_exact(sock, length)
     if body is None:
         return None
-    return pickle.loads(body)
+    return _decode_body(body)
 
 
 # -- asyncio framing (gateway side) --------------------------------------
 
-def write_frame_async(writer: Any, frame: Any) -> None:
+def write_frame_async(writer: Any, frame: Any,
+                      max_bytes: Optional[int] = None) -> None:
     """Queue a frame on an ``asyncio.StreamWriter`` (no await: small
     frames ride the transport buffer; the gateway drains on close)."""
-    blob = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
-    writer.write(_LEN.pack(len(blob)) + blob)
+    writer.write(_encode_checked(frame, max_bytes))
 
 
-async def read_frame_async(reader: Any) -> Optional[Any]:
+async def read_frame_async(reader: Any,
+                           max_bytes: Optional[int] = None
+                           ) -> Optional[Any]:
     import asyncio
 
     try:
         header = await reader.readexactly(_LEN.size)
-        body = await reader.readexactly(_LEN.unpack(header)[0])
+        length = _check_length(_LEN.unpack(header)[0], max_bytes)
+        body = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
         return None
-    return pickle.loads(body)
+    return _decode_body(body)

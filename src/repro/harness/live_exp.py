@@ -66,9 +66,16 @@ def run_live_point(
     kv_partitions: int = 2,
     deadline_s: float = 120.0,
     tracer: Optional[Tracer] = None,
+    telemetry: Optional[bool] = None,
+    flightrec_dir: Optional[str] = None,
 ) -> LivePoint:
     """One live cell: ``requests`` invocations over ``workers``
-    processes with ``kills`` seeded mid-invocation SIGKILLs."""
+    processes with ``kills`` seeded mid-invocation SIGKILLs.
+
+    ``telemetry`` defaults to "on iff traced"; ``flightrec_dir``
+    directs flight-recorder dumps (and the ``repro top`` discovery
+    file) — ``None`` keeps the run artifact-free.
+    """
     base = config if config is not None else SystemConfig()
     if seed is not None:
         base = base.with_seed(seed)
@@ -107,6 +114,7 @@ def run_live_point(
         "localhost", workload, protocol, config=cfg, tracer=tracer,
         workload_spec=spec, num_workers=workers, kills=kills,
         requests=requests, crash_f=crash_f, deadline_s=deadline_s,
+        telemetry=telemetry, flightrec_dir=flightrec_dir,
     )
 
     expected: Dict[str, int] = {key: 0 for key in workload.keys}
@@ -129,6 +137,18 @@ def run_live_point(
             if observed != expected[key]:
                 violations += 1
         report = storage_consistency_report(plane.backend.plane)
+        if violations or report["anomalies"]:
+            # Forensics for the one outcome the audit exists to catch.
+            plane.flightrec.record(
+                "audit-violation", protocol=protocol,
+                violations=violations,
+                anomalies=len(report["anomalies"]),
+            )
+            plane.dump_flightrecorder("audit-violation", meta={
+                "protocol": protocol,
+                "violations": violations,
+                "anomalies": list(report["anomalies"])[:10],
+            })
     finally:
         plane.close()
 
@@ -157,6 +177,8 @@ def run_live(
     compute_ms: float = 2.0,
     deadline_s: float = 120.0,
     tracer: Optional[Tracer] = None,
+    telemetry: Optional[bool] = None,
+    flightrec_dir: Optional[str] = None,
     points_out: Optional[Dict[str, LivePoint]] = None,
 ) -> ExperimentTable:
     """Live compute-plane audit, one cell per system (run serially:
@@ -166,7 +188,8 @@ def run_live(
         f"{kills} SIGKILLs mid-invocation, lease {lease_ms:.0f}ms wall",
         ["system", "recovery", "completed", "kills", "orphans",
          "recovered", "detect p50 (ms)", "takeover p50 (ms)",
-         "median (ms)", "p99 (ms)", "violations", "anomalies"],
+         "median (ms)", "p99 (ms)", "rpc p50 (ms)", "rpc p99 (ms)",
+         "violations", "anomalies"],
     )
     for system in systems:
         point = run_live_point(
@@ -174,6 +197,7 @@ def run_live(
             requests=requests, lease_ms=lease_ms, config=config,
             seed=seed, fault_rate=fault_rate, crash_f=crash_f,
             compute_ms=compute_ms, deadline_s=deadline_s, tracer=tracer,
+            telemetry=telemetry, flightrec_dir=flightrec_dir,
         )
         if points_out is not None:
             points_out[system] = point
@@ -192,14 +216,44 @@ def run_live(
              if takeover is not None and takeover.count else 0.0),
             result.median_ms,
             result.p99_ms,
+            result.extras.get("rpc_p50_ms") or 0.0,
+            result.extras.get("rpc_p99_ms") or 0.0,
             point.violations,
             len(point.consistency_anomalies),
         )
+        for note in per_worker_notes(system, result):
+            table.add_note(note)
     table.add_note(
         "real processes + wall clocks: logged protocols must show 0 "
         "violations / 0 anomalies; the unsafe control must violate"
     )
     return table
+
+
+def per_worker_notes(system: str, result: RunResult) -> List[str]:
+    """Per-worker forensic lines for the live report: which workers
+    were killed, how fast each death was detected, and each worker's
+    RPC round-trip percentiles (from shipped telemetry)."""
+    notes: List[str] = []
+    for row in result.extras.get("per_worker", ()):
+        parts = [f"inv={row.get('invocations', 0)}"]
+        if row.get("killed"):
+            detect = row.get("detection_ms")
+            parts.append(
+                "killed, detected in "
+                + (f"{detect:.1f}ms" if detect is not None else "never")
+            )
+        if row.get("rpc_p50_ms") is not None:
+            parts.append(
+                f"rpc p50/p99 {row['rpc_p50_ms']:.2f}/"
+                f"{row['rpc_p99_ms']:.2f}ms"
+            )
+        if len(parts) > 1 or row.get("killed"):
+            notes.append(
+                f"{system} worker#{row.get('worker')}: "
+                + ", ".join(parts)
+            )
+    return notes
 
 
 def audit_live_points(points: Dict[str, LivePoint]) -> List[str]:
@@ -235,6 +289,7 @@ __all__ = [
     "DEFAULT_SYSTEMS",
     "LivePoint",
     "audit_live_points",
+    "per_worker_notes",
     "run_live",
     "run_live_point",
 ]

@@ -7,7 +7,14 @@
 * :mod:`repro.observe.export` — Chrome trace-event JSON for
   Perfetto / ``chrome://tracing``;
 * :mod:`repro.observe.breakdown` — per-request latency decomposition
-  with exact-sum stage accounting.
+  with exact-sum stage accounting;
+* :mod:`repro.observe.distributed` — cross-process trace-context
+  propagation and worker telemetry shipping for the live compute
+  plane;
+* :mod:`repro.observe.flightrec` — bounded ring buffers of recent
+  structured events, dumped as JSONL forensics on chaos triggers;
+* :mod:`repro.observe.prom` — Prometheus text-format exposition of
+  any registry snapshot, plus a pure-python linter.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
@@ -18,7 +25,17 @@ from .breakdown import (
     breakdown_table,
     stage_of,
 )
+from .distributed import (
+    ParentRef,
+    TelemetrySink,
+    WorkerTelemetry,
+    absorb_wire_spans,
+    make_worker_tracer,
+    spans_to_wire,
+)
 from .export import chrome_trace, chrome_trace_events, write_chrome_trace
+from .flightrec import FlightRecorder, read_flightrec
+from .prom import lint_prom_text, prom_text, write_prom_text
 from .registry import MetricsRegistry
 from .tracing import (
     CAT_ATTEMPT,
@@ -40,16 +57,27 @@ __all__ = [
     "CAT_QUEUE",
     "CAT_RECOVERY",
     "CAT_SERVICE",
+    "FlightRecorder",
     "LatencyBreakdown",
     "MetricsRegistry",
     "PLATFORM_TRACE_ID",
+    "ParentRef",
     "STAGES",
     "Span",
     "SpanEvent",
+    "TelemetrySink",
     "Tracer",
+    "WorkerTelemetry",
+    "absorb_wire_spans",
     "breakdown_table",
     "chrome_trace",
     "chrome_trace_events",
+    "lint_prom_text",
+    "make_worker_tracer",
+    "prom_text",
+    "read_flightrec",
+    "spans_to_wire",
     "stage_of",
     "write_chrome_trace",
+    "write_prom_text",
 ]

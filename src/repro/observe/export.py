@@ -12,7 +12,12 @@ or ``chrome://tracing``:
   instant events (``ph: "i"``);
 * each trace id (one SSF invocation, or the platform lane) is mapped
   to its own *thread* so Perfetto renders one swim-lane per
-  invocation, named via ``thread_name`` metadata events.
+  invocation, named via ``thread_name`` metadata events;
+* spans carrying a ``proc`` arg (spans shipped from live worker
+  processes — see :mod:`repro.observe.distributed`) render under
+  their own *process* lane, so a live trace shows the gateway and
+  every worker as separate processes on one shared timeline, with the
+  same invocation's spans lane-merged by ``trace_id`` within each.
 
 Timestamps: the tracer records simulated milliseconds; the trace-event
 format wants microseconds, so values are scaled by 1000.
@@ -21,41 +26,51 @@ format wants microseconds, so values are scaled by 1000.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from .tracing import Tracer
 
-#: Synthetic process id for the whole simulated deployment.
-_PID = 1
+#: Process lane for everything that doesn't declare one (the whole
+#: simulated deployment, or the live gateway).
+_DEFAULT_PROC = "repro"
 
 
 def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     """Flatten the tracer into a list of trace-event dicts."""
     events: List[Dict[str, Any]] = []
-    tids: Dict[str, int] = {}
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[int, str], int] = {}
 
-    def tid_of(trace_id: str) -> int:
-        tid = tids.get(trace_id)
+    def pid_of(proc: str) -> int:
+        pid = pids.get(proc)
+        if pid is None:
+            pid = pids[proc] = len(pids) + 1
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": proc},
+            })
+        return pid
+
+    def tid_of(pid: int, trace_id: str) -> int:
+        tid = tids.get((pid, trace_id))
         if tid is None:
-            tid = tids[trace_id] = len(tids) + 1
+            tid = tids[(pid, trace_id)] = len(tids) + 1
             events.append({
                 "name": "thread_name",
                 "ph": "M",
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": trace_id},
             })
         return tid
 
-    events.append({
-        "name": "process_name",
-        "ph": "M",
-        "pid": _PID,
-        "args": {"name": "repro"},
-    })
+    pid_of(_DEFAULT_PROC)
 
     for span in tracer.spans:
-        tid = tid_of(span.trace_id)
+        pid = pid_of(str(span.args.get("proc", _DEFAULT_PROC)))
+        tid = tid_of(pid, span.trace_id)
         args = dict(span.args)
         end_ms = span.end_ms
         if end_ms is None:
@@ -67,7 +82,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
             "ph": "X",
             "ts": span.start_ms * 1000.0,
             "dur": (end_ms - span.start_ms) * 1000.0,
-            "pid": _PID,
+            "pid": pid,
             "tid": tid,
             "args": args,
         })
@@ -78,11 +93,12 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
                 "ph": "i",
                 "s": "t",
                 "ts": event.ts_ms * 1000.0,
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": dict(event.args),
             })
 
+    default_pid = pid_of(_DEFAULT_PROC)
     for trace_id, event in tracer.instants:
         events.append({
             "name": event.name,
@@ -90,8 +106,8 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
             "ph": "i",
             "s": "t",
             "ts": event.ts_ms * 1000.0,
-            "pid": _PID,
-            "tid": tid_of(trace_id),
+            "pid": default_pid,
+            "tid": tid_of(default_pid, trace_id),
             "args": dict(event.args),
         })
     return events

@@ -1,0 +1,172 @@
+"""Flight recorder: a bounded ring of recent structured events.
+
+Every distributed system postmortem starts with the same question —
+*what happened right before it died?* — and the live compute plane's
+most interesting moments (a mid-invocation ``SIGKILL``, a lease expiry,
+an audit violation) are precisely the ones a normal log misses, because
+the process that knew is gone.  The :class:`FlightRecorder` keeps the
+answer cheap and always-on: a fixed-capacity ring buffer of structured
+events held in plain Python objects, appended in O(1) with no I/O on
+the hot path, and dumped to a JSONL artifact only when a *trigger*
+fires (kill detected, lease expired, audit violated, RPC frame/decode
+error).
+
+Both the gateway and every worker own one.  Workers can't dump their
+own ring when SIGKILLed — that is the point of SIGKILL — so workers
+ship their recent ring entries to the gateway piggybacked on telemetry
+frames, and the gateway folds the dead worker's last-shipped window
+into its own dump.  A dump therefore reconstructs the adversarial
+window from both sides of the socket: what the gateway served, and
+what the worker believed, up to the last acked operation.
+
+The recorder is clock-agnostic (the owner supplies ``now_fn``) and
+deterministic to *record* into; dumping is the only side effect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Default ring capacity — enough to cover several invocations' worth
+#: of per-op events at smoke scale without unbounded growth.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of ``(seq, ts_ms, kind, fields)`` events."""
+
+    __slots__ = ("name", "capacity", "now_fn", "_ring", "_seq",
+                 "_dumped")
+
+    def __init__(self, name: str, now_fn: Callable[[], float],
+                 capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.now_fn = now_fn
+        self._ring: "deque[Tuple[int, float, str, Dict[str, Any]]]" = (
+            deque(maxlen=capacity)
+        )
+        self._seq = 0
+        self._dumped = 0
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one event; O(1), no I/O, oldest entry evicted."""
+        self._seq += 1
+        self._ring.append((self._seq, self.now_fn(), kind, fields))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (≥ ``len``; the ring forgets)."""
+        return self._seq
+
+    @property
+    def dumps_written(self) -> int:
+        return self._dumped
+
+    # -- reading ---------------------------------------------------------
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The ring's current contents as plain dicts, oldest first."""
+        return [
+            {"seq": seq, "ts_ms": ts, "kind": kind, **fields}
+            for seq, ts, kind, fields in self._ring
+        ]
+
+    def tail(self, since_seq: int) -> List[Dict[str, Any]]:
+        """Events with ``seq > since_seq`` — the shipping increment."""
+        return [
+            {"seq": seq, "ts_ms": ts, "kind": kind, **fields}
+            for seq, ts, kind, fields in self._ring
+            if seq > since_seq
+        ]
+
+    def last(self, kind: str) -> Optional[Dict[str, Any]]:
+        """Most recent event of ``kind`` still in the ring, or None."""
+        for seq, ts, k, fields in reversed(self._ring):
+            if k == kind:
+                return {"seq": seq, "ts_ms": ts, "kind": k, **fields}
+        return None
+
+    # -- dumping ---------------------------------------------------------
+
+    def dump(
+        self,
+        directory: str,
+        trigger: str,
+        meta: Optional[Dict[str, Any]] = None,
+        extra_lanes: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+    ) -> str:
+        """Write the ring (plus any extra lanes) as one JSONL artifact.
+
+        The first line is a header record (``kind: "flightrec"``) naming
+        the trigger and carrying caller-supplied metadata; every
+        following line is one event, tagged with the lane (recorder
+        name) it came from.  Returns the path written.
+        """
+        os.makedirs(directory, exist_ok=True)
+        self._dumped += 1
+        path = os.path.join(
+            directory,
+            f"flightrec-{_slug(self.name)}-{_slug(trigger)}-"
+            f"{self._dumped:03d}.jsonl",
+        )
+        header: Dict[str, Any] = {
+            "kind": "flightrec",
+            "recorder": self.name,
+            "trigger": trigger,
+            "ts_ms": self.now_fn(),
+            "events_recorded": self._seq,
+            "events_in_ring": len(self._ring),
+        }
+        if meta:
+            header["meta"] = meta
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(_jsonable(header)) + "\n")
+            for event in self.events():
+                f.write(json.dumps(
+                    _jsonable({"lane": self.name, **event})
+                ) + "\n")
+            for lane, events in (extra_lanes or {}).items():
+                for event in events:
+                    f.write(json.dumps(
+                        _jsonable({"lane": lane, **event})
+                    ) + "\n")
+        return path
+
+
+def _slug(text: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in text
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort plain-data projection (dumps must never raise)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def read_flightrec(path: str) -> List[Dict[str, Any]]:
+    """Load a dump back as a list of dicts (header first)."""
+    out: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,276 @@
+"""Prometheus text-format exposition for metric snapshots.
+
+Renders any :meth:`~repro.observe.registry.MetricsRegistry.snapshot`
+dict — the plain-data form every ``RunResult.metrics`` carries, sim and
+live alike — as Prometheus text exposition format (version 0.0.4), so
+a run's metrics can be scraped, pushed to a gateway, or just diffed as
+text.  Working from the snapshot rather than the registry keeps this
+module dependency-free in both directions: it needs no live objects,
+and a snapshot loaded back from JSON renders identically.
+
+Mapping (snapshot ``type`` → samples):
+
+* ``latency``    → ``<name>_ms{quantile=...}`` gauges (mean/p50/p99)
+                   plus ``<name>_count``;
+* ``counters``   → one ``<name>_total{key=...}`` counter per entry;
+* ``gauge``      → ``<name>`` (current), ``<name>_max``,
+                   ``<name>_time_avg``;
+* ``throughput`` → ``<name>_total`` and ``<name>_rate_per_s``;
+* ``timeseries`` → ``<name>_points`` (cardinality only);
+* ``probe``      → numeric fields become ``<name>{field=...}`` gauges.
+
+There is no ``promtool`` in the toolchain, so :func:`lint_prom_text`
+is a pure-python linter enforcing the exposition grammar (metric/label
+name charsets, escaping, ``# TYPE`` placement, float-parseable values,
+no duplicate samples) — CI runs it over the live run's export.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One exposition sample line: name, optional {labels}, value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce an arbitrary metric name into the Prometheus charset."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def sanitize_label(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not out or not _LABEL_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_value(value: Any) -> str:
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _parse_snapshot_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a rendered registry key ``name{k=v,...}`` back apart."""
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner.rstrip("}").split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+class _Renderer:
+    """Accumulates samples grouped by metric family (TYPE-first)."""
+
+    def __init__(self):
+        #: family name → (prom type, [ (labels, value) ... ])
+        self._families: Dict[
+            str, Tuple[str, List[Tuple[Dict[str, str], Any]]]
+        ] = {}
+
+    def add(self, family: str, prom_type: str,
+            labels: Dict[str, str], value: Any) -> None:
+        family = sanitize_name(family)
+        if family not in self._families:
+            self._families[family] = (prom_type, [])
+        self._families[family][1].append((labels, value))
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for family in sorted(self._families):
+            prom_type, samples = self._families[family]
+            lines.append(f"# TYPE {family} {prom_type}")
+            for labels, value in samples:
+                if labels:
+                    inner = ",".join(
+                        f'{sanitize_label(k)}="{_escape_value(str(v))}"'
+                        for k, v in sorted(labels.items())
+                    )
+                    lines.append(
+                        f"{family}{{{inner}}} {_fmt_value(value)}"
+                    )
+                else:
+                    lines.append(f"{family} {_fmt_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def prom_text(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    out = _Renderer()
+    for key, summary in sorted(snapshot.items()):
+        name, labels = _parse_snapshot_key(key)
+        kind = summary.get("type")
+        if kind == "latency":
+            count = summary.get("count", 0)
+            out.add(f"{name}_count", "gauge", labels, count)
+            if count:
+                for stat, field in (("mean", "mean_ms"),
+                                    ("p50", "median_ms"),
+                                    ("p99", "p99_ms")):
+                    if field in summary:
+                        out.add(
+                            f"{name}_ms", "gauge",
+                            {**labels, "quantile": stat},
+                            summary[field],
+                        )
+        elif kind == "counters":
+            for entry, count in sorted(
+                summary.get("counts", {}).items()
+            ):
+                out.add(f"{name}_total", "counter",
+                        {**labels, "key": entry}, count)
+        elif kind == "gauge":
+            out.add(name, "gauge", labels, summary.get("value", 0.0))
+            if "max_value" in summary:
+                out.add(f"{name}_max", "gauge", labels,
+                        summary["max_value"])
+            if "time_average" in summary:
+                out.add(f"{name}_time_avg", "gauge", labels,
+                        summary["time_average"])
+        elif kind == "throughput":
+            out.add(f"{name}_total", "counter", labels,
+                    summary.get("count", 0))
+            out.add(f"{name}_rate_per_s", "gauge", labels,
+                    summary.get("rate_per_sec", 0.0))
+        elif kind == "timeseries":
+            out.add(f"{name}_points", "gauge", labels,
+                    summary.get("points", 0))
+        elif kind == "probe":
+            for field, value in sorted(summary.items()):
+                if field == "type":
+                    continue
+                if isinstance(value, bool):
+                    value = int(value)
+                if isinstance(value, (int, float)):
+                    out.add(name, "gauge",
+                            {**labels, "field": field}, value)
+        # Unknown types are skipped: exposition must stay valid even if
+        # a future metric class has no text mapping yet.
+    return out.render()
+
+
+def write_prom_text(snapshot: Dict[str, Dict[str, Any]],
+                    path: str) -> str:
+    """Render and write; returns the text written."""
+    text = prom_text(snapshot)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return text
+
+
+def lint_prom_text(text: str) -> List[str]:
+    """Pure-python exposition linter; returns a list of violations.
+
+    Checks the subset of the format this module can emit (and that a
+    scraper actually parses): name/label charsets, quoting, one ``#
+    TYPE`` per family before its samples, float-parseable values, and
+    no duplicate (name, labels) sample.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    seen: set = set()
+    sampled_before_type: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            errors.append(f"line {lineno}: blank line in exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2:
+                errors.append(f"line {lineno}: bare comment {line!r}")
+            elif parts[1] not in ("TYPE", "HELP"):
+                errors.append(
+                    f"line {lineno}: unknown comment {parts[1]!r}"
+                )
+            elif parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE")
+                    continue
+                family, prom_type = parts[2], parts[3]
+                if not _NAME_RE.match(family):
+                    errors.append(
+                        f"line {lineno}: bad family name {family!r}"
+                    )
+                if prom_type not in ("counter", "gauge", "histogram",
+                                     "summary", "untyped"):
+                    errors.append(
+                        f"line {lineno}: bad type {prom_type!r}"
+                    )
+                if family in typed:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {family!r}"
+                    )
+                if family in sampled_before_type:
+                    errors.append(
+                        f"line {lineno}: TYPE for {family!r} after "
+                        "its samples"
+                    )
+                typed[family] = prom_type
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        if name not in typed:
+            sampled_before_type.add(name)
+        labels_raw = match.group("labels")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if labels_raw:
+            consumed = _LABEL_PAIR_RE.findall(labels_raw)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != labels_raw:
+                errors.append(
+                    f"line {lineno}: malformed labels {labels_raw!r}"
+                )
+                continue
+            labels = tuple(sorted(consumed))
+            for label, _value in consumed:
+                if not _LABEL_RE.match(label):
+                    errors.append(
+                        f"line {lineno}: bad label name {label!r}"
+                    )
+        value = match.group("value")
+        if value not in ("NaN", "+Inf", "-Inf"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: non-numeric value {value!r}"
+                )
+        if (name, labels) in seen:
+            errors.append(
+                f"line {lineno}: duplicate sample {name}{{{labels}}}"
+            )
+        seen.add((name, labels))
+    return errors

@@ -206,6 +206,24 @@ class Tracer:
     def children_of(self, span: Span) -> List[Span]:
         return [s for s in self._spans if s.parent_id == span.span_id]
 
+    # -- distributed id allocation --------------------------------------
+
+    def reserve_block(self, size: int) -> int:
+        """Reserve ``size`` consecutive span ids and return the first.
+
+        The live compute plane hands each worker process a reserved
+        block of this tracer's id space, so spans recorded remotely
+        (wall-clock worker tracers, see
+        :mod:`repro.observe.distributed`) carry globally unique ids and
+        can be absorbed verbatim — cross-process ``parent_id`` links
+        included — without the renumbering :meth:`absorb` does.
+        """
+        if size <= 0:
+            raise SimulationError(f"block size must be positive: {size}")
+        start = self._next_id
+        self._next_id += size
+        return start
+
     # -- merging --------------------------------------------------------
 
     def absorb(self, other: "Tracer") -> None:

@@ -12,11 +12,14 @@ this test pins the load-bearing claims —
   proving the kill landed somewhere adversarial.
 """
 
+import glob
+import os
 import sys
 
 import pytest
 
 from repro.harness.live_exp import run_live_point
+from repro.observe import Tracer, chrome_trace, read_flightrec
 
 pytestmark = pytest.mark.skipif(
     sys.platform != "linux",
@@ -50,3 +53,90 @@ def test_unsafe_control_violates_on_the_same_schedule():
     assert point.result.completed == SMOKE["requests"]
     assert point.kills_delivered == 1
     assert point.violations >= 1
+
+
+def test_untraced_run_ships_no_telemetry():
+    # The zero-overhead invariant: without a tracer, telemetry defaults
+    # off and the run exchanges only the pre-existing frame kinds.
+    point = run_live_point("boki", **SMOKE)
+    extras = point.result.extras
+    assert extras.get("telemetry_batches", 0) == 0
+    assert extras.get("worker_spans_absorbed", 0) == 0
+    assert extras.get("rpc_p50_ms") is None
+
+
+def test_trace_propagation_and_flightrec(tmp_path):
+    tracer = Tracer()
+    point = run_live_point(
+        "boki", **SMOKE, tracer=tracer, flightrec_dir=str(tmp_path)
+    )
+    result = point.result
+    assert result.extras.get("aborted") is None
+    assert point.violations == 0
+
+    # -- telemetry arrived and was folded in ---------------------------
+    assert result.extras["telemetry_batches"] > 0
+    assert result.extras["worker_spans_absorbed"] > 0
+    assert result.extras["rpc_p50_ms"] is not None
+    assert any(
+        key.startswith("rpc_roundtrip_ms{") and "worker=" in key
+        for key in result.metrics
+    )
+
+    # -- worker spans share the gateway's trace ids --------------------
+    spans = tracer.spans
+    attempt_ids = {
+        s.span_id for s in spans
+        if s.name.startswith("attempt-") and "proc" not in s.args
+    }
+    gateway_traces = {
+        s.trace_id for s in spans if "proc" not in s.args
+    }
+    worker_spans = [
+        s for s in spans
+        if str(s.args.get("proc", "")).startswith("worker-")
+    ]
+    assert worker_spans, "no worker spans were shipped"
+    executes = [s for s in worker_spans if s.name.startswith("execute:")]
+    rpcs = [s for s in worker_spans if s.name.startswith("rpc:")]
+    assert executes and rpcs
+    for span in worker_spans:
+        assert span.trace_id in gateway_traces
+    # Every worker root parents under a gateway dispatch-attempt span;
+    # every worker rpc span parents under that worker's execute span.
+    for span in executes:
+        assert span.parent_id in attempt_ids
+    execute_ids = {s.span_id for s in executes}
+    for span in rpcs:
+        assert span.parent_id in execute_ids
+    # Gateway-side serve spans parent under the worker's rpc spans —
+    # the client/server split of the same call.
+    rpc_ids = {s.span_id for s in rpcs}
+    serves = [s for s in spans if s.name.startswith("serve:")]
+    assert serves
+    assert any(s.parent_id in rpc_ids for s in serves)
+
+    # -- the merged Chrome export is schema-valid, multi-process -------
+    trace = chrome_trace(tracer)
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    assert {e["ph"] for e in events} <= {"X", "i", "M"}
+    procs = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert any(p.startswith("worker-") for p in procs)
+    assert len(procs) >= 2  # gateway lane + at least one worker lane
+
+    # -- the SIGKILL dumped a flight-recorder artifact -----------------
+    dumps = glob.glob(str(tmp_path / "flightrec-gateway-sigkill-*.jsonl"))
+    assert dumps, os.listdir(tmp_path)
+    records = read_flightrec(dumps[0])
+    header = records[0]
+    assert header["trigger"] == "sigkill"
+    assert header["meta"]["worker"] is not None
+    assert "last_acked_op" in header["meta"]
+    assert any(r.get("kind") == "sigkill" for r in records[1:])
+
+    # -- discovery file cleaned up on shutdown -------------------------
+    assert not (tmp_path / "live-gateway.json").exists()

@@ -98,3 +98,101 @@ def test_frame_roundtrip_over_socketpair():
         assert rpc.recv_frame(b) is None  # clean EOF -> None, not raise
     finally:
         b.close()
+
+
+# -- frame-cap defenses ---------------------------------------------------
+
+
+def test_oversized_send_raises_typed_error():
+    import socket
+
+    a, b = socket.socketpair()
+    try:
+        with pytest.raises(rpc.RpcFrameError) as info:
+            rpc.send_frame(a, b"x" * 4096, max_bytes=1024)
+        assert info.value.frame_bytes > 1024
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversized_length_prefix_rejected_before_allocation():
+    # A hostile/corrupt 4-byte prefix must raise the typed error
+    # instead of attempting a multi-gigabyte recv.
+    import socket
+    import struct
+
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack("<I", 0xFFFF_FFFF) + b"junk")
+        with pytest.raises(rpc.RpcFrameError) as info:
+            rpc.recv_frame(b)
+        assert info.value.frame_bytes == 0xFFFF_FFFF
+    finally:
+        a.close()
+        b.close()
+
+
+def test_fuzzed_length_prefixes():
+    """Seeded fuzz over the length prefix: every frame either decodes,
+    reports EOF (truncated), or raises the typed RpcFrameError — never
+    a raw struct/pickle/MemoryError."""
+    import socket
+    import struct
+
+    import numpy as np
+
+    rng = np.random.default_rng(1106)
+    cap = 4096
+    for _ in range(200):
+        a, b = socket.socketpair()
+        try:
+            length = int(rng.integers(0, 2**32))
+            body_len = int(rng.integers(0, 64))
+            body = bytes(rng.integers(0, 256, size=body_len, dtype=np.uint8))
+            a.sendall(struct.pack("<I", length) + body)
+            a.close()
+            try:
+                frame = rpc.recv_frame(b, max_bytes=cap)
+            except rpc.RpcFrameError:
+                assert length > cap or body_len >= length
+            else:
+                # Decoded or truncated-EOF; both are in-contract.
+                assert frame is None or length <= cap
+        finally:
+            b.close()
+
+
+def test_async_reader_raises_on_oversized_and_corrupt_frames():
+    import asyncio
+    import struct
+
+    async def scenario():
+        # Oversized announced length.
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack("<I", 1 << 30) + b"x")
+        reader.feed_eof()
+        with pytest.raises(rpc.RpcFrameError):
+            await rpc.read_frame_async(reader, max_bytes=1024)
+        # Well-sized but undecodable body.
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack("<I", 3) + b"abc")
+        reader.feed_eof()
+        with pytest.raises(rpc.RpcFrameError):
+            await rpc.read_frame_async(reader)
+
+    asyncio.run(scenario())
+
+
+def test_undecodable_body_raises_typed_error():
+    import socket
+    import struct
+
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack("<I", 4) + b"\x80\x05junk"[:4])
+        with pytest.raises(rpc.RpcFrameError):
+            rpc.recv_frame(b)
+    finally:
+        a.close()
+        b.close()

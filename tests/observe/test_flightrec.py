@@ -1,0 +1,80 @@
+"""Flight recorder: ring semantics, tail shipping, dump artifacts."""
+
+from repro.observe import FlightRecorder, read_flightrec
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def test_ring_evicts_oldest_but_remembers_totals():
+    rec = FlightRecorder("w", FakeClock(), capacity=4)
+    for i in range(10):
+        rec.record("tick", i=i)
+    assert len(rec) == 4
+    assert rec.recorded == 10
+    events = rec.events()
+    assert [e["seq"] for e in events] == [7, 8, 9, 10]
+    assert [e["i"] for e in events] == [6, 7, 8, 9]
+
+
+def test_tail_is_the_shipping_increment():
+    rec = FlightRecorder("w", FakeClock())
+    rec.record("a")
+    rec.record("b")
+    first = rec.tail(0)
+    assert [e["kind"] for e in first] == ["a", "b"]
+    rec.record("c")
+    assert [e["kind"] for e in rec.tail(first[-1]["seq"])] == ["c"]
+    assert rec.tail(rec.recorded) == []
+
+
+def test_last_finds_most_recent_of_kind():
+    rec = FlightRecorder("w", FakeClock())
+    rec.record("op", seq_no=1)
+    rec.record("hb")
+    rec.record("op", seq_no=2)
+    assert rec.last("op")["seq_no"] == 2
+    assert rec.last("missing") is None
+
+
+def test_dump_roundtrip_with_lanes_and_meta(tmp_path):
+    rec = FlightRecorder("gateway", FakeClock())
+    rec.record("sigkill", worker=2, pid=4242)
+    path = rec.dump(
+        str(tmp_path), "sigkill",
+        meta={"worker": 2, "last_acked_op": "kv.put#7",
+              "weird": object()},
+        extra_lanes={"worker-2": [
+            {"seq": 1, "ts_ms": 0.5, "kind": "invoke", "fn": "bump"},
+        ]},
+    )
+    assert rec.dumps_written == 1
+    assert "flightrec-gateway-sigkill-001" in path
+
+    records = read_flightrec(path)
+    header = records[0]
+    assert header["kind"] == "flightrec"
+    assert header["trigger"] == "sigkill"
+    assert header["meta"]["last_acked_op"] == "kv.put#7"
+    # Non-JSON values degrade to repr instead of failing the dump.
+    assert isinstance(header["meta"]["weird"], str)
+    lanes = {r["lane"] for r in records[1:]}
+    assert lanes == {"gateway", "worker-2"}
+    worker_events = [r for r in records[1:] if r["lane"] == "worker-2"]
+    assert worker_events[0]["fn"] == "bump"
+
+
+def test_dump_numbering_increments(tmp_path):
+    rec = FlightRecorder("g", FakeClock())
+    rec.record("x")
+    p1 = rec.dump(str(tmp_path), "lease-expiry")
+    p2 = rec.dump(str(tmp_path), "lease-expiry")
+    assert p1.endswith("001.jsonl")
+    assert p2.endswith("002.jsonl")
+    assert rec.dumps_written == 2

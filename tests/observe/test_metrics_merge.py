@@ -1,0 +1,147 @@
+"""Merge-horizon semantics for wall-clock metric merges.
+
+Per-worker gauges and throughput meters stop updating at different
+instants; these tests pin the invariant that merging integrates both
+operands to ONE shared horizon before dividing — the naive "sum the
+per-worker averages" answer is demonstrably wrong on the same inputs.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.metrics import (
+    Counter,
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    TimeWeightedGauge,
+)
+
+
+# -- TimeWeightedGauge ----------------------------------------------------
+
+
+def test_gauge_merge_integrates_to_shared_horizon():
+    a = TimeWeightedGauge("busy", start_time_ms=0.0)
+    a.set(100.0, 0.0)
+    b = TimeWeightedGauge("busy", start_time_ms=0.0)
+    b.set(50.0, 0.0)
+    b.set(70.0, 400.0)
+
+    merged = a.merged(b, horizon_ms=800.0)
+    # A contributes 100 * 800; B contributes 50*400 + 70*400.
+    assert merged.time_average() == pytest.approx(
+        (100.0 * 800.0 + 50.0 * 400.0 + 70.0 * 400.0) / 800.0
+    )
+    assert merged.time_average() == pytest.approx(160.0)
+    # The naive answer — each worker averaged over its own window —
+    # gives 100 + 50 = 150: B's tail (70 from 400ms on) is lost.
+    naive = a.time_average() + b.time_average(400.0)
+    assert naive == pytest.approx(150.0)
+    assert merged.time_average() != pytest.approx(naive)
+
+
+def test_gauge_merge_horizon_clamps_up_never_rewinds():
+    a = TimeWeightedGauge("g")
+    a.set(10.0, 100.0)
+    b = TimeWeightedGauge("g")
+    b.set(20.0, 400.0)
+    # A horizon before b's last update cannot rewind integrated area:
+    # the effective horizon is the later of the two last updates.
+    merged = a.merged(b, horizon_ms=50.0)
+    assert merged._last_time == 400.0
+    same = a.merged(b)  # default horizon = later last update
+    assert merged.time_average() == pytest.approx(same.time_average())
+
+
+def test_gauge_merge_sums_value_and_bounds_max():
+    a = TimeWeightedGauge("g")
+    a.set(3.0, 0.0)
+    a.set(1.0, 10.0)
+    b = TimeWeightedGauge("g")
+    b.set(4.0, 5.0)
+    merged = a.merged(b, horizon_ms=20.0)
+    assert merged.value == 1.0 + 4.0
+    # Upper bound: the component maxima need not have coincided.
+    assert merged.max_value == 3.0 + 4.0
+
+
+def test_gauge_area_until_rejects_time_travel():
+    g = TimeWeightedGauge("g")
+    g.set(1.0, 100.0)
+    assert g.area_until(100.0) == pytest.approx(0.0)
+    assert g.area_until(150.0) == pytest.approx(50.0)
+    with pytest.raises(SimulationError):
+        g.area_until(99.0)
+
+
+# -- ThroughputMeter ------------------------------------------------------
+
+
+def test_meter_merge_extends_window_to_horizon():
+    a = ThroughputMeter("done")
+    for t in (100.0, 200.0, 300.0):
+        a.record(t)
+    b = ThroughputMeter("done")
+    b.record(150.0)
+
+    merged = a.merged(b, horizon_ms=1000.0)
+    assert merged.count == 4
+    assert merged._first_ms == 100.0
+    assert merged._last_ms == 1000.0
+    # True fleet rate: 4 completions over the shared 900ms window —
+    # NOT the sum of per-meter rates over their own short windows.
+    assert merged.rate_per_sec() == pytest.approx(4 * 1000.0 / 900.0)
+    naive = a.rate_per_sec() + b.rate_per_sec()
+    assert naive > merged.rate_per_sec()
+
+
+def test_meter_merge_horizon_clamps_down_to_latest_event():
+    a = ThroughputMeter("done")
+    a.record(100.0)
+    a.record(300.0)
+    b = ThroughputMeter("done")
+    b.record(150.0)
+    # Horizon earlier than the last event: window cannot shrink below
+    # the span the events themselves occupy.
+    merged = a.merged(b, horizon_ms=50.0)
+    assert merged._last_ms == 300.0
+    assert merged.rate_per_sec() == pytest.approx(3 * 1000.0 / 200.0)
+
+
+def test_meter_merge_empty_operands():
+    a = ThroughputMeter("done")
+    b = ThroughputMeter("done")
+    merged = a.merged(b, horizon_ms=500.0)
+    assert merged.count == 0
+    assert merged.rate_per_sec() == 0.0
+    # One-sided: the empty meter must not perturb the other.
+    b.record(100.0)
+    merged = a.merged(b, horizon_ms=600.0)
+    assert merged.count == 1
+    assert merged._first_ms == 100.0
+    assert merged._last_ms == 600.0
+
+
+# -- parity merges (no horizon semantics) ---------------------------------
+
+
+def test_latency_counter_series_merges():
+    la = LatencyRecorder("l")
+    la.extend([1.0, 2.0])
+    lb = LatencyRecorder("l")
+    lb.record(3.0)
+    assert sorted(la.merged(lb).samples) == [1.0, 2.0, 3.0]
+
+    ca = Counter()
+    ca.add("x", 2)
+    cb = Counter()
+    cb.add("x")
+    cb.add("y", 5)
+    assert ca.merged(cb).as_dict() == {"x": 3, "y": 5}
+
+    sa = TimeSeries("s")
+    sa.record(10.0, 1.0)
+    sb = TimeSeries("s")
+    sb.record(5.0, 2.0)
+    assert sa.merged(sb).points == [(5.0, 2.0), (10.0, 1.0)]
