@@ -13,12 +13,16 @@ Commands map one-to-one onto the experiment harness::
     python -m repro failover [--leases 250 1000 4000] [--crash-at MS]
     python -m repro storagechaos [--components metalog partition]
                                  [--replications 1 3] [--crash-at MS]
+                                 [--sequencers monolith batched leased-ranges]
     python -m repro live   [--workers N] [--kills K] [--requests N]
-                           [--flightrec-dir DIR] [--no-telemetry]
-                           [--prom-out PATH]
+                           [--admission N] [--flightrec-dir DIR]
+                           [--no-telemetry] [--prom-out PATH]
     python -m repro top    [--gateway PATH] [--interval S] [--once]
     python -m repro trace  [--protocol P] [--crash-at MS] [--out PATH]
     python -m repro shards [--shards 1 2 4 8] [--rates 150 300 600]
+    python -m repro scale  [--sequencers monolith batched leased-ranges]
+                           [--rates 400 800 1200 1600] [--users 100000]
+                           [--diurnal BASE_RATE]
     python -m repro profile [--target shards] [--top 25]
     python -m repro advise --read-ratio 0.8 --rate 300
 
@@ -29,7 +33,10 @@ log/store operation at rate ``R``; see :mod:`repro.faults`), plus the
 storage-plane topology flags ``--storage-backend`` / ``--log-shards`` /
 ``--kv-partitions`` / ``--placement`` (see :mod:`repro.storageplane`;
 the default 1×1 ``auto`` topology is bit-identical to the pre-plane
-code, which the CI golden-run diff enforces).
+code, which the CI golden-run diff enforces), and the sequencing flags
+``--sequencer`` / ``--sequencer-batch`` / ``--sequencer-hold`` /
+``--sequencer-block`` (see :mod:`repro.storageplane.sequencer`; the
+default ``monolith`` strategy is likewise bit-identical).
 
 ``--jobs N`` fans each sweep's independent cells out over N worker
 processes (default: all cores but one).  Output is bit-identical at
@@ -71,6 +78,7 @@ from .harness import (
     run_latency_breakdown,
     run_live,
     run_recovery_sweep,
+    run_scale_sweep,
     run_shard_sweep,
     run_storagechaos_sweep,
     run_table1,
@@ -82,7 +90,7 @@ from .observe import Tracer, breakdown_table, write_chrome_trace
 
 #: Commands that execute invocations and accept an attached tracer.
 _TRACEABLE = ("fig10", "fig11", "fig12", "fig13", "chaos", "failover",
-              "storagechaos", "trace", "shards", "live")
+              "storagechaos", "trace", "shards", "scale", "live")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -129,6 +137,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--placement", type=str, default=None,
         choices=["hash", "first_seen"],
         help="tag/key placement policy for sharded planes",
+    )
+    common.add_argument(
+        "--sequencer", type=str, default=None, metavar="NAME",
+        help="sequencing strategy (monolith, batched, leased-ranges, "
+             "or a registered name; default: monolith)",
+    )
+    common.add_argument(
+        "--sequencer-batch", type=int, default=None, metavar="K",
+        help="group-commit size for --sequencer batched (default: 8)",
+    )
+    common.add_argument(
+        "--sequencer-hold", type=float, default=None, metavar="MS",
+        help="group-commit hold window in ms for --sequencer batched "
+             "(default: 0.2)",
+    )
+    common.add_argument(
+        "--sequencer-block", type=int, default=None, metavar="B",
+        help="leased seqnum block size for --sequencer leased-ranges "
+             "(default: 64)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -226,6 +253,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="log-shard replication factors to sweep "
              "(1 is the paper-faithful default)",
     )
+    storagechaos.add_argument(
+        "--sequencers", nargs="+", default=["monolith"],
+        choices=["monolith", "batched", "leased-ranges"],
+        help="metalog sequencing strategies to chaos-test (the default "
+             "keeps the historical grid; add batched/leased-ranges to "
+             "prove group commit and leased blocks survive failover)",
+    )
     storagechaos.add_argument("--crash-at", type=float, default=1_000.0,
                               help="simulated time (ms) of the kill")
     storagechaos.add_argument(
@@ -289,6 +323,37 @@ def _build_parser() -> argparse.ArgumentParser:
     shards.add_argument("--duration", type=float, default=8_000.0,
                         help="arrival window (ms)")
 
+    scale = sub.add_parser(
+        "scale",
+        help="sequencer scaling: p99 + sequencer occupancy vs offered "
+             "load per sequencing strategy, Zipf-skewed users",
+        parents=[common],
+    )
+    scale.add_argument(
+        "--sequencers", nargs="+",
+        default=["monolith", "batched", "leased-ranges"],
+        help="sequencing strategies to sweep",
+    )
+    scale.add_argument("--rates", nargs="+", type=float,
+                       default=[400.0, 800.0, 1200.0, 1600.0],
+                       help="offered loads (requests per second)")
+    scale.add_argument("--users", type=int, default=100_000,
+                       help="Zipf user population (10^5-10^6)")
+    scale.add_argument("--ops", type=int, default=4,
+                       help="write+read pairs per request")
+    scale.add_argument("--protocol", default="boki",
+                       choices=["unsafe", "boki", "halfmoon-read",
+                                "halfmoon-write"])
+    scale.add_argument("--duration", type=float, default=3_000.0,
+                       help="arrival window (ms)")
+    scale.add_argument(
+        "--diurnal", type=float, default=None, metavar="BASE_RATE",
+        help="replace --rates with samples of a day-shaped load curve "
+             "around BASE_RATE req/s",
+    )
+    scale.add_argument("--diurnal-points", type=int, default=6,
+                       help="rate samples along the diurnal curve")
+
     live = sub.add_parser(
         "live",
         help="live compute plane: real worker processes over a unix "
@@ -309,6 +374,12 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument("--crash-f", type=float, default=0.0,
                       help="worker-internal instance crash probability "
                            "(soft failures, composable with SIGKILLs)")
+    live.add_argument(
+        "--admission", type=int, default=None, metavar="N",
+        help="bound gateway admission at N in-flight invocations; "
+             "excess arrivals are shed deterministically and counted "
+             "in the admission_rejections metric (default: unbounded)",
+    )
     live.add_argument("--deadline", type=float, default=120.0,
                       help="abort the run after this many wall seconds")
     live.add_argument(
@@ -380,6 +451,10 @@ def _experiment_config(
     log_shards = getattr(args, "log_shards", None)
     kv_partitions = getattr(args, "kv_partitions", None)
     placement = getattr(args, "placement", None)
+    sequencer = getattr(args, "sequencer", None)
+    sequencer_batch = getattr(args, "sequencer_batch", None)
+    sequencer_hold = getattr(args, "sequencer_hold", None)
+    sequencer_block = getattr(args, "sequencer_block", None)
     if seed is not None and seed < 0:
         parser.error(f"--seed must be non-negative, got {seed}")
     if fault_rate is not None and not (0.0 <= fault_rate < 1.0):
@@ -400,7 +475,29 @@ def _experiment_config(
                 f"unknown --storage-backend {backend!r}; available: "
                 f"{['auto'] + available_backends()}"
             )
-    storage_flags = (backend, log_shards, kv_partitions, placement)
+    if sequencer is not None:
+        from .storageplane import available_sequencers
+
+        if sequencer not in available_sequencers():
+            parser.error(
+                f"unknown --sequencer {sequencer!r}; available: "
+                f"{available_sequencers()}"
+            )
+    if sequencer_batch is not None and sequencer_batch < 1:
+        parser.error(
+            f"--sequencer-batch must be >= 1, got {sequencer_batch}"
+        )
+    if sequencer_block is not None and sequencer_block < 1:
+        parser.error(
+            f"--sequencer-block must be >= 1, got {sequencer_block}"
+        )
+    if sequencer_hold is not None and sequencer_hold < 0:
+        parser.error(
+            f"--sequencer-hold must be >= 0, got {sequencer_hold}"
+        )
+    storage_flags = (backend, log_shards, kv_partitions, placement,
+                     sequencer, sequencer_batch, sequencer_hold,
+                     sequencer_block)
     if seed is None and fault_rate is None and all(
         flag is None for flag in storage_flags
     ):
@@ -414,6 +511,9 @@ def _experiment_config(
         config = config.with_storage_plane(
             log_shards=log_shards, kv_partitions=kv_partitions,
             backend=backend, placement=placement,
+            sequencer=sequencer, sequencer_batch=sequencer_batch,
+            sequencer_hold_ms=sequencer_hold,
+            sequencer_block=sequencer_block,
         )
     return config.validate()
 
@@ -467,6 +567,9 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
+    admission = getattr(args, "admission", None)
+    if admission is not None and admission < 1:
+        parser.error(f"--admission must be >= 1, got {admission}")
     if jobs is None:
         jobs = default_jobs()
 
@@ -570,6 +673,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             run_storagechaos_sweep(
                 components=args.components, systems=args.systems,
                 replications=args.replications,
+                sequencers=args.sequencers,
                 crash_at_ms=args.crash_at,
                 recover_after_ms=args.recover_after,
                 rate_per_s=args.rate, duration_ms=args.duration,
@@ -608,6 +712,17 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 tracer=tracer, jobs=jobs,
             ).render()
         )
+    elif args.command == "scale":
+        print(
+            run_scale_sweep(
+                sequencers=args.sequencers, rates=args.rates,
+                protocol=args.protocol, num_users=args.users,
+                ops_per_request=args.ops, config=config,
+                duration_ms=args.duration, diurnal_base=args.diurnal,
+                diurnal_points=args.diurnal_points,
+                tracer=tracer, jobs=jobs,
+            ).render()
+        )
     elif args.command == "live":
         fault_rate = getattr(args, "fault_rate", None)
         points: dict = {}
@@ -623,6 +738,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 telemetry=(False if args.no_telemetry else None),
                 flightrec_dir=args.flightrec_dir,
                 points_out=points,
+                max_inflight=args.admission,
             ).render()
         )
         if args.prom_out is not None:

@@ -20,7 +20,17 @@ are real.  One asyncio gateway process
   the same instance id, and the protocol replay does the rest,
 * consults a per-worker :class:`~repro.faults.CircuitBreaker` at
   dispatch and paces retries with the shared
-  :class:`~repro.faults.RetryPolicy`'s deterministic jitter, and
+  :class:`~repro.faults.RetryPolicy`'s deterministic jitter,
+* optionally bounds admission (``max_inflight``): past the bound,
+  arrivals are shed deterministically — counted in the
+  ``admission_rejections`` metric, never started, never audited —
+  instead of growing the queue without limit,
+* group-commits the log append stream when the storage plane runs the
+  ``batched`` sequencer (:class:`_AppendCoalescer`): append/cond_append
+  OP frames buffer until ``sequencer_batch`` of them (or
+  ``sequencer_hold_ms``) and execute back-to-back, so one sequencer
+  flush covers the whole batch and no RESULT leaves the gateway while
+  its commit is still buffered, and
 * feeds wall-clock latencies into the same MetricsRegistry /
   LatencyBreakdown / Chrome-trace pipeline the DES uses.
 
@@ -131,6 +141,72 @@ class _WorkerSlot:
         return self.connected and self.ready and self.busy_with is None
 
 
+class _AppendCoalescer:
+    """Event-loop group commit for the log append stream.
+
+    With the ``batched`` sequencer, a commit acknowledged the instant
+    its append executes may still sit in the sequencer's buffer.  The
+    coalescer closes that window: append/cond_append OP frames park
+    here until ``batch`` of them arrive (or ``hold_ms`` passes), then
+    the whole batch executes back-to-back and the sequencer is flushed
+    *before* control returns to the event loop — so every RESULT a
+    worker observes describes a committed append.  Workers block on
+    their RESULT, so each can have at most one frame parked.
+    """
+
+    __slots__ = ("plane", "batch", "hold_s", "_pending",
+                 "_flush_handle", "flushes", "coalesced", "max_batch")
+
+    def __init__(self, plane: "LocalhostComputePlane", batch: int,
+                 hold_ms: float):
+        self.plane = plane
+        self.batch = max(1, int(batch))
+        self.hold_s = max(0.0, float(hold_ms)) / 1000.0
+        self._pending: List[Any] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self.flushes = 0
+        self.coalesced = 0
+        self.max_batch = 0
+
+    def submit(self, slot: "_WorkerSlot", frame: Any) -> None:
+        self._pending.append((slot, frame))
+        self.coalesced += 1
+        if len(self._pending) >= self.batch:
+            self.flush()
+        elif self._flush_handle is None:
+            self._flush_handle = asyncio.get_running_loop().call_later(
+                self.hold_s, self.flush
+            )
+
+    def flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.flushes += 1
+        self.max_batch = max(self.max_batch, len(pending))
+        for slot, frame in pending:
+            self.plane._execute_op(slot, frame)
+        # One sequencer flush covers the batch; nothing downstream of
+        # this method runs until it returns, so the RESULT frames
+        # written above cannot be observed before the commits land.
+        sequencer = getattr(self.plane.backend.log, "sequencer", None)
+        flush_commits = getattr(sequencer, "flush", None)
+        if flush_commits is not None:
+            flush_commits()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "coalesced": self.coalesced,
+            "flushes": self.flushes,
+            "max_batch": self.max_batch,
+            "mean_batch": (self.coalesced / self.flushes
+                           if self.flushes else 0.0),
+        }
+
+
 @dataclass
 class _Inflight:
     """One admitted invocation, from arrival to (deduped) completion."""
@@ -172,7 +248,10 @@ class LocalhostComputePlane(ComputePlane):
         deadline_s: float = 180.0,
         telemetry: Optional[bool] = None,
         flightrec_dir: Optional[str] = None,
+        max_inflight: Optional[int] = None,
     ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None: off)")
         if enable_switching:
             raise NotImplementedError(
                 "protocol switching is not wired into the live plane yet"
@@ -249,6 +328,23 @@ class LocalhostComputePlane(ComputePlane):
         self.telemetry_sink = TelemetrySink(tracer, metrics)
         self.rpc_frame_errors = metrics.counters("rpc_frame_errors")
         self.status_queries = 0
+
+        # Admission control: None = unbounded (the historical default);
+        # an integer bounds |inflight| and sheds deterministically past
+        # it — the shed count is the ``admission_rejections`` metric.
+        self.max_inflight = max_inflight
+        self.rejected_requests = 0
+        self._admission_counter = metrics.counters("admission_rejections")
+        # Gateway-side group commit, active only when the storage plane
+        # actually runs a batched sequencer (sharded backend).
+        self._coalescer: Optional[_AppendCoalescer] = None
+        if (self.config.storage.sequencer == "batched"
+                and hasattr(self.backend.log, "sequencer")):
+            self._coalescer = _AppendCoalescer(
+                self,
+                self.config.storage.sequencer_batch,
+                self.config.storage.sequencer_hold_ms,
+            )
 
         recovery = self.config.recovery
         self.lease = LeaseTable((), recovery.lease_ms)
@@ -486,6 +582,7 @@ class LocalhostComputePlane(ComputePlane):
             "issued": self._issued,
             "completed": len(self._completed),
             "inflight": len(self._inflight),
+            "rejected": self.rejected_requests,
             "failed": len(self._failed),
             "kills": self.chaos.delivered if self.chaos else 0,
             "orphans": self.orphaned_invocations,
@@ -552,6 +649,10 @@ class LocalhostComputePlane(ComputePlane):
         return slot
 
     async def _shutdown_workers(self) -> None:
+        if self._coalescer is not None:
+            # Answer any worker still parked behind the hold window
+            # before telling it to shut down.
+            self._coalescer.flush()
         for slot in self._slots.values():
             if slot.connected:
                 try:
@@ -586,6 +687,19 @@ class LocalhostComputePlane(ComputePlane):
 
     def _admit(self, request: Request) -> None:
         now = self._now()
+        if (self.max_inflight is not None
+                and len(self._inflight) >= self.max_inflight):
+            # Deterministic shed: the decision depends only on the
+            # (seeded) arrival sequence and completion order, not on a
+            # coin flip.  A shed request is never started — no instance
+            # id, no tracker entry, no audit obligation.
+            self.rejected_requests += 1
+            self._admission_counter.add("shed")
+            self.flightrec.record(
+                "admission-shed", func=request.func_name,
+                inflight=len(self._inflight),
+            )
+            return
         instance_id = self._runtime.new_instance_id()
         self._runtime.tracker.start(
             instance_id, self.backend.log.next_seqnum
@@ -790,6 +904,21 @@ class LocalhostComputePlane(ComputePlane):
             self.lease.renew(slot.worker_id, self._now())
 
     def _handle_op(self, slot: _WorkerSlot, frame: Any) -> bool:
+        """Route one storage op frame.
+
+        Log appends coalesce into a gateway-side group commit when the
+        batched sequencer is active (the reply comes from the flush);
+        everything else executes inline.  Returns False only when the
+        inline path killed the worker at this op.
+        """
+        if (self._coalescer is not None and frame[2] == "log"
+                and frame[3] in ("append", "cond_append")):
+            self._renew(slot)
+            self._coalescer.submit(slot, frame)
+            return True
+        return self._execute_op(slot, frame)
+
+    def _execute_op(self, slot: _WorkerSlot, frame: Any) -> bool:
         """Apply one storage op; returns False if the worker was killed."""
         _, seq, target, method, args, kwargs = frame[:6]
         ctx = frame[6] if len(frame) > 6 else None
@@ -1133,6 +1262,12 @@ class LocalhostComputePlane(ComputePlane):
                 "backend": self.name,
                 "wall_ms": now,
                 "requests_issued": self._issued,
+                "requests_shed": self.rejected_requests,
+                "max_inflight": self.max_inflight,
+                "append_coalescer": (
+                    self._coalescer.stats()
+                    if self._coalescer is not None else None
+                ),
                 "workers": self.num_workers,
                 "workers_spawned": self._workers_ever,
                 "kills_delivered": (

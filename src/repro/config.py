@@ -217,7 +217,14 @@ class StorageSizeConfig:
       holds a single copy of its sub-stream indexes and a lost shard is
       rebuilt from the record directory; at R>1 appends require a
       majority write quorum and a lost replica is re-replicated from a
-      survivor.
+      survivor;
+    * ``sequencer`` — sequencing strategy over the metalog (see
+      :mod:`repro.storageplane.sequencer`): ``"monolith"`` (the paper's
+      single global cursor, bit-identical to the pre-refactor code),
+      ``"batched"`` (group commit: one sequencer commit per
+      ``sequencer_batch`` appends, held at most ``sequencer_hold_ms``),
+      or ``"leased-ranges"`` (epoch-leased blocks of
+      ``sequencer_block`` seqnums, fenced on failover).
 
     The default 1×1 topology is the paper-faithful configuration and is
     bit-identical to the pre-plane substrates.
@@ -231,6 +238,10 @@ class StorageSizeConfig:
     kv_partitions: int = 1
     placement: str = "hash"
     replication: int = 1
+    sequencer: str = "monolith"
+    sequencer_batch: int = 8
+    sequencer_hold_ms: float = 0.2
+    sequencer_block: int = 64
 
     def validate(self) -> None:
         if min(self.key_bytes, self.value_bytes, self.meta_bytes) <= 0:
@@ -247,6 +258,16 @@ class StorageSizeConfig:
             )
         if not self.backend:
             raise ConfigError("backend must be a non-empty name")
+        # Registry membership is checked at plane-build time (the
+        # registry lives in repro.storageplane); here only shape.
+        if not self.sequencer:
+            raise ConfigError("sequencer must be a non-empty name")
+        if self.sequencer_batch <= 0:
+            raise ConfigError("sequencer_batch must be positive")
+        if self.sequencer_hold_ms < 0:
+            raise ConfigError("sequencer_hold_ms must be >= 0")
+        if self.sequencer_block <= 0:
+            raise ConfigError("sequencer_block must be positive")
 
 
 @dataclass(frozen=True)
@@ -577,6 +598,10 @@ class SystemConfig:
         backend: Optional[str] = None,
         placement: Optional[str] = None,
         replication: Optional[int] = None,
+        sequencer: Optional[str] = None,
+        sequencer_batch: Optional[int] = None,
+        sequencer_hold_ms: Optional[float] = None,
+        sequencer_block: Optional[int] = None,
     ) -> "SystemConfig":
         """Select the storage-plane topology/backend (see
         :mod:`repro.storageplane`)."""
@@ -591,6 +616,14 @@ class SystemConfig:
             overrides["placement"] = placement
         if replication is not None:
             overrides["replication"] = replication
+        if sequencer is not None:
+            overrides["sequencer"] = sequencer
+        if sequencer_batch is not None:
+            overrides["sequencer_batch"] = sequencer_batch
+        if sequencer_hold_ms is not None:
+            overrides["sequencer_hold_ms"] = sequencer_hold_ms
+        if sequencer_block is not None:
+            overrides["sequencer_block"] = sequencer_block
         return replace(self, storage=replace(self.storage, **overrides))
 
     def with_storage_chaos(self, **overrides) -> "SystemConfig":

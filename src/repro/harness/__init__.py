@@ -18,6 +18,9 @@
   Chrome trace-event export and latency-breakdown reports
 * :mod:`repro.harness.shards_exp` — storage-plane scaling: p99 vs load
   as the log splits across 1/2/4/8 shards
+* :mod:`repro.harness.scale_exp` — sequencer scaling: p99 + sequencer
+  occupancy vs offered load per sequencing strategy (monolith /
+  batched / leased-ranges) under Zipf-skewed 10⁵–10⁶-user traffic
 * :mod:`repro.harness.live_exp` — the live compute-plane audit:
   real worker processes, seeded SIGKILLs, wall-clock leases
   (``python -m repro live``)
@@ -66,6 +69,11 @@ from .overhead import (
 from .platform import RunResult, SimPlatform
 from .profile_exp import PROFILE_TARGETS, profile_report
 from .recovery_exp import run_recovery_point, run_recovery_sweep
+from .scale_exp import (
+    run_scale_point,
+    run_scale_sweep,
+    scale_sweep_config,
+)
 from .shards_exp import (
     run_shard_point,
     run_shard_sweep,
@@ -127,8 +135,11 @@ __all__ = [
     "run_overhead_point",
     "run_recovery_point",
     "run_recovery_sweep",
+    "run_scale_point",
+    "run_scale_sweep",
     "run_shard_point",
     "run_shard_sweep",
+    "scale_sweep_config",
     "run_storagechaos_point",
     "run_storagechaos_sweep",
     "run_table1",

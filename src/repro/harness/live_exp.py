@@ -68,13 +68,15 @@ def run_live_point(
     tracer: Optional[Tracer] = None,
     telemetry: Optional[bool] = None,
     flightrec_dir: Optional[str] = None,
+    max_inflight: Optional[int] = None,
 ) -> LivePoint:
     """One live cell: ``requests`` invocations over ``workers``
     processes with ``kills`` seeded mid-invocation SIGKILLs.
 
     ``telemetry`` defaults to "on iff traced"; ``flightrec_dir``
     directs flight-recorder dumps (and the ``repro top`` discovery
-    file) — ``None`` keeps the run artifact-free.
+    file) — ``None`` keeps the run artifact-free.  ``max_inflight``
+    arms gateway admission control (default: unbounded).
     """
     base = config if config is not None else SystemConfig()
     if seed is not None:
@@ -115,6 +117,7 @@ def run_live_point(
         workload_spec=spec, num_workers=workers, kills=kills,
         requests=requests, crash_f=crash_f, deadline_s=deadline_s,
         telemetry=telemetry, flightrec_dir=flightrec_dir,
+        max_inflight=max_inflight,
     )
 
     expected: Dict[str, int] = {key: 0 for key in workload.keys}
@@ -180,6 +183,7 @@ def run_live(
     telemetry: Optional[bool] = None,
     flightrec_dir: Optional[str] = None,
     points_out: Optional[Dict[str, LivePoint]] = None,
+    max_inflight: Optional[int] = None,
 ) -> ExperimentTable:
     """Live compute-plane audit, one cell per system (run serially:
     each cell owns the machine's worker pool)."""
@@ -198,6 +202,7 @@ def run_live(
             seed=seed, fault_rate=fault_rate, crash_f=crash_f,
             compute_ms=compute_ms, deadline_s=deadline_s, tracer=tracer,
             telemetry=telemetry, flightrec_dir=flightrec_dir,
+            max_inflight=max_inflight,
         )
         if points_out is not None:
             points_out[system] = point
@@ -223,6 +228,11 @@ def run_live(
         )
         for note in per_worker_notes(system, result):
             table.add_note(note)
+        if max_inflight is not None:
+            table.add_note(
+                f"{system}: admission bound {max_inflight} in flight, "
+                f"shed {result.extras.get('requests_shed', 0)} requests"
+            )
     table.add_note(
         "real processes + wall clocks: logged protocols must show 0 "
         "violations / 0 anomalies; the unsafe control must violate"

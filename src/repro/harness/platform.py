@@ -58,7 +58,11 @@ from ..simulation.metrics import (
     TimeSeries,
     TimeWeightedGauge,
 )
-from ..simulation.resources import NodeWorkerPool
+from ..simulation.resources import (
+    NodeWorkerPool,
+    SequencerBatchStation,
+    SequencerLeaseStation,
+)
 from ..workloads.base import Request, Workload
 
 
@@ -209,6 +213,28 @@ class SimPlatform:
         plane = backend.plane
         self._plane_labelled = plane.labelled
         self._seq_next_free = 0.0
+        # Sequencing strategy (config.storage.sequencer): the monolith
+        # arithmetic stays inlined in ``_drain``; batched / leased
+        # strategies visit a stateful station instead.
+        storage_cfg = self.config.storage
+        cluster_cfg = self.config.cluster
+        self._seq_station = None
+        if storage_cfg.sequencer == "batched":
+            self._seq_station = SequencerBatchStation(
+                cluster_cfg.sequencer_service_ms,
+                storage_cfg.sequencer_hold_ms,
+                storage_cfg.sequencer_batch,
+            )
+        elif storage_cfg.sequencer == "leased-ranges":
+            self._seq_station = SequencerLeaseStation(
+                cluster_cfg.sequencer_service_ms,
+                storage_cfg.sequencer_block,
+            )
+        self._seq_visits = 0
+        if cluster_cfg.model_log_contention:
+            metrics.probe(
+                "sequencer_occupancy", lambda: self.sequencer_stats()
+            )
         num_stations = (plane.num_log_shards if plane.labelled
                         else self.config.cluster.storage_nodes)
         self._shard_next_free = [0.0] * num_stations
@@ -608,6 +634,8 @@ class SimPlatform:
         # drain and is written back once at the end.
         seq_next_free = self._seq_next_free
         seq_service = cluster.sequencer_service_ms
+        seq_station = self._seq_station
+        seq_visits = self._seq_visits
         shard_next_free = self._shard_next_free
         num_shards = len(shard_next_free)
         shard_cursor = self._shard_cursor
@@ -622,10 +650,14 @@ class SimPlatform:
             if stages is not None:
                 stages[kind] = stages.get(kind, 0.0) + ms
             if model_log and kind in logging_kinds:
-                wait = seq_next_free - now
-                if wait < 0.0:
-                    wait = 0.0
-                seq_next_free = now + wait + seq_service
+                if seq_station is None:
+                    wait = seq_next_free - now
+                    if wait < 0.0:
+                        wait = 0.0
+                    seq_next_free = now + wait + seq_service
+                else:
+                    wait = seq_station.visit(now)
+                seq_visits += 1
                 if placement is not None and placement[0] == "shard":
                     # Sharded plane: queue where the record lives, so a
                     # hot shard saturates while its peers stay idle.
@@ -660,6 +692,7 @@ class SimPlatform:
                 store_wait_total += store_wait
                 store_wait_ms_total += store_wait
         self._seq_next_free = seq_next_free
+        self._seq_visits = seq_visits
         self._shard_cursor = shard_cursor
         self.log_wait_ms_total = log_wait_ms_total
         self.store_wait_ms_total = store_wait_ms_total
@@ -674,6 +707,36 @@ class SimPlatform:
                     stages.get("store_queue_wait", 0.0) + store_wait_total
                 )
         return svc.trace.drain() + extra_wait
+
+    def sequencer_stats(self, now_ms: Optional[float] = None
+                        ) -> Dict[str, Any]:
+        """Sequencer-station occupancy and batching statistics.
+
+        ``occupancy`` is service-busy time over elapsed simulated time —
+        the fraction of the run the sequencer's replicated state machine
+        spent appending.  Monolith pays one service quantum per append;
+        batched pays one per flushed batch; leased pays one per block
+        refill.
+        """
+        now = self.sim.now if now_ms is None else float(now_ms)
+        service = self.config.cluster.sequencer_service_ms
+        station = self._seq_station
+        stats: Dict[str, Any] = {
+            "strategy": self.config.storage.sequencer,
+            "visits": self._seq_visits,
+        }
+        if station is None:
+            busy_ms = self._seq_visits * service
+        elif isinstance(station, SequencerBatchStation):
+            busy_ms = station.busy_ms
+            stats["batches"] = station.batches
+            stats["mean_batch_size"] = station.mean_batch_size
+        else:
+            busy_ms = station.busy_ms
+            stats["refills"] = station.refills
+        stats["busy_ms"] = busy_ms
+        stats["occupancy"] = busy_ms / now if now > 0 else 0.0
+        return stats
 
     def _gc_process(self):
         interval = self.config.gc.interval_ms
@@ -722,6 +785,11 @@ class SimPlatform:
         backend = self.runtime.backend
         have_samples = self.latencies.count > 0
         measured_ms = duration_ms - warmup_ms
+        extras: Dict[str, Any] = {
+            "events_processed": self.sim.events_processed,
+        }
+        if self.config.cluster.model_log_contention:
+            extras["sequencer"] = self.sequencer_stats()
         return RunResult(
             protocol=self.runtime.router.default_name,
             workload=self.workload.name,
@@ -746,7 +814,7 @@ class SimPlatform:
             latency_series=self.latency_series,
             counters=backend.counters.as_dict(),
             time_by_kind=dict(self.time_by_kind),
-            extras={"events_processed": self.sim.events_processed},
+            extras=extras,
             node_crashes=self.node_crashes,
             orphaned_invocations=self.orphaned_invocations,
             recovered_orphans=(

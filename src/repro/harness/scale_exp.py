@@ -1,0 +1,191 @@
+"""Sequencer scaling experiment: p99 + sequencer occupancy vs offered
+load at 10⁵–10⁶ skewed users (``python -m repro scale``).
+
+The shard sweep showed that record *placement* scales horizontally; the
+remaining vertical choke point is the metalog sequencer — every append
+in the system visits one station for its seqnum.  This experiment puts
+the three sequencing strategies head to head under the
+:class:`~repro.workloads.skew.SkewedWorkload` (Zipf-hot users drawn
+from a 10⁵–10⁶ population):
+
+* ``monolith`` — one sequencer visit per append.  Saturates when
+  offered appends/s reaches ``1 / sequencer_service_ms``; past the
+  knee, occupancy pins at 1.0 and p99 grows without bound.
+* ``batched`` — group commit: up to ``sequencer_batch`` appends share
+  one service quantum (each also pays the ``sequencer_hold_ms``
+  window), multiplying the saturation rate by the achieved batch size.
+* ``leased-ranges`` — epoch-leased seqnum blocks: one sequencer visit
+  per ``sequencer_block`` appends; the rest draw from the local lease
+  and never queue.
+
+The per-append sequencer service time is raised well above the default
+(0.2 ms vs 0.02 ms) so the monolith knee lands *inside* the swept rate
+range — same methodology as the shard sweep's raised shard service
+time.  Expected shape: all three agree at low load; the monolith's p99
+explodes once its occupancy reaches ~1.0 while batched and leased
+sustain ≥2× the append rate at equal-or-better p99.
+
+``--diurnal BASE`` replaces the flat rate grid with points sampled off
+a :class:`~repro.workloads.skew.DiurnalCurve` — one simulated day of
+trough → peak → trough traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..config import SystemConfig
+from ..observe import Tracer
+from ..workloads.skew import DiurnalCurve, SkewedWorkload
+from .parallel import SweepCell, pop_crash_notes, run_cells
+from .platform import RunResult, SimPlatform
+from .report import ExperimentTable
+
+DEFAULT_SEQUENCERS = ("monolith", "batched", "leased-ranges")
+DEFAULT_RATES = (400.0, 800.0, 1200.0, 1600.0)
+DEFAULT_USERS = 100_000
+
+#: Raised sequencer service time (ms/append) so the monolith knee is
+#: inside the default rate grid: capacity 1/0.2ms = 5 000 appends/s.
+SCALE_SEQUENCER_SERVICE_MS = 0.2
+
+
+def scale_sweep_config(
+    sequencer: str,
+    base: Optional[SystemConfig] = None,
+    log_shards: int = 4,
+    sequencer_service_ms: float = SCALE_SEQUENCER_SERVICE_MS,
+    log_shard_service_ms: float = 0.02,
+) -> SystemConfig:
+    """The sweep's operating point for one sequencing strategy.
+
+    Always the ``sharded`` backend at a fixed shard count, so the shard
+    stations are never the bottleneck and the strategies differ *only*
+    in how appends visit the sequencer.  Batch/hold/block knobs are
+    taken from ``base`` (set them via ``with_storage_plane``).
+    """
+    base = base if base is not None else SystemConfig()
+    config = base.with_storage_plane(
+        log_shards=log_shards,
+        kv_partitions=log_shards,
+        backend="sharded",
+        sequencer=sequencer,
+    )
+    return replace(
+        config,
+        cluster=replace(
+            config.cluster,
+            model_log_contention=True,
+            sequencer_service_ms=sequencer_service_ms,
+            log_shard_service_ms=log_shard_service_ms,
+        ),
+    )
+
+
+def run_scale_point(
+    sequencer: str,
+    rate_per_s: float,
+    protocol: str = "boki",
+    num_users: int = DEFAULT_USERS,
+    ops_per_request: int = 4,
+    config: Optional[SystemConfig] = None,
+    duration_ms: float = 3_000.0,
+    warmup_ms: float = 500.0,
+    tracer: Optional[Tracer] = None,
+) -> RunResult:
+    """One (sequencing strategy, offered rate) cell of the sweep."""
+    workload = SkewedWorkload(
+        num_users=num_users, ops_per_request=ops_per_request
+    )
+    platform = SimPlatform(
+        workload, protocol,
+        scale_sweep_config(sequencer, config),
+        tracer=tracer,
+    )
+    result = platform.run(rate_per_s, duration_ms, warmup_ms=warmup_ms)
+    # RunResult.extras["sequencer"] is attached by the platform (the
+    # contention model is on); add the sweep-level derived rates here.
+    stats = result.extras["sequencer"]
+    result.extras["appends_per_s"] = stats["visits"] * 1000.0 / duration_ms
+    result.extras["distinct_users"] = workload.distinct_users_touched
+    return result
+
+
+def _mean_batch(stats: dict) -> float:
+    """Appends per sequencer visit — the amortization each strategy won."""
+    if stats["strategy"] == "batched":
+        return stats["mean_batch_size"]
+    if stats["strategy"] == "leased-ranges":
+        refills = stats["refills"]
+        return stats["visits"] / refills if refills else 0.0
+    return 1.0
+
+
+def run_scale_sweep(
+    sequencers: Sequence[str] = DEFAULT_SEQUENCERS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    protocol: str = "boki",
+    num_users: int = DEFAULT_USERS,
+    ops_per_request: int = 4,
+    config: Optional[SystemConfig] = None,
+    duration_ms: float = 3_000.0,
+    warmup_ms: float = 500.0,
+    diurnal_base: Optional[float] = None,
+    diurnal_points: int = 6,
+    tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentTable:
+    """p99 + sequencer occupancy vs offered load per sequencing strategy.
+
+    ``diurnal_base`` replaces ``rates`` with ``diurnal_points`` samples
+    of a day-shaped load curve around that base rate.  ``jobs`` fans the
+    cells over a process pool; output is bit-identical at every count.
+    """
+    if diurnal_base is not None:
+        curve = DiurnalCurve(diurnal_base)
+        rates = curve.sample_rates(diurnal_points)
+    table = ExperimentTable(
+        f"Sequencer scaling: {protocol} under Zipf skew, "
+        f"{num_users:,} users ({ops_per_request} write+read pairs/req)",
+        ["sequencer", "rate (req/s)", "completed", "median (ms)",
+         "p99 (ms)", "appends/s", "seq occupancy", "appends/visit"],
+    )
+    grid = [(seq, rate) for seq in sequencers for rate in rates]
+    cells = [
+        SweepCell(
+            key=("scale", seq, "rate", rate),
+            fn=run_scale_point,
+            kwargs=dict(
+                sequencer=seq, rate_per_s=rate, protocol=protocol,
+                num_users=num_users, ops_per_request=ops_per_request,
+                config=config, duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+            ),
+        )
+        for seq, rate in grid
+    ]
+    results = run_cells(cells, jobs=jobs, tracer=tracer)
+    for (seq, rate), result in zip(grid, results):
+        stats = result.extras["sequencer"]
+        table.add_row(
+            seq, rate, result.completed, result.median_ms,
+            result.p99_ms, result.extras["appends_per_s"],
+            stats["occupancy"], _mean_batch(stats),
+        )
+    table.add_note(
+        "expected shape: the monolith sequencer pins at occupancy ~1.0 "
+        "and p99 explodes past its knee (~1/service_ms appends/s); "
+        "batched and leased-ranges sustain >= 2x the monolith's append "
+        "rate at equal-or-better p99 by amortizing visits "
+        "(appends/visit > 1)"
+    )
+    if diurnal_base is not None:
+        table.add_note(
+            f"rates sampled from a diurnal curve around "
+            f"{diurnal_base:.0f} req/s ({diurnal_points} points over "
+            f"one simulated day)"
+        )
+    for note in pop_crash_notes():
+        table.add_note(note)
+    return table

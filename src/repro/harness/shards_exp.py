@@ -124,7 +124,7 @@ def run_shard_sweep(
         f"Storage-plane scaling: {protocol} latency vs load by log shards "
         f"(read ratio {read_ratio})",
         ["log shards", "rate (req/s)", "median (ms)", "p99 (ms)",
-         "log wait (ms/req)"],
+         "log wait (ms/req)", "seq occupancy"],
     )
     grid = [(shards, rate) for shards in shard_counts for rate in rates]
     cells = [
@@ -148,6 +148,7 @@ def run_shard_sweep(
         table.add_row(
             shards, rate, result.median_ms, result.p99_ms,
             per_request_wait,
+            result.extras["sequencer"]["occupancy"],
         )
     table.add_note(
         "expected shape: low-load medians within noise across shard "

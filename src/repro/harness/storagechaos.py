@@ -49,6 +49,12 @@ DEFAULT_COMPONENTS = ("metalog", "shard-replica", "partition", "netsplit")
 DEFAULT_SYSTEMS = ("unsafe", "boki", "halfmoon-read", "halfmoon-write")
 EXACTLY_ONCE_SYSTEMS = ("boki", "halfmoon-read", "halfmoon-write")
 DEFAULT_REPLICATIONS = (1, 3)
+#: Sequencing strategies to chaos-test.  ``("monolith",)`` keeps the
+#: default grid (and its per-cell seeds) bit-identical to the
+#: pre-sequencer-axis sweep; ``--sequencers monolith batched
+#: leased-ranges`` proves the group-commit and leased-range paths keep
+#: exactly-once through metalog failover too.
+DEFAULT_SEQUENCERS = ("monolith",)
 
 
 @dataclass
@@ -70,6 +76,8 @@ class StorageChaosPoint:
     chaos: Dict[str, Any]
     #: Storage-side injected fault counts, by component label.
     injected: Dict[str, int] = field(default_factory=dict)
+    #: Sequencing strategy the cell's metalog ran under.
+    sequencer: str = "monolith"
 
     @property
     def fenced_appends(self) -> int:
@@ -98,6 +106,7 @@ def _chaos_config(
     duration_ms: float,
     storage_fault_rate: float,
     netsplit_windows: int,
+    sequencer: str = "monolith",
 ) -> SystemConfig:
     chaos: Dict[str, Any] = dict(
         shard_error_rate=storage_fault_rate * 0.5,
@@ -116,6 +125,7 @@ def _chaos_config(
             log_shards=log_shards,
             kv_partitions=kv_partitions,
             replication=replication,
+            sequencer=sequencer,
         )
         .with_storage_chaos(**chaos)
     )
@@ -148,6 +158,7 @@ def run_storagechaos_point(
     storage_fault_rate: float = 0.01,
     netsplit_windows: int = 4,
     compute_ms: float = 6.0,
+    sequencer: str = "monolith",
     tracer: Optional[Tracer] = None,
 ) -> StorageChaosPoint:
     """One cell: kill ``component`` at ``crash_at_ms``, recover, audit.
@@ -165,6 +176,7 @@ def run_storagechaos_point(
     cfg = _chaos_config(
         base, component, replication, log_shards, kv_partitions,
         duration_ms, storage_fault_rate, netsplit_windows,
+        sequencer=sequencer,
     )
 
     num_keys = int(rate_per_s * duration_ms / 1000.0) * 2 + 64
@@ -234,6 +246,7 @@ def run_storagechaos_point(
         rebuild_diffs=list(controller.rebuild_diffs),
         chaos=controller.report(),
         injected=dict(injector.injected) if injector is not None else {},
+        sequencer=sequencer,
     )
 
 
@@ -241,6 +254,7 @@ def run_storagechaos_sweep(
     components: Sequence[str] = DEFAULT_COMPONENTS,
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     replications: Sequence[int] = DEFAULT_REPLICATIONS,
+    sequencers: Sequence[str] = DEFAULT_SEQUENCERS,
     crash_at_ms: float = 1_000.0,
     recover_after_ms: float = 400.0,
     rate_per_s: float = 400.0,
@@ -252,11 +266,15 @@ def run_storagechaos_sweep(
     tracer: Optional[Tracer] = None,
     jobs: Optional[int] = None,
 ) -> ExperimentTable:
-    """Component × system × replication grid under storage chaos.
+    """Component × system × replication (× sequencer) grid under
+    storage chaos.
 
     Per-cell seeds derive through :func:`seed_for` from the sweep seed
     and the cell key, so the grid is decorrelated and — like every
-    sweep — bit-identical at any ``--jobs`` count.
+    sweep — bit-identical at any ``--jobs`` count.  ``monolith`` cells
+    keep the historical key (no sequencer element), so the default grid
+    is byte-identical to the pre-sequencer-axis sweep; non-monolith
+    cells append the strategy name to the key and draw fresh seeds.
     """
     base_seed = seed if seed is not None else (
         config.seed if config is not None else SystemConfig().seed
@@ -265,47 +283,60 @@ def run_storagechaos_sweep(
         "Storage chaos: component killed at "
         f"t={crash_at_ms:.0f}ms, recovered +{recover_after_ms:.0f}ms "
         f"(instance crash f={crash_f})",
-        ["system", "component", "R", "completed", "fenced",
+        ["system", "component", "R", "seq", "completed", "fenced",
          "rediscover", "unavail ops", "rebuilds", "anomalies",
          "violations"],
     )
+    grid = [
+        (sequencer, replication, system, component)
+        for sequencer in sequencers
+        for replication in replications
+        for system in systems
+        for component in components
+    ]
     cells = []
-    for replication in replications:
-        for system in systems:
-            for component in components:
-                key = ("storagechaos", system, component, replication)
-                cells.append(SweepCell(
-                    key=key,
-                    fn=run_storagechaos_point,
-                    kwargs=dict(
-                        protocol=system, component=component,
-                        replication=replication,
-                        crash_at_ms=crash_at_ms,
-                        recover_after_ms=recover_after_ms,
-                        rate_per_s=rate_per_s, duration_ms=duration_ms,
-                        config=config, seed=seed_for(base_seed, key),
-                        crash_f=crash_f,
-                        storage_fault_rate=storage_fault_rate,
-                    ),
-                ))
-    points = iter(run_cells(cells, jobs=jobs, tracer=tracer))
-    for replication in replications:
-        for system in systems:
-            for component in components:
-                point = next(points)
-                table.add_row(
-                    system, component, replication,
-                    point.result.completed, point.fenced_appends,
-                    point.rediscoveries, point.unavailable_ops,
-                    point.rebuilds,
-                    len(point.anomalies) + len(point.rebuild_diffs),
-                    point.violations,
-                )
+    for sequencer, replication, system, component in grid:
+        key = ("storagechaos", system, component, replication)
+        if sequencer != "monolith":
+            key = key + (sequencer,)
+        cells.append(SweepCell(
+            key=key,
+            fn=run_storagechaos_point,
+            kwargs=dict(
+                protocol=system, component=component,
+                replication=replication,
+                crash_at_ms=crash_at_ms,
+                recover_after_ms=recover_after_ms,
+                rate_per_s=rate_per_s, duration_ms=duration_ms,
+                config=config, seed=seed_for(base_seed, key),
+                crash_f=crash_f,
+                storage_fault_rate=storage_fault_rate,
+                sequencer=sequencer,
+            ),
+        ))
+    points = run_cells(cells, jobs=jobs, tracer=tracer)
+    for (sequencer, replication, system, component), point in zip(
+            grid, points):
+        table.add_row(
+            system, component, replication, sequencer,
+            point.result.completed, point.fenced_appends,
+            point.rediscoveries, point.unavailable_ops,
+            point.rebuilds,
+            len(point.anomalies) + len(point.rebuild_diffs),
+            point.violations,
+        )
     table.add_note(
         "expected: zero violations and zero anomalies for every logged "
         "protocol in every cell; the unsafe baseline violates under the "
         "composed instance crashes"
     )
+    if tuple(sequencers) != ("monolith",):
+        table.add_note(
+            "seq = metalog sequencing strategy; batched flushes its "
+            "group-commit buffer before every failover and leased-"
+            "ranges discards epoch-stale blocks, so the exactly-once "
+            "audit must stay clean under all strategies"
+        )
     table.add_note(
         "fenced = appends rejected by epoch fencing after metalog "
         "failover; rediscover = leader rediscoveries those triggered; "

@@ -352,6 +352,20 @@ class ServiceBackend:
             "kv_store", lambda: {"bytes": self.kv.storage_bytes()}
         )
         self.metrics.probe("storage_plane", self.plane.describe)
+        # Sequencing strategy stats (flushes, batch sizes, leased/
+        # invalidated blocks).  Only registered when a non-default
+        # strategy is selected so monolith snapshots stay byte-stable.
+        # The isinstance check matters: a worker-side RPC proxy log
+        # synthesizes *callables* for unknown attributes, and the stats
+        # belong to the gateway that owns the real sequencer anyway.
+        from ..storageplane.sequencer import Sequencer
+
+        sequencer = getattr(self.log, "sequencer", None)
+        if isinstance(sequencer, Sequencer) and sequencer.name != "monolith":
+            self.metrics.probe(
+                "sequencer_batch_size", sequencer.stats,
+                strategy=sequencer.name,
+            )
         self.metrics.probe(
             "fault_injector",
             lambda: {

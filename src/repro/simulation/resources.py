@@ -225,3 +225,112 @@ class NodeWorkerPool:
         node.in_use = 0
         node.epoch += 1
         self._drain_waiters()
+
+
+# ---------------------------------------------------------------------------
+# Sequencer stations (analytic FIFO bookkeeping, not kernel resources)
+# ---------------------------------------------------------------------------
+#
+# The platform's ``_drain`` models the metalog sequencer as an analytic
+# FIFO: appends visit it in nondecreasing simulation time, each charging
+# the queue *wait* it would have suffered (service time itself is already
+# inside the calibrated append latency).  The monolith arithmetic stays
+# inlined in the hot loop; the batched and leased strategies get their
+# own station objects here because their visit logic carries state the
+# inline form can't.
+
+
+class SequencerBatchStation:
+    """Group-commit station: ``batch`` appends share one service quantum.
+
+    An append arriving while a batch is open (within ``hold_ms`` of its
+    opener, fewer than ``batch`` members) joins it and waits only until
+    the batch's service begins.  The opener pays the busy-wait plus the
+    full hold window — the price of amortization.  With ``batch=1`` and
+    ``hold_ms=0`` every visit opens (and instantly closes) its own
+    batch, which reduces bit-exactly to the monolith arithmetic.
+    """
+
+    __slots__ = ("service_ms", "hold_ms", "batch", "next_free",
+                 "_batch_close", "_batch_start", "_batch_count",
+                 "busy_ms", "visits", "batches")
+
+    def __init__(self, service_ms: float, hold_ms: float, batch: int):
+        if batch < 1:
+            raise SimulationError("batch must be >= 1")
+        self.service_ms = float(service_ms)
+        self.hold_ms = float(hold_ms)
+        self.batch = int(batch)
+        self.next_free = 0.0
+        #: Close instant of the currently open batch (opener + hold).
+        self._batch_close = -1.0
+        #: Instant the open batch's service begins (== its close).
+        self._batch_start = 0.0
+        self._batch_count = 0
+        self.busy_ms = 0.0
+        self.visits = 0
+        self.batches = 0
+
+    def visit(self, now: float) -> float:
+        """One append arrives; returns the extra wait it suffers."""
+        self.visits += 1
+        if (self._batch_count != 0
+                and self._batch_count < self.batch
+                and now <= self._batch_close):
+            self._batch_count += 1
+            wait = self._batch_start - now
+            return wait if wait > 0.0 else 0.0
+        # Open a new batch: wait for the sequencer to free up, then sit
+        # out the hold window collecting joiners.
+        open_at = now if now > self.next_free else self.next_free
+        start = open_at + self.hold_ms
+        self._batch_close = start
+        self._batch_start = start
+        self._batch_count = 1
+        self.next_free = start + self.service_ms
+        self.batches += 1
+        self.busy_ms += self.service_ms
+        return start - now
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.visits / self.batches if self.batches else 0.0
+
+
+class SequencerLeaseStation:
+    """Leased-range station: one sequencer visit per ``block`` appends.
+
+    The first append of every block pays the monolith queue wait (the
+    refill round trip); the next ``block - 1`` draw from the local lease
+    and never touch the sequencer.  With ``block=1`` every append
+    refills, which reduces bit-exactly to the monolith arithmetic.
+    """
+
+    __slots__ = ("service_ms", "block", "next_free", "_lease_left",
+                 "busy_ms", "visits", "refills")
+
+    def __init__(self, service_ms: float, block: int):
+        if block < 1:
+            raise SimulationError("block must be >= 1")
+        self.service_ms = float(service_ms)
+        self.block = int(block)
+        self.next_free = 0.0
+        self._lease_left = 0
+        self.busy_ms = 0.0
+        self.visits = 0
+        self.refills = 0
+
+    def visit(self, now: float) -> float:
+        """One append arrives; returns the extra wait it suffers."""
+        self.visits += 1
+        if self._lease_left > 0:
+            self._lease_left -= 1
+            return 0.0
+        wait = self.next_free - now
+        if wait < 0.0:
+            wait = 0.0
+        self.next_free = now + wait + self.service_ms
+        self._lease_left = self.block - 1
+        self.refills += 1
+        self.busy_ms += self.service_ms
+        return wait

@@ -31,27 +31,45 @@ from .plane import (
 )
 from .replication import ShardReplicaSet
 from .routing import PLACEMENT_POLICIES, Router, base_key, stable_hash
+from .sequencer import (
+    BatchedSequencer,
+    LeasedBlock,
+    LeasedRangeSequencer,
+    MonolithSequencer,
+    Sequencer,
+    available_sequencers,
+    build_sequencer,
+    register_sequencer,
+)
 from .sharded_log import LogShard, ShardedLog
 
 __all__ = [
     "GENESIS_VERSION",
+    "BatchedSequencer",
     "EpochView",
     "Lease",
+    "LeasedBlock",
+    "LeasedRangeSequencer",
     "LogShard",
     "Metalog",
+    "MonolithSequencer",
     "PLACEMENT_POLICIES",
     "PartitionedKV",
     "Router",
+    "Sequencer",
     "ShardReplicaSet",
     "ShardedLog",
     "ShardedPlane",
     "SingleNodePlane",
     "StoragePlane",
     "available_backends",
+    "available_sequencers",
     "base_key",
+    "build_sequencer",
     "build_storage_plane",
     "diff_partition_snapshots",
     "register_backend",
+    "register_sequencer",
     "stable_hash",
     "storage_consistency_report",
 ]

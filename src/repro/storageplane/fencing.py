@@ -12,7 +12,12 @@ state.  This module holds the two client/controller-side pieces:
   *when* a standby may take over (a real system would heartbeat; the
   simulation schedules the expiry explicitly);
 * :class:`EpochView` — a worker's cached view of the current epoch, the
-  thing a fence invalidates and "leader rediscovery" refreshes.
+  thing a fence invalidates and "leader rediscovery" refreshes;
+* :class:`LeasedBlock` — a contiguous seqnum range granted under one
+  epoch by the ``leased-ranges`` sequencing strategy
+  (:mod:`~repro.storageplane.sequencer`).  The epoch stamp is what a
+  failover invalidates: a stale block's remainder is discarded and can
+  never commit.
 """
 
 from __future__ import annotations
@@ -47,6 +52,29 @@ class Lease:
 
     def renew(self, now_ms: float) -> "Lease":
         return Lease(self.holder, self.epoch, now_ms, self.duration_ms)
+
+
+@dataclass(frozen=True)
+class LeasedBlock:
+    """A contiguous seqnum range leased under one sequencer epoch.
+
+    Granted by :meth:`Metalog.assign_block` to the ``leased-ranges``
+    sequencing strategy.  The epoch stamp is the fencing handle: a
+    failover bumps the metalog's epoch, and any block carrying an older
+    stamp is stale — its unconsumed remainder must be discarded, never
+    committed.
+    """
+
+    start: int
+    end: int
+    epoch: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start + 1
+
+    def contains(self, seqnum: int) -> bool:
+        return self.start <= seqnum <= self.end
 
 
 class EpochView:

@@ -92,6 +92,25 @@ class Metalog:
         self._next_seqnum += 1
         return seqnum
 
+    def assign_block(self, count: int, epoch: Optional[int] = None) -> int:
+        """Allocate ``count`` contiguous positions; returns the first.
+
+        One sequencer round trip leases a whole block (the
+        ``leased-ranges`` strategy); the block's consumer stamps it with
+        the current epoch, and a later failover invalidates whatever
+        remains unconsumed — at ``replication == 1`` the reset cursor
+        reclaims those numbers (counted in ``invalidated_allocations``),
+        at higher replication they stay a hole the committed tail
+        advances over.
+        """
+        if count < 1:
+            raise LogError(f"block size must be >= 1, got {count}")
+        if epoch is not None:
+            self.check_epoch(epoch, op="assign_block")
+        start = self._next_seqnum
+        self._next_seqnum += count
+        return start
+
     def commit(self, seqnum: int) -> None:
         """Mark an assigned seqnum as installed (replicated metalog entry).
 

@@ -73,6 +73,10 @@ class ShardedPlane(StoragePlane):
             shards=storage.log_shards,
             placement=storage.placement,
             replication=storage.replication,
+            sequencer=storage.sequencer,
+            # The storage config carries the strategy knobs
+            # (sequencer_batch / _hold_ms / _block).
+            sequencer_options=storage,
         )
         self._kv = PartitionedKV(
             partitions=storage.kv_partitions,
@@ -124,6 +128,8 @@ class ShardedPlane(StoragePlane):
             for i in range(self._kv.num_partitions)
         ]
         info["trim_frontiers"] = self._log.shard_trim_frontiers()
+        if self._log.sequencer.name != "monolith":
+            info["sequencer"] = self._log.sequencer.stats()
         if self._log.replication > 1 or self._kv.durability:
             info["replication"] = self._log.replication
             info["epoch"] = self._log.epoch
@@ -169,6 +175,7 @@ def build_storage_plane(config: "SystemConfig") -> StoragePlane:
             storage.log_shards == 1
             and storage.kv_partitions == 1
             and storage.replication == 1
+            and storage.sequencer == "monolith"
             and not (chaos is not None and chaos.enabled)
         )
         name = "single" if plain else "sharded"

@@ -61,6 +61,7 @@ from ..sharedlog.log import _Stream
 from ..sharedlog.record import LogRecord
 from .metalog import Metalog
 from .routing import Router
+from .sequencer import build_sequencer
 
 
 class LogShard:
@@ -97,9 +98,17 @@ class ShardedLog:
         shards: int = 1,
         placement: str = "hash",
         replication: int = 1,
+        sequencer: str = "monolith",
+        sequencer_options: Optional[Any] = None,
     ):
         self._meta_bytes = int(meta_bytes)
         self.metalog = Metalog(first_seqnum, replication=replication)
+        #: Sequencing strategy over the metalog (see
+        #: :mod:`~repro.storageplane.sequencer`); ``monolith`` is a
+        #: passthrough and bit-identical to calling the metalog directly.
+        self.sequencer = build_sequencer(
+            sequencer, self.metalog, sequencer_options
+        )
         self.router = Router(shards, placement)
         #: Bound route method: placement is consulted on every append,
         #: read, and trim, so skip the extra dispatch layer.
@@ -185,11 +194,11 @@ class ShardedLog:
 
     @property
     def next_seqnum(self) -> int:
-        return self.metalog.next_seqnum
+        return self.sequencer.next_seqnum
 
     @property
     def tail_seqnum(self) -> int:
-        return self.metalog.tail_seqnum
+        return self.sequencer.tail_seqnum
 
     @property
     def append_count(self) -> int:
@@ -265,7 +274,7 @@ class ShardedLog:
         if self._degraded:
             self._check_writable(tags, op="append")
         record = LogRecord(
-            seqnum=self.metalog.assign(),
+            seqnum=self.sequencer.assign(),
             tags=tuple(tags),
             data=data,
             payload_bytes=int(payload_bytes),
@@ -354,7 +363,7 @@ class ShardedLog:
             stream.append(seqnum)
             if replica_sets is not None:
                 replica_sets[shard_id].mirror_append(tag, seqnum)
-        self.metalog.commit(seqnum)
+        self.sequencer.commit(seqnum)
         size = self._meta_bytes + record.payload_bytes
         self._storage_bytes += size
         home.storage_bytes += size
@@ -498,7 +507,15 @@ class ShardedLog:
         self._refresh_degraded()
 
     def failover_sequencer(self) -> int:
-        """Promote a standby sequencer; returns the new (fencing) epoch."""
+        """Promote a standby sequencer; returns the new (fencing) epoch.
+
+        The sequencing strategy runs its pre-failover hook first: the
+        new leader reconstructs the committed tail from what the shards
+        actually installed, so a batched strategy flushes its pending
+        commits — otherwise the R=1 cursor reset would re-issue seqnums
+        of already-installed records.
+        """
+        self.sequencer.on_failover()
         epoch = self.metalog.failover()
         self._refresh_degraded()
         return epoch

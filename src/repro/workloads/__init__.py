@@ -2,10 +2,11 @@
 application workloads of Section 6.2.
 """
 
-from .base import Request, Workload
+from .base import Request, Workload, ZipfSampler
 from .generator import Phase, PhasedSchedule, PoissonArrivals
 from .movie import MovieReviewWorkload
 from .retwis import RetwisWorkload
+from .skew import DiurnalCurve, SkewedWorkload, skew_touch_ssf
 from .synthetic import (
     MixedRatioWorkload,
     ReadWriteMicrobench,
@@ -15,6 +16,7 @@ from .synthetic import (
 from .travel import TravelReservationWorkload
 
 __all__ = [
+    "DiurnalCurve",
     "MixedRatioWorkload",
     "MovieReviewWorkload",
     "Phase",
@@ -23,8 +25,11 @@ __all__ = [
     "ReadWriteMicrobench",
     "Request",
     "RetwisWorkload",
+    "SkewedWorkload",
     "TravelReservationWorkload",
     "Workload",
+    "ZipfSampler",
     "mixed_ssf",
     "rw_microbench_ssf",
+    "skew_touch_ssf",
 ]

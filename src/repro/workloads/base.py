@@ -26,6 +26,45 @@ class Request:
     input: Any
 
 
+class ZipfSampler:
+    """Rejection-sampled Zipf draw truncated to a finite population.
+
+    ``sample`` returns a 0-based index in ``[0, population)`` where index
+    0 is the hottest item.  The rejection loop redraws any rank beyond
+    the population, which keeps the in-range probabilities exactly
+    proportional to the untruncated Zipf mass — and, crucially for the
+    golden-run diffs, consumes the *same RNG draw sequence* as the
+    inline loop retwis always used (one ``rng.zipf`` call per attempt,
+    nothing else).
+
+    Hoisted from ``RetwisWorkload._zipf_user`` so the skewed-user scale
+    workload and any future hot-key generator share one implementation.
+    """
+
+    __slots__ = ("s", "population")
+
+    def __init__(self, s: float, population: int):
+        if s <= 1.0:
+            raise ValueError("zipf exponent must be > 1")
+        if population < 1:
+            raise ValueError("population must be >= 1")
+        self.s = float(s)
+        self.population = int(population)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        population = self.population
+        s = self.s
+        while True:
+            draw = int(rng.zipf(s))
+            if draw <= population:
+                return draw - 1
+
+    __call__ = sample
+
+    def __repr__(self) -> str:
+        return f"ZipfSampler(s={self.s}, population={self.population})"
+
+
 class Workload(ABC):
     """Base class for benchmark workloads."""
 

@@ -18,7 +18,7 @@ from typing import Any, Dict, Tuple
 import numpy as np
 
 from ..runtime.ops import InvokeOp, ReadOp, WriteOp
-from .base import Request, Workload
+from .base import Request, Workload, ZipfSampler
 
 NUM_USERS = 300
 TIMELINE_FANOUT = 8
@@ -139,6 +139,7 @@ class RetwisWorkload(Workload):
             ("retwis.follow", follow_fraction),
         )
         self.zipf_s = zipf_s
+        self._zipf = ZipfSampler(zipf_s, num_users)
 
     def register(self, runtime) -> None:
         for name, fn in FUNCTIONS.items():
@@ -154,11 +155,9 @@ class RetwisWorkload(Workload):
             runtime.populate(following_key(u), [])
 
     def _zipf_user(self, rng: np.random.Generator) -> int:
-        # Rejection-sampled Zipf truncated to the user population.
-        while True:
-            draw = int(rng.zipf(self.zipf_s))
-            if draw <= self.num_users:
-                return draw - 1
+        # Shared rejection-sampled Zipf (same draw sequence as the
+        # historical inline loop, so seeded runs are unchanged).
+        return self._zipf.sample(rng)
 
     def next_request(self, rng: np.random.Generator) -> Request:
         roll = rng.random()

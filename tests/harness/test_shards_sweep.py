@@ -70,7 +70,8 @@ def test_sweep_table_shape_and_determinism():
     table = run_shard_sweep(**kwargs)
     again = run_shard_sweep(**kwargs)
     assert table.headers == ["log shards", "rate (req/s)", "median (ms)",
-                             "p99 (ms)", "log wait (ms/req)"]
+                             "p99 (ms)", "log wait (ms/req)",
+                             "seq occupancy"]
     assert len(table.rows) == 2
     assert table.rows == again.rows  # same seed → same table
 

@@ -1,0 +1,223 @@
+"""Sequencer strategies under failover: fencing, flush-before-epoch-bump,
+and the degeneracy pins.
+
+The pluggable sequencers change *how often* the metalog is touched, not
+*what* it certifies — so the safety surface is exactly three edges:
+
+* a **stale leased block** (granted under a pre-failover epoch) must
+  never advance the committed tail; the metalog's own fence rejects and
+  counts the commit, and the next allocation discards the remainder;
+* a **batched** sequencer must flush its group-commit buffer *before*
+  the epoch bumps — at replication 1 the new leader resets the cursor
+  to the committed tail, so an unflushed buffer would re-issue seqnums
+  of records the shards already installed;
+* ``batch=1`` and ``block=1`` must be **bit-identical** to the monolith
+  (the degeneracy the golden CI diffs rely on).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, FencedEpochError
+from repro.storageplane import Metalog, ShardedLog
+from repro.storageplane.audit import audit_sharded_log
+from repro.storageplane.sequencer import (
+    BatchedSequencer,
+    LeasedRangeSequencer,
+    MonolithSequencer,
+    available_sequencers,
+    build_sequencer,
+)
+
+
+# ----------------------------------------------------------------------
+# Leased ranges: epoch fencing
+# ----------------------------------------------------------------------
+
+def test_stale_leased_block_can_never_commit():
+    meta = Metalog()
+    seq = LeasedRangeSequencer(meta, block=8)
+    seqnum = seq.assign()
+    tail_before = meta.committed_tail
+    meta.crash_leader()
+    meta.failover()
+    # The lease was granted under epoch 1; the metalog is now at 2.
+    with pytest.raises(FencedEpochError) as exc_info:
+        seq.commit(seqnum)
+    assert exc_info.value.stale_epoch == 1
+    assert exc_info.value.current_epoch == meta.epoch == 2
+    assert meta.committed_tail == tail_before  # tail never moved
+    assert meta.fenced_appends == 1
+
+
+def test_stale_block_remainder_is_discarded_and_counted():
+    meta = Metalog()
+    seq = LeasedRangeSequencer(meta, block=8)
+    first = seq.assign()
+    meta.commit(first)  # install the one record that made it
+    meta.crash_leader()
+    meta.failover()
+    # Next allocation lazily notices the epoch moved: the 7 unconsumed
+    # numbers are discarded, the block is counted, and a fresh block is
+    # leased under the new epoch.
+    replacement = seq.assign()
+    assert seq.invalidated_blocks == 1
+    assert seq.invalidated_seqnums == 7
+    assert seq.current_block.epoch == meta.epoch
+    # R=1: the failed-over cursor reclaimed the uninstalled numbers, so
+    # the replacement block starts right after the committed tail.
+    assert replacement == first + 1
+    seq.commit(replacement)
+    assert meta.committed_tail == replacement
+
+
+def test_leased_blocks_survive_failover_through_the_sharded_log():
+    log = ShardedLog(
+        shards=2, sequencer="leased-ranges",
+        sequencer_options=SimpleNamespace(sequencer_block=4),
+    )
+    for i in range(6):  # spans two blocks
+        log.append(["t:a"], {"i": i})
+    epoch = log.epoch
+    log.crash_sequencer()
+    log.failover_sequencer()
+    with pytest.raises(FencedEpochError):
+        log.append(["t:a"], {"i": "stale"}, epoch=epoch)
+    seqnum = log.append(["t:a"], {"i": 6}, epoch=log.epoch)
+    records = [r.data["i"] for r in log.read_stream("t:a")]
+    assert records == [0, 1, 2, 3, 4, 5, 6]
+    assert log.read_stream("t:a")[-1].seqnum == seqnum
+    stats = log.sequencer.stats()
+    assert stats["invalidated_blocks"] == 1
+    # Block 2 held seqnums for i=4..7; i=4 and i=5 consumed it to the
+    # cursor, so two numbers died with the old epoch.
+    assert stats["invalidated_seqnums"] == 2
+    assert audit_sharded_log(log) == []
+
+
+# ----------------------------------------------------------------------
+# Batched: flush-before-failover
+# ----------------------------------------------------------------------
+
+def test_batched_flushes_pending_commits_before_epoch_bump():
+    log = ShardedLog(
+        shards=2, sequencer="batched",
+        sequencer_options=SimpleNamespace(
+            sequencer_batch=8, sequencer_hold_ms=0.2
+        ),
+    )
+    seqnums = [log.append(["t:a"], {"i": i}) for i in range(5)]
+    # Five installs sit in the group-commit buffer: the replicated
+    # metalog entry hasn't been appended yet.
+    assert log.sequencer.pending_commits == 5
+    assert log.metalog.committed_tail < seqnums[-1]
+    log.crash_sequencer()
+    log.failover_sequencer()
+    # on_failover flushed before the epoch bumped: the new leader's
+    # reconstructed tail covers every installed record, so the R=1
+    # cursor reset cannot re-issue their seqnums.
+    assert log.sequencer.pending_commits == 0
+    assert log.metalog.committed_tail == seqnums[-1]
+    assert log.metalog.invalidated_allocations == 0
+    fresh = log.append(["t:a"], {"i": 5}, epoch=log.epoch)
+    assert fresh == seqnums[-1] + 1
+    assert audit_sharded_log(log) == []
+
+
+def test_batched_amortizes_commit_appends():
+    meta = Metalog()
+    seq = BatchedSequencer(meta, batch=4)
+    for _ in range(8):
+        seq.commit(seq.assign())
+    stats = seq.stats()
+    assert stats["commit_flushes"] == 2  # 8 installs, 2 metalog appends
+    assert stats["mean_batch_size"] == 4.0
+    assert meta.committed_tail == seq.tail_seqnum
+
+
+# ----------------------------------------------------------------------
+# Degeneracy pins: batch=1 / block=1 == monolith, bit for bit
+# ----------------------------------------------------------------------
+
+def _drive(log, seed):
+    """A seeded append/cond_append/trim/failover workout; returns every
+    observable the strategies could perturb."""
+    rng = np.random.default_rng(seed)
+    epoch = log.epoch
+    outcomes = []
+    for i in range(120):
+        tag = f"t:{int(rng.integers(0, 5))}"
+        if rng.random() < 0.08:
+            log.crash_sequencer()
+            epoch = log.failover_sequencer()
+        if rng.random() < 0.5:
+            outcomes.append(log.append([tag], {"i": i}, epoch=epoch))
+        else:
+            outcomes.append(
+                log.cond_append(
+                    [tag], {"i": i}, tag, log.stream_length(tag),
+                    epoch=epoch,
+                )
+            )
+        if rng.random() < 0.1:
+            records = log.read_stream(tag)
+            if len(records) > 2:
+                log.trim(tag, records[len(records) // 2].seqnum)
+    outcomes.append(("tail", log.metalog.committed_tail))
+    outcomes.append(("next", log.next_seqnum))
+    for t in range(5):
+        outcomes.append(
+            ("stream", t, [r.seqnum for r in log.read_stream(f"t:{t}")])
+        )
+    assert audit_sharded_log(log) == []
+    return outcomes
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize(
+    "sequencer, options",
+    [
+        ("batched", SimpleNamespace(sequencer_batch=1,
+                                    sequencer_hold_ms=0.0)),
+        ("leased-ranges", SimpleNamespace(sequencer_block=1)),
+    ],
+)
+def test_degenerate_strategies_match_monolith(seed, sequencer, options):
+    mono = _drive(ShardedLog(shards=4), seed)
+    other = _drive(
+        ShardedLog(shards=4, sequencer=sequencer,
+                   sequencer_options=options),
+        seed,
+    )
+    assert other == mono
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_registry_names_and_unknown_strategy():
+    assert available_sequencers() == [
+        "batched", "leased-ranges", "monolith",
+    ]
+    meta = Metalog()
+    assert isinstance(
+        build_sequencer("monolith", meta, None), MonolithSequencer
+    )
+    with pytest.raises(ConfigError):
+        build_sequencer("round-robin", meta, None)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda meta: BatchedSequencer(meta, batch=0),
+        lambda meta: BatchedSequencer(meta, hold_ms=-1.0),
+        lambda meta: LeasedRangeSequencer(meta, block=0),
+    ],
+)
+def test_invalid_strategy_parameters(factory):
+    with pytest.raises(ConfigError):
+        factory(Metalog())

@@ -1,0 +1,139 @@
+"""Seeded-determinism pins for the shared :class:`ZipfSampler` and the
+skewed-population workload built on it.
+
+The sampler was hoisted out of retwis so retwis and the scale
+experiment's :class:`SkewedWorkload` draw from one implementation; these
+tests pin (a) the draw semantics to the historical inline rejection
+loop, bit for bit, and (b) the workload's determinism and lazy-key
+behaviour at 10⁵–10⁶ users.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DiurnalCurve,
+    RetwisWorkload,
+    SkewedWorkload,
+    ZipfSampler,
+)
+
+
+def _historical_zipf(rng, s, population):
+    """The rejection loop retwis carried inline before the hoist."""
+    while True:
+        draw = int(rng.zipf(s))
+        if draw <= population:
+            return draw - 1
+
+
+# ----------------------------------------------------------------------
+# ZipfSampler
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 7, 91])
+@pytest.mark.parametrize("s, population", [(1.2, 100), (2.0, 100_000)])
+def test_sampler_matches_historical_inline_loop(seed, s, population):
+    sampler = ZipfSampler(s, population)
+    a = np.random.default_rng(seed)
+    b = np.random.default_rng(seed)
+    draws = [sampler.sample(a) for _ in range(2_000)]
+    assert draws == [
+        _historical_zipf(b, s, population) for _ in range(2_000)
+    ]
+    assert all(0 <= d < population for d in draws)
+
+
+def test_sampler_is_seed_deterministic():
+    sampler = ZipfSampler(1.2, 1_000_000)
+    runs = []
+    for _ in range(2):
+        rng = np.random.default_rng(17)
+        runs.append([sampler(rng) for _ in range(500)])
+    assert runs[0] == runs[1]
+    # The head dominates: rank 0 must be the modal draw under s=1.2.
+    assert max(set(runs[0]), key=runs[0].count) == 0
+
+
+def test_sampler_validates_parameters():
+    with pytest.raises(ValueError):
+        ZipfSampler(1.0, 100)  # numpy's zipf needs s > 1
+    with pytest.raises(ValueError):
+        ZipfSampler(1.2, 0)
+
+
+def test_retwis_draws_through_the_shared_sampler():
+    wl = RetwisWorkload(num_users=10)
+    a = np.random.default_rng(3)
+    b = np.random.default_rng(3)
+    assert [wl._zipf_user(a) for _ in range(500)] == [
+        _historical_zipf(b, wl.zipf_s, wl.num_users) for _ in range(500)
+    ]
+
+
+# ----------------------------------------------------------------------
+# SkewedWorkload
+# ----------------------------------------------------------------------
+
+def test_skewed_requests_are_seed_deterministic():
+    def trace(seed):
+        wl = SkewedWorkload(num_users=100_000, ops_per_request=4)
+        rng = np.random.default_rng(seed)
+        return [wl.next_request(rng).input["ops"] for _ in range(200)]
+
+    assert trace(5) == trace(5)
+    assert trace(5) != trace(6)
+
+
+def test_skewed_requests_write_before_read():
+    wl = SkewedWorkload(num_users=1_000, ops_per_request=3)
+    req = wl.next_request(np.random.default_rng(0))
+    assert req.func_name == "skew.touch"
+    ops = req.input["ops"]
+    assert len(ops) == 3
+    for key, value in ops:
+        assert key.startswith("suser")
+        assert value.startswith("v")
+    reads, writes = wl.read_write_profile()
+    assert (reads, writes) == (3.0, 3.0)
+
+
+def test_million_user_population_stays_lazy():
+    wl = SkewedWorkload(num_users=1_000_000, ops_per_request=4)
+    rng = np.random.default_rng(11)
+    for _ in range(1_000):
+        wl.next_request(rng)
+    # 4000 Zipf draws at s=1.2 land overwhelmingly on the head: the key
+    # memo must stay orders of magnitude below the population.
+    assert 0 < wl.distinct_users_touched < 10_000
+
+
+def test_skewed_workload_validates_parameters():
+    with pytest.raises(ValueError):
+        SkewedWorkload(num_users=0)
+    with pytest.raises(ValueError):
+        SkewedWorkload(ops_per_request=0)
+
+
+# ----------------------------------------------------------------------
+# DiurnalCurve
+# ----------------------------------------------------------------------
+
+def test_diurnal_curve_shape():
+    curve = DiurnalCurve(1_000.0, peak_factor=2.0, trough_factor=0.4)
+    assert curve.rate_at(0.0) == pytest.approx(400.0)
+    assert curve.rate_at(curve.period_ms / 2) == pytest.approx(2_000.0)
+    assert curve.rate_at(curve.period_ms) == pytest.approx(400.0)
+    rates = curve.sample_rates(8)
+    assert len(rates) == 8
+    assert max(rates) <= 2_000.0 and min(rates) >= 400.0
+    assert rates == curve.sample_rates(8)  # pure function of the curve
+
+
+def test_diurnal_curve_validation():
+    with pytest.raises(ValueError):
+        DiurnalCurve(0.0)
+    with pytest.raises(ValueError):
+        DiurnalCurve(100.0, peak_factor=0.5, trough_factor=0.8)
+    with pytest.raises(ValueError):
+        DiurnalCurve(100.0).sample_rates(0)
