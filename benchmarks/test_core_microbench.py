@@ -6,11 +6,13 @@ direct-mode invocation per protocol.  These track the reproduction's own
 performance rather than a figure from the paper.
 """
 
+import numpy as np
 import pytest
 
 from repro import LocalRuntime, SystemConfig
 from repro.sharedlog import SharedLog
-from repro.simulation import Simulator
+from repro.simulation import NormalDrawBatch, Simulator
+from repro.simulation.latency import LogNormalLatency
 from repro.store import KVStore
 
 
@@ -55,6 +57,65 @@ def test_simulator_event_throughput(benchmark):
         sim.run()
 
     benchmark(run_events)
+
+
+def test_simulator_bare_delay_throughput(benchmark):
+    # The bare-delay fast path (`yield 1.0`): no Timeout object, no
+    # callback list — the headline number for the kernel comparison
+    # (run with REPRO_SIM_KERNEL=pure / =compiled to A/B).
+    def run_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(1_000):
+                yield 1.0
+
+        sim.process(ticker())
+        sim.run()
+
+    benchmark(run_events)
+
+
+def test_heap_drain_same_instant_batch(benchmark):
+    # Worst-case same-instant batching: hundreds of processes colliding
+    # on every timestamp, so each run() iteration drains a wide batch.
+    def run_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(20):
+                yield 1.0
+
+        for _ in range(200):
+            sim.process(ticker())
+        sim.run()
+
+    benchmark(run_events)
+
+
+def test_sampler_batched_lognormal(benchmark):
+    model = LogNormalLatency(2.0, 9.0)
+    batch = NormalDrawBatch(np.random.default_rng(7))
+    sampler = model.batched_sampler(batch)
+
+    def draw_many():
+        for _ in range(1_000):
+            sampler()
+
+    benchmark(draw_many)
+
+
+def test_sampler_scalar_lognormal(benchmark):
+    # The baseline the batched sampler replaces (bit-identical values,
+    # one numpy scalar call per draw).
+    model = LogNormalLatency(2.0, 9.0)
+    rng = np.random.default_rng(7)
+
+    def draw_many():
+        for _ in range(1_000):
+            model.sample(rng)
+
+    benchmark(draw_many)
 
 
 @pytest.mark.parametrize(

@@ -1,3 +1,52 @@
-from setuptools import setup
+"""Build glue for the optional compiled DES kernel.
 
-setup()
+The C extension ``repro.simulation._corec`` is a performance twin of the
+pure-Python kernel — never required for correctness.  Any build failure
+(no compiler, no headers, exotic platform) downgrades to a pure-Python
+install; the kernel selector falls back transparently at import time.
+
+Build in place for development:
+
+    python setup.py build_ext --inplace
+"""
+
+import sys
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """build_ext that soft-fails: a broken toolchain is not an error."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # noqa: BLE001 — any failure is non-fatal
+            self._warn(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # noqa: BLE001
+            self._warn(exc)
+
+    @staticmethod
+    def _warn(exc):
+        print(
+            "WARNING: building repro.simulation._corec failed "
+            f"({exc!r}); falling back to the pure-Python kernel.",
+            file=sys.stderr,
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.simulation._corec",
+            sources=["src/repro/simulation/_corec.c"],
+            optional=True,
+        ),
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

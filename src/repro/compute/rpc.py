@@ -1,13 +1,9 @@
 """Wire protocol between the live gateway and its worker processes.
 
 Frames are length-prefixed pickles of small tuples — ``(kind, ...)``
-with string kinds — over a unix-domain socket.  Two payload types need
-explicit codecs because naive pickling fails or lies:
+with string kinds — over a unix-domain socket.  One payload type needs
+an explicit codec because naive pickling lies:
 
-* :class:`~repro.sharedlog.record.LogRecord` freezes its ``data`` in a
-  ``MappingProxyType`` inside a slots dataclass, which pickle rejects;
-  records travel as a tagged tuple and are rebuilt on the other side
-  (``__post_init__`` re-freezes them).
 * The error taxonomy in :mod:`repro.errors` has subclasses with custom
   constructor signatures (``ConditionalAppendError(message,
   existing_seqnum)``, ...), so ``pickle``'s default
@@ -16,6 +12,13 @@ explicit codecs because naive pickling fails or lies:
   worker re-raises the *same* class — the retry/breaker machinery in
   :class:`~repro.runtime.services.InstanceServices` dispatches on those
   types and must keep working across the process boundary.
+
+:class:`~repro.sharedlog.record.LogRecord` used to need the same
+treatment (``MappingProxyType`` in a slots dataclass, which pickle
+rejects); since the record grew ``__reduce__`` it pickles natively and
+the tagged-tuple codec was retired.  :func:`encode_value` /
+:func:`decode_value` remain as the documented seam every payload still
+passes through, should a future value type need help again.
 
 Only data crosses the wire; no frame carries code.
 
@@ -41,8 +44,6 @@ import pickle
 import socket
 import struct
 from typing import Any, Optional, Tuple
-
-from ..sharedlog.record import LogRecord
 
 _LEN = struct.Struct("<I")
 
@@ -82,37 +83,24 @@ SHUTDOWN = "bye"
 #: Frame kind, observer <-> gateway (``python -m repro top``).
 STATUS = "status"
 
-_RECORD_TAG = "__logrecord__"
 _ERROR_TAG = "__error__"
 
 
 # -- value codec ---------------------------------------------------------
 
 def encode_value(value: Any) -> Any:
-    """Make ``value`` picklable (LogRecords → tagged tuples, recursively)."""
-    if isinstance(value, LogRecord):
-        return (_RECORD_TAG, value.seqnum, tuple(value.tags),
-                dict(value.data), value.payload_bytes)
-    if isinstance(value, list):
-        return [encode_value(v) for v in value]
-    if isinstance(value, tuple):
-        return tuple(encode_value(v) for v in value)
-    if isinstance(value, dict):
-        return {k: encode_value(v) for k, v in value.items()}
+    """Make ``value`` picklable.
+
+    Currently the identity: every value type this harness ships —
+    including :class:`LogRecord`, via its ``__reduce__`` — pickles
+    natively.  Kept (and still called on every payload) as the seam
+    where a future unpicklable type would get its tagged encoding.
+    """
     return value
 
 
 def decode_value(value: Any) -> Any:
     """Inverse of :func:`encode_value`."""
-    if isinstance(value, tuple):
-        if len(value) == 5 and value[0] == _RECORD_TAG:
-            _, seqnum, tags, data, payload_bytes = value
-            return LogRecord(seqnum, tuple(tags), data, payload_bytes)
-        return tuple(decode_value(v) for v in value)
-    if isinstance(value, list):
-        return [decode_value(v) for v in value]
-    if isinstance(value, dict):
-        return {k: decode_value(v) for k, v in value.items()}
     return value
 
 

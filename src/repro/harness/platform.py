@@ -51,7 +51,8 @@ from ..runtime.env import Env
 from ..runtime.local import Context, LocalRuntime
 from ..runtime.registry import FunctionRegistry
 from ..runtime.services import Cost, InstanceServices
-from ..simulation.kernel import Interrupt, Simulator
+from ..simulation import select as _kernel_select
+from ..simulation.kernel import Interrupt
 from ..simulation.metrics import (
     LatencyRecorder,
     ThroughputMeter,
@@ -124,7 +125,10 @@ class SimPlatform:
     ):
         self.config = (config if config is not None
                        else SystemConfig()).validate()
-        self.sim = Simulator()
+        # Construct through the kernel selector: pure or compiled DES
+        # loop per REPRO_SIM_KERNEL / select_kernel() (bit-identical).
+        self.sim = _kernel_select.active_module().Simulator()
+        self.sim_kernel = _kernel_select.active_kernel()
         self.runtime = LocalRuntime(
             self.config, protocol=protocol,
             enable_switching=enable_switching,
@@ -259,10 +263,10 @@ class SimPlatform:
             store="db",
         )
         backend.log.add_storage_listener(
-            lambda b: self.log_gauge.set(b, self.sim.now)
+            lambda b: self.log_gauge.feed(b, self.sim.now)
         )
         backend.kv.add_storage_listener(
-            lambda b: self.db_gauge.set(b, self.sim.now)
+            lambda b: self.db_gauge.feed(b, self.sim.now)
         )
         if plane.labelled:
             self._register_placement_gauges(metrics, backend, plane)
@@ -280,7 +284,7 @@ class SimPlatform:
             for i in range(plane.num_log_shards)
         ]
         backend.log.add_shard_storage_listener(
-            lambda shard, b: shard_gauges[shard].set(b, self.sim.now)
+            lambda shard, b: shard_gauges[shard].feed(b, self.sim.now)
         )
         partition_gauges = [
             metrics.register(
@@ -292,7 +296,7 @@ class SimPlatform:
             for i in range(plane.num_kv_partitions)
         ]
         backend.kv.add_partition_storage_listener(
-            lambda part, b: partition_gauges[part].set(b, self.sim.now)
+            lambda part, b: partition_gauges[part].feed(b, self.sim.now)
         )
 
     # ------------------------------------------------------------------
@@ -303,7 +307,7 @@ class SimPlatform:
         mean_gap_ms = 1000.0 / rate_per_s
         while True:
             gap = float(self._arrival_rng.exponential(mean_gap_ms))
-            yield self.sim.timeout(gap)
+            yield gap
             if self.sim.now >= duration_ms:
                 return
             request = self.workload.next_request(self._request_rng)
@@ -410,7 +414,7 @@ class SimPlatform:
                     runtime.tracker.set_init_ts(
                         instance_id, env.init_cursor_ts
                     )
-                    yield self.sim.timeout(self._drain(svc, stages))
+                    yield self._drain(svc, stages)
                     svc.span_base_ms = self.sim.now
                     svc.charge_compute()
                     if FunctionRegistry.is_generator_style(fn):
@@ -418,7 +422,6 @@ class SimPlatform:
                         # The op loop runs once per protocol-level op;
                         # bind the per-step callees once per attempt.
                         sim = self.sim
-                        timeout = sim.timeout
                         drain = self._drain
                         apply_op = ctx.apply
                         try:
@@ -426,14 +429,14 @@ class SimPlatform:
                             send = gen.send
                             while True:
                                 result = apply_op(op)
-                                yield timeout(drain(svc, stages))
+                                yield drain(svc, stages)
                                 svc.span_base_ms = sim.now
                                 op = send(result)
                         except StopIteration:
                             pass
                     else:
                         fn(ctx, request.input)
-                    yield self.sim.timeout(self._drain(svc, stages))
+                    yield self._drain(svc, stages)
                     svc.span_base_ms = self.sim.now
                     done = True
                 except CrashError:
@@ -443,9 +446,7 @@ class SimPlatform:
                     stages["failure_detection"] = (
                         stages.get("failure_detection", 0.0) + detection
                     )
-                    yield self.sim.timeout(
-                        self._drain(svc, stages) + detection
-                    )
+                    yield self._drain(svc, stages) + detection
                     if attempt_span is not None:
                         attempt_span.annotate("crash", self.sim.now)
                         attempt_span.finish(self.sim.now)
@@ -460,9 +461,7 @@ class SimPlatform:
                     stages["failure_detection"] = (
                         stages.get("failure_detection", 0.0) + detection
                     )
-                    yield self.sim.timeout(
-                        self._drain(svc, stages) + detection
-                    )
+                    yield self._drain(svc, stages) + detection
                     if attempt_span is not None:
                         attempt_span.annotate(
                             "service-fault", self.sim.now
@@ -645,8 +644,12 @@ class SimPlatform:
         log_wait_ms_total = self.log_wait_ms_total
         store_wait_ms_total = self.store_wait_ms_total
         for kind, ms, placement in svc.trace.entries:
-            got = time_by_kind.get(kind)
-            time_by_kind[kind] = ms if got is None else got + ms
+            # try/except beats .get here: the miss happens once per kind
+            # per run, and 3.11 makes the non-raising path free.
+            try:
+                time_by_kind[kind] += ms
+            except KeyError:
+                time_by_kind[kind] = ms
             if stages is not None:
                 stages[kind] = stages.get(kind, 0.0) + ms
             if model_log and kind in logging_kinds:
@@ -741,7 +744,7 @@ class SimPlatform:
     def _gc_process(self):
         interval = self.config.gc.interval_ms
         while True:
-            yield self.sim.timeout(interval)
+            yield interval
             self.runtime.run_gc()
 
     def at(self, time_ms: float, action: Callable[[], None]) -> None:
@@ -750,7 +753,7 @@ class SimPlatform:
         def process():
             delay = time_ms - self.sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield delay
             action()
 
         self.sim.process(process(), name="scheduled-action")
@@ -787,6 +790,9 @@ class SimPlatform:
         measured_ms = duration_ms - warmup_ms
         extras: Dict[str, Any] = {
             "events_processed": self.sim.events_processed,
+            # Which DES kernel executed this run; excluded from
+            # bit-identity diffs (it is the one legitimate difference).
+            "sim_kernel": self.sim_kernel,
         }
         if self.config.cluster.model_log_contention:
             extras["sequencer"] = self.sequencer_stats()

@@ -81,8 +81,13 @@ def profile_report(
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.strip_dirs().sort_stats(sort).print_stats(top)
+    from ..simulation import active_kernel, requested_kernel
+
     header = (
         f"profile target={target!r} sort={sort} top={top}\n"
+        f"sim kernel: {active_kernel()} "
+        f"(REPRO_SIM_KERNEL={requested_kernel()}; the compiled kernel "
+        "moves the event loop out of the profile entirely)\n"
         "(cProfile inflates absolute times ~2-3x; compare shapes, "
         "not wall-clock — timings live in benchmarks/BENCH_sweep.json)\n"
     )

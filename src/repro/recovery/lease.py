@@ -157,10 +157,10 @@ class LeaseManager:
         while True:
             if self._alive(node_id):
                 self.table.renew(node_id, self.sim.now)
-            yield self.sim.timeout(interval)
+            yield interval
 
     def _detector_process(self):
         poll = self.config.detector_poll_ms
         while True:
-            yield self.sim.timeout(poll)
+            yield poll
             self.table.check(self.sim.now)

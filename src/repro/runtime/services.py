@@ -49,6 +49,7 @@ from ..simulation.latency import (
     ConstantLatency,
     LatencyModel,
     LogNormalLatency,
+    NormalDrawBatch,
 )
 from ..simulation.metrics import LatencyRecorder
 from ..simulation.rng import RngRegistry
@@ -194,6 +195,31 @@ class LatencyProvider:
         """Compiled (cache-hit, cache-miss) log-read samplers."""
         return self._log_read_hit.compiled(), self._log_read_miss.compiled()
 
+    def batched_samplers(self, rng, chunk: Optional[int] = None):
+        """Zero-arg samplers drawing from one shared per-stream batch.
+
+        Returns ``(samplers_by_kind, log_read_hit, log_read_miss)`` with
+        every closure fed by a single :class:`NormalDrawBatch` over
+        ``rng`` — refills consume the stream exactly as the scalar
+        draws would, so seeded results are unchanged — or ``None`` when
+        any model on the stream consumes something other than 0-or-1
+        standard normals per draw (then nothing on the stream may be
+        batched, and the caller keeps the scalar path).
+        """
+        batch = (NormalDrawBatch(rng) if chunk is None
+                 else NormalDrawBatch(rng, chunk))
+        samplers: Dict[str, Callable] = {}
+        for kind, model in self._models.items():
+            sampler = model.batched_sampler(batch)
+            if sampler is None:
+                return None
+            samplers[kind] = sampler
+        hit = self._log_read_hit.batched_sampler(batch)
+        miss = self._log_read_miss.batched_sampler(batch)
+        if hit is None or miss is None:
+            return None
+        return samplers, hit, miss
+
 
 #: A placement label carried by a cost-trace entry: ``("shard", i)``
 #: for log operations and ``("partition", i)`` for store operations, or
@@ -275,6 +301,12 @@ class ServiceBackend:
         self._op_latency_labelled: Dict[
             str, Dict[Placement, LatencyRecorder]
         ] = {}
+        #: Fused note channels: ``(kind, placement)`` → tuple of
+        #: sample-list ``append`` bound methods.  Built lazily on a
+        #: channel's first charge; thereafter ``_note`` is one dict hit
+        #: plus the appends (the recorders themselves stay registered in
+        #: ``op_latency`` / ``_op_latency_labelled`` for reporting).
+        self._note_channels: Dict[Any, tuple] = {}
         #: Attach a :class:`repro.observe.Tracer` to record span trees;
         #: ``None`` (the default) disables tracing with zero overhead.
         self.tracer: Optional[Tracer] = None
@@ -297,10 +329,24 @@ class ServiceBackend:
         self._uuid_rng = self.rng.stream("uuid")
         self._jitter_rng = self.rng.stream("retry-jitter")
         #: Compiled per-kind samplers: the charge path draws through
-        #: these closures instead of walking model objects per op.  They
-        #: consume the shared latency stream exactly as the models do.
-        self._samplers = self.latency.samplers()
-        self._lr_hit, self._lr_miss = self.latency.log_read_samplers()
+        #: zero-arg closures instead of walking model objects per op.
+        #: When every model on the stream is batchable they share one
+        #: NormalDrawBatch (vectorised refills, same draw sequence);
+        #: otherwise each closure falls back to a scalar draw.  Both
+        #: forms consume the shared latency stream exactly as the
+        #: models' ``sample`` would.
+        batched = self.latency.batched_samplers(self._latency_rng)
+        if batched is not None:
+            self._samplers, self._lr_hit, self._lr_miss = batched
+        else:
+            rng = self._latency_rng
+            self._samplers = {
+                kind: (lambda f=f: f(rng))
+                for kind, f in self.latency.samplers().items()
+            }
+            hit, miss = self.latency.log_read_samplers()
+            self._lr_hit = lambda: hit(rng)
+            self._lr_miss = lambda: miss(rng)
         #: Placement labels are pure functions of the routing key (the
         #: router memoizes routes; placement tuples memoize the tuple
         #: allocation too, one per key instead of one per op).
@@ -389,7 +435,7 @@ class ServiceBackend:
 
     def charge(self, kind: str, trace: CostTrace, factor: float = 1.0,
                placement: Placement = None) -> float:
-        ms = self._samplers[kind](self._latency_rng) * factor
+        ms = self._samplers[kind]() * factor
         # Inlined ``CostTrace.charge`` (same module): this is the single
         # hottest accounting call in the DES, so skip the dispatch.
         trace.entries.append((kind, ms, placement))
@@ -406,9 +452,9 @@ class ServiceBackend:
         # Inlined ``LatencyProvider.sample_log_read``: same cache lookup
         # (hit/miss stats included), same stream consumption.
         if seqnum is None or self.cache.lookup(seqnum, shard):
-            ms = self._lr_hit(self._latency_rng) * factor
+            ms = self._lr_hit() * factor
         else:
-            ms = self._lr_miss(self._latency_rng) * factor
+            ms = self._lr_miss() * factor
         trace.entries.append((Cost.LOG_READ, ms, placement))
         trace._total_ms += ms
         counts = self.counters._counts
@@ -428,16 +474,25 @@ class ServiceBackend:
         per-partition labelled recorder when the plane routes the op."""
         if ms.__class__ is not float:
             ms = float(ms)
+        # Charges are non-negative floats by construction, so append to
+        # each recorder's sample list directly (``record()`` re-checks
+        # and re-coerces on every call).
+        channel = self._note_channels.get((kind, placement))
+        if channel is None:
+            channel = self._build_note_channel(kind, placement)
+        for append in channel:
+            append(ms)
+
+    def _build_note_channel(self, kind: str, placement: Placement) -> tuple:
+        """Resolve (and register) the recorders behind one note channel."""
         recorder = self.op_latency.get(kind)
         if recorder is None:
             recorder = self.op_latency[kind] = self.metrics.latency(
                 "op_latency", kind=kind
             )
-        # Charges are non-negative floats by construction, so append to
-        # the recorder's sample list directly (``record()`` re-checks
-        # and re-coerces on every call).
-        recorder._samples.append(ms)
-        if placement is not None:
+        if placement is None:
+            channel = (recorder._samples.append,)
+        else:
             by_placement = self._op_latency_labelled.get(kind)
             if by_placement is None:
                 by_placement = self._op_latency_labelled[kind] = {}
@@ -447,7 +502,9 @@ class ServiceBackend:
                     "op_latency", kind=kind,
                     **{placement[0]: placement[1]},
                 )
-            labelled._samples.append(ms)
+            channel = (recorder._samples.append, labelled._samples.append)
+        self._note_channels[(kind, placement)] = channel
+        return channel
 
     def log_placement(self, tag: str) -> Placement:
         """Placement label of a log operation on ``tag`` (None at 1×1)."""

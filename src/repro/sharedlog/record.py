@@ -10,22 +10,45 @@ experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Any, Mapping, Tuple
 
 
-@dataclass(frozen=True, slots=True)
 class LogRecord:
-    seqnum: int
-    tags: Tuple[str, ...]
-    data: Mapping[str, Any]
-    payload_bytes: int = 0
+    """One installed record (hand-rolled: a frozen dataclass costs ~3x
+    as much to construct, and the log creates one per append)."""
 
-    def __post_init__(self) -> None:
+    __slots__ = ("seqnum", "tags", "data", "payload_bytes")
+
+    def __init__(self, seqnum: int, tags: Tuple[str, ...],
+                 data: Mapping[str, Any], payload_bytes: int = 0):
+        self.seqnum = seqnum
+        self.tags = tags
         # Freeze the payload mapping so shared records cannot be mutated
-        # behind the log's back.
-        object.__setattr__(self, "data", MappingProxyType(dict(self.data)))
+        # behind the log's back (and copy, so the caller's dict can't
+        # leak mutations in).
+        self.data = MappingProxyType(dict(data))
+        self.payload_bytes = payload_bytes
+
+    def __reduce__(self):
+        # MappingProxyType does not pickle; rebuild from a plain dict.
+        return (
+            LogRecord,
+            (self.seqnum, self.tags, dict(self.data), self.payload_bytes),
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, LogRecord):
+            return NotImplemented
+        return (
+            self.seqnum == other.seqnum
+            and self.tags == other.tags
+            and dict(self.data) == dict(other.data)
+            and self.payload_bytes == other.payload_bytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seqnum, self.tags))
 
     def __getitem__(self, key: str) -> Any:
         """Dict-style access mirroring the paper's pseudocode

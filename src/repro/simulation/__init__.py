@@ -1,5 +1,11 @@
 """Discrete-event simulation substrate: kernel, resources, RNG, latency,
 and measurement primitives.
+
+``Simulator`` / ``Event`` / ``Timeout`` / ``Process`` are bound to the
+*active* kernel — the pure-Python reference or its compiled C twin —
+selected by the ``REPRO_SIM_KERNEL`` environment variable (see
+:mod:`repro.simulation.select`).  ``Interrupt`` is always the pure
+kernel's class so ``except Interrupt`` works across kernels.
 """
 
 from .kernel import Event, Interrupt, Process, Simulator, Timeout
@@ -9,6 +15,7 @@ from .latency import (
     LatencyModel,
     LogNormalLatency,
     MixtureLatency,
+    NormalDrawBatch,
     ScaledLatency,
     UniformLatency,
 )
@@ -22,8 +29,23 @@ from .metrics import (
 )
 from .resources import NodeWorkerPool, Resource, WorkerGrant
 from .rng import RngRegistry, derive_seed
+from .select import (
+    KERNEL_CHOICES,
+    KERNEL_ENV,
+    active_kernel,
+    compiled_available,
+    init_from_env as _init_kernel_from_env,
+    requested_kernel,
+    select_kernel,
+)
+
+# Apply REPRO_SIM_KERNEL: may rebind Simulator/Event/Timeout/Process
+# above to the compiled twin.
+_init_kernel_from_env()
 
 __all__ = [
+    "KERNEL_CHOICES",
+    "KERNEL_ENV",
     "ConstantLatency",
     "Counter",
     "EmpiricalLatency",
@@ -35,6 +57,7 @@ __all__ = [
     "LogNormalLatency",
     "MixtureLatency",
     "NodeWorkerPool",
+    "NormalDrawBatch",
     "Process",
     "Resource",
     "RngRegistry",
@@ -46,5 +69,9 @@ __all__ = [
     "Timeout",
     "UniformLatency",
     "WorkerGrant",
+    "active_kernel",
+    "compiled_available",
     "derive_seed",
+    "requested_kernel",
+    "select_kernel",
 ]

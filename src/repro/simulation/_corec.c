@@ -1,0 +1,1268 @@
+/* Compiled twin of the pure-Python DES kernel (repro.simulation.kernel).
+ *
+ * Implements Simulator / Event / Timeout / Process as C types with
+ * bit-identical semantics: the same (time, eid) heap discipline, the
+ * same schedule-counter allocation on every operation, the same
+ * wait-token invalidation rules for interrupts and bare-delay yields,
+ * and the same exception taxonomy (SimulationError / DeadlockError /
+ * Interrupt are imported from the Python modules, so `except` clauses
+ * work unchanged across kernels).
+ *
+ * Any change to the scheduling contract in kernel.py MUST be mirrored
+ * here; tests/simulation/test_kernel_parity.py and the golden
+ * end-to-end diffs (fig10 / shards / chaos / failover) enforce the
+ * twin-ship.
+ *
+ * Built optionally by setup.py (plain C99, no Cython/mypyc needed);
+ * when the module is absent the pure kernel serves transparently.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Module state (exception classes borrowed from the Python side)      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *SimulationError;  /* repro.errors.SimulationError */
+static PyObject *DeadlockError;    /* repro.errors.DeadlockError */
+static PyObject *InterruptClass;   /* repro.simulation.kernel.Interrupt */
+
+/* Heap entry kinds. */
+enum {
+    K_EVENT = 0,         /* a = event: run its callbacks             */
+    K_CALL = 1,          /* a = fn, b = arg: fn(arg)                 */
+    K_TOKEN_RESUME = 2,  /* a = proc: resume with None if token live */
+    K_DEFER_RESUME = 3,  /* a = proc, b = event: resume with value   */
+    K_DEFER_INTERRUPT = 4/* a = proc, b = cause: throw Interrupt     */
+};
+
+typedef struct {
+    double time;
+    unsigned long long eid;
+    int kind;
+    unsigned long long token;
+    PyObject *a;  /* owned */
+    PyObject *b;  /* owned or NULL */
+} Entry;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    unsigned long long eid;
+    unsigned long long events_processed;
+    Entry *heap;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} SimulatorObject;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *sim;        /* Simulator (owned) */
+    PyObject *callbacks;  /* list (owned) */
+    int triggered;
+    PyObject *value;      /* owned */
+} EventObject;
+
+typedef struct {
+    EventObject base;
+    double delay;
+} TimeoutObject;
+
+typedef struct ProcessObject ProcessObject;
+
+typedef struct {
+    PyObject_HEAD
+    ProcessObject *proc;  /* owned */
+} ResumeCbObject;
+
+struct ProcessObject {
+    EventObject base;
+    PyObject *generator;   /* owned */
+    PyObject *name;        /* owned str */
+    PyObject *send;        /* owned bound gen.send */
+    PyObject *gthrow;      /* owned bound gen.throw */
+    PyObject *waiting_on;  /* owned Event or NULL */
+    PyObject *waiting_cb;  /* owned ResumeCb or NULL */
+    PyObject *resume_cb;   /* owned cached ResumeCb */
+    unsigned long long wait_token;
+};
+
+static PyTypeObject SimulatorType;
+static PyTypeObject EventType;
+static PyTypeObject TimeoutType;
+static PyTypeObject ProcessType;
+static PyTypeObject ResumeCbType;
+
+/* Forward decls. */
+static int proc_advance_send(ProcessObject *p, PyObject *value);
+static int proc_advance_throw(ProcessObject *p, PyObject *exc);
+static int event_fire(EventObject *ev);
+
+/* ------------------------------------------------------------------ */
+/* Binary heap keyed on (time, eid)                                    */
+/* ------------------------------------------------------------------ */
+
+static inline int entry_lt(const Entry *x, const Entry *y)
+{
+    if (x->time != y->time)
+        return x->time < y->time;
+    return x->eid < y->eid;
+}
+
+static int heap_reserve(SimulatorObject *sim)
+{
+    if (sim->len < sim->cap)
+        return 0;
+    Py_ssize_t cap = sim->cap ? sim->cap * 2 : 64;
+    Entry *heap = PyMem_Realloc(sim->heap, (size_t)cap * sizeof(Entry));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    sim->heap = heap;
+    sim->cap = cap;
+    return 0;
+}
+
+/* Push an entry; steals nothing (increfs its refs itself). */
+static int heap_push(SimulatorObject *sim, double time, int kind,
+                     unsigned long long token, PyObject *a, PyObject *b)
+{
+    if (heap_reserve(sim) < 0)
+        return -1;
+    Entry e;
+    e.time = time;
+    e.eid = ++sim->eid;
+    e.kind = kind;
+    e.token = token;
+    Py_XINCREF(a);
+    Py_XINCREF(b);
+    e.a = a;
+    e.b = b;
+    Entry *heap = sim->heap;
+    Py_ssize_t pos = sim->len++;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(&e, &heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = e;
+    return 0;
+}
+
+/* Pop the root into *out (ownership of refs transfers to caller). */
+static void heap_pop(SimulatorObject *sim, Entry *out)
+{
+    Entry *heap = sim->heap;
+    *out = heap[0];
+    Entry last = heap[--sim->len];
+    Py_ssize_t len = sim->len;
+    if (len == 0)
+        return;
+    Py_ssize_t pos = 0;
+    Py_ssize_t child;
+    while ((child = 2 * pos + 1) < len) {
+        if (child + 1 < len && entry_lt(&heap[child + 1], &heap[child]))
+            child += 1;
+        if (!entry_lt(&heap[child], &last))
+            break;
+        heap[pos] = heap[child];
+        pos = child;
+    }
+    heap[pos] = last;
+}
+
+static void entry_clear(Entry *e)
+{
+    Py_CLEAR(e->a);
+    Py_CLEAR(e->b);
+}
+
+/* ------------------------------------------------------------------ */
+/* ResumeCb: the cached per-process resume callback                    */
+/* ------------------------------------------------------------------ */
+
+static int proc_resume(ProcessObject *p, EventObject *ev)
+{
+    if (p->base.triggered)
+        return 0;
+    Py_CLEAR(p->waiting_on);
+    Py_CLEAR(p->waiting_cb);
+    return proc_advance_send(p, ev->value);
+}
+
+static PyObject *
+resumecb_call(ResumeCbObject *self, PyObject *args, PyObject *kwargs)
+{
+    PyObject *event;
+    if (kwargs != NULL && PyDict_GET_SIZE(kwargs) != 0) {
+        PyErr_SetString(PyExc_TypeError, "no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_ParseTuple(args, "O", &event))
+        return NULL;
+    if (!PyObject_TypeCheck(event, &EventType)) {
+        PyErr_SetString(PyExc_TypeError, "expected Event");
+        return NULL;
+    }
+    if (proc_resume(self->proc, (EventObject *)event) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int resumecb_traverse(ResumeCbObject *self, visitproc visit,
+                             void *arg)
+{
+    Py_VISIT(self->proc);
+    return 0;
+}
+
+static int resumecb_clear(ResumeCbObject *self)
+{
+    Py_CLEAR(self->proc);
+    return 0;
+}
+
+static void resumecb_dealloc(ResumeCbObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    resumecb_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject ResumeCbType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simulation._corec._ResumeCallback",
+    .tp_basicsize = sizeof(ResumeCbObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_call = (ternaryfunc)resumecb_call,
+    .tp_traverse = (traverseproc)resumecb_traverse,
+    .tp_clear = (inquiry)resumecb_clear,
+    .tp_dealloc = (destructor)resumecb_dealloc,
+};
+
+/* ------------------------------------------------------------------ */
+/* Event                                                               */
+/* ------------------------------------------------------------------ */
+
+static int event_init_fields(EventObject *self, PyObject *sim)
+{
+    PyObject *callbacks = PyList_New(0);
+    if (callbacks == NULL)
+        return -1;
+    Py_INCREF(sim);
+    self->sim = sim;
+    self->callbacks = callbacks;
+    self->triggered = 0;
+    Py_INCREF(Py_None);
+    self->value = Py_None;
+    return 0;
+}
+
+static int event_init(EventObject *self, PyObject *args, PyObject *kwargs)
+{
+    static char *kwlist[] = {"sim", NULL};
+    PyObject *sim;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "O!", kwlist,
+                                     &SimulatorType, &sim))
+        return -1;
+    /* Re-init (tp_init can run twice): drop any prior refs. */
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->value);
+    return event_init_fields(self, sim);
+}
+
+/* Schedule an already-triggered event's callbacks at the current
+ * instant (Simulator._schedule_callbacks). */
+static int event_schedule_callbacks(EventObject *ev)
+{
+    SimulatorObject *sim = (SimulatorObject *)ev->sim;
+    return heap_push(sim, sim->now, K_EVENT, 0, (PyObject *)ev, NULL);
+}
+
+static int event_succeed_internal(EventObject *ev, PyObject *value)
+{
+    if (ev->triggered) {
+        PyErr_SetString(SimulationError, "event already triggered");
+        return -1;
+    }
+    ev->triggered = 1;
+    Py_INCREF(value);
+    Py_XSETREF(ev->value, value);
+    return event_schedule_callbacks(ev);
+}
+
+static PyObject *
+event_succeed(EventObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *value = Py_None;
+    if (nargs > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "succeed() takes at most one argument");
+        return NULL;
+    }
+    if (nargs == 1)
+        value = args[0];
+    if (event_succeed_internal(self, value) < 0)
+        return NULL;
+    Py_INCREF(self);
+    return (PyObject *)self;
+}
+
+/* Fire: run (and clear) the callbacks list, in append order. */
+static int event_fire(EventObject *ev)
+{
+    PyObject *callbacks = ev->callbacks;
+    PyObject *fresh = PyList_New(0);
+    if (fresh == NULL)
+        return -1;
+    ev->callbacks = fresh;
+    Py_ssize_t n = PyList_GET_SIZE(callbacks);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *cb = PyList_GET_ITEM(callbacks, i);
+        if (Py_TYPE(cb) == &ResumeCbType) {
+            if (proc_resume(((ResumeCbObject *)cb)->proc, ev) < 0) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+        }
+        else {
+            PyObject *res = PyObject_CallOneArg(cb, (PyObject *)ev);
+            if (res == NULL) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+            Py_DECREF(res);
+        }
+    }
+    Py_DECREF(callbacks);
+    return 0;
+}
+
+static PyObject *event_run_callbacks(EventObject *self,
+                                     PyObject *Py_UNUSED(ignored))
+{
+    if (event_fire(self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *event_get_triggered(EventObject *self, void *closure)
+{
+    return PyBool_FromLong(self->triggered);
+}
+
+static PyObject *event_get_value(EventObject *self, void *closure)
+{
+    if (!self->triggered) {
+        PyErr_SetString(SimulationError, "event has not fired yet");
+        return NULL;
+    }
+    Py_INCREF(self->value);
+    return self->value;
+}
+
+static int event_traverse(EventObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->sim);
+    Py_VISIT(self->callbacks);
+    Py_VISIT(self->value);
+    return 0;
+}
+
+static int event_clear(EventObject *self)
+{
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->value);
+    return 0;
+}
+
+static void event_dealloc(EventObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    event_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef event_methods[] = {
+    {"succeed", (PyCFunction)event_succeed, METH_FASTCALL,
+     "Mark the event as fired *now* and schedule its callbacks."},
+    {"_run_callbacks", (PyCFunction)event_run_callbacks, METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef event_getset[] = {
+    {"triggered", (getter)event_get_triggered, NULL, NULL, NULL},
+    {"value", (getter)event_get_value, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef event_members[] = {
+    {"sim", T_OBJECT, offsetof(EventObject, sim), READONLY, NULL},
+    {"callbacks", T_OBJECT, offsetof(EventObject, callbacks), READONLY,
+     NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject EventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simulation._corec.Event",
+    .tp_basicsize = sizeof(EventObject),
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                 Py_TPFLAGS_BASETYPE),
+    .tp_doc = "A one-shot occurrence that processes can wait on.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)event_init,
+    .tp_methods = event_methods,
+    .tp_getset = event_getset,
+    .tp_members = event_members,
+    .tp_traverse = (traverseproc)event_traverse,
+    .tp_clear = (inquiry)event_clear,
+    .tp_dealloc = (destructor)event_dealloc,
+};
+
+/* ------------------------------------------------------------------ */
+/* Timeout                                                             */
+/* ------------------------------------------------------------------ */
+
+static int timeout_init(TimeoutObject *self, PyObject *args,
+                        PyObject *kwargs)
+{
+    static char *kwlist[] = {"sim", "delay", "value", NULL};
+    PyObject *sim;
+    double delay;
+    PyObject *value = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "O!d|O", kwlist,
+                                     &SimulatorType, &sim, &delay, &value))
+        return -1;
+    if (delay < 0) {
+        PyErr_Format(SimulationError, "negative timeout: %g", delay);
+        return -1;
+    }
+    Py_CLEAR(self->base.sim);
+    Py_CLEAR(self->base.callbacks);
+    Py_CLEAR(self->base.value);
+    if (event_init_fields(&self->base, sim) < 0)
+        return -1;
+    /* Pre-armed; fires via the event heap. */
+    self->base.triggered = 1;
+    Py_INCREF(value);
+    Py_XSETREF(self->base.value, value);
+    self->delay = delay;
+    SimulatorObject *s = (SimulatorObject *)sim;
+    return heap_push(s, s->now + delay, K_EVENT, 0, (PyObject *)self,
+                     NULL);
+}
+
+static PyMemberDef timeout_members[] = {
+    {"delay", T_DOUBLE, offsetof(TimeoutObject, delay), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject TimeoutType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simulation._corec.Timeout",
+    .tp_basicsize = sizeof(TimeoutObject),
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                 Py_TPFLAGS_BASETYPE),
+    .tp_doc = "An event that fires after a fixed simulated delay.",
+    .tp_base = &EventType,
+    .tp_init = (initproc)timeout_init,
+    .tp_members = timeout_members,
+    /* No extra object fields beyond Event (delay is a double). */
+    .tp_traverse = (traverseproc)event_traverse,
+    .tp_clear = (inquiry)event_clear,
+    .tp_dealloc = (destructor)event_dealloc,
+};
+
+/* ------------------------------------------------------------------ */
+/* Process                                                             */
+/* ------------------------------------------------------------------ */
+
+/* Handle the object a generator just yielded. */
+static int proc_handle_yield(ProcessObject *p, PyObject *target)
+{
+    SimulatorObject *sim = (SimulatorObject *)p->base.sim;
+    double delay;
+
+    if (PyFloat_CheckExact(target)) {
+        delay = PyFloat_AS_DOUBLE(target);
+    }
+    else if (PyLong_CheckExact(target)) {
+        delay = PyLong_AsDouble(target);
+        if (delay == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    else if (PyObject_TypeCheck(target, &EventType)) {
+        EventObject *ev = (EventObject *)target;
+        if (Py_TYPE(target) == &TimeoutType || !ev->triggered) {
+            /* Wait for the event: register the cached resume callback. */
+            if (PyList_Append(ev->callbacks, p->resume_cb) < 0)
+                return -1;
+            Py_INCREF(target);
+            Py_XSETREF(p->waiting_on, target);
+            Py_INCREF(p->resume_cb);
+            Py_XSETREF(p->waiting_cb, p->resume_cb);
+            return 0;
+        }
+        /* Already-fired event: resume on the next tick. */
+        p->wait_token += 1;
+        return heap_push(sim, sim->now, K_DEFER_RESUME, p->wait_token,
+                         (PyObject *)p, target);
+    }
+    else {
+        PyErr_Format(SimulationError,
+                     "process %R yielded %R, expected Event or delay",
+                     p->name, target);
+        return -1;
+    }
+
+    /* Bare-delay yield: schedule a token-guarded direct resume. */
+    if (delay < 0) {
+        PyErr_Format(SimulationError, "negative timeout: %R", target);
+        return -1;
+    }
+    return heap_push(sim, sim->now + delay, K_TOKEN_RESUME, p->wait_token,
+                     (PyObject *)p, NULL);
+}
+
+/* Step the generator with gen.send(value). */
+static int proc_advance_send(ProcessObject *p, PyObject *value)
+{
+    PyObject *res = NULL;
+    PySendResult sr = PyIter_Send(p->generator, value, &res);
+    if (sr == PYGEN_RETURN) {
+        int rc = event_succeed_internal(&p->base, res);
+        Py_DECREF(res);
+        return rc;
+    }
+    if (sr == PYGEN_ERROR) {
+        if (PyErr_ExceptionMatches(InterruptClass)) {
+            /* Unhandled interrupt: the process dies at this instant. */
+            PyErr_Clear();
+            return event_succeed_internal(&p->base, Py_None);
+        }
+        return -1;
+    }
+    int rc = proc_handle_yield(p, res);
+    Py_DECREF(res);
+    return rc;
+}
+
+/* Step the generator with gen.throw(exc). */
+static int proc_advance_throw(ProcessObject *p, PyObject *exc)
+{
+    PyObject *res = PyObject_CallOneArg(p->gthrow, exc);
+    if (res == NULL) {
+        if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+            /* Generator caught the interrupt and returned. */
+            PyObject *type, *val, *tb;
+            PyErr_Fetch(&type, &val, &tb);
+            PyErr_NormalizeException(&type, &val, &tb);
+            PyObject *retval = NULL;
+            if (val != NULL) {
+                retval = PyObject_GetAttrString(val, "value");
+            }
+            Py_XDECREF(type);
+            Py_XDECREF(val);
+            Py_XDECREF(tb);
+            if (retval == NULL)
+                return -1;
+            int rc = event_succeed_internal(&p->base, retval);
+            Py_DECREF(retval);
+            return rc;
+        }
+        if (PyErr_ExceptionMatches(InterruptClass)) {
+            PyErr_Clear();
+            return event_succeed_internal(&p->base, Py_None);
+        }
+        return -1;
+    }
+    int rc = proc_handle_yield(p, res);
+    Py_DECREF(res);
+    return rc;
+}
+
+static int proc_throw_interrupt(ProcessObject *p, PyObject *cause)
+{
+    if (p->base.triggered)
+        return 0;
+    Py_CLEAR(p->waiting_on);
+    Py_CLEAR(p->waiting_cb);
+    PyObject *exc = PyObject_CallOneArg(InterruptClass, cause);
+    if (exc == NULL)
+        return -1;
+    int rc = proc_advance_throw(p, exc);
+    Py_DECREF(exc);
+    return rc;
+}
+
+static PyObject *
+proc_interrupt(ProcessObject *self, PyObject *const *args, Py_ssize_t nargs,
+               PyObject *kwnames)
+{
+    PyObject *cause = Py_None;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs + nkw > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "interrupt() takes at most one argument");
+        return NULL;
+    }
+    if (nargs == 1)
+        cause = args[0];
+    else if (nkw == 1) {
+        const char *s = PyUnicode_AsUTF8(PyTuple_GET_ITEM(kwnames, 0));
+        if (s == NULL)
+            return NULL;
+        if (strcmp(s, "cause") != 0) {
+            PyErr_SetString(PyExc_TypeError,
+                            "interrupt() got an unexpected keyword");
+            return NULL;
+        }
+        cause = args[0];
+    }
+    if (self->base.triggered)
+        Py_RETURN_NONE;
+    if (self->waiting_on != NULL && self->waiting_cb != NULL) {
+        /* Detach: the event may still fire, but resumes nobody. */
+        EventObject *ev = (EventObject *)self->waiting_on;
+        Py_ssize_t n = PyList_GET_SIZE(ev->callbacks);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            if (PyList_GET_ITEM(ev->callbacks, i) == self->waiting_cb) {
+                if (PyList_SetSlice(ev->callbacks, i, i + 1, NULL) < 0)
+                    return NULL;
+                break;
+            }
+        }
+    }
+    Py_CLEAR(self->waiting_on);
+    Py_CLEAR(self->waiting_cb);
+    self->wait_token += 1;
+    SimulatorObject *sim = (SimulatorObject *)self->base.sim;
+    if (heap_push(sim, sim->now, K_DEFER_INTERRUPT, 0, (PyObject *)self,
+                  cause) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int proc_traverse(ProcessObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->generator);
+    Py_VISIT(self->name);
+    Py_VISIT(self->send);
+    Py_VISIT(self->gthrow);
+    Py_VISIT(self->waiting_on);
+    Py_VISIT(self->waiting_cb);
+    Py_VISIT(self->resume_cb);
+    return event_traverse(&self->base, visit, arg);
+}
+
+static int proc_clear(ProcessObject *self)
+{
+    Py_CLEAR(self->generator);
+    Py_CLEAR(self->name);
+    Py_CLEAR(self->send);
+    Py_CLEAR(self->gthrow);
+    Py_CLEAR(self->waiting_on);
+    Py_CLEAR(self->waiting_cb);
+    Py_CLEAR(self->resume_cb);
+    return event_clear(&self->base);
+}
+
+static void proc_dealloc(ProcessObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    proc_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef proc_methods[] = {
+    {"interrupt", (PyCFunction)proc_interrupt,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Throw Interrupt into the process at the current instant."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef proc_members[] = {
+    {"generator", T_OBJECT, offsetof(ProcessObject, generator), READONLY,
+     NULL},
+    {"name", T_OBJECT, offsetof(ProcessObject, name), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyObject *proc_get_wait_token(ProcessObject *self, void *closure)
+{
+    return PyLong_FromUnsignedLongLong(self->wait_token);
+}
+
+static PyGetSetDef proc_getset[] = {
+    {"_wait_token", (getter)proc_get_wait_token, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject ProcessType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simulation._corec.Process",
+    .tp_basicsize = sizeof(ProcessObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Wraps a generator; the event fires when it returns.",
+    .tp_base = &EventType,
+    .tp_methods = proc_methods,
+    .tp_members = proc_members,
+    .tp_getset = proc_getset,
+    .tp_traverse = (traverseproc)proc_traverse,
+    .tp_clear = (inquiry)proc_clear,
+    .tp_dealloc = (destructor)proc_dealloc,
+};
+
+/* ------------------------------------------------------------------ */
+/* Simulator                                                           */
+/* ------------------------------------------------------------------ */
+
+static int sim_init(SimulatorObject *self, PyObject *args, PyObject *kwargs)
+{
+    if ((args != NULL && PyTuple_GET_SIZE(args) != 0) ||
+        (kwargs != NULL && PyDict_GET_SIZE(kwargs) != 0)) {
+        PyErr_SetString(PyExc_TypeError, "Simulator() takes no arguments");
+        return -1;
+    }
+    self->now = 0.0;
+    self->eid = 0;
+    self->events_processed = 0;
+    return 0;
+}
+
+static PyObject *sim_get_now(SimulatorObject *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static int sim_set_now(SimulatorObject *self, PyObject *value,
+                       void *closure)
+{
+    double v = PyFloat_AsDouble(value);
+    if (v == -1.0 && PyErr_Occurred())
+        return -1;
+    self->now = v;
+    return 0;
+}
+
+static PyObject *sim_get_eid(SimulatorObject *self, void *closure)
+{
+    return PyLong_FromUnsignedLongLong(self->eid);
+}
+
+static PyObject *sim_get_events(SimulatorObject *self, void *closure)
+{
+    return PyLong_FromUnsignedLongLong(self->events_processed);
+}
+
+static int sim_set_events(SimulatorObject *self, PyObject *value,
+                          void *closure)
+{
+    unsigned long long v = PyLong_AsUnsignedLongLong(value);
+    if (v == (unsigned long long)-1 && PyErr_Occurred())
+        return -1;
+    self->events_processed = v;
+    return 0;
+}
+
+static PyObject *
+sim_timeout(SimulatorObject *self, PyObject *const *args, Py_ssize_t nargs,
+            PyObject *kwnames)
+{
+    double delay;
+    PyObject *value = Py_None;
+    PyObject *delay_obj = NULL;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs < 1 || nargs > 2 || nargs + nkw > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "timeout(delay, value=None)");
+        return NULL;
+    }
+    delay_obj = args[0];
+    if (nargs == 2)
+        value = args[1];
+    for (Py_ssize_t i = 0; i < nkw; i++) {
+        PyObject *name = PyTuple_GET_ITEM(kwnames, i);
+        const char *s = PyUnicode_AsUTF8(name);
+        if (s == NULL)
+            return NULL;
+        if (strcmp(s, "value") == 0)
+            value = args[nargs + i];
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "unexpected keyword argument %R", name);
+            return NULL;
+        }
+    }
+    delay = PyFloat_AsDouble(delay_obj);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(SimulationError, "negative timeout: %R", delay_obj);
+        return NULL;
+    }
+    TimeoutObject *t = PyObject_GC_New(TimeoutObject, &TimeoutType);
+    if (t == NULL)
+        return NULL;
+    t->base.sim = NULL;
+    t->base.callbacks = NULL;
+    t->base.value = NULL;
+    if (event_init_fields(&t->base, (PyObject *)self) < 0) {
+        Py_DECREF(t);
+        return NULL;
+    }
+    t->base.triggered = 1;
+    Py_INCREF(value);
+    Py_XSETREF(t->base.value, value);
+    t->delay = delay;
+    PyObject_GC_Track((PyObject *)t);
+    if (heap_push(self, self->now + delay, K_EVENT, 0, (PyObject *)t,
+                  NULL) < 0) {
+        Py_DECREF(t);
+        return NULL;
+    }
+    return (PyObject *)t;
+}
+
+static PyObject *sim_event(SimulatorObject *self,
+                           PyObject *Py_UNUSED(ignored))
+{
+    EventObject *ev = PyObject_GC_New(EventObject, &EventType);
+    if (ev == NULL)
+        return NULL;
+    ev->sim = NULL;
+    ev->callbacks = NULL;
+    ev->value = NULL;
+    if (event_init_fields(ev, (PyObject *)self) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    PyObject_GC_Track((PyObject *)ev);
+    return (PyObject *)ev;
+}
+
+static PyObject *
+sim_process(SimulatorObject *self, PyObject *const *args, Py_ssize_t nargs,
+            PyObject *kwnames)
+{
+    PyObject *generator;
+    PyObject *name = NULL;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs < 1 || nargs > 2 || nargs + nkw > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "process(generator, name=\"process\")");
+        return NULL;
+    }
+    generator = args[0];
+    if (nargs == 2)
+        name = args[1];
+    for (Py_ssize_t i = 0; i < nkw; i++) {
+        PyObject *kw = PyTuple_GET_ITEM(kwnames, i);
+        const char *s = PyUnicode_AsUTF8(kw);
+        if (s == NULL)
+            return NULL;
+        if (strcmp(s, "name") == 0)
+            name = args[nargs + i];
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "unexpected keyword argument %R", kw);
+            return NULL;
+        }
+    }
+    ProcessObject *p = PyObject_GC_New(ProcessObject, &ProcessType);
+    if (p == NULL)
+        return NULL;
+    p->base.sim = NULL;
+    p->base.callbacks = NULL;
+    p->base.value = NULL;
+    p->generator = NULL;
+    p->name = NULL;
+    p->send = NULL;
+    p->gthrow = NULL;
+    p->waiting_on = NULL;
+    p->waiting_cb = NULL;
+    p->resume_cb = NULL;
+    p->wait_token = 0;
+    if (event_init_fields(&p->base, (PyObject *)self) < 0)
+        goto fail;
+    Py_INCREF(generator);
+    p->generator = generator;
+    if (name != NULL) {
+        Py_INCREF(name);
+        p->name = name;
+    }
+    else {
+        p->name = PyUnicode_FromString("process");
+        if (p->name == NULL)
+            goto fail;
+    }
+    p->send = PyObject_GetAttrString(generator, "send");
+    if (p->send == NULL)
+        goto fail;
+    p->gthrow = PyObject_GetAttrString(generator, "throw");
+    if (p->gthrow == NULL)
+        goto fail;
+    ResumeCbObject *cb = PyObject_GC_New(ResumeCbObject, &ResumeCbType);
+    if (cb == NULL)
+        goto fail;
+    Py_INCREF(p);
+    cb->proc = p;
+    PyObject_GC_Track((PyObject *)cb);
+    p->resume_cb = (PyObject *)cb;
+    PyObject_GC_Track((PyObject *)p);
+    /* Kick off the process at the current simulation time. */
+    if (heap_push(self, self->now, K_TOKEN_RESUME, 0, (PyObject *)p,
+                  NULL) < 0) {
+        Py_DECREF(p);
+        return NULL;
+    }
+    return (PyObject *)p;
+
+fail:
+    Py_DECREF(p);
+    return NULL;
+}
+
+static PyObject *sim_schedule_at(SimulatorObject *self, PyObject *args)
+{
+    double time;
+    PyObject *event;
+    if (!PyArg_ParseTuple(args, "dO!", &time, &EventType, &event))
+        return NULL;
+    if (time < self->now) {
+        PyErr_SetString(SimulationError, "cannot schedule into the past");
+        return NULL;
+    }
+    if (heap_push(self, time, K_EVENT, 0, event, NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *sim_schedule_callbacks(SimulatorObject *self,
+                                        PyObject *event)
+{
+    if (!PyObject_TypeCheck(event, &EventType)) {
+        PyErr_SetString(PyExc_TypeError, "expected Event");
+        return NULL;
+    }
+    if (heap_push(self, self->now, K_EVENT, 0, event, NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *sim_defer(SimulatorObject *self, PyObject *args)
+{
+    PyObject *fn, *arg;
+    if (!PyArg_ParseTuple(args, "OO", &fn, &arg))
+        return NULL;
+    if (heap_push(self, self->now, K_CALL, 0, fn, arg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* Dispatch one popped entry.  Consumes (decrefs) the entry's refs. */
+static int dispatch(SimulatorObject *sim, Entry *e)
+{
+    int rc = 0;
+    switch (e->kind) {
+    case K_EVENT:
+        rc = event_fire((EventObject *)e->a);
+        break;
+    case K_CALL: {
+        PyObject *res = PyObject_CallOneArg(e->a, e->b);
+        if (res == NULL)
+            rc = -1;
+        else
+            Py_DECREF(res);
+        break;
+    }
+    case K_TOKEN_RESUME: {
+        ProcessObject *p = (ProcessObject *)e->a;
+        if (e->token == p->wait_token && !p->base.triggered)
+            rc = proc_advance_send(p, Py_None);
+        break;
+    }
+    case K_DEFER_RESUME: {
+        ProcessObject *p = (ProcessObject *)e->a;
+        if (e->token == p->wait_token && !p->base.triggered)
+            rc = proc_advance_send(p, ((EventObject *)e->b)->value);
+        break;
+    }
+    case K_DEFER_INTERRUPT:
+        rc = proc_throw_interrupt((ProcessObject *)e->a, e->b);
+        break;
+    }
+    entry_clear(e);
+    return rc;
+}
+
+static PyObject *
+sim_run(SimulatorObject *self, PyObject *const *args, Py_ssize_t nargs,
+        PyObject *kwnames)
+{
+    PyObject *until_obj = Py_None;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs + nkw > 1) {
+        PyErr_SetString(PyExc_TypeError, "run(until=None)");
+        return NULL;
+    }
+    if (nargs == 1)
+        until_obj = args[0];
+    else if (nkw == 1) {
+        const char *s = PyUnicode_AsUTF8(PyTuple_GET_ITEM(kwnames, 0));
+        if (s == NULL)
+            return NULL;
+        if (strcmp(s, "until") != 0) {
+            PyErr_SetString(PyExc_TypeError, "run(until=None)");
+            return NULL;
+        }
+        until_obj = args[0];
+    }
+    int have_until = (until_obj != Py_None);
+    double until = 0.0;
+    if (have_until) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    unsigned long long processed = 0;
+    while (self->len > 0) {
+        double time = self->heap[0].time;
+        if (have_until && time > until)
+            break;
+        self->now = time;
+        /* Drain this timestamp in one pass. */
+        for (;;) {
+            Entry e;
+            heap_pop(self, &e);
+            processed++;
+            if (dispatch(self, &e) < 0)
+                return NULL;
+            if (self->len == 0 || self->heap[0].time != time)
+                break;
+        }
+    }
+    self->events_processed += processed;
+    if (have_until && self->now < until)
+        self->now = until;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+sim_run_until_complete(SimulatorObject *self, PyObject *const *args,
+                       Py_ssize_t nargs, PyObject *kwnames)
+{
+    PyObject *proc_obj;
+    PyObject *limit_obj = Py_None;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs < 1 || nargs + nkw > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run_until_complete(process, limit=None)");
+        return NULL;
+    }
+    proc_obj = args[0];
+    if (nargs == 2)
+        limit_obj = args[1];
+    for (Py_ssize_t i = 0; i < nkw; i++) {
+        const char *s = PyUnicode_AsUTF8(PyTuple_GET_ITEM(kwnames, i));
+        if (s == NULL)
+            return NULL;
+        if (strcmp(s, "limit") == 0)
+            limit_obj = args[nargs + i];
+        else {
+            PyErr_SetString(PyExc_TypeError,
+                            "run_until_complete(process, limit=None)");
+            return NULL;
+        }
+    }
+    if (!PyObject_TypeCheck(proc_obj, &ProcessType)) {
+        PyErr_SetString(PyExc_TypeError, "expected Process");
+        return NULL;
+    }
+    ProcessObject *proc = (ProcessObject *)proc_obj;
+    int have_limit = (limit_obj != Py_None);
+    double limit = 0.0;
+    if (have_limit) {
+        limit = PyFloat_AsDouble(limit_obj);
+        if (limit == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    while (!proc->base.triggered) {
+        if (self->len == 0) {
+            PyErr_Format(DeadlockError,
+                         "event queue drained before %R finished",
+                         proc->name);
+            return NULL;
+        }
+        Entry e;
+        heap_pop(self, &e);
+        if (have_limit && e.time > limit) {
+            entry_clear(&e);
+            PyErr_Format(SimulationError,
+                         "%R exceeded time limit %R", proc->name,
+                         limit_obj);
+            return NULL;
+        }
+        self->now = e.time;
+        self->events_processed += 1;
+        if (dispatch(self, &e) < 0)
+            return NULL;
+    }
+    Py_INCREF(proc->base.value);
+    return proc->base.value;
+}
+
+static PyObject *sim_peek(SimulatorObject *self,
+                          PyObject *Py_UNUSED(ignored))
+{
+    if (self->len == 0)
+        Py_RETURN_NONE;
+    return PyFloat_FromDouble(self->heap[0].time);
+}
+
+static int sim_traverse(SimulatorObject *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        Py_VISIT(self->heap[i].a);
+        Py_VISIT(self->heap[i].b);
+    }
+    return 0;
+}
+
+static int sim_clear_heap(SimulatorObject *self)
+{
+    Py_ssize_t len = self->len;
+    self->len = 0;
+    for (Py_ssize_t i = 0; i < len; i++)
+        entry_clear(&self->heap[i]);
+    return 0;
+}
+
+static void sim_dealloc(SimulatorObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    sim_clear_heap(self);
+    PyMem_Free(self->heap);
+    self->heap = NULL;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMethodDef sim_methods[] = {
+    {"timeout", (PyCFunction)sim_timeout,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"event", (PyCFunction)sim_event, METH_NOARGS, NULL},
+    {"process", (PyCFunction)sim_process,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"run", (PyCFunction)sim_run, METH_FASTCALL | METH_KEYWORDS,
+     "Drain the event queue, optionally stopping at time ``until``."},
+    {"run_until_complete", (PyCFunction)sim_run_until_complete,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Run until ``process`` finishes; raise on deadlock or limit."},
+    {"peek", (PyCFunction)sim_peek, METH_NOARGS,
+     "Time of the next scheduled event, or None if idle."},
+    {"_schedule_at", (PyCFunction)sim_schedule_at, METH_VARARGS, NULL},
+    {"_schedule_callbacks", (PyCFunction)sim_schedule_callbacks, METH_O,
+     NULL},
+    {"_defer", (PyCFunction)sim_defer, METH_VARARGS, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef sim_getset[] = {
+    {"now", (getter)sim_get_now, NULL, NULL, NULL},
+    /* Writable like the pure kernel's plain attribute (tests advance
+     * the clock directly without running processes). */
+    {"_now", (getter)sim_get_now, (setter)sim_set_now, NULL, NULL},
+    {"_eid", (getter)sim_get_eid, NULL, NULL, NULL},
+    {"events_processed", (getter)sim_get_events, (setter)sim_set_events,
+     NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject SimulatorType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simulation._corec.Simulator",
+    .tp_basicsize = sizeof(SimulatorObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled DES event loop (twin of kernel.Simulator).",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)sim_init,
+    .tp_methods = sim_methods,
+    .tp_getset = sim_getset,
+    .tp_traverse = (traverseproc)sim_traverse,
+    .tp_clear = (inquiry)sim_clear_heap,
+    .tp_dealloc = (destructor)sim_dealloc,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module                                                              */
+/* ------------------------------------------------------------------ */
+
+static int corec_exec(PyObject *module)
+{
+    PyObject *errors = PyImport_ImportModule("repro.errors");
+    if (errors == NULL)
+        return -1;
+    SimulationError = PyObject_GetAttrString(errors, "SimulationError");
+    DeadlockError = PyObject_GetAttrString(errors, "DeadlockError");
+    Py_DECREF(errors);
+    if (SimulationError == NULL || DeadlockError == NULL)
+        return -1;
+
+    PyObject *kernel = PyImport_ImportModule("repro.simulation.kernel");
+    if (kernel == NULL)
+        return -1;
+    InterruptClass = PyObject_GetAttrString(kernel, "Interrupt");
+    Py_DECREF(kernel);
+    if (InterruptClass == NULL)
+        return -1;
+
+    if (PyType_Ready(&SimulatorType) < 0 ||
+        PyType_Ready(&EventType) < 0 ||
+        PyType_Ready(&TimeoutType) < 0 ||
+        PyType_Ready(&ProcessType) < 0 ||
+        PyType_Ready(&ResumeCbType) < 0)
+        return -1;
+
+    if (PyModule_AddObjectRef(module, "Simulator",
+                              (PyObject *)&SimulatorType) < 0 ||
+        PyModule_AddObjectRef(module, "Event",
+                              (PyObject *)&EventType) < 0 ||
+        PyModule_AddObjectRef(module, "Timeout",
+                              (PyObject *)&TimeoutType) < 0 ||
+        PyModule_AddObjectRef(module, "Process",
+                              (PyObject *)&ProcessType) < 0 ||
+        PyModule_AddObjectRef(module, "Interrupt", InterruptClass) < 0)
+        return -1;
+    if (PyModule_AddStringConstant(module, "KERNEL_VARIANT",
+                                   "compiled") < 0)
+        return -1;
+    return 0;
+}
+
+static PyModuleDef_Slot corec_slots[] = {
+    {Py_mod_exec, corec_exec},
+    {0, NULL},
+};
+
+static struct PyModuleDef corec_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.simulation._corec",
+    .m_doc = "Compiled DES kernel (bit-identical twin of kernel.py).",
+    .m_size = 0,
+    .m_slots = corec_slots,
+};
+
+PyMODINIT_FUNC PyInit__corec(void)
+{
+    return PyModuleDef_Init(&corec_module);
+}

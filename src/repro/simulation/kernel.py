@@ -1,25 +1,45 @@
-"""A minimal deterministic discrete-event simulation kernel.
+"""A minimal deterministic discrete-event simulation kernel (pure Python).
 
-Processes are Python generators that ``yield`` :class:`Event` objects and
-are resumed with the event's value once it fires.  The kernel is
-deliberately small — timeouts, processes, and FIFO resources are all this
-reproduction needs — and fully deterministic: events scheduled for the same
-instant fire in scheduling order.
+Processes are Python generators that ``yield`` :class:`Event` objects —
+or bare ``float``/``int`` delays — and are resumed with the event's value
+(``None`` for bare delays) once it fires.  The kernel is deliberately
+small — timeouts, processes, and FIFO resources are all this
+reproduction needs — and fully deterministic: events scheduled for the
+same instant fire in scheduling order.
+
+This module is the *pure* kernel: the reference implementation of the
+scheduling contract.  ``repro.simulation._corec`` is an optional
+C-compiled twin with bit-identical semantics (same heap discipline,
+same schedule-counter allocation, same wait-token rules), selected via
+``REPRO_SIM_KERNEL`` — see ``repro.simulation.select_kernel``.  Any
+change to the semantics here must be mirrored there; the differential
+suites (``tests/simulation/test_kernel_parity.py`` and the golden
+end-to-end diffs) enforce the twin-ship.
 
 The event heap holds ``(time, eid, item)`` tuples where ``eid`` is a
-monotonically increasing schedule counter: same-instant entries compare on
-``eid`` alone, so the item itself is never compared and insertion order is
-the total order within an instant.  Besides :class:`Event` objects the heap
-also carries plain ``(fn, arg)`` deferred-callback tuples — a lightweight
-stand-in for the wrapper events that same-instant process resumption and
-interrupts would otherwise allocate.
+monotonically increasing schedule counter: same-instant entries compare
+on ``eid`` alone, so the item itself is never compared and insertion
+order is the total order within an instant.  Besides :class:`Event`
+objects the heap also carries plain ``(fn, arg)`` deferred-callback
+tuples — a lightweight stand-in for the wrapper events that same-instant
+process resumption, interrupts, and bare-delay yields would otherwise
+allocate.
+
+A bare ``yield 5.0`` is the fast path for the dominant pattern
+(``yield sim.timeout(5.0)`` with the value unused): it allocates no
+Timeout object and registers no callback — the scheduler resumes the
+generator directly from the heap entry, guarded by the process's wait
+token so an interrupt delivered while sleeping invalidates the
+resumption exactly like a detached Timeout would.  The schedule-counter
+consumption is identical to the Timeout form, so swapping one for the
+other never perturbs seeded results.
 
 Example::
 
     sim = Simulator()
 
     def worker():
-        yield sim.timeout(5.0)
+        yield sim.timeout(5.0)   # or equivalently:  yield 5.0
         return "done"
 
     proc = sim.process(worker())
@@ -34,7 +54,11 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
 
-ProcessGenerator = Generator["Event", Any, Any]
+ProcessGenerator = Generator[Any, Any, Any]
+
+#: Name of this kernel variant, recorded in ``RunResult`` extras and
+#: benchmark rows (the compiled twin reports ``"compiled"``).
+KERNEL_VARIANT = "pure"
 
 
 class Event:
@@ -108,13 +132,14 @@ class Interrupt(Exception):
 class Process(Event):
     """Wraps a generator; the event fires when the generator returns.
 
-    ``_wait_token`` invalidates deferred same-instant resumptions: each
-    detach (interrupt) bumps it, so a ``(fn, arg)`` tuple already sitting
-    on the heap becomes a no-op instead of resuming a detached process.
+    ``_wait_token`` invalidates deferred same-instant resumptions *and*
+    pending bare-delay wakeups: each detach (interrupt) bumps it, so a
+    ``(fn, arg)`` tuple already sitting on the heap becomes a no-op
+    instead of resuming a detached process.
     """
 
     __slots__ = ("generator", "name", "_waiting_on", "_waiting_cb",
-                 "_wait_token")
+                 "_wait_token", "_resume_bound", "_token_bound")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "process"):
@@ -124,10 +149,16 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._waiting_cb: Optional[Callable[[Event], None]] = None
         self._wait_token = 0
+        #: One bound method reused for every callback registration (a
+        #: fresh ``self._resume`` per yield is an allocation the hot
+        #: path can skip).
+        self._resume_bound = self._resume
+        self._token_bound = self._token_resume
         # Kick off the process at the current simulation time.
-        sim._defer(self._deferred_start, 0)
+        sim._defer(self._token_bound, 0)
 
-    def _deferred_start(self, token: int) -> None:
+    def _token_resume(self, token: int) -> None:
+        """Heap-entry target for deferred starts and bare-delay wakeups."""
         if token != self._wait_token or self._triggered:
             return
         self._advance(self.generator.send, None)
@@ -166,14 +197,30 @@ class Process(Event):
             self.succeed(None)
             return
         cls = target.__class__
-        if cls is Timeout or not isinstance(target, Event):
-            if cls is not Timeout:
-                raise SimulationError(
-                    f"process {self.name!r} yielded {target!r}, "
-                    "expected Event"
-                )
-            target.callbacks.append(self._resume)
-            self._waiting_on, self._waiting_cb = target, self._resume
+        if cls is float or cls is int:
+            # Bare-delay yield: schedule the wakeup directly — no
+            # Timeout object, no callback registration.  The schedule
+            # counter advances exactly as the Timeout form would, so
+            # the two spellings are interchangeable without perturbing
+            # seeded results.
+            if target < 0:
+                raise SimulationError(f"negative timeout: {target}")
+            sim = self.sim
+            sim._eid += 1
+            heapq.heappush(
+                sim._heap,
+                (sim._now + target, sim._eid,
+                 (self._token_bound, self._wait_token)),
+            )
+            return
+        if cls is Timeout:
+            target.callbacks.append(self._resume_bound)
+            self._waiting_on, self._waiting_cb = target, self._resume_bound
+        elif not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, "
+                "expected Event or delay"
+            )
         elif target._triggered:
             # Already-fired events resume the process on the next tick;
             # a deferred tuple replaces the wrapper event + closure.
@@ -181,8 +228,8 @@ class Process(Event):
             self.sim._defer(self._deferred_resume,
                             (target, self._wait_token))
         else:
-            target.callbacks.append(self._resume)
-            self._waiting_on, self._waiting_cb = target, self._resume
+            target.callbacks.append(self._resume_bound)
+            self._waiting_on, self._waiting_cb = target, self._resume_bound
 
     def _deferred_interrupt(self, cause: Any) -> None:
         self._throw(Interrupt(cause))
@@ -255,7 +302,15 @@ class Simulator:
         return Process(self, generator, name=name)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Drain the event queue, optionally stopping at time ``until``."""
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Same-instant entries are drained in one pass: the scheduler
+        advances the clock once per distinct timestamp and pops every
+        entry at that instant (including ones its callbacks push) before
+        re-checking the stop condition.  Pop order within the instant is
+        by schedule counter, so the batch is observably identical to the
+        one-at-a-time loop.
+        """
         heap = self._heap
         pop = heapq.heappop
         processed = 0
@@ -263,13 +318,17 @@ class Simulator:
             time = heap[0][0]
             if until is not None and time > until:
                 break
-            _, _eid, item = pop(heap)
             self._now = time
-            processed += 1
-            if item.__class__ is tuple:
-                item[0](item[1])
-            else:
-                item._run_callbacks()
+            # Drain this timestamp in one pass.
+            while True:
+                _, _eid, item = pop(heap)
+                processed += 1
+                if item.__class__ is tuple:
+                    item[0](item[1])
+                else:
+                    item._run_callbacks()
+                if not heap or heap[0][0] != time:
+                    break
         self.events_processed += processed
         if until is not None and self._now < until:
             self._now = until

@@ -22,8 +22,61 @@ from ..errors import ConfigError
 #: A compiled sampler: draws one service time from a generator.
 Sampler = Callable[[np.random.Generator], float]
 
+#: A batched sampler: draws one service time from a shared
+#: :class:`NormalDrawBatch` (no per-call generator argument).
+BatchedSampler = Callable[[], float]
+
 #: 99th-percentile z-score of the standard normal distribution.
 Z99 = 2.3263478740408408
+
+#: Default refill size for :class:`NormalDrawBatch`.  Large enough that
+#: the numpy vector call amortises to noise, small enough that a short
+#: run does not waste draws (unused tail draws are simply never taken —
+#: they do not perturb any other stream).
+DEFAULT_DRAW_CHUNK = 1024
+
+
+class NormalDrawBatch:
+    """Chunked standard-normal draws from one exclusively-owned stream.
+
+    Refills pull ``chunk`` draws at a time via
+    ``rng.standard_normal(chunk)``, which consumes the generator's bit
+    stream *identically* to ``chunk`` sequential scalar draws — so a
+    batch-fed sampler produces the exact seeded sequence the scalar
+    ``rng.lognormal(mu, sigma)`` path does, across refill boundaries
+    (pinned by ``tests/simulation/test_batched_draws.py``).
+
+    The correctness contract is exclusivity: every consumer of the
+    underlying stream must draw through this batch.  A stream that also
+    serves uniform/integer draws cannot be batched (the refill would
+    reorder consumption); ``LatencyProvider.batched_samplers`` refuses
+    to batch such configurations and callers fall back to scalar draws.
+    """
+
+    __slots__ = ("rng", "chunk", "_buf", "_pos", "refills")
+
+    def __init__(self, rng: np.random.Generator,
+                 chunk: int = DEFAULT_DRAW_CHUNK):
+        if chunk < 1:
+            raise ConfigError("chunk must be >= 1")
+        self.rng = rng
+        self.chunk = int(chunk)
+        #: Python floats (``tolist``): scalar math on the hot path stays
+        #: in C doubles instead of numpy scalar objects.
+        self._buf: list = []
+        self._pos = 0
+        self.refills = 0
+
+    def next_normal(self) -> float:
+        """The next standard-normal draw from the owned stream."""
+        pos = self._pos
+        buf = self._buf
+        if pos >= len(buf):
+            buf = self._buf = self.rng.standard_normal(self.chunk).tolist()
+            self.refills += 1
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
 
 
 class LatencyModel:
@@ -51,6 +104,18 @@ class LatencyModel:
         """
         return self.sample
 
+    def batched_sampler(self, batch: NormalDrawBatch
+                        ) -> Optional[BatchedSampler]:
+        """Return a zero-arg sampler drawing through ``batch``, or None.
+
+        Only distributions whose ``sample`` consumes *exactly one
+        standard normal* (or nothing at all) from the stream can be fed
+        from a shared batch; anything else returns ``None`` and the
+        whole stream stays on scalar draws (see
+        ``LatencyProvider.batched_samplers``).
+        """
+        return None
+
 
 class ConstantLatency(LatencyModel):
     """Degenerate distribution; useful for tests and analytic checks."""
@@ -69,6 +134,10 @@ class ConstantLatency(LatencyModel):
     def compiled(self) -> Sampler:
         value = self.value_ms
         return lambda rng: value
+
+    def batched_sampler(self, batch: NormalDrawBatch) -> BatchedSampler:
+        value = self.value_ms
+        return lambda: value
 
     def __repr__(self) -> str:
         return f"ConstantLatency({self.value_ms!r})"
@@ -112,6 +181,19 @@ class LogNormalLatency(LatencyModel):
             return lambda rng: median
         mu, sigma = self._mu, self._sigma
         return lambda rng: float(rng.lognormal(mu, sigma))
+
+    def batched_sampler(self, batch: NormalDrawBatch) -> BatchedSampler:
+        if self._sigma == 0.0:
+            median = self.median_ms
+            return lambda: median
+        # ``rng.lognormal(mu, sigma)`` is exactly
+        # ``exp(mu + sigma * standard_normal())`` — bit-for-bit — so
+        # feeding the transform from the batch preserves the seeded
+        # sequence.
+        mu, sigma = self._mu, self._sigma
+        exp = math.exp
+        next_normal = batch.next_normal
+        return lambda: exp(mu + sigma * next_normal())
 
     def percentile(self, q: float) -> float:
         """Analytic quantile, ``q`` in (0, 1)."""
@@ -190,6 +272,14 @@ class ScaledLatency(LatencyModel):
     def compiled(self) -> Sampler:
         base, factor = self.base.compiled(), self.factor
         return lambda rng: base(rng) * factor
+
+    def batched_sampler(self, batch: NormalDrawBatch
+                        ) -> Optional[BatchedSampler]:
+        inner = self.base.batched_sampler(batch)
+        if inner is None:
+            return None
+        factor = self.factor
+        return lambda: inner() * factor
 
 
 class MixtureLatency(LatencyModel):

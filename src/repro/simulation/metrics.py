@@ -124,7 +124,7 @@ class TimeWeightedGauge:
     """
 
     __slots__ = ("name", "_last_time", "_value", "_area", "_start_time",
-                 "_max_value")
+                 "_max_value", "_pending")
 
     def __init__(self, name: str, start_time_ms: float = 0.0,
                  initial_value: float = 0.0):
@@ -134,16 +134,63 @@ class TimeWeightedGauge:
         self._area = 0.0
         self._start_time = float(start_time_ms)
         self._max_value = float(initial_value)
+        #: Deferred (time, value) updates from :meth:`feed`, integrated
+        #: lazily on the next read (or eager :meth:`set`/:meth:`add`).
+        self._pending: Optional[list] = None
+
+    def feed(self, value: float, now_ms: float) -> None:
+        """Hot-path :meth:`set`: record the update, integrate later.
+
+        Storage listeners fire on every append/trim; buffering the
+        (time, value) pair costs one list append, and the piecewise
+        integration happens once, on the next read.  Ordering and
+        results are identical to eager ``set`` calls — including the
+        backwards-time rejection, which just surfaces at read time.
+        """
+        pending = self._pending
+        if pending is None:
+            pending = self._pending = []
+        pending.append((now_ms, value))
+
+    def _integrate_pending(self) -> None:
+        pending = self._pending
+        last = self._last_time
+        value = self._value
+        area = self._area
+        max_value = self._max_value
+        for now_ms, fed in pending:
+            if now_ms < last:
+                raise SimulationError(
+                    f"gauge {self.name!r} driven backwards in time "
+                    f"({now_ms} < {last})"
+                )
+            if now_ms > last:
+                area += value * (now_ms - last)
+                last = now_ms
+            value = float(fed)
+            if value > max_value:
+                max_value = value
+        self._last_time = last
+        self._value = value
+        self._area = area
+        self._max_value = max_value
+        pending.clear()
 
     @property
     def value(self) -> float:
+        if self._pending:
+            self._integrate_pending()
         return self._value
 
     @property
     def max_value(self) -> float:
+        if self._pending:
+            self._integrate_pending()
         return self._max_value
 
     def set(self, value: float, now_ms: float) -> None:
+        if self._pending:
+            self._integrate_pending()
         last = self._last_time
         if now_ms < last:
             raise SimulationError(
@@ -161,9 +208,13 @@ class TimeWeightedGauge:
             self._max_value = value
 
     def add(self, delta: float, now_ms: float) -> None:
+        if self._pending:
+            self._integrate_pending()
         self.set(self._value + delta, now_ms)
 
     def time_average(self, now_ms: Optional[float] = None) -> float:
+        if self._pending:
+            self._integrate_pending()
         end = self._last_time if now_ms is None else float(now_ms)
         if end < self._last_time:
             raise SimulationError("time_average asked before last update")
@@ -175,6 +226,8 @@ class TimeWeightedGauge:
 
     def area_until(self, now_ms: float) -> float:
         """Integrated value·time up to ``now_ms`` (≥ the last update)."""
+        if self._pending:
+            self._integrate_pending()
         if now_ms < self._last_time:
             raise SimulationError(
                 f"gauge {self.name!r}: area_until({now_ms}) precedes "
@@ -198,6 +251,10 @@ class TimeWeightedGauge:
         updates — then divides once by the shared elapsed window, so
         ``merged.time_average()`` is the true combined average.
         """
+        if self._pending:
+            self._integrate_pending()
+        if other._pending:
+            other._integrate_pending()
         horizon = max(self._last_time, other._last_time)
         if horizon_ms is not None:
             horizon = max(horizon, float(horizon_ms))

@@ -1,0 +1,126 @@
+"""Kernel selection: pure-Python vs. compiled DES event loop.
+
+Two interchangeable kernels implement the simulation contract:
+
+- ``repro.simulation.kernel`` — the pure-Python reference (always
+  available, no toolchain required);
+- ``repro.simulation._corec`` — an optional C extension twin with
+  bit-identical scheduling semantics (same ``(time, eid)`` heap
+  discipline, same schedule-counter allocation, same wait-token rules).
+
+Selection is controlled by the ``REPRO_SIM_KERNEL`` environment
+variable, read once at package import:
+
+- ``auto`` (default) — compiled if the extension imports, else the pure
+  kernel, transparently;
+- ``pure`` — force the reference kernel;
+- ``compiled`` — require the extension; raise :class:`ConfigError` with
+  build instructions if it is missing.
+
+:func:`select_kernel` switches the active kernel in-process (tests and
+benchmarks use it to A/B the two kernels inside one interpreter).  The
+switch rebinds ``repro.simulation.Simulator`` & co. — it affects
+simulators constructed *afterwards*, never live ones, and does **not**
+propagate to process-pool children (those re-read the environment
+variable), so differential runs must use in-process execution
+(``jobs=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from types import ModuleType
+from typing import Optional
+
+from ..errors import ConfigError
+from . import kernel as pure_kernel
+
+#: Environment variable consulted at import time.
+KERNEL_ENV = "REPRO_SIM_KERNEL"
+
+#: Accepted values for :data:`KERNEL_ENV` / :func:`select_kernel`.
+KERNEL_CHOICES = ("pure", "compiled", "auto")
+
+#: Names rebound on the package when the active kernel switches.
+_REBOUND = ("Simulator", "Event", "Timeout", "Process")
+
+_active: ModuleType = pure_kernel
+_requested: str = "auto"
+
+
+def compiled_kernel() -> Optional[ModuleType]:
+    """The built extension module, or ``None`` if unavailable."""
+    try:
+        from . import _corec  # noqa: PLC0415 — probe, may be absent
+    except ImportError:
+        return None
+    return _corec
+
+
+def compiled_available() -> bool:
+    """Whether the compiled kernel can be imported."""
+    return compiled_kernel() is not None
+
+
+def _resolve(requested: str) -> ModuleType:
+    if requested == "pure":
+        return pure_kernel
+    if requested == "compiled":
+        module = compiled_kernel()
+        if module is None:
+            raise ConfigError(
+                f"{KERNEL_ENV}=compiled but repro.simulation._corec is not "
+                "built; build it with `python setup.py build_ext --inplace` "
+                "(requires a C compiler) or select pure/auto"
+            )
+        return module
+    module = compiled_kernel()
+    return module if module is not None else pure_kernel
+
+
+def _rebind(module: ModuleType) -> None:
+    package = sys.modules.get(__package__)
+    if package is None:  # pragma: no cover — only during interpreter teardown
+        return
+    for name in _REBOUND:
+        setattr(package, name, getattr(module, name))
+
+
+def select_kernel(name: str) -> str:
+    """Switch the active kernel; returns the resulting variant name.
+
+    ``name`` is one of :data:`KERNEL_CHOICES`.  Only simulators
+    constructed after the call are affected.
+    """
+    global _active, _requested
+    requested = (name or "auto").strip().lower()
+    if requested not in KERNEL_CHOICES:
+        raise ConfigError(
+            f"unknown simulation kernel {name!r}; "
+            f"expected one of {', '.join(KERNEL_CHOICES)}"
+        )
+    _active = _resolve(requested)
+    _requested = requested
+    _rebind(_active)
+    return _active.KERNEL_VARIANT
+
+
+def active_kernel() -> str:
+    """Variant name of the active kernel: ``"pure"`` or ``"compiled"``."""
+    return _active.KERNEL_VARIANT
+
+
+def active_module() -> ModuleType:
+    """The module object of the active kernel."""
+    return _active
+
+
+def requested_kernel() -> str:
+    """The selection request that produced the active kernel."""
+    return _requested
+
+
+def init_from_env() -> str:
+    """Apply :data:`KERNEL_ENV` (called once from the package import)."""
+    return select_kernel(os.environ.get(KERNEL_ENV, "auto"))

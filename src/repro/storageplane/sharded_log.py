@@ -351,18 +351,31 @@ class ShardedLog:
         home = shards[home_id]
         self._records[seqnum] = record
         self._home[seqnum] = home_id
-        self.metalog.add_refs(seqnum, len(tags))
-        for tag in tags:
-            shard_id = routes.get(tag)
-            if shard_id is None:
-                shard_id = route(tag)
-            streams = shards[shard_id].streams
-            stream = streams.get(tag)
+        # Inlined ``metalog.add_refs`` / ``_Stream.append``: one-line
+        # methods cost more to dispatch than to run at this call rate.
+        self.metalog._tag_refs[seqnum] = len(tags)
+        if len(tags) == 1:
+            # The dominant shape (per-instance step records carry one
+            # tag): reuse the home route, skip the loop machinery.
+            streams = home.streams
+            stream = streams.get(first)
             if stream is None:
-                stream = streams[tag] = _Stream()
-            stream.append(seqnum)
+                stream = streams[first] = _Stream()
+            stream.seqnums.append(seqnum)
             if replica_sets is not None:
-                replica_sets[shard_id].mirror_append(tag, seqnum)
+                replica_sets[home_id].mirror_append(first, seqnum)
+        else:
+            for tag in tags:
+                shard_id = routes.get(tag)
+                if shard_id is None:
+                    shard_id = route(tag)
+                streams = shards[shard_id].streams
+                stream = streams.get(tag)
+                if stream is None:
+                    stream = streams[tag] = _Stream()
+                stream.seqnums.append(seqnum)
+                if replica_sets is not None:
+                    replica_sets[shard_id].mirror_append(tag, seqnum)
         self.sequencer.commit(seqnum)
         size = self._meta_bytes + record.payload_bytes
         self._storage_bytes += size

@@ -33,13 +33,15 @@ def test_log_record_roundtrip():
     assert out.payload_bytes == 64
 
 
-def test_log_record_raw_pickle_fails_without_codec():
-    # The codec exists because this fails: MappingProxyType in a slots
-    # dataclass is not picklable.  If this starts passing, the codec
-    # special case can be retired.
+def test_log_record_pickles_natively():
+    # LogRecord.__reduce__ rebuilds the frozen MappingProxyType on the
+    # far side, so the codec's old tagged-tuple special case is retired;
+    # raw pickle must keep the payload frozen.
     record = LogRecord(1, ("t",), {"k": "v"}, 0)
-    with pytest.raises(Exception):
-        pickle.dumps(record)
+    out = pickle.loads(pickle.dumps(record))
+    assert out == record
+    with pytest.raises(TypeError):
+        out.data["k"] = "mutated"
 
 
 def test_nested_structures_with_records():

@@ -10,8 +10,9 @@ ordering (and with it every seeded experiment) silently shifts.
 These tests pin that contract directly.
 """
 
-from repro.simulation import Simulator
-from repro.simulation.kernel import Event, Interrupt
+# Import through the package so the suite exercises whichever kernel
+# REPRO_SIM_KERNEL selected (kernels must not be mixed in one sim).
+from repro.simulation import Event, Interrupt, Simulator
 
 
 def test_same_instant_timeouts_fire_in_schedule_order():
@@ -166,3 +167,143 @@ def test_events_processed_counts_every_pop():
     sim.run()
     # Deferred start, two timeouts, and the process-completion event.
     assert sim.events_processed == 4
+
+
+# -- property tests: same-instant batch draining --------------------------
+#
+# ``Simulator.run`` drains every entry of one timestamp in a single pass
+# (the clock is advanced once per distinct instant).  The contract: the
+# batch is *observably identical* to the one-pop-at-a-time loop — pop
+# order within the instant stays schedule order, entries pushed during
+# the batch join it, and wait tokens still invalidate stale wakeups.
+# These properties are exercised over seeded random schedules rather
+# than hand-picked cases, deliberately forcing heavy eid collisions
+# (delays are drawn from a tiny set so many processes land on the same
+# instants).
+
+
+def _random_trace(seed: int, spelling: str):
+    """Run a random workload; return the (time, tag, step) fire trace.
+
+    ``spelling`` selects bare-delay yields (``yield d``) or Timeout
+    yields (``yield sim.timeout(d)``) — the two must be observably
+    interchangeable (same trace, same clock, same event count).
+    """
+    import random
+
+    rng = random.Random(seed)
+    sim = Simulator()
+    trace = []
+    delays = (0.0, 1.0, 1.0, 2.0, 5.0)  # heavy same-instant collisions
+
+    def worker(tag, plan):
+        for step, delay in enumerate(plan):
+            if spelling == "bare":
+                yield delay
+            else:
+                yield sim.timeout(delay)
+            trace.append((sim.now, tag, step))
+
+    for tag in range(rng.randrange(2, 12)):
+        plan = [rng.choice(delays) for _ in range(rng.randrange(1, 9))]
+        sim.process(worker(tag, plan))
+    sim.run()
+    return trace, sim.now, sim.events_processed
+
+
+def test_property_batch_drain_preserves_schedule_order():
+    for seed in range(40):
+        trace, _now, _events = _random_trace(seed, "bare")
+        # Group by instant: within one timestamp, a worker's earlier-
+        # scheduled wakeups fire before later-scheduled ones, and two
+        # workers whose wakeups were scheduled at the same earlier
+        # instant fire in schedule (creation) order.  Both reduce to:
+        # the (tag, step) pairs of one instant that were scheduled at
+        # the same prior instant appear in ascending tag order.
+        by_instant = {}
+        for now, tag, step in trace:
+            by_instant.setdefault(now, []).append((tag, step))
+        for fired in by_instant.values():
+            per_tag = {}
+            for tag, step in fired:
+                per_tag.setdefault(tag, []).append(step)
+            for steps in per_tag.values():
+                assert steps == sorted(steps), (fired, steps)
+
+
+def test_property_bare_delay_and_timeout_traces_identical():
+    # The interchangeability contract behind the bare-delay fast path:
+    # swapping ``yield d`` for ``yield sim.timeout(d)`` changes no
+    # observable — fire order, clock, or events_processed.
+    for seed in range(40):
+        assert _random_trace(seed, "bare") == _random_trace(seed, "timeout")
+
+
+def test_property_interrupt_tokens_survive_batch_drain():
+    # Interrupt storms against sleeping processes, with interrupts and
+    # wakeups colliding on the same instants: a process must never see
+    # a wakeup from a wait it was already interrupted out of (the
+    # wait-token rule), and must resume each wait at most once — even
+    # though the stale heap entries are drained in the same batch as
+    # the live ones.
+    import random
+
+    for seed in range(40):
+        rng = random.Random(1000 + seed)
+        sim = Simulator()
+        n = rng.randrange(2, 7)
+        log = [[] for _ in range(n)]
+        procs = []
+
+        def sleeper(tag):
+            epoch = 0
+            for _ in range(6):
+                try:
+                    yield rng.choice((0.0, 1.0, 2.0))
+                    log[tag].append(("wake", epoch, sim.now))
+                except Interrupt:
+                    log[tag].append(("int", epoch, sim.now))
+                    epoch += 1
+
+        for tag in range(n):
+            procs.append(sim.process(sleeper(tag)))
+
+        def attacker():
+            for _ in range(8):
+                yield rng.choice((0.0, 1.0))
+                victim = procs[rng.randrange(n)]
+                victim.interrupt("storm")
+
+        sim.process(attacker())
+        sim.run()
+        for tag in range(n):
+            epoch = 0
+            for kind, seen_epoch, _now in log[tag]:
+                # Every entry is observed in the epoch the process was
+                # actually in: a wake carrying a pre-interrupt epoch
+                # would mean a stale wakeup slipped past its token.
+                assert seen_epoch == epoch, log[tag]
+                if kind == "int":
+                    epoch += 1
+
+
+def test_entries_pushed_mid_batch_join_the_instant():
+    # A callback that schedules more same-instant work while its batch
+    # is draining: run(until=now) must finish the whole cascade, not
+    # strand the tail for a later call.
+    sim = Simulator()
+    fired = []
+
+    def cascade(depth):
+        if depth < 5:
+            sim.process(tail(depth))
+
+    def tail(depth):
+        yield 0.0
+        fired.append(depth)
+        cascade(depth + 1)
+
+    cascade(0)
+    sim.run(until=0.0)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 0.0

@@ -1,0 +1,318 @@
+"""Differential parity: compiled DES kernel vs. the pure reference.
+
+The compiled kernel (``repro.simulation._corec``) is only acceptable if
+it is *observably indistinguishable* from ``repro.simulation.kernel`` —
+same fire order, same clock, same ``events_processed``, same exception
+surfaces, same wait-token edge cases, and bit-identical end-to-end
+experiment results.  Every test here runs one scenario under **both**
+kernels inside one interpreter (via :func:`select_kernel`) and diffs
+the outcomes.  The whole module skips when the extension is not built,
+so tier-1 needs no C toolchain.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simulation import select as kernel_select
+from repro.simulation.kernel import Interrupt
+
+pytestmark = pytest.mark.skipif(
+    not kernel_select.compiled_available(),
+    reason="compiled kernel not built (python setup.py build_ext --inplace)",
+)
+
+
+@pytest.fixture
+def diff_kernels():
+    """Run ``scenario(kernel_module)`` under both kernels; return both.
+
+    Restores the process's original kernel selection afterwards, so
+    parity tests never leak a forced kernel into the rest of the suite.
+    """
+    before = kernel_select.requested_kernel()
+
+    def run(scenario):
+        outcomes = []
+        for variant in ("pure", "compiled"):
+            kernel_select.select_kernel(variant)
+            outcomes.append(scenario(kernel_select.active_module()))
+        return outcomes
+
+    try:
+        yield run
+    finally:
+        kernel_select.select_kernel(before)
+
+
+# -- unit-level differential scenarios -------------------------------------
+
+
+def test_mixed_schedule_trace_identical(diff_kernels):
+    # Bare delays, timeouts, events succeeded out of creation order,
+    # and an already-triggered event's deferred resume — the full
+    # same-instant mix, traced under both kernels.
+    def scenario(k):
+        sim = k.Simulator()
+        trace = []
+        gate = sim.event()
+        early = k.Event(sim)
+        early.succeed("early")
+
+        def sleeper(tag):
+            yield 1.0
+            trace.append((sim.now, tag))
+            yield sim.timeout(0.0)
+            trace.append((sim.now, tag, "zero"))
+
+        def waiter(event, tag):
+            value = yield event
+            trace.append((sim.now, tag, value))
+
+        def trigger():
+            yield sim.timeout(1.0)
+            gate.succeed("open")
+
+        for tag in range(4):
+            sim.process(sleeper(tag))
+        sim.process(waiter(gate, "gate"))
+        sim.process(waiter(early, "eager"))
+        sim.process(trigger())
+        sim.run()
+        return trace, sim.now, sim.events_processed
+
+    pure, compiled = diff_kernels(scenario)
+    assert pure == compiled
+
+
+def test_interrupt_edge_cases_identical(diff_kernels):
+    # The wait-token gauntlet: interrupt a process waiting on a shared
+    # event (callback detach), interrupt one with a deferred resume
+    # already on the heap, and interrupt the same process twice at one
+    # instant.  The surviving waiter must still fire.
+    def scenario(k):
+        sim = k.Simulator()
+        log = []
+        shared = sim.event()
+        fired = k.Event(sim)
+        fired.succeed("stale")
+
+        def waiter(event, tag):
+            try:
+                value = yield event
+                log.append((tag, "got", value, sim.now))
+            except Interrupt as exc:
+                log.append((tag, "int", exc.cause, sim.now))
+
+        victims = [
+            sim.process(waiter(shared, "shared-victim")),
+            sim.process(waiter(shared, "shared-survivor")),
+            sim.process(waiter(fired, "deferred-victim")),
+        ]
+
+        def attacker():
+            victims[0].interrupt("one")
+            victims[2].interrupt(cause="kw")
+            victims[2].interrupt("again")  # double interrupt, same instant
+            yield sim.timeout(2.0)
+            shared.succeed("late")
+
+        sim.process(attacker())
+        sim.run()
+        return sorted(log), sim.now, sim.events_processed
+
+    pure, compiled = diff_kernels(scenario)
+    assert pure == compiled
+
+
+def test_stale_wakeup_clock_advance_identical(diff_kernels):
+    # An interrupted bare-delay sleep leaves its (invalidated) heap
+    # entry behind; popping it advances the clock without resuming the
+    # process.  Both kernels must agree on that final clock.
+    def scenario(k):
+        sim = k.Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield 100.0
+                log.append("woke")
+            except Interrupt:
+                log.append(("int", sim.now))
+
+        proc = sim.process(sleeper())
+
+        def attacker():
+            yield sim.timeout(10.0)
+            proc.interrupt("early")
+
+        sim.process(attacker())
+        sim.run()
+        return log, sim.now, sim.events_processed
+
+    pure, compiled = diff_kernels(scenario)
+    assert pure == compiled
+    assert pure[1] == 100.0  # the stale entry still drains the heap
+
+
+def test_error_surfaces_identical(diff_kernels):
+    def scenario(k):
+        sim = k.Simulator()
+        surfaces = []
+        try:
+            sim.timeout(-1.0)
+        except SimulationError:
+            surfaces.append("negative-timeout")
+        def stuck():
+            yield sim.event()  # nobody ever succeeds it
+
+        try:
+            sim.run_until_complete(sim.process(stuck()))
+        except DeadlockError:
+            surfaces.append("deadlock")
+
+        sim2 = k.Simulator()
+
+        def runaway():
+            while True:
+                yield 1.0
+
+        try:
+            sim2.run_until_complete(sim2.process(runaway()), limit=5.0)
+        except SimulationError:
+            surfaces.append("time-limit")
+        return surfaces
+
+    pure, compiled = diff_kernels(scenario)
+    assert pure == compiled == [
+        "negative-timeout", "deadlock", "time-limit",
+    ]
+
+
+def test_run_until_peek_and_now_write_identical(diff_kernels):
+    def scenario(k):
+        sim = k.Simulator()
+        fired = []
+
+        def worker():
+            for _ in range(4):
+                yield 5.0
+                fired.append(sim.now)
+
+        sim.process(worker())
+        sim.run(until=10.0)
+        mid = (list(fired), sim.now, sim.peek())
+        sim._now = 12.5  # tests nudge the clock directly; both allow it
+        sim.run()
+        return mid, list(fired), sim.now, sim.events_processed
+
+    pure, compiled = diff_kernels(scenario)
+    assert pure == compiled
+
+
+def test_process_completion_values_identical(diff_kernels):
+    def scenario(k):
+        sim = k.Simulator()
+
+        def child():
+            yield 3.0
+            return "payload"
+
+        proc = sim.process(child())
+        value = sim.run_until_complete(proc)
+        return value, proc.triggered, proc.value, sim.now
+
+    pure, compiled = diff_kernels(scenario)
+    assert pure == compiled == ("payload", True, "payload", 3.0)
+
+
+# -- end-to-end parity: bit-identical experiment cells ---------------------
+
+
+def _canon(obj, depth=0):
+    if depth > 8:
+        return "<deep>"
+    if isinstance(obj, dict):
+        return {
+            str(k): _canon(v, depth + 1)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v, depth + 1) for v in obj]
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips: any ULP drift is a diff
+    if isinstance(obj, (int, str, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "_samples"):
+        return _canon(list(obj._samples), depth + 1)
+    return repr(obj)
+
+
+def _run_dump(result):
+    dump = {}
+    for name in (
+        "protocol", "workload", "completed", "crashed_attempts",
+        "faulted_attempts", "median_ms", "p99_ms", "mean_ms",
+        "throughput_per_s", "avg_log_bytes", "avg_db_bytes", "counters",
+        "time_by_kind", "extras", "node_crashes", "orphaned_invocations",
+        "recovered_orphans",
+    ):
+        value = getattr(result, name)
+        if name == "extras" and isinstance(value, dict):
+            # The kernel stamp is the one *intentional* difference.
+            value = {k: v for k, v in value.items() if k != "sim_kernel"}
+        dump[name] = _canon(value)
+    dump["op_latency"] = _canon({
+        k: v for k, v in result.metrics.items() if k.startswith("op_latency")
+    })
+    return dump
+
+
+def _small_cells():
+    """Scaled-down versions of the golden fig10/shard/chaos/failover cells."""
+    from repro.config import SystemConfig
+    from repro.harness import run_chaos_point, run_shard_point
+    from repro.harness.failover import run_failover_point
+    from repro.harness.micro import measure_op_latencies
+
+    out = {}
+    shard = run_shard_point(
+        2, 600.0, config=SystemConfig(seed=91),
+        duration_ms=600.0, warmup_ms=150.0, num_keys=200,
+    )
+    out["shard"] = _run_dump(shard)
+    out["fig10"] = _canon(
+        measure_op_latencies("boki", requests=120, num_keys=100)
+    )
+    chaos = run_chaos_point(
+        "boki", 0.05, config=SystemConfig(seed=42),
+        requests=100, num_keys=80,
+    )
+    out["chaos"] = {
+        "violations": chaos.violations,
+        "retries": chaos.retries,
+        "crashes_fired": chaos.crashes_fired,
+        "counters": _canon(chaos.counters),
+    }
+    failover = run_failover_point(
+        "halfmoon-read", 250.0, config=SystemConfig(seed=42),
+        rate_per_s=300.0, duration_ms=700.0,
+    )
+    out["failover"] = {
+        "violations": failover.violations,
+        "expected_bumps": failover.expected_bumps,
+        "run": _run_dump(failover.result),
+    }
+    return out
+
+
+def test_end_to_end_cells_bit_identical(diff_kernels):
+    # The tentpole acceptance criterion, in-repo: fig10 + shards +
+    # chaos + failover cells produce byte-identical canonical dumps
+    # under both kernels (extras' sim_kernel stamp excluded).  Floats
+    # are repr()-canonicalised, so even 1-ULP drift fails the diff.
+    import json
+
+    pure, compiled = diff_kernels(lambda _k: _small_cells())
+    assert json.dumps(pure, sort_keys=True) == json.dumps(
+        compiled, sort_keys=True
+    )
